@@ -1,0 +1,34 @@
+//! Criterion benches for the native (host-speed) CAMP GeMM engine —
+//! the library a downstream user calls — against the naive reference.
+
+use camp_core::{camp_gemm_i4, camp_gemm_i8, gemm_i32_ref};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn data(len: usize, seed: i32, lo: i32, hi: i32) -> Vec<i8> {
+    (0..len).map(|i| ((i as i32 * seed) % (hi - lo + 1) + lo) as i8).collect()
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("native_gemm");
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
+    for &s in &[64usize, 128, 256] {
+        let a = data(s * s, 31, -8, 7);
+        let b = data(s * s, 17, -8, 7);
+        g.bench_with_input(BenchmarkId::new("camp_i8", s), &s, |bch, &s| {
+            bch.iter(|| camp_gemm_i8(s, s, s, &a, &b))
+        });
+        g.bench_with_input(BenchmarkId::new("camp_i4", s), &s, |bch, &s| {
+            bch.iter(|| camp_gemm_i4(s, s, s, &a, &b))
+        });
+        g.bench_with_input(BenchmarkId::new("naive_ref", s), &s, |bch, &s| {
+            bch.iter(|| gemm_i32_ref(s, s, s, &a, &b))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion benches for the quantization stack.
+
+use camp_quant::{AffineQuantizer, SymmetricQuantizer};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_quant(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quantization");
+    g.sample_size(20)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
+    let data: Vec<f32> = (0..65536).map(|i| ((i as f32) * 0.173).sin() * 4.0).collect();
+    g.bench_function("symmetric_fit_quantize_64k", |b| {
+        b.iter(|| {
+            let q = SymmetricQuantizer::fit(&data, 8);
+            q.quantize_all(&data)
+        })
+    });
+    g.bench_function("affine_fit_quantize_64k", |b| {
+        b.iter(|| {
+            let q = AffineQuantizer::fit(&data, 8);
+            data.iter().map(|&x| q.quantize(x)).collect::<Vec<i8>>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_quant);
+criterion_main!(benches);

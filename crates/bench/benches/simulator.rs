@@ -1,0 +1,44 @@
+//! Criterion benches for the simulation stack itself: end-to-end
+//! simulated-GeMM latency per core model and cache trace throughput.
+
+use camp_cache::{Hierarchy, HierarchyConfig};
+use camp_gemm::{simulate_gemm, GemmOptions, Method};
+use camp_pipeline::CoreConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
+    let opts = GemmOptions { verify: false, ..GemmOptions::default() };
+    g.bench_function("camp8_gemm_64x64x128_a64fx", |b| {
+        b.iter(|| simulate_gemm(CoreConfig::a64fx(), Method::Camp8, 64, 64, 128, &opts))
+    });
+    g.bench_function("camp8_gemm_64x64x128_edge", |b| {
+        b.iter(|| simulate_gemm(CoreConfig::edge_riscv(), Method::Camp8, 64, 64, 128, &opts))
+    });
+    g.bench_function("openblas_gemm_64x64x128_a64fx", |b| {
+        b.iter(|| simulate_gemm(CoreConfig::a64fx(), Method::OpenblasF32, 64, 64, 128, &opts))
+    });
+    g.finish();
+
+    let mut g2 = c.benchmark_group("cache_trace");
+    g2.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
+    g2.bench_function("streaming_1M_accesses", |b| {
+        b.iter(|| {
+            let mut h = Hierarchy::new(HierarchyConfig::a64fx());
+            for i in 0..1_000_000u64 {
+                h.access(i * 64 % (1 << 22), 64, false, 1);
+            }
+            h.l1d().stats().misses
+        })
+    });
+    g2.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

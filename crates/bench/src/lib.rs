@@ -1,0 +1,64 @@
+//! # camp-bench — figure/table reproduction harnesses
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the
+//! index). Each harness prints the series the paper reports, with a
+//! `paper≈` annotation giving the published value where one exists, so
+//! EXPERIMENTS.md can record shape agreement.
+//!
+//! Shared conventions:
+//!
+//! * problems larger than the MAC budget are clamped
+//!   structure-preservingly (identical across methods — normalized
+//!   metrics unaffected); set `CAMP_MAC_BUDGET` (MACs) to change the
+//!   default of 32 M, e.g. `CAMP_MAC_BUDGET=200000000` for longer runs;
+//! * speedups are clock-cycle ratios against OpenBLAS-SGEMM-like on the
+//!   A64FX-like core (Figs. 13/14/18, Table 1) or BLIS-int32 on the edge
+//!   core (Fig. 12), exactly as in the paper.
+
+use camp_gemm::{simulate_gemm, GemmOptions, GemmResult, Method};
+use camp_models::GemmShape;
+use camp_pipeline::CoreConfig;
+
+/// MAC budget for harness runs (env `CAMP_MAC_BUDGET`, default 32 M).
+pub fn mac_budget() -> u64 {
+    std::env::var("CAMP_MAC_BUDGET")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32_000_000)
+}
+
+/// Default harness options (verification off — correctness is covered by
+/// the test suite; harness runs measure performance).
+pub fn harness_options() -> GemmOptions {
+    GemmOptions { mac_budget: mac_budget(), verify: false, ..GemmOptions::default() }
+}
+
+/// Simulate one method on one shape with harness options.
+pub fn run(core: CoreConfig, method: Method, shape: GemmShape) -> GemmResult {
+    simulate_gemm(core, method, shape.m, shape.n, shape.k, &harness_options())
+}
+
+/// The six methods of Fig. 13/14, in legend order.
+pub fn fig13_methods() -> [Method; 6] {
+    [
+        Method::Camp4,
+        Method::Camp8,
+        Method::HandvInt8,
+        Method::Gemmlowp,
+        Method::HandvInt32,
+        Method::OpenblasF32,
+    ]
+}
+
+/// Format a speedup column.
+pub fn fmt_x(v: f64) -> String {
+    format!("{v:5.2}x")
+}
+
+/// Print a standard header block for a harness.
+pub fn header(id: &str, what: &str) {
+    println!("==============================================================");
+    println!("{id}: {what}");
+    println!("mac_budget={} (set CAMP_MAC_BUDGET to change)", mac_budget());
+    println!("==============================================================");
+}

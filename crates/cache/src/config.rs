@@ -1,0 +1,122 @@
+//! Cache and hierarchy configuration.
+
+/// Geometry and timing of a single cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes. Must be `line_bytes * assoc * sets` with
+    /// power-of-two sets.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+    /// Load-to-use latency in cycles on a hit at this level.
+    pub hit_latency: u32,
+    /// Enable the per-PC stride prefetcher at this level.
+    pub prefetch: bool,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    ///
+    /// # Panics
+    /// Panics if the geometry is inconsistent (non-power-of-two set count
+    /// or capacity not divisible by `line × assoc`).
+    pub fn sets(&self) -> usize {
+        let per_way = self.line_bytes * self.assoc;
+        assert!(
+            self.size_bytes % per_way == 0,
+            "capacity {} not divisible by line*assoc {}",
+            self.size_bytes,
+            per_way
+        );
+        let sets = self.size_bytes / per_way;
+        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        sets
+    }
+}
+
+/// Configuration of a two-level hierarchy plus main memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Main-memory access latency in cycles (added on an L2 miss).
+    pub mem_latency: u32,
+}
+
+impl HierarchyConfig {
+    /// A64FX-like hierarchy (Table 2 of the paper): 64 KB 8-way L1D with
+    /// a 4-cycle load-to-use latency and stride prefetcher, 8 MB 16-way
+    /// L2 at 37 cycles, HBM2 at ~120 cycles.
+    pub fn a64fx() -> Self {
+        HierarchyConfig {
+            l1d: CacheConfig {
+                size_bytes: 64 << 10,
+                assoc: 8,
+                line_bytes: 256,
+                hit_latency: 4,
+                prefetch: true,
+            },
+            l2: CacheConfig {
+                size_bytes: 8 << 20,
+                assoc: 16,
+                line_bytes: 256,
+                hit_latency: 37,
+                prefetch: true,
+            },
+            mem_latency: 120,
+        }
+    }
+
+    /// Edge RISC-V SoC hierarchy (Sargantana-like, §5.1): 32 KB L1D
+    /// (2-cycle), 512 KB L2 (12-cycle), LPDDR at ~80 cycles, no
+    /// prefetcher.
+    pub fn edge_riscv() -> Self {
+        HierarchyConfig {
+            l1d: CacheConfig {
+                size_bytes: 32 << 10,
+                assoc: 4,
+                line_bytes: 64,
+                hit_latency: 2,
+                prefetch: false,
+            },
+            l2: CacheConfig {
+                size_bytes: 512 << 10,
+                assoc: 8,
+                line_bytes: 64,
+                hit_latency: 12,
+                prefetch: false,
+            },
+            mem_latency: 80,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a64fx_geometry() {
+        let c = HierarchyConfig::a64fx();
+        assert_eq!(c.l1d.sets(), 64 * 1024 / (256 * 8));
+        assert_eq!(c.l2.sets(), 8 * 1024 * 1024 / (256 * 16));
+    }
+
+    #[test]
+    fn edge_geometry() {
+        let c = HierarchyConfig::edge_riscv();
+        assert_eq!(c.l1d.sets(), 128);
+        assert_eq!(c.l2.sets(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn bad_geometry_panics() {
+        let c = CacheConfig { size_bytes: 1000, assoc: 3, line_bytes: 64, hit_latency: 1, prefetch: false };
+        let _ = c.sets();
+    }
+}

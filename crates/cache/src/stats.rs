@@ -1,0 +1,80 @@
+//! Per-level cache statistics.
+
+/// Counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses (loads + stores issued by the program).
+    pub accesses: u64,
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Lines evicted (any cause).
+    pub evictions: u64,
+    /// Dirty lines written back to the next level.
+    pub writebacks: u64,
+    /// Prefetch requests issued by this level's prefetcher.
+    pub prefetches_issued: u64,
+    /// Demand accesses that hit on a line brought in by the prefetcher.
+    pub prefetch_hits: u64,
+}
+
+impl CacheStats {
+    /// Demand miss rate in [0, 1]; zero when no accesses occurred.
+    pub fn demand_miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Demand hit rate in [0, 1].
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Fold another stats block into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.writebacks += other.writebacks;
+        self.prefetches_issued += other.prefetches_issued;
+        self.prefetch_hits += other.prefetch_hits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let s = CacheStats { accesses: 10, hits: 7, misses: 3, ..CacheStats::default() };
+        assert!((s.demand_miss_rate() - 0.3).abs() < 1e-12);
+        assert!((s.hit_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rates_are_zero() {
+        let s = CacheStats::default();
+        assert_eq!(s.demand_miss_rate(), 0.0);
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = CacheStats { accesses: 1, hits: 1, ..CacheStats::default() };
+        let b = CacheStats { accesses: 2, misses: 2, writebacks: 1, ..CacheStats::default() };
+        a.merge(&b);
+        assert_eq!(a.accesses, 3);
+        assert_eq!(a.misses, 2);
+        assert_eq!(a.writebacks, 1);
+    }
+}

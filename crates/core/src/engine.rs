@@ -1,0 +1,273 @@
+//! Host-speed CAMP GeMM engine.
+//!
+//! This is the downstream-facing library API: blocked integer matrix
+//! multiplication whose micro-kernel is the `camp` instruction semantics
+//! (§4.1, Fig. 9). Operands are packed exactly the way the simulated
+//! kernels pack them — A into 4×k column-major panels, B into k×4
+//! row-major panels — and the inner loop consumes 16 (i8) or 32 (i4)
+//! k-steps per "issue", mirroring `camp_s64` in the paper's Fig. 9
+//! listing. Results are bit-identical to a plain i32 GeMM (wrapping
+//! accumulation), which the test-suite and property tests verify.
+
+/// Per-call statistics of the engine (what the instruction stream would
+/// have contained).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// `camp` issues.
+    pub camp_issues: u64,
+    /// 64-byte vector loads (operand fetches).
+    pub vector_loads: u64,
+    /// 64-byte vector stores (result tiles).
+    pub vector_stores: u64,
+    /// Bytes moved while packing panels.
+    pub packed_bytes: u64,
+    /// Multiply-accumulate operations represented.
+    pub macs: u64,
+}
+
+/// Reference i32 GeMM over i8 inputs: `C[i][j] = Σ A[i][l]·B[l][j]`
+/// (row-major, wrapping accumulation).
+pub fn gemm_i32_ref(m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
+    assert_eq!(a.len(), m * k, "A must be m×k");
+    assert_eq!(b.len(), k * n, "B must be k×n");
+    let mut c = vec![0i32; m * n];
+    for i in 0..m {
+        for l in 0..k {
+            let av = a[i * k + l] as i32;
+            for j in 0..n {
+                let idx = i * n + j;
+                c[idx] = c[idx].wrapping_add(av.wrapping_mul(b[l * n + j] as i32));
+            }
+        }
+    }
+    c
+}
+
+fn pack_a_panel(a: &[i8], m: usize, k: usize, i0: usize, kk: usize) -> Vec<i8> {
+    // 4 rows starting at i0, all k columns zero-padded to kk, col-major.
+    let mut out = vec![0i8; 4 * kk];
+    for l in 0..k {
+        for r in 0..4 {
+            let i = i0 + r;
+            if i < m {
+                out[l * 4 + r] = a[i * k + l];
+            }
+        }
+    }
+    out
+}
+
+fn pack_b_panel(b: &[i8], k: usize, n: usize, j0: usize, kk: usize) -> Vec<i8> {
+    // 4 cols starting at j0, all k rows zero-padded to kk, row-major.
+    let mut out = vec![0i8; kk * 4];
+    for l in 0..k {
+        for c in 0..4 {
+            let j = j0 + c;
+            if j < n {
+                out[l * 4 + c] = b[l * n + j];
+            }
+        }
+    }
+    out
+}
+
+fn camp_issue_i8(a: &[i8], b: &[i8], acc: &mut [[i32; 4]; 4]) {
+    // One `camp.s8`: 16 k-steps of the 4×4 tile.
+    for l in 0..16 {
+        for i in 0..4 {
+            let av = a[l * 4 + i] as i32;
+            for j in 0..4 {
+                acc[i][j] = acc[i][j].wrapping_add(av.wrapping_mul(b[l * 4 + j] as i32));
+            }
+        }
+    }
+}
+
+fn camp_issue_i4(a: &[i8], b: &[i8], acc: &mut [[i32; 4]; 4]) {
+    // One `camp.s4`: 32 k-steps. Operand values must fit 4 bits.
+    for l in 0..32 {
+        for i in 0..4 {
+            let av = a[l * 4 + i] as i32;
+            debug_assert!((-8..8).contains(&av), "i4 operand {av} out of range");
+            for j in 0..4 {
+                let bv = b[l * 4 + j] as i32;
+                debug_assert!((-8..8).contains(&bv), "i4 operand {bv} out of range");
+                acc[i][j] = acc[i][j].wrapping_add(av.wrapping_mul(bv));
+            }
+        }
+    }
+}
+
+fn camp_gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    b: &[i8],
+    k_step: usize,
+    issue: fn(&[i8], &[i8], &mut [[i32; 4]; 4]),
+) -> (Vec<i32>, EngineStats) {
+    assert_eq!(a.len(), m * k, "A must be m×k");
+    assert_eq!(b.len(), k * n, "B must be k×n");
+    let kk = k.div_ceil(k_step) * k_step;
+    let mut c = vec![0i32; m * n];
+    let mut stats = EngineStats { macs: (m * n * k) as u64, ..EngineStats::default() };
+
+    for i0 in (0..m).step_by(4) {
+        let pa = pack_a_panel(a, m, k, i0, kk);
+        stats.packed_bytes += pa.len() as u64;
+        for j0 in (0..n).step_by(4) {
+            let pb = pack_b_panel(b, k, n, j0, kk);
+            if i0 == 0 {
+                stats.packed_bytes += pb.len() as u64;
+            }
+            let mut acc = [[0i32; 4]; 4];
+            for l0 in (0..kk).step_by(k_step) {
+                issue(&pa[l0 * 4..(l0 + k_step) * 4], &pb[l0 * 4..(l0 + k_step) * 4], &mut acc);
+                stats.camp_issues += 1;
+                stats.vector_loads += 2;
+            }
+            stats.vector_stores += 1;
+            for (r, row) in acc.iter().enumerate() {
+                let i = i0 + r;
+                if i >= m {
+                    break;
+                }
+                for (col, &v) in row.iter().enumerate() {
+                    let j = j0 + col;
+                    if j < n {
+                        c[i * n + j] = v;
+                    }
+                }
+            }
+        }
+    }
+    (c, stats)
+}
+
+/// Blocked GeMM with the `camp.s8` micro-kernel.
+///
+/// `a` is row-major m×k, `b` row-major k×n; returns row-major m×n i32.
+/// Accumulation wraps, matching the hardware and [`gemm_i32_ref`].
+///
+/// # Panics
+/// Panics if slice lengths do not match the dimensions.
+pub fn camp_gemm_i8(m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
+    camp_gemm(m, n, k, a, b, 16, camp_issue_i8).0
+}
+
+/// Like [`camp_gemm_i8`] but also returns instruction-level statistics.
+pub fn camp_gemm_i8_with_stats(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    b: &[i8],
+) -> (Vec<i32>, EngineStats) {
+    camp_gemm(m, n, k, a, b, 16, camp_issue_i8)
+}
+
+/// Blocked GeMM with the `camp.s4` micro-kernel. Operand values must lie
+/// in [-8, 7] (4-bit signed); this is checked in debug builds.
+///
+/// # Panics
+/// Panics if slice lengths do not match the dimensions.
+pub fn camp_gemm_i4(m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
+    camp_gemm(m, n, k, a, b, 32, camp_issue_i4).0
+}
+
+/// Like [`camp_gemm_i4`] but also returns instruction-level statistics.
+pub fn camp_gemm_i4_with_stats(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    b: &[i8],
+) -> (Vec<i32>, EngineStats) {
+    camp_gemm(m, n, k, a, b, 32, camp_issue_i4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, seed: i32, modulus: i32, offset: i32) -> Vec<i8> {
+        (0..len).map(|i| ((i as i32 * seed) % modulus + offset) as i8).collect()
+    }
+
+    #[test]
+    fn small_exact() {
+        let a = vec![1i8, 2, 3, 4, 5, 6]; // 2x3
+        let b = vec![7i8, 8, 9, 10, 11, 12]; // 3x2
+        let c = camp_gemm_i8(2, 2, 3, &a, &b);
+        assert_eq!(c, vec![58, 64, 139, 154]);
+    }
+
+    #[test]
+    fn matches_reference_various_shapes() {
+        for &(m, n, k) in &[(1, 1, 1), (4, 4, 16), (5, 7, 33), (12, 9, 64), (17, 3, 100), (3, 17, 5)] {
+            let a = fill(m * k, 31, 200, -100);
+            let b = fill(k * n, 17, 200, -100);
+            assert_eq!(
+                camp_gemm_i8(m, n, k, &a, &b),
+                gemm_i32_ref(m, n, k, &a, &b),
+                "shape {m}x{n}x{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn i4_matches_reference() {
+        for &(m, n, k) in &[(4, 4, 32), (6, 10, 45), (9, 5, 96)] {
+            let a = fill(m * k, 7, 16, -8);
+            let b = fill(k * n, 5, 16, -8);
+            assert_eq!(
+                camp_gemm_i4(m, n, k, &a, &b),
+                gemm_i32_ref(m, n, k, &a, &b),
+                "shape {m}x{n}x{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_count_issues() {
+        // 8×8×32: 4 tiles × 2 k-chunks = 8 camp issues, 16 loads
+        let a = fill(8 * 32, 3, 10, -5);
+        let b = fill(32 * 8, 5, 10, -5);
+        let (_, s) = camp_gemm_i8_with_stats(8, 8, 32, &a, &b);
+        assert_eq!(s.camp_issues, 8);
+        assert_eq!(s.vector_loads, 16);
+        assert_eq!(s.vector_stores, 4);
+        assert_eq!(s.macs, 8 * 8 * 32);
+    }
+
+    #[test]
+    fn i4_needs_half_the_issues() {
+        let a = fill(8 * 32, 3, 16, -8);
+        let b = fill(32 * 8, 5, 16, -8);
+        let (_, s8) = camp_gemm_i8_with_stats(8, 8, 32, &a, &b);
+        let (_, s4) = camp_gemm_i4_with_stats(8, 8, 32, &a, &b);
+        assert_eq!(s4.camp_issues * 2, s8.camp_issues);
+    }
+
+    #[test]
+    fn ragged_edges_are_zero_padded_correctly() {
+        let (m, n, k) = (5, 5, 17);
+        let a = fill(m * k, 11, 40, -20);
+        let b = fill(k * n, 13, 40, -20);
+        assert_eq!(camp_gemm_i8(m, n, k, &a, &b), gemm_i32_ref(m, n, k, &a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "A must be m×k")]
+    fn wrong_a_len_panics() {
+        let _ = camp_gemm_i8(2, 2, 2, &[0; 3], &[0; 4]);
+    }
+
+    #[test]
+    fn extreme_values_wrap_like_reference() {
+        let a = vec![i8::MIN; 4 * 16];
+        let b = vec![i8::MIN; 16 * 4];
+        assert_eq!(camp_gemm_i8(4, 4, 16, &a, &b), gemm_i32_ref(4, 4, 16, &a, &b));
+    }
+}

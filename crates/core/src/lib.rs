@@ -1,0 +1,40 @@
+//! # camp-core — the CAMP architecture (paper's primary contribution)
+//!
+//! Three layers, mirroring §3–§4 of the paper:
+//!
+//! * [`hybrid`] — the **hybrid multiplier**: a divide-and-conquer
+//!   composition of 4-bit building blocks (Fig. 5, Eq. 1–2). One 8-bit
+//!   multiply uses four 4-bit blocks; reconfigured, the same blocks
+//!   perform four independent 4-bit multiplies. The model is bit-accurate
+//!   and counts block activations for the area/energy model.
+//! * [`unit`] — the **CAMP functional unit** (Fig. 8/10): 8 lanes × 32
+//!   8-bit hybrid multipliers, 16 intra-lane adders, 16 inter-lane
+//!   accumulators and the auxiliary register. Computes the outer
+//!   (Cartesian) product of a 4×k and a k×4 register block.
+//! * [`engine`] — a host-speed **CAMP GeMM engine**: GotoBLAS-style
+//!   blocked matrix multiplication whose micro-kernel is the `camp`
+//!   instruction's semantics. This is the library a downstream user calls
+//!   to run quantized GeMM the way the paper's modified ulmBLAS does.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use camp_core::engine::{camp_gemm_i8, gemm_i32_ref};
+//!
+//! let (m, n, k) = (5, 7, 33);
+//! let a: Vec<i8> = (0..m * k).map(|i| (i % 17) as i8 - 8).collect();
+//! let b: Vec<i8> = (0..k * n).map(|i| (i % 13) as i8 - 6).collect();
+//! let fast = camp_gemm_i8(m, n, k, &a, &b);
+//! let slow = gemm_i32_ref(m, n, k, &a, &b);
+//! assert_eq!(fast, slow);
+//! ```
+
+pub mod engine;
+pub mod hybrid;
+pub mod structure;
+pub mod unit;
+
+pub use engine::{camp_gemm_i4, camp_gemm_i8, gemm_i32_ref};
+pub use hybrid::HybridMultiplier;
+pub use structure::CampStructure;
+pub use unit::{CampActivity, CampUnit};

@@ -1,0 +1,275 @@
+//! The CAMP functional unit: lanes, intra-lane adders, inter-lane
+//! accumulators (Fig. 8 of the paper).
+//!
+//! [`CampUnit::execute`] computes exactly what the hardware computes, at
+//! the granularity the hardware computes it: each 64-bit lane receives
+//! its slice of the two operand registers, forms outer products with its
+//! hybrid multipliers, intra-lane adders combine the per-lane partial
+//! products, and inter-lane accumulators reduce across lanes into the
+//! auxiliary register.
+
+use crate::hybrid::HybridMultiplier;
+use crate::structure::CampStructure;
+
+/// Operand-width mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// 8-bit operands: 4×16 × 16×4.
+    I8,
+    /// 4-bit operands: 4×32 × 32×4.
+    I4,
+}
+
+/// Dynamic activity counters for the energy model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampActivity {
+    /// `camp` issues in 8-bit mode.
+    pub issues_i8: u64,
+    /// `camp` issues in 4-bit mode.
+    pub issues_i4: u64,
+    /// 4-bit building-block multiplications performed.
+    pub block_mults: u64,
+    /// Intra-lane adder operations.
+    pub intra_adds: u64,
+    /// Inter-lane accumulator operations (including the final accumulate
+    /// into the auxiliary register).
+    pub inter_adds: u64,
+}
+
+impl CampActivity {
+    /// Fold counters from another unit.
+    pub fn merge(&mut self, other: &CampActivity) {
+        self.issues_i8 += other.issues_i8;
+        self.issues_i4 += other.issues_i4;
+        self.block_mults += other.block_mults;
+        self.intra_adds += other.intra_adds;
+        self.inter_adds += other.inter_adds;
+    }
+}
+
+/// One CAMP unit instance.
+#[derive(Debug, Clone, Default)]
+pub struct CampUnit {
+    structure: CampStructure,
+    mult: HybridMultiplier,
+    activity: CampActivity,
+}
+
+impl CampUnit {
+    /// A unit with the paper's structure (8 lanes × 32 multipliers).
+    pub fn new() -> Self {
+        CampUnit::default()
+    }
+
+    /// Static structure of this unit.
+    pub fn structure(&self) -> &CampStructure {
+        &self.structure
+    }
+
+    /// Accumulated activity.
+    pub fn activity(&self) -> CampActivity {
+        let mut a = self.activity;
+        a.block_mults = self.mult.activity().block_mults;
+        a
+    }
+
+    /// Reset activity counters.
+    pub fn reset_activity(&mut self) {
+        self.activity = CampActivity::default();
+        self.mult.reset_activity();
+    }
+
+    /// Execute one `camp` operation: `acc[i][j] += Σ_l A[i,l]·B[l,j]`.
+    ///
+    /// `a` holds the 4×k column-major block, `b` the k×4 row-major block
+    /// (k = 16 in [`Mode::I8`], 32 in [`Mode::I4`]); both occupy one full
+    /// 512-bit register. Accumulation wraps (hardware i32 accumulators).
+    pub fn execute(&mut self, mode: Mode, a: &[u8; 64], b: &[u8; 64], acc: &mut [[i32; 4]; 4]) {
+        let lanes = self.structure.lanes;
+        let mut lane_tiles = [[[0i32; 4]; 4]; 8];
+
+        match mode {
+            Mode::I8 => {
+                self.activity.issues_i8 += 1;
+                // Each lane sees 8 bytes: two 4-element columns of A and
+                // the two matching 4-element rows of B.
+                for (w, tile) in lane_tiles.iter_mut().enumerate().take(lanes) {
+                    let mut halves = [[[0i32; 4]; 4]; 2];
+                    for (h, half) in halves.iter_mut().enumerate() {
+                        let l = w * 2 + h; // k index
+                        for i in 0..4 {
+                            let av = a[l * 4 + i] as i8;
+                            for j in 0..4 {
+                                let bv = b[l * 4 + j] as i8;
+                                half[i][j] = self.mult.mul_i8(av, bv) as i32;
+                            }
+                        }
+                    }
+                    // 16 intra-lane adders combine the two half products.
+                    for i in 0..4 {
+                        for j in 0..4 {
+                            tile[i][j] = halves[0][i][j].wrapping_add(halves[1][i][j]);
+                        }
+                    }
+                    self.activity.intra_adds += 16;
+                }
+            }
+            Mode::I4 => {
+                self.activity.issues_i4 += 1;
+                let nib = |buf: &[u8; 64], n: usize| -> i8 {
+                    let byte = buf[n / 2];
+                    let raw = if n % 2 == 0 { byte & 0x0f } else { byte >> 4 };
+                    ((raw << 4) as i8) >> 4
+                };
+                // Each lane sees 16 nibbles: four columns of A, four rows
+                // of B; the reconfigured blocks produce four 4×4 outer
+                // products which the intra-lane adders chain (3 adds per
+                // output index).
+                for (w, tile) in lane_tiles.iter_mut().enumerate().take(lanes) {
+                    for c in 0..4 {
+                        let l = w * 4 + c;
+                        for i in 0..4 {
+                            let av = nib(a, l * 4 + i);
+                            for j in 0..4 {
+                                let bv = nib(b, l * 4 + j);
+                                let p = self.mult.mul_i4(av, bv) as i32;
+                                tile[i][j] = tile[i][j].wrapping_add(p);
+                            }
+                        }
+                    }
+                    self.activity.intra_adds += 16 * 3;
+                }
+            }
+        }
+
+        // Inter-lane accumulators: reduce the 8 lane tiles (7 adds per
+        // output index) and accumulate into the auxiliary register (1 more).
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut s = lane_tiles[0][i][j];
+                for tile in lane_tiles.iter().take(lanes).skip(1) {
+                    s = s.wrapping_add(tile[i][j]);
+                }
+                acc[i][j] = acc[i][j].wrapping_add(s);
+            }
+        }
+        self.activity.inter_adds += 16 * lanes as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ref_tile_i8(a: &[u8; 64], b: &[u8; 64]) -> [[i32; 4]; 4] {
+        let mut t = [[0i32; 4]; 4];
+        for l in 0..16 {
+            for i in 0..4 {
+                for j in 0..4 {
+                    t[i][j] += (a[l * 4 + i] as i8 as i32) * (b[l * 4 + j] as i8 as i32);
+                }
+            }
+        }
+        t
+    }
+
+    fn patt(seed: u8) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = (i as u8).wrapping_mul(37).wrapping_add(seed);
+        }
+        out
+    }
+
+    #[test]
+    fn i8_matches_reference() {
+        let a = patt(3);
+        let b = patt(11);
+        let mut unit = CampUnit::new();
+        let mut acc = [[0i32; 4]; 4];
+        unit.execute(Mode::I8, &a, &b, &mut acc);
+        assert_eq!(acc, ref_tile_i8(&a, &b));
+    }
+
+    #[test]
+    fn i8_accumulates() {
+        let a = patt(5);
+        let b = patt(7);
+        let mut unit = CampUnit::new();
+        let mut acc = [[0i32; 4]; 4];
+        unit.execute(Mode::I8, &a, &b, &mut acc);
+        unit.execute(Mode::I8, &a, &b, &mut acc);
+        let r = ref_tile_i8(&a, &b);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(acc[i][j], 2 * r[i][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn i4_matches_reference() {
+        let a = patt(91);
+        let b = patt(23);
+        let nib = |buf: &[u8; 64], n: usize| -> i32 {
+            let byte = buf[n / 2];
+            let raw = if n % 2 == 0 { byte & 0x0f } else { byte >> 4 };
+            (((raw << 4) as i8) >> 4) as i32
+        };
+        let mut expect = [[0i32; 4]; 4];
+        for l in 0..32 {
+            for i in 0..4 {
+                for j in 0..4 {
+                    expect[i][j] += nib(&a, l * 4 + i) * nib(&b, l * 4 + j);
+                }
+            }
+        }
+        let mut unit = CampUnit::new();
+        let mut acc = [[0i32; 4]; 4];
+        unit.execute(Mode::I4, &a, &b, &mut acc);
+        assert_eq!(acc, expect);
+    }
+
+    #[test]
+    fn activity_per_issue_i8() {
+        let mut unit = CampUnit::new();
+        let mut acc = [[0i32; 4]; 4];
+        unit.execute(Mode::I8, &patt(1), &patt(2), &mut acc);
+        let act = unit.activity();
+        assert_eq!(act.issues_i8, 1);
+        // 256 8-bit products × 4 blocks each
+        assert_eq!(act.block_mults, 1024);
+        assert_eq!(act.intra_adds, 16 * 8);
+        assert_eq!(act.inter_adds, 16 * 8);
+    }
+
+    #[test]
+    fn activity_per_issue_i4() {
+        let mut unit = CampUnit::new();
+        let mut acc = [[0i32; 4]; 4];
+        unit.execute(Mode::I4, &patt(1), &patt(2), &mut acc);
+        let act = unit.activity();
+        assert_eq!(act.issues_i4, 1);
+        // 512 useful 4-bit products, one block each
+        assert_eq!(act.block_mults, 512);
+        assert_eq!(act.intra_adds, 16 * 3 * 8);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut unit = CampUnit::new();
+        let mut acc = [[0i32; 4]; 4];
+        unit.execute(Mode::I8, &patt(1), &patt(2), &mut acc);
+        unit.reset_activity();
+        assert_eq!(unit.activity(), CampActivity::default());
+    }
+
+    #[test]
+    fn merge_activity() {
+        let mut a = CampActivity { issues_i8: 1, ..CampActivity::default() };
+        a.merge(&CampActivity { issues_i8: 0, issues_i4: 2, block_mults: 3, intra_adds: 4, inter_adds: 5 });
+        assert_eq!(a.issues_i8, 1);
+        assert_eq!(a.issues_i4, 2);
+        assert_eq!(a.block_mults, 3);
+    }
+}

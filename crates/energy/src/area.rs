@@ -1,0 +1,141 @@
+//! Gate-count area model for the CAMP block.
+
+use camp_core::CampStructure;
+
+/// Technology node parameters.
+///
+/// `nand2_um2` is the NAND2-equivalent cell footprint including routing
+/// overhead at ~85 % utilization (the paper's floorplan density, §6.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechNode {
+    /// Display name.
+    pub name: &'static str,
+    /// µm² per NAND2-equivalent gate (placed + routed).
+    pub nand2_um2: f64,
+    /// Reference core/SoC area in mm² for overhead reporting.
+    pub reference_mm2: f64,
+    /// Name of the reference design.
+    pub reference_name: &'static str,
+}
+
+impl TechNode {
+    /// TSMC 7 nm as used for the A64FX comparison. The A64FX core area
+    /// is derived from the paper: CAMP = 0.0273 mm² at 1 % overhead.
+    pub fn tsmc7() -> Self {
+        TechNode { name: "TSMC 7nm", nand2_um2: 0.060, reference_mm2: 2.73, reference_name: "A64FX core" }
+    }
+
+    /// GlobalFoundries 22FDX as used for the Sargantana SoC comparison:
+    /// CAMP = 0.0782 mm² at 4 % of the SoC.
+    pub fn gf22() -> Self {
+        TechNode { name: "GF 22FDX", nand2_um2: 0.170, reference_mm2: 1.955, reference_name: "Sargantana SoC" }
+    }
+}
+
+/// Gate-inventory area model.
+#[derive(Debug, Clone, Copy)]
+pub struct AreaModel {
+    structure: CampStructure,
+}
+
+/// Result of an area evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct AreaReport {
+    /// Total NAND2-equivalent gates.
+    pub gates: f64,
+    /// Block area in mm².
+    pub mm2: f64,
+    /// Area overhead relative to the node's reference design, in %.
+    pub overhead_pct: f64,
+}
+
+/// NAND2-equivalents per 4-bit multiplier block: 16 partial-product
+/// terms with sign control, carry-save reduction rows and the mode
+/// muxing that lets four blocks combine into an 8-bit multiplier.
+const GATES_PER_BLOCK4: f64 = 160.0;
+/// NAND2-equivalents per recombination/intra-lane adder bit.
+const GATES_PER_ADDER_BIT: f64 = 10.0;
+/// NAND2-equivalents per register/accumulator bit (scan flop ≈ 8 gates).
+const GATES_PER_FLOP_BIT: f64 = 8.0;
+/// Operand routing overhead as a fraction of datapath gates.
+const ROUTING_FRACTION: f64 = 0.32;
+
+impl AreaModel {
+    /// Model for the paper's CAMP structure.
+    pub fn paper() -> Self {
+        AreaModel { structure: CampStructure::paper() }
+    }
+
+    /// Model for an arbitrary structure (ablations).
+    pub fn with_structure(structure: CampStructure) -> Self {
+        AreaModel { structure }
+    }
+
+    /// The structure being modeled.
+    pub fn structure(&self) -> &CampStructure {
+        &self.structure
+    }
+
+    /// Total NAND2-equivalent gate count of the CAMP block.
+    pub fn gates(&self) -> f64 {
+        let s = &self.structure;
+        let mult_gates = s.total_blocks() as f64 * GATES_PER_BLOCK4;
+        // recombination adders inside each 8-bit multiplier: 3 adders of
+        // ~12 bits per multiplier
+        let recombine_bits = s.total_mult8() as f64 * 3.0 * 12.0;
+        // intra-lane adders: 16 per lane × ~20-bit operands
+        let intra_bits = (s.lanes * s.intra_lane_adders) as f64 * 20.0;
+        // inter-lane accumulators: 16 × 32-bit adds over an 8:1 tree
+        let inter_bits = s.inter_lane_accumulators as f64 * 32.0 * (s.lanes as f64 - 1.0);
+        let adder_gates = (recombine_bits + intra_bits + inter_bits) * GATES_PER_ADDER_BIT;
+        // auxiliary register + per-lane pipeline registers
+        let flop_bits = s.aux_register_bits as f64 + (s.lanes * 16 * 24) as f64;
+        let flop_gates = flop_bits * GATES_PER_FLOP_BIT;
+        (mult_gates + adder_gates + flop_gates) * (1.0 + ROUTING_FRACTION)
+    }
+
+    /// Evaluate the model at a node.
+    pub fn report(&self, node: TechNode) -> AreaReport {
+        let gates = self.gates();
+        let mm2 = gates * node.nand2_um2 / 1.0e6;
+        AreaReport { gates, mm2, overhead_pct: 100.0 * mm2 / node.reference_mm2 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_area_at_7nm_is_about_0_027_mm2() {
+        let r = AreaModel::paper().report(TechNode::tsmc7());
+        // paper: 0.027263 mm², 1 % of the A64FX core
+        assert!((r.mm2 - 0.0273).abs() / 0.0273 < 0.25, "7nm area {} mm²", r.mm2);
+        assert!(r.overhead_pct < 1.5, "overhead {}%", r.overhead_pct);
+    }
+
+    #[test]
+    fn paper_area_at_22nm_is_about_0_078_mm2() {
+        let r = AreaModel::paper().report(TechNode::gf22());
+        // paper: 0.0782 mm², 4 % of the SoC
+        assert!((r.mm2 - 0.0782).abs() / 0.0782 < 0.25, "22nm area {} mm²", r.mm2);
+        assert!(r.overhead_pct > 2.0 && r.overhead_pct < 6.0, "overhead {}%", r.overhead_pct);
+    }
+
+    #[test]
+    fn area_scales_with_lane_count() {
+        let mut small = CampStructure::paper();
+        small.lanes = 4;
+        small.intra_lane_adders = 16;
+        let a_small = AreaModel::with_structure(small).gates();
+        let a_full = AreaModel::paper().gates();
+        assert!(a_full > 1.5 * a_small);
+    }
+
+    #[test]
+    fn gates_are_dominated_by_multipliers() {
+        let m = AreaModel::paper();
+        let mult_only = m.structure().total_blocks() as f64 * GATES_PER_BLOCK4;
+        assert!(mult_only / m.gates() > 0.35);
+    }
+}

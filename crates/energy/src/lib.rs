@@ -1,0 +1,26 @@
+//! # camp-energy — analytic area/power/energy models
+//!
+//! Substitutes the paper's Synopsys synthesis + PnR flow (§6.1) with an
+//! analytic gate-level model:
+//!
+//! * [`area`] — the CAMP block's gate inventory is derived from its
+//!   structure (`camp-core::CampStructure`: 1024 4-bit multiplier
+//!   blocks, recombination adders, 16+16 accumulators, the auxiliary
+//!   register and operand routing), multiplied by per-node
+//!   NAND2-equivalent area. Node constants are calibrated so the block
+//!   lands at the paper's reported footprints — 0.0273 mm² @ TSMC 7 nm
+//!   (1 % of an A64FX core) and 0.0782 mm² @ GF 22FDX (4 % of the
+//!   Sargantana SoC) — and the *model* then reports how the area scales
+//!   with design choices (lane count, block width), which is what the
+//!   ablation harness exercises.
+//! * [`power`] — activity-based energy: per-event energies (4-bit block
+//!   multiply, adder op, register/cache/DRAM access) at each node ×
+//!   activity counters from `camp-pipeline` statistics, plus leakage per
+//!   cycle. Produces the GOPS/W and normalized-energy numbers of
+//!   Table 4 / Fig. 16.
+
+pub mod area;
+pub mod power;
+
+pub use area::{AreaModel, AreaReport, TechNode};
+pub use power::{EnergyModel, EnergyReport};

@@ -1,0 +1,189 @@
+//! Activity-based power/energy model.
+//!
+//! Energy = Σ (event count × per-event energy) + leakage × cycles.
+//! Event counts come from `camp-pipeline` statistics; per-event energies
+//! are per-node constants in picojoules, in line with published
+//! measurements for the respective nodes (e.g. ~0.2 pJ for an 8-bit MAC
+//! at 22 nm, a few pJ per 64-byte L1 access, tens of pJ per DRAM line).
+
+use crate::area::TechNode;
+use camp_pipeline::SimStats;
+
+/// Per-event energies (pJ) and leakage for a node + core combination.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyModel {
+    /// Energy per 4-bit multiplier-block operation.
+    pub block_mult_pj: f64,
+    /// Energy per 32-bit accumulator/adder operation.
+    pub add32_pj: f64,
+    /// Energy per vector-register-file 512-bit read or write.
+    pub vrf_access_pj: f64,
+    /// Energy per scalar instruction (pipeline + RF).
+    pub scalar_inst_pj: f64,
+    /// Energy per vector ALU instruction excluding the multiplier array.
+    pub vector_inst_pj: f64,
+    /// Energy per L1 access (per 64 bytes).
+    pub l1_access_pj: f64,
+    /// Energy per L2 access (line).
+    pub l2_access_pj: f64,
+    /// Energy per main-memory access (line).
+    pub dram_access_pj: f64,
+    /// Static leakage per cycle for the whole core (pJ).
+    pub leakage_pj_per_cycle: f64,
+    /// Core clock in GHz (power accounting).
+    pub freq_ghz: f64,
+}
+
+impl EnergyModel {
+    /// A64FX-class core at TSMC 7 nm, 2 GHz.
+    pub fn a64fx_7nm() -> Self {
+        EnergyModel {
+            block_mult_pj: 0.025,
+            add32_pj: 0.020,
+            vrf_access_pj: 1.3,
+            scalar_inst_pj: 6.0,
+            vector_inst_pj: 12.0,
+            l1_access_pj: 6.0,
+            l2_access_pj: 30.0,
+            dram_access_pj: 300.0,
+            leakage_pj_per_cycle: 18.0,
+            freq_ghz: 2.0,
+        }
+    }
+
+    /// Sargantana-class edge core at GF 22FDX, 1 GHz. Calibrated so a
+    /// CAMP-dominated convolution lands near the paper's reported
+    /// 270–405 GOPS/W (§6.2).
+    pub fn edge_22nm() -> Self {
+        EnergyModel {
+            block_mult_pj: 0.09,
+            add32_pj: 0.07,
+            vrf_access_pj: 2.2,
+            scalar_inst_pj: 8.0,
+            vector_inst_pj: 18.0,
+            l1_access_pj: 16.0,
+            l2_access_pj: 50.0,
+            dram_access_pj: 400.0,
+            leakage_pj_per_cycle: 25.0,
+            freq_ghz: 1.0,
+        }
+    }
+
+    /// Node this model corresponds to (for reports).
+    pub fn node(&self) -> TechNode {
+        if (self.freq_ghz - 2.0).abs() < 0.5 {
+            TechNode::tsmc7()
+        } else {
+            TechNode::gf22()
+        }
+    }
+
+    /// Evaluate the energy of a simulated run.
+    pub fn evaluate(&self, stats: &SimStats) -> EnergyReport {
+        use camp_isa::inst::InstClass;
+
+        // multiplier-array activity: camp issues × blocks used per issue
+        let camp_blocks = stats.camp_issues_i8 as f64 * 1024.0 + stats.camp_issues_i4 as f64 * 512.0;
+        // non-camp multiplies modeled at their own width: a vector MLA
+        // switches the equivalent of its lane products
+        let vmul_blocks = stats.count(InstClass::VMul) as f64 * 16.0 * 4.0;
+        let mult_pj = (camp_blocks + vmul_blocks) * self.block_mult_pj;
+
+        let camp_adds =
+            (stats.camp_issues_i8 + stats.camp_issues_i4) as f64 * (16.0 * 8.0 + 16.0 * 8.0);
+        let add_pj = camp_adds * self.add32_pj;
+
+        let vec_insts = stats.vector_insts() as f64;
+        let scalar_insts = (stats.insts - stats.vector_insts()) as f64;
+        let pipe_pj = vec_insts * self.vector_inst_pj + scalar_insts * self.scalar_inst_pj;
+
+        // each vector instruction reads ~2 and writes ~1 VRF ports
+        let vrf_pj = vec_insts * 3.0 * self.vrf_access_pj;
+
+        let mem_pj = stats.l1d.accesses as f64 * self.l1_access_pj
+            + stats.l2.accesses as f64 * self.l2_access_pj
+            + (stats.mem_reads + stats.mem_writes) as f64 * self.dram_access_pj;
+
+        let leak_pj = stats.cycles as f64 * self.leakage_pj_per_cycle;
+
+        let total_pj = mult_pj + add_pj + pipe_pj + vrf_pj + mem_pj + leak_pj;
+        let seconds = stats.cycles as f64 / (self.freq_ghz * 1e9);
+        let watts = if seconds > 0.0 { total_pj * 1e-12 / seconds } else { 0.0 };
+        let gops = stats.gops(self.freq_ghz);
+        EnergyReport {
+            total_pj,
+            watts,
+            gops,
+            gops_per_watt: if watts > 0.0 { gops / watts } else { 0.0 },
+            camp_pj: mult_pj + add_pj,
+        }
+    }
+}
+
+/// Energy evaluation result.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyReport {
+    /// Total energy in pJ.
+    pub total_pj: f64,
+    /// Average power in watts.
+    pub watts: f64,
+    /// Achieved GOPS.
+    pub gops: f64,
+    /// Energy efficiency.
+    pub gops_per_watt: f64,
+    /// Energy spent inside the CAMP datapath (pJ).
+    pub camp_pj: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_stats(cycles: u64, camp8: u64, insts: u64) -> SimStats {
+        let mut s = SimStats { cycles, insts, ..SimStats::default() };
+        s.camp_issues_i8 = camp8;
+        s.macs = camp8 * 256;
+        s
+    }
+
+    #[test]
+    fn energy_is_positive_and_scales_with_work() {
+        let m = EnergyModel::edge_22nm();
+        let small = m.evaluate(&fake_stats(1000, 100, 2000));
+        let large = m.evaluate(&fake_stats(2000, 200, 4000));
+        assert!(small.total_pj > 0.0);
+        assert!(large.total_pj > 1.9 * small.total_pj);
+    }
+
+    #[test]
+    fn edge_camp_efficiency_order_of_magnitude() {
+        // A camp-dominated loop at ~8 MACs/cycle should land in the
+        // hundreds of GOPS/W at 22 nm, as the paper reports (270–405).
+        let m = EnergyModel::edge_22nm();
+        let mut s = fake_stats(32_000, 1000, 40_000);
+        s.l1d.accesses = 3000;
+        let r = m.evaluate(&s);
+        assert!(r.gops_per_watt > 50.0 && r.gops_per_watt < 2000.0, "{}", r.gops_per_watt);
+    }
+
+    #[test]
+    fn idle_cycles_cost_leakage_only() {
+        let m = EnergyModel::a64fx_7nm();
+        let r = m.evaluate(&fake_stats(1000, 0, 0));
+        assert!((r.total_pj - 1000.0 * m.leakage_pj_per_cycle).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_cycles_reports_zero_power() {
+        let m = EnergyModel::a64fx_7nm();
+        let r = m.evaluate(&SimStats::default());
+        assert_eq!(r.watts, 0.0);
+        assert_eq!(r.gops_per_watt, 0.0);
+    }
+
+    #[test]
+    fn node_lookup() {
+        assert_eq!(EnergyModel::a64fx_7nm().node().name, "TSMC 7nm");
+        assert_eq!(EnergyModel::edge_22nm().node().name, "GF 22FDX");
+    }
+}

@@ -1,0 +1,710 @@
+//! Host-side blocked-GeMM driver: GotoBLAS loops 3–5, program dispatch,
+//! data generation and verification.
+
+use crate::kernels;
+use crate::pack;
+use crate::reference::{gemm_f32_ref, gemm_i8_wrapping_ref, SplitMix64};
+use crate::workspace::Workspace;
+use camp_core::gemm_i32_ref;
+use camp_isa::inst::{CampMode, Program};
+use camp_isa::reg::S;
+use camp_pipeline::{CoreConfig, CoreKind, SimStats, Simulator};
+
+/// GeMM implementation under test (the §5.3 experiment matrix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// CAMP with 8-bit operands (`camp.s8`).
+    Camp8,
+    /// CAMP with 4-bit operands (`camp.s4`).
+    Camp4,
+    /// Hand-vectorized 32-bit integer ulmBLAS (also the edge BLIS-int32
+    /// baseline).
+    HandvInt32,
+    /// Hand-vectorized 8-bit integer kernel with wrapping 8-bit
+    /// accumulators (overflow-unsafe, as in the paper).
+    HandvInt8,
+    /// gemmlowp-like widening int8 kernel.
+    Gemmlowp,
+    /// OpenBLAS-SGEMM-like f32 kernel (the normalization baseline).
+    OpenblasF32,
+    /// Arm FEAT_I8MM `smmla` kernel (§7.2 comparison).
+    Mmla,
+}
+
+impl Method {
+    /// All methods, CAMP first.
+    pub fn all() -> [Method; 7] {
+        [
+            Method::Camp8,
+            Method::Camp4,
+            Method::HandvInt32,
+            Method::HandvInt8,
+            Method::Gemmlowp,
+            Method::OpenblasF32,
+            Method::Mmla,
+        ]
+    }
+
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Camp8 => "CAMP-8bit",
+            Method::Camp4 => "CAMP-4bit",
+            Method::HandvInt32 => "handv-int32",
+            Method::HandvInt8 => "handv-int8",
+            Method::Gemmlowp => "gemmlowp",
+            Method::OpenblasF32 => "OpenBLAS",
+            Method::Mmla => "MMLA",
+        }
+    }
+
+    /// Micro-kernel register-tile rows.
+    pub fn mr(self) -> usize {
+        match self {
+            Method::Camp8 | Method::Camp4 | Method::HandvInt32 | Method::HandvInt8 | Method::Gemmlowp => 4,
+            Method::OpenblasF32 | Method::Mmla => 8,
+        }
+    }
+
+    /// Micro-kernel register-tile columns.
+    pub fn nr(self) -> usize {
+        match self {
+            Method::Camp8 | Method::Camp4 => 4,
+            Method::HandvInt32 => 16,
+            Method::HandvInt8 => 64,
+            Method::Gemmlowp => 32,
+            Method::OpenblasF32 => 32,
+            Method::Mmla => 8,
+        }
+    }
+
+    /// k values consumed per micro-kernel primitive (one `camp`, one
+    /// MLA column, one `smmla` octet, ...).
+    pub fn k_step(self) -> usize {
+        match self {
+            Method::Camp8 => 16,
+            Method::Camp4 => 32,
+            Method::HandvInt32 | Method::HandvInt8 | Method::OpenblasF32 => 1,
+            Method::Gemmlowp => 2,
+            Method::Mmla => 8,
+        }
+    }
+
+    /// k values consumed per macro-kernel loop iteration (k-step ×
+    /// unroll factor); k is padded to a multiple of this.
+    pub fn k_unit(self) -> usize {
+        match self {
+            Method::Camp8 => 128, // 16 × unroll 8
+            Method::Camp4 => 128, // 32 × unroll 4
+            Method::HandvInt32 | Method::HandvInt8 => 2,
+            Method::Gemmlowp => 2,
+            Method::OpenblasF32 => 1,
+            Method::Mmla => 8,
+        }
+    }
+
+    /// Bytes per element of A/B in main memory.
+    fn ab_elem(self) -> usize {
+        match self {
+            Method::HandvInt32 | Method::OpenblasF32 => 4,
+            _ => 1,
+        }
+    }
+
+    /// Bytes per element of C.
+    fn c_elem(self) -> usize {
+        match self {
+            Method::HandvInt8 => 1,
+            _ => 4,
+        }
+    }
+
+    /// Packed-A panel bytes for a kc-deep block.
+    fn a_panel_bytes(self, kc: usize) -> usize {
+        match self {
+            Method::Camp8 => 4 * kc,
+            Method::Camp4 => 2 * kc,
+            Method::HandvInt32 => 16 * kc,
+            Method::HandvInt8 => 4 * kc,
+            Method::Gemmlowp => 4 * kc,
+            Method::OpenblasF32 => 32 * kc,
+            Method::Mmla => 8 * kc,
+        }
+    }
+
+    /// Packed-B panel bytes for a kc-deep block.
+    fn b_panel_bytes(self, kc: usize) -> usize {
+        match self {
+            Method::Camp8 => 4 * kc,
+            Method::Camp4 => 2 * kc,
+            Method::HandvInt32 => 64 * kc,
+            Method::HandvInt8 => 64 * kc,
+            Method::Gemmlowp => 64 * kc / 2,
+            Method::OpenblasF32 => 128 * kc,
+            Method::Mmla => 8 * kc,
+        }
+    }
+
+    fn macro_program(self) -> Program {
+        match self {
+            Method::Camp8 => kernels::macro_camp(CampMode::I8),
+            Method::Camp4 => kernels::macro_camp(CampMode::I4),
+            Method::HandvInt32 => kernels::macro_handv_int32(),
+            Method::HandvInt8 => kernels::macro_handv_int8(),
+            Method::Gemmlowp => kernels::macro_gemmlowp(),
+            Method::OpenblasF32 => kernels::macro_openblas_f32(),
+            Method::Mmla => kernels::macro_mmla(),
+        }
+    }
+}
+
+/// Options for [`simulate_gemm`].
+#[derive(Debug, Clone, Copy)]
+pub struct GemmOptions {
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Maximum m·n·k the simulator will run exactly; larger problems are
+    /// clamped structure-preservingly (all methods identically, so
+    /// normalized metrics are unaffected).
+    pub mac_budget: u64,
+    /// Cache-blocking override (mc, nc, kc); defaults depend on the core.
+    pub blocking: Option<(usize, usize, usize)>,
+    /// Verify results against the host reference.
+    pub verify: bool,
+}
+
+impl Default for GemmOptions {
+    fn default() -> Self {
+        GemmOptions { seed: 0xC0FF_EE00, mac_budget: 48_000_000, blocking: None, verify: true }
+    }
+}
+
+/// Result of one simulated GeMM.
+#[derive(Debug, Clone)]
+pub struct GemmResult {
+    /// Accumulated pipeline/cache statistics (packing + macro-kernels).
+    pub stats: SimStats,
+    /// True if the simulated result matched the host reference (always
+    /// true when verification is disabled).
+    pub correct: bool,
+    /// Simulated dimensions after clamping and tile padding.
+    pub m: usize,
+    /// Simulated n.
+    pub n: usize,
+    /// Simulated k.
+    pub k: usize,
+    /// True if the requested problem was clamped to fit the MAC budget.
+    pub clamped: bool,
+    /// Effective GOPS at the core's clock (2 ops per MAC).
+    pub gops: f64,
+}
+
+fn round_up(x: usize, to: usize) -> usize {
+    x.div_ceil(to) * to
+}
+
+fn clamp_dims(mut m: usize, mut n: usize, mut k: usize, budget: u64) -> (usize, usize, usize, bool) {
+    let mut clamped = false;
+    while (m as u64) * (n as u64) * (k as u64) > budget {
+        if m >= n && m >= k && m > 16 {
+            m /= 2;
+        } else if n >= k && n > 16 {
+            n /= 2;
+        } else if k > 16 {
+            k /= 2;
+        } else {
+            break;
+        }
+        clamped = true;
+    }
+    (m, n, k, clamped)
+}
+
+struct Buffers {
+    a_base: u64,
+    b_base: u64,
+    c_base: u64,
+    apack: u64,
+    bpack: u64,
+    scratch: u64,
+    total: u64,
+}
+
+fn layout(method: Method, mp: usize, np: usize, kp: usize, mc: usize, nc: usize, kc: usize) -> Buffers {
+    let mut w = Workspace::new();
+    let e = method.ab_elem() as u64;
+    let a_base = w.alloc((mp * kp) as u64 * e, 64);
+    let b_base = w.alloc((kp * np) as u64 * e, 64);
+    let c_base = w.alloc((mp * np * method.c_elem()) as u64, 64);
+    let apack = w.alloc((mc / method.mr() * method.a_panel_bytes(kc)) as u64, 64);
+    let bpack = w.alloc((nc / method.nr() * method.b_panel_bytes(kc)) as u64, 64);
+    let scratch = w.alloc(64, 64);
+    let total = w.total() + 4096;
+    Buffers { a_base, b_base, c_base, apack, bpack, scratch, total }
+}
+
+const RUN_BUDGET: u64 = 4_000_000_000;
+
+/// Simulate one blocked GeMM of `method` on `core` for an m×n×k problem.
+///
+/// Returns accumulated statistics and a correctness verdict against the
+/// host reference. Problems larger than `opts.mac_budget` MACs are
+/// clamped (identically for every method).
+///
+/// # Panics
+/// Panics if the simulated machine faults (a bug in the kernels — every
+/// kernel is covered by tests) or if a dimension is zero.
+pub fn simulate_gemm(
+    core: CoreConfig,
+    method: Method,
+    m: usize,
+    n: usize,
+    k: usize,
+    opts: &GemmOptions,
+) -> GemmResult {
+    assert!(m > 0 && n > 0 && k > 0, "dimensions must be positive");
+    let (m, n, k, clamped) = clamp_dims(m, n, k, opts.mac_budget);
+    let mr = method.mr();
+    let nr = method.nr();
+    let ks = method.k_unit();
+    let mp = round_up(m, mr);
+    let np = round_up(n, nr);
+    let kp = round_up(k, ks);
+
+    // Per-method cache blocking: kc is sized so the packed A and B
+    // panels fit in L1 (Fig. 3's constraint). Byte-sized operands allow
+    // much deeper panels than f32; the CAMP micro-kernel in particular
+    // accumulates the whole k extent in the auxiliary register whenever
+    // it fits (Fig. 9).
+    let (dmc, dnc, dkc) = opts.blocking.unwrap_or_else(|| {
+        let kc = match (core.kind, method) {
+            (CoreKind::OutOfOrder, Method::Camp8 | Method::Camp4) => 4096,
+            (CoreKind::OutOfOrder, Method::HandvInt8 | Method::Gemmlowp | Method::Mmla) => 512,
+            (CoreKind::OutOfOrder, _) => 256,
+            (CoreKind::InOrder, Method::Camp8 | Method::Camp4) => 2048,
+            (CoreKind::InOrder, Method::HandvInt8 | Method::Gemmlowp | Method::Mmla) => 256,
+            (CoreKind::InOrder, _) => 128,
+        };
+        match core.kind {
+            CoreKind::InOrder => (64, 128, kc),
+            CoreKind::OutOfOrder => (128, 512, kc),
+        }
+    });
+    let mc = round_up(dmc.min(mp), mr);
+    let nc = round_up(dnc.min(np), nr);
+    let kc = round_up(dkc.min(kp), ks);
+
+    let bufs = layout(method, mp, np, kp, mc, nc, kc);
+    let mut sim = Simulator::new(core, bufs.total as usize);
+
+    // ---- workload ----
+    let mut rng = SplitMix64::new(opts.seed);
+    let mut a_host = vec![0i8; mp * kp];
+    for i in 0..m {
+        for l in 0..k {
+            a_host[i * kp + l] = rng.next_i8(-8, 7);
+        }
+    }
+    let mut b_host = vec![0i8; kp * np];
+    for l in 0..k {
+        for j in 0..n {
+            b_host[l * np + j] = rng.next_i8(-8, 7);
+        }
+    }
+
+    {
+        let mm = sim.machine_mut();
+        match method.ab_elem() {
+            1 if method == Method::Camp4 => {
+                // 4-bit data lives nibble-packed in main memory (two
+                // values per byte, row-major), as a quantized deployment
+                // stores it.
+                for (i, pair) in a_host.chunks_exact(2).enumerate() {
+                    let byte = (pair[0] as u8 & 0x0f) | ((pair[1] as u8) << 4);
+                    mm.write_i8(bufs.a_base + i as u64, byte as i8);
+                }
+                for (i, pair) in b_host.chunks_exact(2).enumerate() {
+                    let byte = (pair[0] as u8 & 0x0f) | ((pair[1] as u8) << 4);
+                    mm.write_i8(bufs.b_base + i as u64, byte as i8);
+                }
+            }
+            1 => {
+                for (i, &v) in a_host.iter().enumerate() {
+                    mm.write_i8(bufs.a_base + i as u64, v);
+                }
+                for (i, &v) in b_host.iter().enumerate() {
+                    mm.write_i8(bufs.b_base + i as u64, v);
+                }
+            }
+            4 => {
+                if method == Method::OpenblasF32 {
+                    for (i, &v) in a_host.iter().enumerate() {
+                        mm.write_f32(bufs.a_base + i as u64 * 4, v as f32);
+                    }
+                    for (i, &v) in b_host.iter().enumerate() {
+                        mm.write_f32(bufs.b_base + i as u64 * 4, v as f32);
+                    }
+                } else {
+                    for (i, &v) in a_host.iter().enumerate() {
+                        mm.write_i32(bufs.a_base + i as u64 * 4, v as i32);
+                    }
+                    for (i, &v) in b_host.iter().enumerate() {
+                        mm.write_i32(bufs.b_base + i as u64 * 4, v as i32);
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    // ---- programs ----
+    let macro_prog = method.macro_program();
+    let e = method.ab_elem();
+    // Row strides in bytes; the 4-bit path stores two elements per byte.
+    let (lda, ldb) = if method == Method::Camp4 {
+        ((kp / 2) as u64, (np / 2) as u64)
+    } else {
+        ((kp * e) as u64, (np * e) as u64)
+    };
+    let ldc = (np * method.c_elem()) as u64;
+
+    let pack_a_prog: Program = match method {
+        Method::Camp8 | Method::HandvInt8 => pack::pack_a_rows(4, 1),
+        Method::Camp4 => pack::pack_a_camp4(),
+        Method::HandvInt32 => pack::pack_a_rows(4, 4),
+        Method::Gemmlowp => pack::pack_a_gemmlowp(),
+        Method::OpenblasF32 => pack::pack_a_rows(8, 4),
+        Method::Mmla => pack::pack_a_rows(8, 8),
+    };
+    // Vectorized bulk A-pack: (program, k-columns per chunk). The scalar
+    // program above handles the sub-chunk tail, as optimized BLAS packs
+    // do.
+    let pack_a_vec: Option<(Program, usize)> = match method {
+        Method::Camp8 | Method::HandvInt8 => Some((pack::pack_a_transpose4(1), 64)),
+        Method::Camp4 => Some((pack::pack_a_camp4_vec(), 128)),
+        Method::HandvInt32 => Some((pack::pack_a_transpose4(4), 16)),
+        Method::Gemmlowp => Some((pack::pack_a_transpose4(2), 64)),
+        Method::OpenblasF32 => Some((pack::pack_a_transpose8_words(), 16)),
+        Method::Mmla => None,
+    };
+    // Packed-panel bytes per k-column (for pointer advances).
+    let panel_bytes_per_kcol = method.a_panel_bytes(kp.max(1)) / kp.max(1);
+    let pack_b_lowp_vec = pack::pack_b_gemmlowp_vec();
+    let pack_b_prog: Program = match method {
+        Method::Camp8 => pack::pack_b_rows4(4),
+        Method::Camp4 => pack::pack_b_rows4(2),
+        Method::HandvInt32 | Method::HandvInt8 => pack::pack_b_rows(64),
+        Method::Gemmlowp => pack::pack_b_gemmlowp(32),
+        Method::OpenblasF32 => pack::pack_b_rows(128),
+        Method::Mmla => pack::pack_b_mmla(),
+    };
+
+    // ---- blocked loops (host side: GotoBLAS loops 3–5) ----
+    let mut jc = 0;
+    while jc < np {
+        let ncb = nc.min(np - jc);
+        let mut pc = 0;
+        while pc < kp {
+            let kcb = kc.min(kp - pc);
+            // ---- pack B block ----
+            if method == Method::Gemmlowp {
+                // vectorized pair-interleave covers two 32-column panels
+                // per pass; a lone trailing panel falls back to scalar
+                let panels = ncb / nr;
+                let mut p = 0;
+                while p < panels {
+                    let col = (jc + p * nr) as u64;
+                    let dst = bufs.bpack + (p * method.b_panel_bytes(kcb)) as u64;
+                    let mm = sim.machine_mut();
+                    mm.set_x(S(20), bufs.b_base + pc as u64 * ldb + col);
+                    mm.set_x(S(21), bufs.b_base + (pc as u64 + 1) * ldb + col);
+                    mm.set_x(S(11), dst);
+                    mm.set_x(S(12), (kcb / 2) as u64);
+                    mm.set_x(S(14), 2 * ldb);
+                    if p + 1 < panels {
+                        mm.set_x(S(15), dst + method.b_panel_bytes(kcb) as u64);
+                        sim.run(&pack_b_lowp_vec, RUN_BUDGET).expect("pack B (vector)");
+                        p += 2;
+                    } else {
+                        sim.run(&pack_b_prog, RUN_BUDGET).expect("pack B");
+                        p += 1;
+                    }
+                }
+            }
+            for p in 0..ncb / nr {
+                if method == Method::Gemmlowp {
+                    break;
+                }
+                let col = (jc + p * nr) as u64;
+                let dst = bufs.bpack + (p * method.b_panel_bytes(kcb)) as u64;
+                let mm = sim.machine_mut();
+                match method {
+                    Method::Gemmlowp => unreachable!("handled above"),
+                    Method::Mmla => {
+                        for t in 0..8u8 {
+                            mm.set_x(S(20 + t), bufs.b_base + (pc as u64 + t as u64) * ldb + col);
+                        }
+                        mm.set_x(S(11), dst);
+                        mm.set_x(S(12), (kcb / 8) as u64);
+                        mm.set_x(S(14), 8 * ldb);
+                    }
+                    Method::Camp4 => {
+                        for t in 0..4u8 {
+                            mm.set_x(S(20 + t), bufs.b_base + (pc as u64 + t as u64) * ldb + col / 2);
+                        }
+                        mm.set_x(S(11), dst);
+                        mm.set_x(S(12), (kcb / 4) as u64);
+                        mm.set_x(S(14), 4 * ldb);
+                    }
+                    Method::Camp8 => {
+                        for t in 0..4u8 {
+                            mm.set_x(S(20 + t), bufs.b_base + (pc as u64 + t as u64) * ldb + col);
+                        }
+                        mm.set_x(S(11), dst);
+                        mm.set_x(S(12), (kcb / 4) as u64);
+                        mm.set_x(S(14), 4 * ldb);
+                    }
+                    _ => {
+                        mm.set_x(S(10), bufs.b_base + pc as u64 * ldb + col * e as u64);
+                        mm.set_x(S(11), dst);
+                        mm.set_x(S(12), kcb as u64);
+                        mm.set_x(S(13), ldb);
+                    }
+                }
+                sim.run(&pack_b_prog, RUN_BUDGET).expect("pack B");
+            }
+
+            let mut ic = 0;
+            while ic < mp {
+                let mcb = mc.min(mp - ic);
+                // ---- pack A block ----
+                for p in 0..mcb / mr {
+                    let dst = bufs.apack + (p * method.a_panel_bytes(kcb)) as u64;
+                    // source bytes per k-column (½ byte for nibble data)
+                    let src_col_bytes = |cols: usize| -> u64 {
+                        if method == Method::Camp4 {
+                            (cols / 2) as u64
+                        } else {
+                            (cols * e) as u64
+                        }
+                    };
+                    let set_row_ptrs = |sim: &mut Simulator, col_off: u64| {
+                        let mm = sim.machine_mut();
+                        for r in 0..mr as u8 {
+                            mm.set_x(
+                                S(20 + r),
+                                bufs.a_base
+                                    + (ic + p * mr + r as usize) as u64 * lda
+                                    + src_col_bytes(pc)
+                                    + col_off,
+                            );
+                        }
+                    };
+                    let mut done_cols = 0usize;
+                    if let Some((vec_prog, cpc)) = &pack_a_vec {
+                        let chunks = kcb / cpc;
+                        if chunks > 0 {
+                            set_row_ptrs(&mut sim, 0);
+                            let mm = sim.machine_mut();
+                            mm.set_x(S(11), dst);
+                            mm.set_x(S(12), chunks as u64);
+                            sim.run(vec_prog, RUN_BUDGET).expect("pack A (vector)");
+                            done_cols = chunks * cpc;
+                        }
+                    }
+                    let tail = kcb - done_cols;
+                    if tail > 0 {
+                        set_row_ptrs(&mut sim, src_col_bytes(done_cols));
+                        let mm = sim.machine_mut();
+                        mm.set_x(S(11), dst + (done_cols * panel_bytes_per_kcol) as u64);
+                        let count = match method {
+                            Method::Gemmlowp | Method::Camp4 => tail / 2,
+                            Method::Mmla => tail / 8,
+                            _ => tail,
+                        };
+                        mm.set_x(S(12), count as u64);
+                        sim.run(&pack_a_prog, RUN_BUDGET).expect("pack A (tail)");
+                    }
+                }
+
+                // ---- macro-kernel ----
+                {
+                    let mm = sim.machine_mut();
+                    mm.set_x(S(1), bufs.apack);
+                    mm.set_x(S(2), bufs.bpack);
+                    mm.set_x(S(3), bufs.c_base + ic as u64 * ldc + (jc * method.c_elem()) as u64);
+                    mm.set_x(S(4), (kcb / ks) as u64);
+                    mm.set_x(S(5), (mcb / mr) as u64);
+                    mm.set_x(S(6), (ncb / nr) as u64);
+                    mm.set_x(S(7), ldc);
+                    mm.set_x(S(8), method.b_panel_bytes(kcb) as u64);
+                    mm.set_x(S(9), method.a_panel_bytes(kcb) as u64);
+                    mm.set_x(S(30), bufs.scratch);
+                }
+                sim.run(&macro_prog, RUN_BUDGET).expect("macro kernel");
+                ic += mcb;
+            }
+            pc += kcb;
+        }
+        jc += ncb;
+    }
+
+    // ---- verification ----
+    let correct = if opts.verify {
+        verify(&sim, method, &a_host, &b_host, mp, np, kp, bufs.c_base)
+    } else {
+        true
+    };
+
+    let gops = sim.stats().gops(core.freq_ghz);
+    GemmResult { stats: *sim.stats(), correct, m: mp, n: np, k: kp, clamped, gops }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn verify(
+    sim: &Simulator,
+    method: Method,
+    a: &[i8],
+    b: &[i8],
+    mp: usize,
+    np: usize,
+    kp: usize,
+    c_base: u64,
+) -> bool {
+    let machine = sim.machine();
+    match method {
+        Method::HandvInt8 => {
+            let expect = gemm_i8_wrapping_ref(mp, np, kp, a, b);
+            (0..mp * np).all(|i| machine.read_i8(c_base + i as u64) == expect[i])
+        }
+        Method::OpenblasF32 => {
+            let af: Vec<f32> = a.iter().map(|&v| v as f32).collect();
+            let bf: Vec<f32> = b.iter().map(|&v| v as f32).collect();
+            let expect = gemm_f32_ref(mp, np, kp, &af, &bf);
+            (0..mp * np).all(|i| machine.read_f32(c_base + i as u64 * 4) == expect[i])
+        }
+        _ => {
+            let expect = gemm_i32_ref(mp, np, kp, a, b);
+            (0..mp * np).all(|i| machine.read_i32(c_base + i as u64 * 4) == expect[i])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(core: CoreConfig, method: Method, m: usize, n: usize, k: usize) -> GemmResult {
+        let r = simulate_gemm(core, method, m, n, k, &GemmOptions::default());
+        assert!(r.correct, "{} produced wrong results at {m}x{n}x{k}", method.name());
+        assert!(r.stats.cycles > 0);
+        r
+    }
+
+    #[test]
+    fn camp8_correct_small() {
+        check(CoreConfig::a64fx(), Method::Camp8, 16, 16, 32);
+    }
+
+    #[test]
+    fn camp4_correct_small() {
+        check(CoreConfig::a64fx(), Method::Camp4, 16, 16, 64);
+    }
+
+    #[test]
+    fn handv_int32_correct_small() {
+        check(CoreConfig::a64fx(), Method::HandvInt32, 16, 32, 16);
+    }
+
+    #[test]
+    fn handv_int8_correct_small() {
+        check(CoreConfig::a64fx(), Method::HandvInt8, 8, 64, 16);
+    }
+
+    #[test]
+    fn gemmlowp_correct_small() {
+        check(CoreConfig::a64fx(), Method::Gemmlowp, 8, 32, 16);
+    }
+
+    #[test]
+    fn openblas_correct_small() {
+        check(CoreConfig::a64fx(), Method::OpenblasF32, 16, 32, 8);
+    }
+
+    #[test]
+    fn mmla_correct_small() {
+        check(CoreConfig::a64fx(), Method::Mmla, 16, 16, 16);
+    }
+
+    #[test]
+    fn all_methods_correct_on_edge_core() {
+        for method in Method::all() {
+            let r = simulate_gemm(
+                CoreConfig::edge_riscv(),
+                method,
+                24,
+                24,
+                40,
+                &GemmOptions::default(),
+            );
+            assert!(r.correct, "{} wrong on edge core", method.name());
+        }
+    }
+
+    #[test]
+    fn ragged_dims_are_padded() {
+        let r = check(CoreConfig::a64fx(), Method::Camp8, 5, 7, 19);
+        assert_eq!(r.m, 8);
+        assert_eq!(r.n, 8);
+        assert_eq!(r.k, 128); // rounded to the unrolled k-unit
+    }
+
+    #[test]
+    fn camp8_beats_openblas_at_paper_scale_k() {
+        // The paper's CNN/LLM layers have k in the hundreds-to-thousands;
+        // the CAMP advantage comes from the k-loop, so use a deep problem.
+        let opts = GemmOptions::default();
+        let camp = simulate_gemm(CoreConfig::a64fx(), Method::Camp8, 128, 128, 512, &opts);
+        let blas = simulate_gemm(CoreConfig::a64fx(), Method::OpenblasF32, 128, 128, 512, &opts);
+        assert!(camp.correct && blas.correct);
+        assert!(
+            camp.stats.cycles * 2 < blas.stats.cycles,
+            "CAMP ({}) should clearly beat OpenBLAS ({})",
+            camp.stats.cycles,
+            blas.stats.cycles
+        );
+    }
+
+    #[test]
+    fn camp4_uses_fewer_instructions_than_camp8() {
+        let opts = GemmOptions::default();
+        let c8 = simulate_gemm(CoreConfig::a64fx(), Method::Camp8, 64, 64, 512, &opts);
+        let c4 = simulate_gemm(CoreConfig::a64fx(), Method::Camp4, 64, 64, 512, &opts);
+        assert!(c4.correct && c8.correct);
+        assert!(
+            c4.stats.insts < c8.stats.insts,
+            "camp4 {} insts vs camp8 {}",
+            c4.stats.insts,
+            c8.stats.insts
+        );
+        assert!(c4.stats.cycles < c8.stats.cycles);
+    }
+
+    #[test]
+    fn clamping_kicks_in() {
+        let opts = GemmOptions { mac_budget: 1_000_000, verify: false, ..GemmOptions::default() };
+        let r = simulate_gemm(CoreConfig::a64fx(), Method::Camp8, 1024, 1024, 1024, &opts);
+        assert!(r.clamped);
+        assert!((r.m * r.n * r.k) as u64 <= 2_000_000);
+    }
+
+    #[test]
+    fn multi_block_k_accumulates_correctly() {
+        // kp > kc forces C read-modify-write across k blocks
+        let opts = GemmOptions { blocking: Some((32, 64, 32)), ..GemmOptions::default() };
+        let r = simulate_gemm(CoreConfig::a64fx(), Method::Camp8, 32, 32, 96, &opts);
+        assert!(r.correct);
+        let r = simulate_gemm(CoreConfig::a64fx(), Method::HandvInt32, 32, 32, 96, &opts);
+        assert!(r.correct);
+    }
+}

@@ -1,0 +1,407 @@
+//! Macro-kernel program builders (GotoBLAS loops 1–2 plus micro-kernel).
+//!
+//! One program per method; the host driver re-runs it for every cache
+//! block with fresh register parameters:
+//!
+//! * `x1` — packed-A base, `x2` — packed-B base, `x3` — C block base
+//! * `x4` — k-loop iterations (kc / k-step)
+//! * `x5` — row-panel count (mc / mR), `x6` — column-panel count (nc / nR)
+//! * `x7` — C row stride in bytes
+//! * `x8` — packed-B panel bytes, `x9` — packed-A panel bytes
+//! * `x30` — 64-byte scratch line (tile spills)
+//!
+//! Internal registers: `x15` j, `x16` B-panel base, `x17` i, `x18` A
+//! pointer, `x19` B pointer, `x20` k counter, `x21` C tile pointer,
+//! `x22..x29` temporaries.
+
+use camp_isa::asm::Assembler;
+use camp_isa::inst::{CampMode, ElemType, Program, VOp};
+use camp_isa::reg::{S, V};
+
+fn log2(x: usize) -> u8 {
+    debug_assert!(x.is_power_of_two());
+    x.trailing_zeros() as u8
+}
+
+/// Emit the shared three-loop skeleton around a micro-kernel.
+fn skeleton(
+    name: &str,
+    mr: usize,
+    c_tile_step_bytes: usize,
+    emit_init: impl Fn(&mut Assembler),
+    emit_k_body: impl Fn(&mut Assembler),
+    emit_c_update: impl Fn(&mut Assembler),
+) -> Program {
+    let mut a = Assembler::new(name);
+    a.li(S(15), 0);
+    a.label("jr_top");
+    a.mul(S(16), S(15), S(8));
+    a.add(S(16), S(16), S(2));
+    a.li(S(17), 0);
+    a.label("ir_top");
+    a.mul(S(18), S(17), S(9));
+    a.add(S(18), S(18), S(1));
+    a.mv(S(19), S(16));
+    emit_init(&mut a);
+    a.li(S(20), 0);
+    a.label("k_top");
+    emit_k_body(&mut a);
+    a.addi(S(20), S(20), 1);
+    a.blt(S(20), S(4), "k_top");
+    // C tile pointer: x3 + (i*mR)*ldc + j*tile_step
+    a.slli(S(22), S(17), log2(mr));
+    a.mul(S(22), S(22), S(7));
+    a.add(S(21), S(3), S(22));
+    a.slli(S(23), S(15), log2(c_tile_step_bytes));
+    a.add(S(21), S(21), S(23));
+    emit_c_update(&mut a);
+    a.addi(S(17), S(17), 1);
+    a.blt(S(17), S(5), "ir_top");
+    a.addi(S(15), S(15), 1);
+    a.blt(S(15), S(6), "jr_top");
+    a.finish()
+}
+
+/// Scalar read-modify-write of a 4×4 i32 tile spilled at `x30` into C at
+/// `x21` (used by the CAMP kernels — the Fig. 9 `store_32bit` step plus
+/// the C accumulation the framework performs).
+fn emit_camp_c_update(a: &mut Assembler) {
+    a.vstore(V(2), S(30), 0);
+    for r in 0..4 {
+        for c in 0..4i64 {
+            a.lw(S(28), S(30), (r * 4 + c as usize) as i64 * 4);
+            a.lw(S(29), S(21), c * 4);
+            a.add(S(28), S(28), S(29));
+            a.store_s(S(28), S(21), c * 4, 4);
+        }
+        if r != 3 {
+            a.add(S(21), S(21), S(7));
+        }
+    }
+}
+
+/// CAMP macro-kernel (8-bit or 4-bit): the Fig. 9 micro-kernel — two
+/// vector loads and one `camp` per k-step, accumulating in the auxiliary
+/// register. The k-loop is unrolled (4× for i8, 2× for i4) the way the
+/// paper's hand-written micro-kernel is, so loop overhead does not mask
+/// the single-instruction matrix multiply.
+pub fn macro_camp(mode: CampMode) -> Program {
+    let (name, unroll) = match mode {
+        CampMode::I8 => ("macro_camp8", 8i64),
+        CampMode::I4 => ("macro_camp4", 4),
+    };
+    skeleton(
+        name,
+        4,
+        16,
+        |a| a.vzero(V(2)),
+        |a| {
+            for u in 0..unroll {
+                a.vload(V(0), S(18), u * 64);
+                a.vload(V(1), S(19), u * 64);
+                a.camp(mode, V(2), V(0), V(1));
+            }
+            a.addi(S(18), S(18), unroll * 64);
+            a.addi(S(19), S(19), unroll * 64);
+        },
+        emit_camp_c_update,
+    )
+}
+
+/// Hand-vectorized int32 kernel (4×16 tile): the `handv-int32` baseline,
+/// also used as the edge SoC's BLIS-int32 baseline. The k-loop is
+/// unrolled 2× with a second accumulator set to break the
+/// multiply-accumulate dependence chain, as the hand-tuned intrinsics
+/// version does.
+pub fn macro_handv_int32() -> Program {
+    skeleton(
+        "macro_handv_int32",
+        4,
+        64,
+        |a| {
+            for r in 0..4 {
+                a.vzero(V(4 + r));
+                a.vzero(V(12 + r));
+            }
+        },
+        |a| {
+            a.vload(V(1), S(19), 0); // B row l: 16 × i32
+            for r in 0..4u8 {
+                a.vload_rep(ElemType::I32, V(0), S(18), r as i64 * 4);
+                a.vbin(VOp::Mla, ElemType::I32, V(4 + r), V(0), V(1));
+            }
+            a.vload(V(2), S(19), 64); // B row l+1
+            for r in 0..4u8 {
+                a.vload_rep(ElemType::I32, V(3), S(18), 16 + r as i64 * 4);
+                a.vbin(VOp::Mla, ElemType::I32, V(12 + r), V(3), V(2));
+            }
+            a.addi(S(18), S(18), 32);
+            a.addi(S(19), S(19), 128);
+        },
+        |a| {
+            for r in 0..4u8 {
+                a.vbin(VOp::Add, ElemType::I32, V(4 + r), V(4 + r), V(12 + r));
+                a.vload(V(8), S(21), 0);
+                a.vbin(VOp::Add, ElemType::I32, V(8), V(8), V(4 + r));
+                a.vstore(V(8), S(21), 0);
+                if r != 3 {
+                    a.add(S(21), S(21), S(7));
+                }
+            }
+        },
+    )
+}
+
+/// Hand-vectorized int8 kernel (4×64 tile) with an 8-bit accumulator —
+/// the overflow-unsafe `handv-int8` baseline of §5.3. Unrolled 2× with
+/// dual accumulators like its int32 sibling.
+pub fn macro_handv_int8() -> Program {
+    skeleton(
+        "macro_handv_int8",
+        4,
+        64,
+        |a| {
+            for r in 0..4 {
+                a.vzero(V(4 + r));
+                a.vzero(V(12 + r));
+            }
+        },
+        |a| {
+            a.vload(V(1), S(19), 0); // B row l: 64 × i8
+            for r in 0..4u8 {
+                a.vload_rep(ElemType::I8, V(0), S(18), r as i64);
+                a.vbin(VOp::Mla, ElemType::I8, V(4 + r), V(0), V(1));
+            }
+            a.vload(V(2), S(19), 64); // B row l+1
+            for r in 0..4u8 {
+                a.vload_rep(ElemType::I8, V(3), S(18), 4 + r as i64);
+                a.vbin(VOp::Mla, ElemType::I8, V(12 + r), V(3), V(2));
+            }
+            a.addi(S(18), S(18), 8);
+            a.addi(S(19), S(19), 128);
+        },
+        |a| {
+            for r in 0..4u8 {
+                a.vbin(VOp::Add, ElemType::I8, V(4 + r), V(4 + r), V(12 + r));
+                a.vload(V(8), S(21), 0);
+                a.vbin(VOp::Add, ElemType::I8, V(8), V(8), V(4 + r));
+                a.vstore(V(8), S(21), 0);
+                if r != 3 {
+                    a.add(S(21), S(21), S(7));
+                }
+            }
+        },
+    )
+}
+
+/// gemmlowp-like widening int8 kernel (4×32 tile, k-pairs): `smull` +
+/// `sadalp` style accumulation into i32 lanes, plus a modeled
+/// requantization pass on output (the extra adds against `v31`).
+pub fn macro_gemmlowp() -> Program {
+    skeleton(
+        "macro_gemmlowp",
+        4,
+        128,
+        |a| {
+            for r in 0..8 {
+                a.vzero(V(8 + r));
+            }
+            a.vzero(V(31));
+        },
+        |a| {
+            a.vload(V(1), S(19), 0); // interleaved B pair: 32 cols × 2 k
+            for r in 0..4u8 {
+                a.load_s(S(28), S(18), r as i64 * 2, 2);
+                a.vdup(ElemType::I16, V(0), S(28));
+                a.vmull(V(2), V(0), V(1), false);
+                a.vmull(V(3), V(0), V(1), true);
+                a.vadalp(V(8 + 2 * r), V(2));
+                a.vadalp(V(9 + 2 * r), V(3));
+            }
+            a.addi(S(18), S(18), 8);
+            a.addi(S(19), S(19), 64);
+        },
+        |a| {
+            for r in 0..4u8 {
+                // requantization pipeline proxy (adds zero, costs issue slots)
+                a.vbin(VOp::Add, ElemType::I32, V(8 + 2 * r), V(8 + 2 * r), V(31));
+                a.vbin(VOp::Add, ElemType::I32, V(9 + 2 * r), V(9 + 2 * r), V(31));
+                a.vload(V(4), S(21), 0);
+                a.vbin(VOp::Add, ElemType::I32, V(4), V(4), V(8 + 2 * r));
+                a.vstore(V(4), S(21), 0);
+                a.vload(V(5), S(21), 64);
+                a.vbin(VOp::Add, ElemType::I32, V(5), V(5), V(9 + 2 * r));
+                a.vstore(V(5), S(21), 64);
+                if r != 3 {
+                    a.add(S(21), S(21), S(7));
+                }
+            }
+        },
+    )
+}
+
+/// OpenBLAS-SGEMM-like f32 kernel (8×32 tile, FMA-bound, replicating
+/// loads for A) — the paper's performance baseline.
+pub fn macro_openblas_f32() -> Program {
+    skeleton(
+        "macro_openblas_f32",
+        8,
+        128,
+        |a| {
+            for r in 0..16 {
+                a.vzero(V(8 + r));
+            }
+        },
+        |a| {
+            a.vload(V(0), S(19), 0); // B row cols 0..16
+            a.vload(V(1), S(19), 64); // B row cols 16..32
+            for r in 0..8u8 {
+                a.vload_rep(ElemType::F32, V(2), S(18), r as i64 * 4);
+                a.vbin(VOp::Mla, ElemType::F32, V(8 + 2 * r), V(2), V(0));
+                a.vbin(VOp::Mla, ElemType::F32, V(9 + 2 * r), V(2), V(1));
+            }
+            a.addi(S(18), S(18), 32);
+            a.addi(S(19), S(19), 128);
+        },
+        |a| {
+            for r in 0..8u8 {
+                a.vload(V(4), S(21), 0);
+                a.vbin(VOp::Add, ElemType::F32, V(4), V(4), V(8 + 2 * r));
+                a.vstore(V(4), S(21), 0);
+                a.vload(V(5), S(21), 64);
+                a.vbin(VOp::Add, ElemType::F32, V(5), V(5), V(9 + 2 * r));
+                a.vstore(V(5), S(21), 64);
+                if r != 7 {
+                    a.add(S(21), S(21), S(7));
+                }
+            }
+        },
+    )
+}
+
+/// Arm `smmla` kernel (8×8 tile, k-octets): quadword zips broadcast each
+/// B column-pair across segments, four `smmla` per octet, and a scalar
+/// scatter for the segment-interleaved result tile.
+pub fn macro_mmla() -> Program {
+    skeleton(
+        "macro_mmla",
+        8,
+        32,
+        |a| {
+            for j in 0..4 {
+                a.vzero(V(8 + j));
+            }
+        },
+        |a| {
+            a.vload(V(0), S(18), 0); // A: 4 row-pair segments × 8 k
+            a.vload(V(1), S(19), 0); // B: 4 col-pair segments × 8 k
+            a.vzip(V(2), V(1), V(1), 16, false); // [B0 B0 B1 B1]
+            a.vzip(V(3), V(1), V(1), 16, true); // [B2 B2 B3 B3]
+            a.vzip(V(4), V(2), V(2), 16, false); // [B0 ×4]
+            a.vzip(V(5), V(2), V(2), 16, true); // [B1 ×4]
+            a.vzip(V(6), V(3), V(3), 16, false); // [B2 ×4]
+            a.vzip(V(7), V(3), V(3), 16, true); // [B3 ×4]
+            for j in 0..4u8 {
+                a.smmla(V(8 + j), V(0), V(4 + j));
+            }
+            a.addi(S(18), S(18), 64);
+            a.addi(S(19), S(19), 64);
+        },
+        |a| {
+            // acc j: segment s holds the 2×2 block rows (2s, 2s+1),
+            // cols (2j, 2j+1) — scatter through scratch.
+            for j in 0..4u8 {
+                a.vstore(V(8 + j), S(30), 0);
+                a.addi(S(22), S(21), j as i64 * 8);
+                for s in 0..4 {
+                    for i in 0..2 {
+                        for jj in 0..2i64 {
+                            let sc_off = (s * 16 + (i * 2 + jj as usize) * 4) as i64;
+                            a.lw(S(28), S(30), sc_off);
+                            a.lw(S(29), S(22), jj * 4);
+                            a.add(S(28), S(28), S(29));
+                            a.store_s(S(28), S(22), jj * 4, 4);
+                        }
+                        if !(s == 3 && i == 1) {
+                            a.add(S(22), S(22), S(7));
+                        }
+                    }
+                }
+            }
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camp_isa::inst::InstClass;
+
+    fn count_class(p: &Program, c: InstClass) -> usize {
+        p.insts().iter().filter(|i| i.class() == c).count()
+    }
+
+    #[test]
+    fn camp_kernel_static_shape() {
+        let p = macro_camp(CampMode::I8);
+        // unrolled 8×: one camp + two loads per k-step
+        assert_eq!(count_class(&p, InstClass::Camp), 8);
+        assert_eq!(count_class(&p, InstClass::VLoad), 16);
+        assert_eq!(count_class(&p, InstClass::VStore), 1);
+        let p4 = macro_camp(CampMode::I4);
+        assert_eq!(count_class(&p4, InstClass::Camp), 4);
+    }
+
+    #[test]
+    fn handv32_kernel_static_shape() {
+        let p = macro_handv_int32();
+        // 2 B-row loads + 8 replicating loads + 4 C loads
+        assert_eq!(count_class(&p, InstClass::VLoad), 14);
+        assert_eq!(count_class(&p, InstClass::VMul), 8);
+    }
+
+    #[test]
+    fn gemmlowp_uses_widening_ops() {
+        let p = macro_gemmlowp();
+        let mulls = p
+            .insts()
+            .iter()
+            .filter(|i| matches!(i, camp_isa::inst::Inst::VMull { .. }))
+            .count();
+        assert_eq!(mulls, 8);
+    }
+
+    #[test]
+    fn openblas_kernel_is_fma_dense() {
+        let p = macro_openblas_f32();
+        assert_eq!(count_class(&p, InstClass::VMul), 16);
+    }
+
+    #[test]
+    fn mmla_kernel_has_four_smmla_and_six_zips() {
+        let p = macro_mmla();
+        let smmla = p
+            .insts()
+            .iter()
+            .filter(|i| matches!(i, camp_isa::inst::Inst::Smmla { .. }))
+            .count();
+        let zips = p
+            .insts()
+            .iter()
+            .filter(|i| matches!(i, camp_isa::inst::Inst::VZip { .. }))
+            .count();
+        assert_eq!(smmla, 4);
+        assert_eq!(zips, 6);
+    }
+
+    #[test]
+    fn all_kernels_assemble() {
+        let _ = macro_camp(CampMode::I8);
+        let _ = macro_camp(CampMode::I4);
+        let _ = macro_handv_int32();
+        let _ = macro_handv_int8();
+        let _ = macro_gemmlowp();
+        let _ = macro_openblas_f32();
+        let _ = macro_mmla();
+    }
+}

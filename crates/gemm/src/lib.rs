@@ -1,0 +1,49 @@
+//! # camp-gemm — blocked GeMM kernels over the simulated vector machine
+//!
+//! Implements the software half of the paper's co-design: a
+//! GotoBLAS/ulmBLAS-style blocked matrix multiplication (Fig. 3) whose
+//! packing routines and macro-kernels are *simulated programs* written in
+//! the VVA assembly of `camp-isa`, timed by `camp-pipeline`.
+//!
+//! Every method evaluated in the paper's §5.3 is implemented:
+//!
+//! | [`Method`] | paper baseline | data | register tile |
+//! |---|---|---|---|
+//! | `Camp8` | CAMP 8-bit | i8 | 4×4, k-step 16 (one `camp.s8`) |
+//! | `Camp4` | CAMP 4-bit | i4 | 4×4, k-step 32 (one `camp.s4`) |
+//! | `HandvInt32` | handv-int32 / edge BLIS-int32 | i32 | 4×16 |
+//! | `HandvInt8` | handv-int8 (overflow-unsafe) | i8 | 4×64 |
+//! | `Gemmlowp` | gemmlowp-like widening int8 | i8 | 4×32, k-step 2 |
+//! | `OpenblasF32` | OpenBLAS SGEMM-like | f32 | 8×32 |
+//! | `Mmla` | Arm FEAT_I8MM `smmla` kernel | i8 | 8×8, k-step 8 |
+//!
+//! The five-loop cache blocking runs on the host (3 outer loops) and
+//! dispatches simulated packing programs and macro-kernels (inner 2 loops
+//! plus micro-kernel — >99.9 % of dynamic instructions) against a single
+//! persistent machine + cache state, mirroring how the original code runs
+//! under gem5.
+//!
+//! For the Fig. 1 cache-miss-rate experiment the [`trace`] module
+//! generates naive and blocked GeMM address streams analytically and
+//! replays them against `camp-cache` without a pipeline.
+//!
+//! # Example
+//!
+//! ```
+//! use camp_gemm::{simulate_gemm, GemmOptions, Method};
+//! use camp_pipeline::CoreConfig;
+//!
+//! let r = simulate_gemm(CoreConfig::a64fx(), Method::Camp8, 32, 32, 64, &GemmOptions::default());
+//! assert!(r.correct);
+//! assert!(r.stats.cycles > 0);
+//! ```
+
+pub mod driver;
+pub mod kernels;
+pub mod pack;
+pub mod reference;
+pub mod trace;
+mod workspace;
+
+pub use driver::{simulate_gemm, GemmOptions, GemmResult, Method};
+pub use reference::{gemm_f32_ref, gemm_i8_wrapping_ref, SplitMix64};

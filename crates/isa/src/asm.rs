@@ -1,0 +1,330 @@
+//! A small assembler: builds [`Program`]s with symbolic labels.
+//!
+//! Kernel builders in `camp-gemm` use this to write GotoBLAS micro-kernels
+//! the same way the paper's authors wrote SVE intrinsics / RISC-V inline
+//! assembly.
+
+use crate::inst::{BranchCond, CampMode, ElemType, Inst, Program, VOp};
+use crate::reg::{ScalarReg, VectorReg};
+use std::collections::HashMap;
+
+/// Incremental program builder with label fix-ups.
+///
+/// # Example
+/// ```
+/// use camp_isa::asm::Assembler;
+/// use camp_isa::reg::S;
+///
+/// let mut a = Assembler::new("count");
+/// a.li(S(1), 4);
+/// a.label("loop");
+/// a.addi(S(1), S(1), -1);
+/// a.bne(S(1), S(0), "loop");
+/// let prog = a.finish();
+/// assert_eq!(prog.len(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Assembler {
+    name: String,
+    insts: Vec<Inst>,
+    labels: HashMap<String, u32>,
+    fixups: Vec<(usize, String)>,
+}
+
+impl Assembler {
+    /// Start a new program called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Assembler { name: name.into(), ..Assembler::default() }
+    }
+
+    /// Define a label at the current position.
+    ///
+    /// # Panics
+    /// Panics if the label was already defined.
+    pub fn label(&mut self, name: &str) {
+        let prev = self.labels.insert(name.to_string(), self.insts.len() as u32);
+        assert!(prev.is_none(), "label `{name}` defined twice");
+    }
+
+    /// Append a raw instruction.
+    pub fn push(&mut self, inst: Inst) {
+        self.insts.push(inst);
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Resolve all labels and produce the program.
+    ///
+    /// # Panics
+    /// Panics if a branch references an undefined label.
+    pub fn finish(mut self) -> Program {
+        for (at, label) in &self.fixups {
+            let target = *self
+                .labels
+                .get(label)
+                .unwrap_or_else(|| panic!("undefined label `{label}`"));
+            if let Inst::Branch { target: t, .. } = &mut self.insts[*at] {
+                *t = target;
+            } else {
+                unreachable!("fixup on non-branch");
+            }
+        }
+        Program::new(self.name, self.insts)
+    }
+
+    // ---- scalar helpers ----
+
+    /// `rd = imm`
+    pub fn li(&mut self, rd: ScalarReg, imm: i64) {
+        self.push(Inst::Li { rd, imm });
+    }
+    /// `rd = rs + imm`
+    pub fn addi(&mut self, rd: ScalarReg, rs: ScalarReg, imm: i64) {
+        self.push(Inst::Addi { rd, rs, imm });
+    }
+    /// `rd = rs` (move)
+    pub fn mv(&mut self, rd: ScalarReg, rs: ScalarReg) {
+        self.push(Inst::Addi { rd, rs, imm: 0 });
+    }
+    /// `rd = rs1 + rs2`
+    pub fn add(&mut self, rd: ScalarReg, rs1: ScalarReg, rs2: ScalarReg) {
+        self.push(Inst::Add { rd, rs1, rs2 });
+    }
+    /// `rd = rs1 - rs2`
+    pub fn sub(&mut self, rd: ScalarReg, rs1: ScalarReg, rs2: ScalarReg) {
+        self.push(Inst::Sub { rd, rs1, rs2 });
+    }
+    /// `rd = rs1 * rs2`
+    pub fn mul(&mut self, rd: ScalarReg, rs1: ScalarReg, rs2: ScalarReg) {
+        self.push(Inst::Mul { rd, rs1, rs2 });
+    }
+    /// `rd = rs << sh`
+    pub fn slli(&mut self, rd: ScalarReg, rs: ScalarReg, sh: u8) {
+        self.push(Inst::Slli { rd, rs, sh });
+    }
+    /// `rd = rs >> sh`
+    pub fn srli(&mut self, rd: ScalarReg, rs: ScalarReg, sh: u8) {
+        self.push(Inst::Srli { rd, rs, sh });
+    }
+    /// `rd = rs & imm`
+    pub fn andi(&mut self, rd: ScalarReg, rs: ScalarReg, imm: i64) {
+        self.push(Inst::Andi { rd, rs, imm });
+    }
+    /// No-op.
+    pub fn nop(&mut self) {
+        self.push(Inst::Nop);
+    }
+
+    fn branch(&mut self, cond: BranchCond, rs1: ScalarReg, rs2: ScalarReg, label: &str) {
+        self.fixups.push((self.insts.len(), label.to_string()));
+        self.push(Inst::Branch { cond, rs1, rs2, target: u32::MAX });
+    }
+
+    /// Branch to `label` if `rs1 == rs2`.
+    pub fn beq(&mut self, rs1: ScalarReg, rs2: ScalarReg, label: &str) {
+        self.branch(BranchCond::Eq, rs1, rs2, label);
+    }
+    /// Branch to `label` if `rs1 != rs2`.
+    pub fn bne(&mut self, rs1: ScalarReg, rs2: ScalarReg, label: &str) {
+        self.branch(BranchCond::Ne, rs1, rs2, label);
+    }
+    /// Branch to `label` if `rs1 < rs2` (signed).
+    pub fn blt(&mut self, rs1: ScalarReg, rs2: ScalarReg, label: &str) {
+        self.branch(BranchCond::Lt, rs1, rs2, label);
+    }
+    /// Branch to `label` if `rs1 >= rs2` (signed).
+    pub fn bge(&mut self, rs1: ScalarReg, rs2: ScalarReg, label: &str) {
+        self.branch(BranchCond::Ge, rs1, rs2, label);
+    }
+
+    /// Scalar load of `width` bytes (sign-extended).
+    pub fn load_s(&mut self, rd: ScalarReg, base: ScalarReg, offset: i64, width: u8) {
+        debug_assert!(matches!(width, 1 | 2 | 4 | 8));
+        self.push(Inst::LoadS { rd, base, offset, width });
+    }
+    /// Scalar store of the low `width` bytes.
+    pub fn store_s(&mut self, rs: ScalarReg, base: ScalarReg, offset: i64, width: u8) {
+        debug_assert!(matches!(width, 1 | 2 | 4 | 8));
+        self.push(Inst::StoreS { rs, base, offset, width });
+    }
+    /// Scalar byte load (`lb`).
+    pub fn lb(&mut self, rd: ScalarReg, base: ScalarReg, offset: i64) {
+        self.load_s(rd, base, offset, 1);
+    }
+    /// Scalar word load (`lw`).
+    pub fn lw(&mut self, rd: ScalarReg, base: ScalarReg, offset: i64) {
+        self.load_s(rd, base, offset, 4);
+    }
+
+    // ---- vector helpers ----
+
+    /// 64-byte vector load.
+    pub fn vload(&mut self, vd: VectorReg, base: ScalarReg, offset: i64) {
+        self.push(Inst::VLoad { vd, base, offset });
+    }
+    /// 64-byte vector store.
+    pub fn vstore(&mut self, vs: VectorReg, base: ScalarReg, offset: i64) {
+        self.push(Inst::VStore { vs, base, offset });
+    }
+    /// Broadcast scalar to all lanes of type `ty`.
+    pub fn vdup(&mut self, ty: ElemType, vd: VectorReg, rs: ScalarReg) {
+        self.push(Inst::VDup { ty, vd, rs });
+    }
+    /// Load one element and replicate it to all lanes (`ld1rw`-style).
+    pub fn vload_rep(&mut self, ty: ElemType, vd: VectorReg, base: ScalarReg, offset: i64) {
+        self.push(Inst::VLoadRep { ty, vd, base, offset });
+    }
+    /// Zero `vd`.
+    pub fn vzero(&mut self, vd: VectorReg) {
+        self.push(Inst::VZero { vd });
+    }
+    /// Generic element-wise op.
+    pub fn vbin(&mut self, op: VOp, ty: ElemType, vd: VectorReg, vs1: VectorReg, vs2: VectorReg) {
+        self.push(Inst::VBin { op, ty, vd, vs1, vs2 });
+    }
+    /// `vd = vs1 + vs2` over i32 lanes.
+    pub fn vadd_i32(&mut self, vd: VectorReg, vs1: VectorReg, vs2: VectorReg) {
+        self.vbin(VOp::Add, ElemType::I32, vd, vs1, vs2);
+    }
+    /// `vd += vs1 * vs2` over i32 lanes.
+    pub fn vmla_i32(&mut self, vd: VectorReg, vs1: VectorReg, vs2: VectorReg) {
+        self.vbin(VOp::Mla, ElemType::I32, vd, vs1, vs2);
+    }
+    /// `vd += vs1 * vs2` over i8 lanes (truncating — the overflow-unsafe
+    /// `handv-int8` baseline of §5.3).
+    pub fn vmla_i8(&mut self, vd: VectorReg, vs1: VectorReg, vs2: VectorReg) {
+        self.vbin(VOp::Mla, ElemType::I8, vd, vs1, vs2);
+    }
+    /// `vd += vs1 * vs2` over f32 lanes (FMLA).
+    pub fn vfma_f32(&mut self, vd: VectorReg, vs1: VectorReg, vs2: VectorReg) {
+        self.vbin(VOp::Mla, ElemType::F32, vd, vs1, vs2);
+    }
+    /// Widening i8→i16 multiply of half `hi`.
+    pub fn vmull(&mut self, vd: VectorReg, vs1: VectorReg, vs2: VectorReg, hi: bool) {
+        self.push(Inst::VMull { vd, vs1, vs2, hi });
+    }
+    /// Pairwise i16→i32 accumulate.
+    pub fn vadalp(&mut self, vd: VectorReg, vs: VectorReg) {
+        self.push(Inst::VAdalp { vd, vs });
+    }
+    /// Sign-extend quarter `part` of i8 lanes into i32 lanes.
+    pub fn vsxtl(&mut self, vd: VectorReg, vs: VectorReg, part: u8) {
+        debug_assert!(part < 4);
+        self.push(Inst::VSxtl { vd, vs, part });
+    }
+    /// Interleave `granule`-byte chunks (16 = quadword zip).
+    pub fn vzip(&mut self, vd: VectorReg, vs1: VectorReg, vs2: VectorReg, granule: u8, hi: bool) {
+        debug_assert!(matches!(granule, 1 | 2 | 4 | 8 | 16));
+        self.push(Inst::VZip { vd, vs1, vs2, granule, hi });
+    }
+    /// Pairwise-pack adjacent i8 pairs into nibble bytes.
+    pub fn vpack4(&mut self, vd: VectorReg, vs1: VectorReg, vs2: VectorReg) {
+        self.push(Inst::VPack4 { vd, vs1, vs2 });
+    }
+    /// Pairwise-unpack nibbles (low or high 32 bytes) to 64 i8 lanes.
+    pub fn vunpack4(&mut self, vd: VectorReg, vs: VectorReg, hi: bool) {
+        self.push(Inst::VUnpack4 { vd, vs, hi });
+    }
+    /// Arm-style `smmla`.
+    pub fn smmla(&mut self, vd: VectorReg, vs1: VectorReg, vs2: VectorReg) {
+        self.push(Inst::Smmla { vd, vs1, vs2 });
+    }
+    /// The `camp` instruction.
+    pub fn camp(&mut self, mode: CampMode, vd: VectorReg, vs1: VectorReg, vs2: VectorReg) {
+        self.push(Inst::Camp { mode, vd, vs1, vs2 });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+    use crate::reg::{S, V};
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Assembler::new("t");
+        a.beq(S(1), S(2), "end"); // forward
+        a.label("top");
+        a.addi(S(1), S(1), 1);
+        a.bne(S(1), S(2), "top"); // backward
+        a.label("end");
+        a.nop();
+        let p = a.finish();
+        match p.insts()[0] {
+            Inst::Branch { target, .. } => assert_eq!(target, 3),
+            _ => panic!("expected branch"),
+        }
+        match p.insts()[2] {
+            Inst::Branch { target, .. } => assert_eq!(target, 1),
+            _ => panic!("expected branch"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined label")]
+    fn undefined_label_panics() {
+        let mut a = Assembler::new("t");
+        a.beq(S(1), S(2), "nowhere");
+        let _ = a.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn duplicate_label_panics() {
+        let mut a = Assembler::new("t");
+        a.label("l");
+        a.label("l");
+    }
+
+    #[test]
+    fn mv_is_addi_zero() {
+        let mut a = Assembler::new("t");
+        a.mv(S(2), S(3));
+        let p = a.finish();
+        assert_eq!(p.insts()[0], Inst::Addi { rd: S(2), rs: S(3), imm: 0 });
+    }
+
+    #[test]
+    fn helper_coverage() {
+        let mut a = Assembler::new("t");
+        a.li(S(1), 1);
+        a.add(S(1), S(1), S(1));
+        a.sub(S(1), S(1), S(1));
+        a.mul(S(1), S(1), S(1));
+        a.slli(S(1), S(1), 2);
+        a.srli(S(1), S(1), 2);
+        a.andi(S(1), S(1), 0xff);
+        a.lb(S(2), S(1), 0);
+        a.lw(S(2), S(1), 0);
+        a.store_s(S(2), S(1), 0, 8);
+        a.vload(V(0), S(1), 0);
+        a.vstore(V(0), S(1), 0);
+        a.vdup(ElemType::I32, V(1), S(2));
+        a.vzero(V(2));
+        a.vadd_i32(V(3), V(0), V(1));
+        a.vmla_i32(V(3), V(0), V(1));
+        a.vmla_i8(V(3), V(0), V(1));
+        a.vfma_f32(V(3), V(0), V(1));
+        a.vmull(V(4), V(0), V(1), false);
+        a.vadalp(V(5), V(4));
+        a.vsxtl(V(6), V(0), 2);
+        a.vzip(V(7), V(0), V(1), 1, false);
+        a.vpack4(V(8), V(0), V(1));
+        a.vunpack4(V(9), V(8), true);
+        a.smmla(V(10), V(0), V(1));
+        a.camp(CampMode::I8, V(11), V(0), V(1));
+        assert_eq!(a.len(), 26);
+        assert!(!a.is_empty());
+        let p = a.finish();
+        assert_eq!(p.len(), 26);
+    }
+}

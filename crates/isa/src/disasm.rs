@@ -1,0 +1,166 @@
+//! Textual disassembly of VVA instructions and programs.
+//!
+//! Gives simulator traces and debugging dumps a readable assembly form;
+//! the syntax mirrors the `Assembler` helper names.
+
+use crate::inst::{BranchCond, Inst, Program};
+use std::fmt::Write as _;
+
+/// Render one instruction as assembly text.
+pub fn disassemble(inst: &Inst) -> String {
+    match *inst {
+        Inst::Li { rd, imm } => format!("li {rd}, {imm}"),
+        Inst::Addi { rd, rs, imm } => {
+            if imm == 0 {
+                format!("mv {rd}, {rs}")
+            } else {
+                format!("addi {rd}, {rs}, {imm}")
+            }
+        }
+        Inst::Add { rd, rs1, rs2 } => format!("add {rd}, {rs1}, {rs2}"),
+        Inst::Sub { rd, rs1, rs2 } => format!("sub {rd}, {rs1}, {rs2}"),
+        Inst::Mul { rd, rs1, rs2 } => format!("mul {rd}, {rs1}, {rs2}"),
+        Inst::Slli { rd, rs, sh } => format!("slli {rd}, {rs}, {sh}"),
+        Inst::Srli { rd, rs, sh } => format!("srli {rd}, {rs}, {sh}"),
+        Inst::Andi { rd, rs, imm } => format!("andi {rd}, {rs}, {imm:#x}"),
+        Inst::Branch { cond, rs1, rs2, target } => {
+            let op = match cond {
+                BranchCond::Eq => "beq",
+                BranchCond::Ne => "bne",
+                BranchCond::Lt => "blt",
+                BranchCond::Ge => "bge",
+            };
+            format!("{op} {rs1}, {rs2}, @{target}")
+        }
+        Inst::LoadS { rd, base, offset, width } => {
+            let op = match width {
+                1 => "lb",
+                2 => "lh",
+                4 => "lw",
+                _ => "ld",
+            };
+            format!("{op} {rd}, {offset}({base})")
+        }
+        Inst::StoreS { rs, base, offset, width } => {
+            let op = match width {
+                1 => "sb",
+                2 => "sh",
+                4 => "sw",
+                _ => "sd",
+            };
+            format!("{op} {rs}, {offset}({base})")
+        }
+        Inst::Nop => "nop".to_string(),
+        Inst::VLoad { vd, base, offset } => format!("vload {vd}, {offset}({base})"),
+        Inst::VStore { vs, base, offset } => format!("vstore {vs}, {offset}({base})"),
+        Inst::VLoadRep { ty, vd, base, offset } => {
+            format!("vload_rep.{ty} {vd}, {offset}({base})")
+        }
+        Inst::VDup { ty, vd, rs } => format!("vdup.{ty} {vd}, {rs}"),
+        Inst::VZero { vd } => format!("vzero {vd}"),
+        Inst::VBin { op, ty, vd, vs1, vs2 } => format!("{op}.{ty} {vd}, {vs1}, {vs2}"),
+        Inst::VMull { vd, vs1, vs2, hi } => {
+            format!("vmull.{} {vd}, {vs1}, {vs2}", if hi { "hi" } else { "lo" })
+        }
+        Inst::VAdalp { vd, vs } => format!("vadalp {vd}, {vs}"),
+        Inst::VSxtl { vd, vs, part } => format!("vsxtl {vd}, {vs}, #{part}"),
+        Inst::VZip { vd, vs1, vs2, granule, hi } => {
+            format!("vzip{}.g{granule} {vd}, {vs1}, {vs2}", if hi { "2" } else { "1" })
+        }
+        Inst::VPack4 { vd, vs1, vs2 } => format!("vpack4 {vd}, {vs1}, {vs2}"),
+        Inst::VUnpack4 { vd, vs, hi } => {
+            format!("vunpack4.{} {vd}, {vs}", if hi { "hi" } else { "lo" })
+        }
+        Inst::Smmla { vd, vs1, vs2 } => format!("smmla {vd}, {vs1}, {vs2}"),
+        Inst::Camp { mode, vd, vs1, vs2 } => format!("camp.{mode} {vd}, {vs1}, {vs2}"),
+    }
+}
+
+/// Render a whole program with instruction indices (branch targets are
+/// `@index` references).
+pub fn disassemble_program(prog: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; program `{}` ({} insts)", prog.name(), prog.len());
+    for (i, inst) in prog.insts().iter().enumerate() {
+        let _ = writeln!(out, "{i:>5}: {}", disassemble(inst));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::inst::{CampMode, ElemType, VOp};
+    use crate::reg::{S, V};
+
+    #[test]
+    fn representative_forms() {
+        assert_eq!(disassemble(&Inst::Li { rd: S(1), imm: -3 }), "li x1, -3");
+        assert_eq!(disassemble(&Inst::Addi { rd: S(2), rs: S(3), imm: 0 }), "mv x2, x3");
+        assert_eq!(
+            disassemble(&Inst::Camp { mode: CampMode::I4, vd: V(2), vs1: V(0), vs2: V(1) }),
+            "camp.s4 v2, v0, v1"
+        );
+        assert_eq!(
+            disassemble(&Inst::VBin { op: VOp::Mla, ty: ElemType::F32, vd: V(8), vs1: V(1), vs2: V(2) }),
+            "vmla.f32 v8, v1, v2"
+        );
+        assert_eq!(
+            disassemble(&Inst::LoadS { rd: S(5), base: S(6), offset: -8, width: 4 }),
+            "lw x5, -8(x6)"
+        );
+        assert_eq!(
+            disassemble(&Inst::VZip { vd: V(1), vs1: V(2), vs2: V(3), granule: 16, hi: true }),
+            "vzip2.g16 v1, v2, v3"
+        );
+    }
+
+    #[test]
+    fn every_instruction_form_disassembles_nonempty() {
+        let mut a = Assembler::new("all");
+        a.li(S(1), 1);
+        a.addi(S(1), S(1), 2);
+        a.add(S(1), S(1), S(2));
+        a.sub(S(1), S(1), S(2));
+        a.mul(S(1), S(1), S(2));
+        a.slli(S(1), S(1), 3);
+        a.srli(S(1), S(1), 3);
+        a.andi(S(1), S(1), 0xf);
+        a.nop();
+        a.label("x");
+        a.beq(S(1), S(2), "x");
+        a.lb(S(1), S(2), 0);
+        a.store_s(S(1), S(2), 0, 8);
+        a.vload(V(0), S(1), 0);
+        a.vstore(V(0), S(1), 0);
+        a.vload_rep(ElemType::I32, V(0), S(1), 4);
+        a.vdup(ElemType::I8, V(0), S(1));
+        a.vzero(V(0));
+        a.vbin(VOp::Add, ElemType::I16, V(0), V(1), V(2));
+        a.vmull(V(0), V(1), V(2), true);
+        a.vadalp(V(0), V(1));
+        a.vsxtl(V(0), V(1), 2);
+        a.vzip(V(0), V(1), V(2), 4, false);
+        a.vpack4(V(0), V(1), V(2));
+        a.vunpack4(V(0), V(1), false);
+        a.smmla(V(0), V(1), V(2));
+        a.camp(CampMode::I8, V(0), V(1), V(2));
+        let p = a.finish();
+        for inst in p.insts() {
+            assert!(!disassemble(inst).is_empty());
+        }
+        let text = disassemble_program(&p);
+        assert!(text.contains("camp.s8 v0, v1, v2"));
+        assert!(text.lines().count() > p.len());
+    }
+
+    #[test]
+    fn branch_targets_are_indices() {
+        let mut a = Assembler::new("b");
+        a.label("top");
+        a.bne(S(1), S(0), "top");
+        let p = a.finish();
+        assert_eq!(disassemble(&p.insts()[0]), "bne x1, x0, @0");
+    }
+}

@@ -1,0 +1,541 @@
+//! Binary instruction encoding.
+//!
+//! The paper extends the ARM SVE and RISC-V ISAs with a `camp` opcode; to
+//! mirror that "ISA extension" aspect, every VVA instruction has a stable
+//! 64-bit machine encoding (8-bit major opcode plus bit-packed fields).
+//! Encoding is lossless for all programs whose immediates fit the field
+//! widths below; `encode` reports immediates that do not fit.
+//!
+//! Field widths: register indices 5 bits, shift amounts 6 bits, memory
+//! offsets and ALU immediates 24 bits (signed), `li` immediates and branch
+//! targets 32 bits.
+
+use crate::inst::{BranchCond, CampMode, ElemType, Inst, VOp};
+use crate::reg::{ScalarReg, VectorReg};
+use std::fmt;
+
+/// Error produced when an instruction cannot be encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An immediate exceeds its encoding field.
+    ImmOutOfRange {
+        /// The offending value.
+        value: i64,
+        /// Field width in bits.
+        bits: u32,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange { value, bits } => {
+                write!(f, "immediate {value} does not fit in {bits} bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Error produced when a word cannot be decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown major opcode.
+    BadOpcode(u8),
+    /// A field held an invalid value (e.g. element-type code 3 on an
+    /// instruction without an f32 form).
+    BadField,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::BadField => f.write_str("invalid field value"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+mod op {
+    pub const LI: u8 = 0x01;
+    pub const ADDI: u8 = 0x02;
+    pub const ADD: u8 = 0x03;
+    pub const SUB: u8 = 0x04;
+    pub const MUL: u8 = 0x05;
+    pub const SLLI: u8 = 0x06;
+    pub const SRLI: u8 = 0x07;
+    pub const ANDI: u8 = 0x08;
+    pub const BRANCH: u8 = 0x09;
+    pub const LOADS: u8 = 0x0a;
+    pub const STORES: u8 = 0x0b;
+    pub const NOP: u8 = 0x0c;
+    pub const VLOAD: u8 = 0x10;
+    pub const VSTORE: u8 = 0x11;
+    pub const VBIN: u8 = 0x12;
+    pub const VDUP: u8 = 0x13;
+    pub const VZERO: u8 = 0x14;
+    pub const VMULL: u8 = 0x15;
+    pub const VADALP: u8 = 0x16;
+    pub const VSXTL: u8 = 0x17;
+    pub const VZIP: u8 = 0x18;
+    pub const VPACK4: u8 = 0x19;
+    pub const VUNPACK4: u8 = 0x1a;
+    pub const SMMLA: u8 = 0x1b;
+    pub const CAMP: u8 = 0x1c;
+    pub const VLOADREP: u8 = 0x1d;
+}
+
+fn imm_field(value: i64, bits: u32) -> Result<u64, EncodeError> {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    if value < min || value > max {
+        return Err(EncodeError::ImmOutOfRange { value, bits });
+    }
+    Ok((value as u64) & ((1u64 << bits) - 1))
+}
+
+fn sext_field(raw: u64, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    ((raw << shift) as i64) >> shift
+}
+
+fn ty_code(ty: ElemType) -> u64 {
+    match ty {
+        ElemType::I8 => 0,
+        ElemType::I16 => 1,
+        ElemType::I32 => 2,
+        ElemType::F32 => 3,
+    }
+}
+
+fn ty_from(code: u64) -> ElemType {
+    match code & 3 {
+        0 => ElemType::I8,
+        1 => ElemType::I16,
+        2 => ElemType::I32,
+        _ => ElemType::F32,
+    }
+}
+
+fn vop_code(op: VOp) -> u64 {
+    match op {
+        VOp::Add => 0,
+        VOp::Sub => 1,
+        VOp::Mul => 2,
+        VOp::Mla => 3,
+    }
+}
+
+fn vop_from(code: u64) -> VOp {
+    match code & 3 {
+        0 => VOp::Add,
+        1 => VOp::Sub,
+        2 => VOp::Mul,
+        _ => VOp::Mla,
+    }
+}
+
+fn cond_code(c: BranchCond) -> u64 {
+    match c {
+        BranchCond::Eq => 0,
+        BranchCond::Ne => 1,
+        BranchCond::Lt => 2,
+        BranchCond::Ge => 3,
+    }
+}
+
+fn cond_from(code: u64) -> BranchCond {
+    match code & 3 {
+        0 => BranchCond::Eq,
+        1 => BranchCond::Ne,
+        2 => BranchCond::Lt,
+        _ => BranchCond::Ge,
+    }
+}
+
+#[allow(clippy::identity_op)]
+fn pack(opcode: u8, fields: &[(u64, u32)]) -> u64 {
+    let mut word = opcode as u64;
+    let mut shift = 8u32;
+    for &(value, bits) in fields {
+        debug_assert!(bits == 64 || value < (1u64 << bits));
+        word |= value << shift;
+        shift += bits;
+    }
+    debug_assert!(shift <= 64);
+    word
+}
+
+struct Fields(u64, u32);
+
+impl Fields {
+    fn new(word: u64) -> Self {
+        Fields(word, 8)
+    }
+    fn take(&mut self, bits: u32) -> u64 {
+        let v = (self.0 >> self.1) & if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        self.1 += bits;
+        v
+    }
+    fn sreg(&mut self) -> ScalarReg {
+        ScalarReg(self.take(5) as u8)
+    }
+    fn vreg(&mut self) -> VectorReg {
+        VectorReg(self.take(5) as u8)
+    }
+}
+
+/// Encode one instruction to its 64-bit machine word.
+///
+/// # Errors
+/// [`EncodeError::ImmOutOfRange`] if an immediate exceeds its field.
+pub fn encode(inst: &Inst) -> Result<u64, EncodeError> {
+    let w = match *inst {
+        Inst::Li { rd, imm } => {
+            pack(op::LI, &[(rd.0 as u64, 5), (imm_field(imm, 32)?, 32)])
+        }
+        Inst::Addi { rd, rs, imm } => pack(
+            op::ADDI,
+            &[(rd.0 as u64, 5), (rs.0 as u64, 5), (imm_field(imm, 24)?, 24)],
+        ),
+        Inst::Add { rd, rs1, rs2 } => pack(
+            op::ADD,
+            &[(rd.0 as u64, 5), (rs1.0 as u64, 5), (rs2.0 as u64, 5)],
+        ),
+        Inst::Sub { rd, rs1, rs2 } => pack(
+            op::SUB,
+            &[(rd.0 as u64, 5), (rs1.0 as u64, 5), (rs2.0 as u64, 5)],
+        ),
+        Inst::Mul { rd, rs1, rs2 } => pack(
+            op::MUL,
+            &[(rd.0 as u64, 5), (rs1.0 as u64, 5), (rs2.0 as u64, 5)],
+        ),
+        Inst::Slli { rd, rs, sh } => pack(
+            op::SLLI,
+            &[(rd.0 as u64, 5), (rs.0 as u64, 5), (sh as u64, 6)],
+        ),
+        Inst::Srli { rd, rs, sh } => pack(
+            op::SRLI,
+            &[(rd.0 as u64, 5), (rs.0 as u64, 5), (sh as u64, 6)],
+        ),
+        Inst::Andi { rd, rs, imm } => pack(
+            op::ANDI,
+            &[(rd.0 as u64, 5), (rs.0 as u64, 5), (imm_field(imm, 24)?, 24)],
+        ),
+        Inst::Branch { cond, rs1, rs2, target } => pack(
+            op::BRANCH,
+            &[
+                (cond_code(cond), 2),
+                (rs1.0 as u64, 5),
+                (rs2.0 as u64, 5),
+                (target as u64, 32),
+            ],
+        ),
+        Inst::LoadS { rd, base, offset, width } => pack(
+            op::LOADS,
+            &[
+                (rd.0 as u64, 5),
+                (base.0 as u64, 5),
+                (width as u64, 4),
+                (imm_field(offset, 24)?, 24),
+            ],
+        ),
+        Inst::StoreS { rs, base, offset, width } => pack(
+            op::STORES,
+            &[
+                (rs.0 as u64, 5),
+                (base.0 as u64, 5),
+                (width as u64, 4),
+                (imm_field(offset, 24)?, 24),
+            ],
+        ),
+        Inst::Nop => pack(op::NOP, &[]),
+        Inst::VLoad { vd, base, offset } => pack(
+            op::VLOAD,
+            &[(vd.0 as u64, 5), (base.0 as u64, 5), (imm_field(offset, 24)?, 24)],
+        ),
+        Inst::VStore { vs, base, offset } => pack(
+            op::VSTORE,
+            &[(vs.0 as u64, 5), (base.0 as u64, 5), (imm_field(offset, 24)?, 24)],
+        ),
+        Inst::VBin { op: o, ty, vd, vs1, vs2 } => pack(
+            op::VBIN,
+            &[
+                (vop_code(o), 2),
+                (ty_code(ty), 2),
+                (vd.0 as u64, 5),
+                (vs1.0 as u64, 5),
+                (vs2.0 as u64, 5),
+            ],
+        ),
+        Inst::VDup { ty, vd, rs } => pack(
+            op::VDUP,
+            &[(ty_code(ty), 2), (vd.0 as u64, 5), (rs.0 as u64, 5)],
+        ),
+        Inst::VZero { vd } => pack(op::VZERO, &[(vd.0 as u64, 5)]),
+        Inst::VMull { vd, vs1, vs2, hi } => pack(
+            op::VMULL,
+            &[
+                (vd.0 as u64, 5),
+                (vs1.0 as u64, 5),
+                (vs2.0 as u64, 5),
+                (hi as u64, 1),
+            ],
+        ),
+        Inst::VAdalp { vd, vs } => {
+            pack(op::VADALP, &[(vd.0 as u64, 5), (vs.0 as u64, 5)])
+        }
+        Inst::VSxtl { vd, vs, part } => pack(
+            op::VSXTL,
+            &[(vd.0 as u64, 5), (vs.0 as u64, 5), (part as u64, 2)],
+        ),
+        Inst::VZip { vd, vs1, vs2, granule, hi } => pack(
+            op::VZIP,
+            &[
+                (vd.0 as u64, 5),
+                (vs1.0 as u64, 5),
+                (vs2.0 as u64, 5),
+                (granule as u64, 5),
+                (hi as u64, 1),
+            ],
+        ),
+        Inst::VLoadRep { ty, vd, base, offset } => pack(
+            op::VLOADREP,
+            &[
+                (ty_code(ty), 2),
+                (vd.0 as u64, 5),
+                (base.0 as u64, 5),
+                (imm_field(offset, 24)?, 24),
+            ],
+        ),
+        Inst::VPack4 { vd, vs1, vs2 } => pack(
+            op::VPACK4,
+            &[(vd.0 as u64, 5), (vs1.0 as u64, 5), (vs2.0 as u64, 5)],
+        ),
+        Inst::VUnpack4 { vd, vs, hi } => pack(
+            op::VUNPACK4,
+            &[(vd.0 as u64, 5), (vs.0 as u64, 5), (hi as u64, 1)],
+        ),
+        Inst::Smmla { vd, vs1, vs2 } => pack(
+            op::SMMLA,
+            &[(vd.0 as u64, 5), (vs1.0 as u64, 5), (vs2.0 as u64, 5)],
+        ),
+        Inst::Camp { mode, vd, vs1, vs2 } => pack(
+            op::CAMP,
+            &[
+                (matches!(mode, CampMode::I4) as u64, 1),
+                (vd.0 as u64, 5),
+                (vs1.0 as u64, 5),
+                (vs2.0 as u64, 5),
+            ],
+        ),
+    };
+    Ok(w)
+}
+
+/// Decode a 64-bit machine word back to an instruction.
+///
+/// # Errors
+/// [`DecodeError::BadOpcode`] for unknown opcodes.
+pub fn decode(word: u64) -> Result<Inst, DecodeError> {
+    let opcode = (word & 0xff) as u8;
+    let mut f = Fields::new(word);
+    let inst = match opcode {
+        op::LI => {
+            let rd = f.sreg();
+            let imm = sext_field(f.take(32), 32);
+            Inst::Li { rd, imm }
+        }
+        op::ADDI => {
+            let rd = f.sreg();
+            let rs = f.sreg();
+            let imm = sext_field(f.take(24), 24);
+            Inst::Addi { rd, rs, imm }
+        }
+        op::ADD => Inst::Add { rd: f.sreg(), rs1: f.sreg(), rs2: f.sreg() },
+        op::SUB => Inst::Sub { rd: f.sreg(), rs1: f.sreg(), rs2: f.sreg() },
+        op::MUL => Inst::Mul { rd: f.sreg(), rs1: f.sreg(), rs2: f.sreg() },
+        op::SLLI => Inst::Slli { rd: f.sreg(), rs: f.sreg(), sh: f.take(6) as u8 },
+        op::SRLI => Inst::Srli { rd: f.sreg(), rs: f.sreg(), sh: f.take(6) as u8 },
+        op::ANDI => {
+            let rd = f.sreg();
+            let rs = f.sreg();
+            let imm = sext_field(f.take(24), 24);
+            Inst::Andi { rd, rs, imm }
+        }
+        op::BRANCH => {
+            let cond = cond_from(f.take(2));
+            let rs1 = f.sreg();
+            let rs2 = f.sreg();
+            let target = f.take(32) as u32;
+            Inst::Branch { cond, rs1, rs2, target }
+        }
+        op::LOADS => {
+            let rd = f.sreg();
+            let base = f.sreg();
+            let width = f.take(4) as u8;
+            let offset = sext_field(f.take(24), 24);
+            if !matches!(width, 1 | 2 | 4 | 8) {
+                return Err(DecodeError::BadField);
+            }
+            Inst::LoadS { rd, base, offset, width }
+        }
+        op::STORES => {
+            let rs = f.sreg();
+            let base = f.sreg();
+            let width = f.take(4) as u8;
+            let offset = sext_field(f.take(24), 24);
+            if !matches!(width, 1 | 2 | 4 | 8) {
+                return Err(DecodeError::BadField);
+            }
+            Inst::StoreS { rs, base, offset, width }
+        }
+        op::NOP => Inst::Nop,
+        op::VLOAD => {
+            let vd = f.vreg();
+            let base = f.sreg();
+            let offset = sext_field(f.take(24), 24);
+            Inst::VLoad { vd, base, offset }
+        }
+        op::VSTORE => {
+            let vs = f.vreg();
+            let base = f.sreg();
+            let offset = sext_field(f.take(24), 24);
+            Inst::VStore { vs, base, offset }
+        }
+        op::VBIN => {
+            let o = vop_from(f.take(2));
+            let ty = ty_from(f.take(2));
+            Inst::VBin { op: o, ty, vd: f.vreg(), vs1: f.vreg(), vs2: f.vreg() }
+        }
+        op::VDUP => {
+            let ty = ty_from(f.take(2));
+            Inst::VDup { ty, vd: f.vreg(), rs: f.sreg() }
+        }
+        op::VZERO => Inst::VZero { vd: f.vreg() },
+        op::VMULL => {
+            let vd = f.vreg();
+            let vs1 = f.vreg();
+            let vs2 = f.vreg();
+            let hi = f.take(1) != 0;
+            Inst::VMull { vd, vs1, vs2, hi }
+        }
+        op::VADALP => Inst::VAdalp { vd: f.vreg(), vs: f.vreg() },
+        op::VSXTL => {
+            let vd = f.vreg();
+            let vs = f.vreg();
+            let part = f.take(2) as u8;
+            Inst::VSxtl { vd, vs, part }
+        }
+        op::VZIP => {
+            let vd = f.vreg();
+            let vs1 = f.vreg();
+            let vs2 = f.vreg();
+            let granule = f.take(5) as u8;
+            let hi = f.take(1) != 0;
+            if !matches!(granule, 1 | 2 | 4 | 8 | 16) {
+                return Err(DecodeError::BadField);
+            }
+            Inst::VZip { vd, vs1, vs2, granule, hi }
+        }
+        op::VLOADREP => {
+            let ty = ty_from(f.take(2));
+            let vd = f.vreg();
+            let base = f.sreg();
+            let offset = sext_field(f.take(24), 24);
+            Inst::VLoadRep { ty, vd, base, offset }
+        }
+        op::VPACK4 => Inst::VPack4 { vd: f.vreg(), vs1: f.vreg(), vs2: f.vreg() },
+        op::VUNPACK4 => {
+            let vd = f.vreg();
+            let vs = f.vreg();
+            let hi = f.take(1) != 0;
+            Inst::VUnpack4 { vd, vs, hi }
+        }
+        op::SMMLA => Inst::Smmla { vd: f.vreg(), vs1: f.vreg(), vs2: f.vreg() },
+        op::CAMP => {
+            let mode = if f.take(1) != 0 { CampMode::I4 } else { CampMode::I8 };
+            Inst::Camp { mode, vd: f.vreg(), vs1: f.vreg(), vs2: f.vreg() }
+        }
+        other => return Err(DecodeError::BadOpcode(other)),
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{S, V};
+
+    fn roundtrip(i: Inst) {
+        let w = encode(&i).expect("encodes");
+        let back = decode(w).expect("decodes");
+        assert_eq!(i, back, "word {w:#018x}");
+    }
+
+    #[test]
+    fn roundtrip_all_forms() {
+        let cases = vec![
+            Inst::Li { rd: S(5), imm: -123456 },
+            Inst::Addi { rd: S(1), rs: S(2), imm: -8_000_000 },
+            Inst::Add { rd: S(3), rs1: S(4), rs2: S(5) },
+            Inst::Sub { rd: S(3), rs1: S(4), rs2: S(5) },
+            Inst::Mul { rd: S(3), rs1: S(4), rs2: S(5) },
+            Inst::Slli { rd: S(1), rs: S(2), sh: 63 },
+            Inst::Srli { rd: S(1), rs: S(2), sh: 1 },
+            Inst::Andi { rd: S(1), rs: S(2), imm: 0xff },
+            Inst::Branch { cond: BranchCond::Lt, rs1: S(9), rs2: S(10), target: 77 },
+            Inst::LoadS { rd: S(8), base: S(9), offset: -64, width: 4 },
+            Inst::StoreS { rs: S(8), base: S(9), offset: 128, width: 8 },
+            Inst::Nop,
+            Inst::VLoad { vd: V(31), base: S(31), offset: 4096 },
+            Inst::VStore { vs: V(0), base: S(1), offset: -4096 },
+            Inst::VBin { op: VOp::Mla, ty: ElemType::F32, vd: V(1), vs1: V(2), vs2: V(3) },
+            Inst::VDup { ty: ElemType::I8, vd: V(4), rs: S(5) },
+            Inst::VZero { vd: V(6) },
+            Inst::VMull { vd: V(7), vs1: V(8), vs2: V(9), hi: true },
+            Inst::VAdalp { vd: V(10), vs: V(11) },
+            Inst::VSxtl { vd: V(12), vs: V(13), part: 3 },
+            Inst::VZip { vd: V(14), vs1: V(15), vs2: V(16), granule: 8, hi: false },
+            Inst::VZip { vd: V(14), vs1: V(15), vs2: V(16), granule: 16, hi: true },
+            Inst::VLoadRep { ty: ElemType::F32, vd: V(9), base: S(3), offset: -256 },
+            Inst::VPack4 { vd: V(17), vs1: V(18), vs2: V(19) },
+            Inst::VUnpack4 { vd: V(20), vs: V(21), hi: true },
+            Inst::Smmla { vd: V(22), vs1: V(23), vs2: V(24) },
+            Inst::Camp { mode: CampMode::I4, vd: V(25), vs1: V(26), vs2: V(27) },
+            Inst::Camp { mode: CampMode::I8, vd: V(28), vs1: V(29), vs2: V(30) },
+        ];
+        for c in cases {
+            roundtrip(c);
+        }
+    }
+
+    #[test]
+    fn immediate_overflow_is_reported() {
+        let e = encode(&Inst::Addi { rd: S(1), rs: S(2), imm: 1 << 30 }).unwrap_err();
+        assert_eq!(e, EncodeError::ImmOutOfRange { value: 1 << 30, bits: 24 });
+    }
+
+    #[test]
+    fn bad_opcode_is_reported() {
+        assert_eq!(decode(0xff), Err(DecodeError::BadOpcode(0xff)));
+    }
+
+    #[test]
+    fn bad_width_field_is_reported() {
+        // LOADS with width = 3 (invalid)
+        let w = encode(&Inst::LoadS { rd: S(1), base: S(2), offset: 0, width: 4 }).unwrap();
+        // width field starts at bit 8+5+5=18
+        let bad = (w & !(0xf << 18)) | (3 << 18);
+        assert_eq!(decode(bad), Err(DecodeError::BadField));
+    }
+
+    #[test]
+    fn opcode_is_low_byte() {
+        let w = encode(&Inst::Nop).unwrap();
+        assert_eq!(w & 0xff, 0x0c);
+    }
+}

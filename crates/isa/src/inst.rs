@@ -1,0 +1,399 @@
+//! Instruction set definition and static classification.
+
+use crate::reg::{ScalarReg, VectorReg};
+use std::fmt;
+
+/// Element type for vector arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElemType {
+    /// 8-bit signed integer lanes (64 per register).
+    I8,
+    /// 16-bit signed integer lanes (32 per register).
+    I16,
+    /// 32-bit signed integer lanes (16 per register).
+    I32,
+    /// 32-bit IEEE-754 lanes (16 per register).
+    F32,
+}
+
+impl ElemType {
+    /// Lane width in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            ElemType::I8 => 1,
+            ElemType::I16 => 2,
+            ElemType::I32 | ElemType::F32 => 4,
+        }
+    }
+
+    /// Number of lanes of this type in a 512-bit register.
+    pub fn lanes(self) -> usize {
+        crate::VLEN_BYTES / self.bytes()
+    }
+}
+
+impl fmt::Display for ElemType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ElemType::I8 => "s8",
+            ElemType::I16 => "s16",
+            ElemType::I32 => "s32",
+            ElemType::F32 => "f32",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Element-wise vector operation selector for [`Inst::VBin`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VOp {
+    /// `vd = vs1 + vs2` (wrapping for integers).
+    Add,
+    /// `vd = vs1 - vs2` (wrapping for integers).
+    Sub,
+    /// `vd = vs1 * vs2` (wrapping, same-width result — this is the SVE
+    /// `MUL` that motivates Table 1's ✗ entries: the high half of an i8
+    /// product is lost).
+    Mul,
+    /// `vd += vs1 * vs2` — multiply-accumulate at lane width (`MLA`, or
+    /// `FMLA` for f32 lanes).
+    Mla,
+}
+
+impl fmt::Display for VOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VOp::Add => "vadd",
+            VOp::Sub => "vsub",
+            VOp::Mul => "vmul",
+            VOp::Mla => "vmla",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Scalar branch condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+    /// Branch if signed less-than.
+    Lt,
+    /// Branch if signed greater-or-equal.
+    Ge,
+}
+
+impl fmt::Display for BranchCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Data width mode of the `camp` instruction (§4.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CampMode {
+    /// 8-bit operands: VR1 is a 4×16 column-major i8 block, VR2 a 16×4
+    /// row-major i8 block; the 4×4 i32 product is accumulated.
+    I8,
+    /// 4-bit operands: VR1 is a 4×32 column-major nibble block, VR2 a
+    /// 32×4 row-major nibble block; the 4×4 i32 product is accumulated.
+    I4,
+}
+
+impl CampMode {
+    /// Inner (k) dimension consumed per `camp` issue: 16 for i8, 32 for i4.
+    pub fn k_per_issue(self) -> usize {
+        match self {
+            CampMode::I8 => 16,
+            CampMode::I4 => 32,
+        }
+    }
+
+    /// Multiply-accumulate operations performed per issue (4 × 4 × k).
+    pub fn macs_per_issue(self) -> usize {
+        16 * self.k_per_issue()
+    }
+}
+
+impl fmt::Display for CampMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampMode::I8 => f.write_str("s8"),
+            CampMode::I4 => f.write_str("s4"),
+        }
+    }
+}
+
+/// One VVA instruction.
+///
+/// Branch targets are resolved instruction indices (the assembler fixes
+/// them up from labels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    // ---- scalar ----
+    /// `rd = imm`
+    Li { rd: ScalarReg, imm: i64 },
+    /// `rd = rs + imm`
+    Addi { rd: ScalarReg, rs: ScalarReg, imm: i64 },
+    /// `rd = rs1 + rs2`
+    Add { rd: ScalarReg, rs1: ScalarReg, rs2: ScalarReg },
+    /// `rd = rs1 - rs2`
+    Sub { rd: ScalarReg, rs1: ScalarReg, rs2: ScalarReg },
+    /// `rd = rs1 * rs2` (wrapping, low 64 bits)
+    Mul { rd: ScalarReg, rs1: ScalarReg, rs2: ScalarReg },
+    /// `rd = rs << sh`
+    Slli { rd: ScalarReg, rs: ScalarReg, sh: u8 },
+    /// `rd = rs >> sh` (logical)
+    Srli { rd: ScalarReg, rs: ScalarReg, sh: u8 },
+    /// `rd = rs & imm`
+    Andi { rd: ScalarReg, rs: ScalarReg, imm: i64 },
+    /// Conditional branch to instruction index `target`.
+    Branch { cond: BranchCond, rs1: ScalarReg, rs2: ScalarReg, target: u32 },
+    /// Scalar load: `rd = sign_extend(mem[rs+offset .. +width])`.
+    /// `width` ∈ {1, 2, 4, 8}.
+    LoadS { rd: ScalarReg, base: ScalarReg, offset: i64, width: u8 },
+    /// Scalar store of the low `width` bytes of `rs`.
+    StoreS { rs: ScalarReg, base: ScalarReg, offset: i64, width: u8 },
+    /// No operation (pipeline filler in some kernels).
+    Nop,
+
+    // ---- vector memory ----
+    /// Unit-stride 64-byte vector load: `vd = mem[base+offset .. +64]`.
+    VLoad { vd: VectorReg, base: ScalarReg, offset: i64 },
+    /// Unit-stride 64-byte vector store.
+    VStore { vs: VectorReg, base: ScalarReg, offset: i64 },
+    /// Load one element of type `ty` and replicate it to all lanes (SVE
+    /// `ld1rw`/`ld1rb` analogue — a single instruction, unlike a scalar
+    /// load followed by a `dup`).
+    VLoadRep { ty: ElemType, vd: VectorReg, base: ScalarReg, offset: i64 },
+
+    // ---- vector arithmetic ----
+    /// Element-wise binary/ternary op at `ty` granularity.
+    VBin { op: VOp, ty: ElemType, vd: VectorReg, vs1: VectorReg, vs2: VectorReg },
+    /// Broadcast the low lane-width bits of scalar `rs` to all lanes.
+    VDup { ty: ElemType, vd: VectorReg, rs: ScalarReg },
+    /// Zero a vector register.
+    VZero { vd: VectorReg },
+    /// Widening multiply: multiplies 32 i8 lanes from half `hi` of `vs1`
+    /// and `vs2`, producing 32 i16 lanes (NEON `smull`/`smull2` analogue).
+    VMull { vd: VectorReg, vs1: VectorReg, vs2: VectorReg, hi: bool },
+    /// Pairwise widening accumulate: adds adjacent i16 pairs of `vs` into
+    /// the 16 i32 lanes of `vd` (NEON `sadalp` analogue).
+    VAdalp { vd: VectorReg, vs: VectorReg },
+    /// Sign-extend quarter `part` (0–3) of the i8 lanes of `vs` into the
+    /// 16 i32 lanes of `vd` (SVE `sunpklo`/`sunpkhi` chain analogue).
+    VSxtl { vd: VectorReg, vs: VectorReg, part: u8 },
+    /// Interleave `granule`-byte chunks of `vs1`/`vs2` (ZIP1/ZIP2;
+    /// granule 16 is the SVE quadword `ZIP1.Q`/`ZIP2.Q`).
+    VZip { vd: VectorReg, vs1: VectorReg, vs2: VectorReg, granule: u8, hi: bool },
+    /// Pairwise nibble pack: adjacent i8 pairs (values in [-8, 7]) become
+    /// one byte (`even` in the low nibble, `odd` in the high nibble).
+    /// `vs1` supplies output bytes 0–31, `vs2` bytes 32–63.
+    VPack4 { vd: VectorReg, vs1: VectorReg, vs2: VectorReg },
+    /// Pairwise nibble unpack (inverse of [`Inst::VPack4`]): expands the
+    /// low (hi = false) or high (hi = true) 32 bytes of `vs` into 64
+    /// sign-extended i8 lanes (models PULP-NN-style unpack overhead).
+    VUnpack4 { vd: VectorReg, vs: VectorReg, hi: bool },
+
+    // ---- matrix instructions ----
+    /// Arm FEAT_I8MM `smmla`: per 128-bit segment, a 2×8 i8 row-major
+    /// block of `vs1` times a 2×8 i8 row-major block of `vs2` (i.e.
+    /// A · Bᵀ) accumulated into a 2×2 i32 block of `vd`.
+    Smmla { vd: VectorReg, vs1: VectorReg, vs2: VectorReg },
+    /// The paper's `camp` instruction: `vd += vs1 ⊗ vs2` where the
+    /// operands are 4×16/16×4 (i8) or 4×32/32×4 (i4) blocks and `vd`
+    /// holds the 4×4 i32 result tile (row-major, 16 lanes). Accumulation
+    /// happens in the CAMP auxiliary register; `vd` names it
+    /// architecturally.
+    Camp { mode: CampMode, vd: VectorReg, vs1: VectorReg, vs2: VectorReg },
+}
+
+/// Coarse classification used by statistics and the timing models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstClass {
+    /// Scalar ALU (including `li`, shifts, `nop`).
+    ScalarAlu,
+    /// Scalar load or store.
+    ScalarMem,
+    /// Conditional branch.
+    Branch,
+    /// Vector load.
+    VLoad,
+    /// Vector store.
+    VStore,
+    /// Vector arithmetic (including dup/zip/pack/extend).
+    VAlu,
+    /// Vector integer multiply-class op (mul/mla/mull/smmla) — these
+    /// occupy the multiplier pipeline rather than the simple ALU.
+    VMul,
+    /// The CAMP functional unit.
+    Camp,
+}
+
+impl InstClass {
+    /// True for any vector-unit instruction (load/store/ALU/MUL/CAMP).
+    pub fn is_vector(self) -> bool {
+        matches!(
+            self,
+            InstClass::VLoad | InstClass::VStore | InstClass::VAlu | InstClass::VMul | InstClass::Camp
+        )
+    }
+}
+
+impl Inst {
+    /// Classify the instruction for statistics and FU binding.
+    pub fn class(&self) -> InstClass {
+        match self {
+            Inst::Li { .. }
+            | Inst::Addi { .. }
+            | Inst::Add { .. }
+            | Inst::Sub { .. }
+            | Inst::Mul { .. }
+            | Inst::Slli { .. }
+            | Inst::Srli { .. }
+            | Inst::Andi { .. }
+            | Inst::Nop => InstClass::ScalarAlu,
+            Inst::Branch { .. } => InstClass::Branch,
+            Inst::LoadS { .. } | Inst::StoreS { .. } => InstClass::ScalarMem,
+            Inst::VLoad { .. } | Inst::VLoadRep { .. } => InstClass::VLoad,
+            Inst::VStore { .. } => InstClass::VStore,
+            Inst::VBin { op, .. } => match op {
+                VOp::Mul | VOp::Mla => InstClass::VMul,
+                _ => InstClass::VAlu,
+            },
+            Inst::VMull { .. } | Inst::Smmla { .. } => InstClass::VMul,
+            Inst::VDup { .. }
+            | Inst::VZero { .. }
+            | Inst::VAdalp { .. }
+            | Inst::VSxtl { .. }
+            | Inst::VZip { .. }
+            | Inst::VPack4 { .. }
+            | Inst::VUnpack4 { .. } => InstClass::VAlu,
+            Inst::Camp { .. } => InstClass::Camp,
+        }
+    }
+
+    /// Multiply-accumulate work performed by this instruction, counted in
+    /// scalar MAC operations (used for GOPS accounting).
+    pub fn macs(&self) -> u64 {
+        match self {
+            Inst::VBin { op: VOp::Mla, ty, .. } => ty.lanes() as u64,
+            Inst::VBin { op: VOp::Mul, ty, .. } => ty.lanes() as u64 / 2, // mul only, no add
+            Inst::VMull { .. } => 32,
+            Inst::Smmla { .. } => 4 * 2 * 2 * 8, // 4 segments × 2×2 × k=8
+            Inst::Camp { mode, .. } => mode.macs_per_issue() as u64,
+            Inst::Mul { .. } => 1,
+            _ => 0,
+        }
+    }
+}
+
+/// A finished, branch-resolved program.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    name: String,
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    /// Create a program from resolved instructions.
+    pub fn new(name: impl Into<String>, insts: Vec<Inst>) -> Self {
+        Program { name: name.into(), insts }
+    }
+
+    /// Program name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction sequence.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{S, V};
+
+    #[test]
+    fn elem_type_lane_geometry() {
+        assert_eq!(ElemType::I8.lanes(), 64);
+        assert_eq!(ElemType::I16.lanes(), 32);
+        assert_eq!(ElemType::I32.lanes(), 16);
+        assert_eq!(ElemType::F32.lanes(), 16);
+        assert_eq!(ElemType::I8.bytes(), 1);
+        assert_eq!(ElemType::F32.bytes(), 4);
+    }
+
+    #[test]
+    fn camp_mode_geometry() {
+        assert_eq!(CampMode::I8.k_per_issue(), 16);
+        assert_eq!(CampMode::I4.k_per_issue(), 32);
+        assert_eq!(CampMode::I8.macs_per_issue(), 256);
+        assert_eq!(CampMode::I4.macs_per_issue(), 512);
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(Inst::Nop.class(), InstClass::ScalarAlu);
+        assert_eq!(
+            Inst::VLoad { vd: V(0), base: S(1), offset: 0 }.class(),
+            InstClass::VLoad
+        );
+        assert_eq!(
+            Inst::VBin { op: VOp::Mla, ty: ElemType::I32, vd: V(0), vs1: V(1), vs2: V(2) }.class(),
+            InstClass::VMul
+        );
+        assert_eq!(
+            Inst::VBin { op: VOp::Add, ty: ElemType::I32, vd: V(0), vs1: V(1), vs2: V(2) }.class(),
+            InstClass::VAlu
+        );
+        assert_eq!(
+            Inst::Camp { mode: CampMode::I8, vd: V(0), vs1: V(1), vs2: V(2) }.class(),
+            InstClass::Camp
+        );
+        assert!(InstClass::Camp.is_vector());
+        assert!(!InstClass::ScalarAlu.is_vector());
+    }
+
+    #[test]
+    fn mac_accounting() {
+        let camp8 = Inst::Camp { mode: CampMode::I8, vd: V(0), vs1: V(1), vs2: V(2) };
+        let camp4 = Inst::Camp { mode: CampMode::I4, vd: V(0), vs1: V(1), vs2: V(2) };
+        assert_eq!(camp8.macs(), 256);
+        assert_eq!(camp4.macs(), 512);
+        let mla32 = Inst::VBin { op: VOp::Mla, ty: ElemType::I32, vd: V(0), vs1: V(1), vs2: V(2) };
+        assert_eq!(mla32.macs(), 16);
+        let smmla = Inst::Smmla { vd: V(0), vs1: V(1), vs2: V(2) };
+        assert_eq!(smmla.macs(), 128);
+    }
+
+    #[test]
+    fn program_accessors() {
+        let p = Program::new("p", vec![Inst::Nop, Inst::Nop]);
+        assert_eq!(p.name(), "p");
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert!(Program::default().is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Architectural register names.
+//!
+//! The machine has 32 scalar registers (`x0`–`x31`, 64-bit; `x0` is
+//! hardwired to zero as in RISC-V) and 32 vector registers (`v0`–`v31`,
+//! 512-bit). Newtypes keep scalar and vector operands from being mixed up
+//! at kernel-construction time.
+
+use std::fmt;
+
+/// A scalar (64-bit) register index. `x0` reads as zero and ignores writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ScalarReg(pub u8);
+
+/// A vector (512-bit) register index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VectorReg(pub u8);
+
+/// Shorthand constructor for [`ScalarReg`].
+///
+/// # Panics
+/// Panics if `i >= 32`.
+#[allow(non_snake_case)]
+pub const fn S(i: u8) -> ScalarReg {
+    assert!(i < 32, "scalar register index out of range");
+    ScalarReg(i)
+}
+
+/// Shorthand constructor for [`VectorReg`].
+///
+/// # Panics
+/// Panics if `i >= 32`.
+#[allow(non_snake_case)]
+pub const fn V(i: u8) -> VectorReg {
+    assert!(i < 32, "vector register index out of range");
+    VectorReg(i)
+}
+
+impl ScalarReg {
+    /// The always-zero register.
+    pub const ZERO: ScalarReg = ScalarReg(0);
+
+    /// Index as usize for register-file addressing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl VectorReg {
+    /// Index as usize for register-file addressing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ScalarReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for VectorReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(S(3).to_string(), "x3");
+        assert_eq!(V(17).to_string(), "v17");
+    }
+
+    #[test]
+    fn zero_register_is_x0() {
+        assert_eq!(ScalarReg::ZERO, S(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn scalar_out_of_range_panics() {
+        let _ = S(32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn vector_out_of_range_panics() {
+        let _ = V(32);
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(S(1) < S(2));
+        assert!(V(30) > V(0));
+    }
+}

@@ -1,0 +1,235 @@
+//! Convolution layers, `im2col` (§2.1) and the Table 4 edge benchmark.
+
+use crate::cnn::GemmShape;
+
+/// A dense CHW tensor of i8 activations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tensor3 {
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    /// Row-major CHW data, length `c*h*w`.
+    pub data: Vec<i8>,
+}
+
+impl Tensor3 {
+    /// Zero tensor.
+    pub fn zeros(c: usize, h: usize, w: usize) -> Self {
+        Tensor3 { c, h, w, data: vec![0; c * h * w] }
+    }
+
+    /// Element accessor.
+    pub fn at(&self, c: usize, y: usize, x: usize) -> i8 {
+        self.data[(c * self.h + y) * self.w + x]
+    }
+
+    /// Mutable element accessor.
+    pub fn at_mut(&mut self, c: usize, y: usize, x: usize) -> &mut i8 {
+        &mut self.data[(c * self.h + y) * self.w + x]
+    }
+}
+
+/// A 2-D convolution layer description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2d {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels (filters).
+    pub out_channels: usize,
+    /// Kernel height/width (square).
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding on each side.
+    pub padding: usize,
+}
+
+impl Conv2d {
+    /// The Table 4 comparison benchmark: input 16×16×32, filters
+    /// 64×3×3×32 (stride 1, padding 1).
+    pub fn table4_benchmark() -> (Conv2d, usize, usize) {
+        (
+            Conv2d { in_channels: 32, out_channels: 64, kernel: 3, stride: 1, padding: 1 },
+            16,
+            16,
+        )
+    }
+
+    /// Output spatial size for an `h×w` input.
+    pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            (h + 2 * self.padding - self.kernel) / self.stride + 1,
+            (w + 2 * self.padding - self.kernel) / self.stride + 1,
+        )
+    }
+
+    /// The GeMM this convolution becomes under `im2col`:
+    /// m = out_h·out_w, n = out_channels, k = in_channels·kernel².
+    pub fn gemm_shape(&self, h: usize, w: usize) -> GemmShape {
+        let (oh, ow) = self.out_size(h, w);
+        GemmShape::new(oh * ow, self.out_channels, self.in_channels * self.kernel * self.kernel)
+    }
+
+    /// Direct (reference) convolution with i32 accumulation.
+    ///
+    /// `weights` is `[out_c][in_c][kh][kw]` row-major.
+    pub fn direct(&self, input: &Tensor3, weights: &[i8]) -> Vec<i32> {
+        assert_eq!(input.c, self.in_channels);
+        assert_eq!(weights.len(), self.out_channels * self.in_channels * self.kernel * self.kernel);
+        let (oh, ow) = self.out_size(input.h, input.w);
+        let mut out = vec![0i32; self.out_channels * oh * ow];
+        for oc in 0..self.out_channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0i32;
+                    for ic in 0..self.in_channels {
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                                let ix = (ox * self.stride + kx) as isize - self.padding as isize;
+                                if iy < 0 || ix < 0 || iy >= input.h as isize || ix >= input.w as isize
+                                {
+                                    continue;
+                                }
+                                let iv = input.at(ic, iy as usize, ix as usize) as i32;
+                                let wv = weights
+                                    [((oc * self.in_channels + ic) * self.kernel + ky) * self.kernel + kx]
+                                    as i32;
+                                acc = acc.wrapping_add(iv.wrapping_mul(wv));
+                            }
+                        }
+                    }
+                    out[(oc * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `im2col`: unroll the input so the convolution becomes one GeMM
+/// (§2.1). Returns the patch matrix, row-major m×k with
+/// m = out_h·out_w and k = in_c·kernel².
+pub fn im2col(conv: &Conv2d, input: &Tensor3) -> Vec<i8> {
+    let (oh, ow) = conv.out_size(input.h, input.w);
+    let k = conv.in_channels * conv.kernel * conv.kernel;
+    let mut out = vec![0i8; oh * ow * k];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = oy * ow + ox;
+            let mut col = 0;
+            for ic in 0..conv.in_channels {
+                for ky in 0..conv.kernel {
+                    for kx in 0..conv.kernel {
+                        let iy = (oy * conv.stride + ky) as isize - conv.padding as isize;
+                        let ix = (ox * conv.stride + kx) as isize - conv.padding as isize;
+                        out[row * k + col] = if iy < 0
+                            || ix < 0
+                            || iy >= input.h as isize
+                            || ix >= input.w as isize
+                        {
+                            0
+                        } else {
+                            input.at(ic, iy as usize, ix as usize)
+                        };
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Flatten conv weights `[out_c][in_c·k·k]` into the k×n B matrix of the
+/// im2col GeMM (n = out_c).
+pub fn weights_to_b(conv: &Conv2d, weights: &[i8]) -> Vec<i8> {
+    let k = conv.in_channels * conv.kernel * conv.kernel;
+    let n = conv.out_channels;
+    let mut b = vec![0i8; k * n];
+    for oc in 0..n {
+        for kk in 0..k {
+            b[kk * n + oc] = weights[oc * k + kk];
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camp_core::gemm_i32_ref;
+
+    fn filled_input(c: usize, h: usize, w: usize) -> Tensor3 {
+        let mut t = Tensor3::zeros(c, h, w);
+        for i in 0..t.data.len() {
+            t.data[i] = ((i * 7) % 15) as i8 - 7;
+        }
+        t
+    }
+
+    fn filled_weights(conv: &Conv2d) -> Vec<i8> {
+        let len = conv.out_channels * conv.in_channels * conv.kernel * conv.kernel;
+        (0..len).map(|i| ((i * 5) % 13) as i8 - 6).collect()
+    }
+
+    #[test]
+    fn out_size_with_padding() {
+        let c = Conv2d { in_channels: 1, out_channels: 1, kernel: 3, stride: 1, padding: 1 };
+        assert_eq!(c.out_size(16, 16), (16, 16));
+        let c2 = Conv2d { in_channels: 1, out_channels: 1, kernel: 3, stride: 2, padding: 0 };
+        assert_eq!(c2.out_size(9, 9), (4, 4));
+    }
+
+    #[test]
+    fn im2col_gemm_equals_direct_convolution() {
+        let conv = Conv2d { in_channels: 3, out_channels: 4, kernel: 3, stride: 1, padding: 1 };
+        let input = filled_input(3, 8, 8);
+        let weights = filled_weights(&conv);
+
+        let direct = conv.direct(&input, &weights);
+
+        let a = im2col(&conv, &input); // m×k patches
+        let b = weights_to_b(&conv, &weights); // k×n
+        let shape = conv.gemm_shape(8, 8);
+        let c = gemm_i32_ref(shape.m, shape.n, shape.k, &a, &b);
+
+        // direct output is [oc][oy][ox]; GeMM output is [row=oy*ow+ox][oc]
+        let (oh, ow) = conv.out_size(8, 8);
+        for oc in 0..4 {
+            for r in 0..oh * ow {
+                assert_eq!(c[r * 4 + oc], direct[oc * oh * ow + r], "oc={oc} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn table4_benchmark_shape() {
+        let (conv, h, w) = Conv2d::table4_benchmark();
+        let s = conv.gemm_shape(h, w);
+        assert_eq!(s, GemmShape::new(256, 64, 288));
+        // 2·m·n·k operations for GOPS accounting
+        assert_eq!(s.ops(), 2 * 256 * 64 * 288);
+    }
+
+    #[test]
+    fn strided_conv_matches_gemm_too() {
+        let conv = Conv2d { in_channels: 2, out_channels: 3, kernel: 3, stride: 2, padding: 1 };
+        let input = filled_input(2, 9, 9);
+        let weights = filled_weights(&conv);
+        let direct = conv.direct(&input, &weights);
+        let a = im2col(&conv, &input);
+        let b = weights_to_b(&conv, &weights);
+        let s = conv.gemm_shape(9, 9);
+        let c = gemm_i32_ref(s.m, s.n, s.k, &a, &b);
+        let (oh, ow) = conv.out_size(9, 9);
+        for oc in 0..3 {
+            for r in 0..oh * ow {
+                assert_eq!(c[r * 3 + oc], direct[oc * oh * ow + r]);
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Full network definitions: the convolution layers of AlexNet, VGG-16,
+//! ResNet-18 and MobileNet-v1, from which the Table 3 GeMM dimensions
+//! can be *derived* (m = out_h·out_w, n = out_channels,
+//! k = in_channels·kernel²) rather than transcribed.
+//!
+//! This validates the workload zoo from first principles: the tests
+//! check that the derived shapes reproduce the corresponding Table 3
+//! rows. The paper evaluates a representative subset of distinct layer
+//! shapes per network (repeated shapes collapse to one row), which the
+//! subset tests mirror.
+
+use crate::cnn::GemmShape;
+use crate::conv::Conv2d;
+
+/// One convolution layer with its input geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvLayer {
+    /// Human-readable layer name.
+    pub name: &'static str,
+    /// The convolution.
+    pub conv: Conv2d,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+}
+
+impl ConvLayer {
+    const fn new(
+        name: &'static str,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        in_h: usize,
+        in_w: usize,
+    ) -> Self {
+        ConvLayer {
+            name,
+            conv: Conv2d { in_channels, out_channels, kernel, stride, padding },
+            in_h,
+            in_w,
+        }
+    }
+
+    /// The GeMM this layer becomes under im2col.
+    pub fn gemm(&self) -> GemmShape {
+        self.conv.gemm_shape(self.in_h, self.in_w)
+    }
+}
+
+/// AlexNet's five convolution layers (227×227 input variant).
+pub fn alexnet() -> Vec<ConvLayer> {
+    vec![
+        ConvLayer::new("conv1", 3, 96, 11, 4, 0, 227, 227),
+        ConvLayer::new("conv2", 96, 256, 5, 1, 2, 27, 27),
+        ConvLayer::new("conv3", 256, 384, 3, 1, 1, 13, 13),
+        ConvLayer::new("conv4", 384, 384, 3, 1, 1, 13, 13),
+        ConvLayer::new("conv5", 384, 256, 3, 1, 1, 13, 13),
+    ]
+}
+
+/// VGG-16's distinct convolution shapes (224×224 input).
+pub fn vgg16() -> Vec<ConvLayer> {
+    vec![
+        ConvLayer::new("conv1_1", 3, 64, 3, 1, 1, 224, 224),
+        ConvLayer::new("conv1_2", 64, 64, 3, 1, 1, 224, 224),
+        ConvLayer::new("conv2_1", 64, 128, 3, 1, 1, 112, 112),
+        ConvLayer::new("conv2_2", 128, 128, 3, 1, 1, 112, 112),
+        ConvLayer::new("conv3_1", 128, 256, 3, 1, 1, 56, 56),
+        ConvLayer::new("conv3_2", 256, 256, 3, 1, 1, 56, 56),
+        ConvLayer::new("conv4_1", 256, 512, 3, 1, 1, 28, 28),
+        ConvLayer::new("conv4_2", 512, 512, 3, 1, 1, 28, 28),
+        ConvLayer::new("conv5", 512, 512, 3, 1, 1, 14, 14),
+    ]
+}
+
+/// ResNet-18's distinct convolution shapes (224×224 input).
+pub fn resnet18() -> Vec<ConvLayer> {
+    vec![
+        ConvLayer::new("conv1", 3, 64, 7, 2, 3, 224, 224),
+        ConvLayer::new("conv2_x", 64, 64, 3, 1, 1, 56, 56),
+        ConvLayer::new("conv3_x", 128, 128, 3, 1, 1, 28, 28),
+        ConvLayer::new("conv4_x", 256, 256, 3, 1, 1, 14, 14),
+        ConvLayer::new("conv5_x", 512, 512, 3, 1, 1, 7, 7),
+    ]
+}
+
+/// MobileNet-v1's distinct pointwise (1×1) convolutions — the layers
+/// that dominate its GeMM time (depthwise layers don't map to GeMM).
+pub fn mobilenet_v1() -> Vec<ConvLayer> {
+    vec![
+        ConvLayer::new("conv1", 3, 32, 3, 2, 1, 224, 224),
+        ConvLayer::new("pw2", 32, 64, 1, 1, 0, 112, 112),
+        ConvLayer::new("pw3", 64, 128, 1, 1, 0, 56, 56),
+        ConvLayer::new("pw4", 128, 128, 1, 1, 0, 56, 56),
+        ConvLayer::new("pw5", 128, 256, 1, 1, 0, 28, 28),
+        ConvLayer::new("pw6", 256, 256, 1, 1, 0, 28, 28),
+        ConvLayer::new("pw7", 256, 512, 1, 1, 0, 14, 14),
+        ConvLayer::new("pw12", 512, 1024, 1, 1, 0, 7, 7),
+        ConvLayer::new("pw13", 1024, 1024, 1, 1, 0, 7, 7),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnn::{layers, Benchmark};
+
+    #[test]
+    fn resnet_conv1_derives_table3_row1() {
+        // Table 3 ResNet row 1: 12544, 64, 147
+        let l = &resnet18()[0];
+        let g = l.gemm();
+        assert_eq!(g, GemmShape::new(12544, 64, 147)); // 112² , 64, 3·7·7
+        assert!(layers(Benchmark::ResNet).contains(&g));
+    }
+
+    #[test]
+    fn vgg_conv1_2_derives_table3_m() {
+        // VGG 224² spatial → m = 50176; conv1_1 has k = 27 = 3·3·3
+        let g = vgg16()[0].gemm();
+        assert_eq!(g, GemmShape::new(50176, 64, 27));
+        assert!(layers(Benchmark::Vgg).contains(&g));
+        let g2 = vgg16()[1].gemm();
+        assert_eq!(g2, GemmShape::new(50176, 64, 576));
+        assert!(layers(Benchmark::Vgg).contains(&g2));
+    }
+
+    #[test]
+    fn vgg_deeper_layers_derive_table3() {
+        // conv4_2: 28² = 784, 512, 512·9 = 4608 — Table 3 VGG row 9
+        let g = vgg16()[7].gemm();
+        assert_eq!(g, GemmShape::new(784, 512, 4608));
+        assert!(layers(Benchmark::Vgg).contains(&g));
+    }
+
+    #[test]
+    fn resnet_residual_blocks_derive_table3() {
+        // conv2_x: 56² = 3136, 64, 64·9 = 576 — Table 3 ResNet row 4
+        let g = resnet18()[1].gemm();
+        assert_eq!(g, GemmShape::new(3136, 64, 576));
+        assert!(layers(Benchmark::ResNet).contains(&g));
+        // conv5_x: 7² = 49, 512, 512·9 = 4608 — Table 3 ResNet row 6
+        let g5 = resnet18()[4].gemm();
+        assert_eq!(g5, GemmShape::new(49, 512, 4608));
+        assert!(layers(Benchmark::ResNet).contains(&g5));
+    }
+
+    #[test]
+    fn mobilenet_pointwise_derive_table3() {
+        // pw13: 49, 1024, 1024 — Table 3 MobileNet row 7
+        let g = mobilenet_v1()[8].gemm();
+        assert_eq!(g, GemmShape::new(49, 1024, 1024));
+        assert!(layers(Benchmark::MobileNet).contains(&g));
+        // pw12: 49, 1024, 512 — row 8
+        let g12 = mobilenet_v1()[7].gemm();
+        assert_eq!(g12, GemmShape::new(49, 1024, 512));
+        assert!(layers(Benchmark::MobileNet).contains(&g12));
+        // pw5: 784, 256, 128 — row 9
+        let g5 = mobilenet_v1()[4].gemm();
+        assert_eq!(g5, GemmShape::new(784, 256, 128));
+    }
+
+    #[test]
+    fn alexnet_conv_geometry_is_consistent() {
+        // AlexNet conv3: 13² = 169, 384, 256·9 = 2304 — Table 3 row 2
+        let g = alexnet()[2].gemm();
+        assert_eq!(g, GemmShape::new(169, 384, 2304));
+        assert!(layers(Benchmark::AlexNet).contains(&g));
+        // conv1: 3025 = 55², k = 3·11·11 = 363 — Table 3 row 4
+        let g1 = alexnet()[0].gemm();
+        assert_eq!(g1, GemmShape::new(3025, 96, 363));
+    }
+
+    #[test]
+    fn every_layer_has_positive_dims() {
+        for l in alexnet().iter().chain(&vgg16()).chain(&resnet18()).chain(&mobilenet_v1()) {
+            let g = l.gemm();
+            assert!(g.m > 0 && g.n > 0 && g.k > 0, "{}", l.name);
+        }
+    }
+}

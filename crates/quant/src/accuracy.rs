@@ -1,0 +1,312 @@
+//! The Fig. 7 accuracy-vs-bit-width study (substitution).
+//!
+//! The paper reproduces a survey's result that CNN top-1 accuracy is
+//! roughly flat down to 4-bit weights/inputs and collapses below — the
+//! justification for CAMP's 4-bit building block. We cannot retrain
+//! AlexNet/ResNet/VGG/MobileNet here, so we substitute the smallest
+//! experiment with the same mechanism: a one-hidden-layer MLP trained
+//! with SGD on a synthetic Gaussian-mixture classification task, then
+//! evaluated with *post-training quantization* of both weights and
+//! inputs at every (2..=8)² bit combination. The integer forward pass
+//! uses exactly the arithmetic CAMP executes (i8 products, i32
+//! accumulation).
+
+use crate::quantizer::SymmetricQuantizer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the study.
+#[derive(Debug, Clone, Copy)]
+pub struct StudyConfig {
+    /// Input dimensionality.
+    pub features: usize,
+    /// Number of classes (Gaussian mixture components).
+    pub classes: usize,
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// Training examples.
+    pub train_n: usize,
+    /// Test examples.
+    pub test_n: usize,
+    /// SGD epochs.
+    pub epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            features: 16,
+            classes: 4,
+            hidden: 32,
+            train_n: 2000,
+            test_n: 1000,
+            epochs: 30,
+            seed: 7,
+        }
+    }
+}
+
+/// Accuracy results over the (weight-bits × input-bits) grid.
+#[derive(Debug, Clone)]
+pub struct AccuracyGrid {
+    /// Float (fp32) test accuracy of the trained model.
+    pub fp32_accuracy: f64,
+    /// `grid[(wb-2)][(ib-2)]` = top-1 accuracy with wb-bit weights and
+    /// ib-bit inputs, wb/ib ∈ 2..=8.
+    pub grid: [[f64; 7]; 7],
+}
+
+impl AccuracyGrid {
+    /// Accuracy at a (weight-bits, input-bits) point.
+    ///
+    /// # Panics
+    /// Panics if either width is outside 2..=8.
+    pub fn at(&self, weight_bits: u32, input_bits: u32) -> f64 {
+        assert!((2..=8).contains(&weight_bits) && (2..=8).contains(&input_bits));
+        self.grid[(weight_bits - 2) as usize][(input_bits - 2) as usize]
+    }
+}
+
+struct Mlp {
+    w1: Vec<f32>, // hidden × features
+    b1: Vec<f32>,
+    w2: Vec<f32>, // classes × hidden
+    b2: Vec<f32>,
+    features: usize,
+    hidden: usize,
+    classes: usize,
+}
+
+fn gen_centroids(cfg: &StudyConfig, rng: &mut StdRng) -> Vec<f32> {
+    (0..cfg.classes * cfg.features).map(|_| rng.gen_range(-1.5f32..1.5)).collect()
+}
+
+fn gen_data(
+    cfg: &StudyConfig,
+    centroids: &[f32],
+    n: usize,
+    rng: &mut StdRng,
+) -> (Vec<f32>, Vec<usize>) {
+    let mut xs = Vec::with_capacity(n * cfg.features);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % cfg.classes;
+        for f in 0..cfg.features {
+            let noise: f32 = rng.gen_range(-0.45..0.45);
+            xs.push(centroids[c * cfg.features + f] + noise);
+        }
+        ys.push(c);
+    }
+    (xs, ys)
+}
+
+fn relu(x: f32) -> f32 {
+    x.max(0.0)
+}
+
+impl Mlp {
+    fn new(cfg: &StudyConfig, rng: &mut StdRng) -> Self {
+        let scale1 = (2.0 / cfg.features as f32).sqrt();
+        let scale2 = (2.0 / cfg.hidden as f32).sqrt();
+        Mlp {
+            w1: (0..cfg.hidden * cfg.features).map(|_| rng.gen_range(-scale1..scale1)).collect(),
+            b1: vec![0.0; cfg.hidden],
+            w2: (0..cfg.classes * cfg.hidden).map(|_| rng.gen_range(-scale2..scale2)).collect(),
+            b2: vec![0.0; cfg.classes],
+            features: cfg.features,
+            hidden: cfg.hidden,
+            classes: cfg.classes,
+        }
+    }
+
+    fn forward(&self, x: &[f32], h: &mut [f32], out: &mut [f32]) {
+        for j in 0..self.hidden {
+            let mut acc = self.b1[j];
+            for f in 0..self.features {
+                acc += self.w1[j * self.features + f] * x[f];
+            }
+            h[j] = relu(acc);
+        }
+        for c in 0..self.classes {
+            let mut acc = self.b2[c];
+            for j in 0..self.hidden {
+                acc += self.w2[c * self.hidden + j] * h[j];
+            }
+            out[c] = acc;
+        }
+    }
+
+    fn train(&mut self, xs: &[f32], ys: &[usize], epochs: usize, lr: f32) {
+        let n = ys.len();
+        let mut h = vec![0.0f32; self.hidden];
+        let mut out = vec![0.0f32; self.classes];
+        for _ in 0..epochs {
+            for i in 0..n {
+                let x = &xs[i * self.features..(i + 1) * self.features];
+                self.forward(x, &mut h, &mut out);
+                // softmax + cross-entropy gradient
+                let max = out.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let exps: Vec<f32> = out.iter().map(|&o| (o - max).exp()).collect();
+                let sum: f32 = exps.iter().sum();
+                let mut dlogits: Vec<f32> = exps.iter().map(|&e| e / sum).collect();
+                dlogits[ys[i]] -= 1.0;
+                // backprop to hidden
+                let mut dh = vec![0.0f32; self.hidden];
+                for c in 0..self.classes {
+                    for j in 0..self.hidden {
+                        dh[j] += dlogits[c] * self.w2[c * self.hidden + j];
+                        self.w2[c * self.hidden + j] -= lr * dlogits[c] * h[j];
+                    }
+                    self.b2[c] -= lr * dlogits[c];
+                }
+                for j in 0..self.hidden {
+                    if h[j] <= 0.0 {
+                        continue;
+                    }
+                    for f in 0..self.features {
+                        self.w1[j * self.features + f] -= lr * dh[j] * x[f];
+                    }
+                    self.b1[j] -= lr * dh[j];
+                }
+            }
+        }
+    }
+
+    fn accuracy_fp32(&self, xs: &[f32], ys: &[usize]) -> f64 {
+        let mut h = vec![0.0f32; self.hidden];
+        let mut out = vec![0.0f32; self.classes];
+        let mut correct = 0;
+        for i in 0..ys.len() {
+            self.forward(&xs[i * self.features..(i + 1) * self.features], &mut h, &mut out);
+            let pred = argmax(&out);
+            if pred == ys[i] {
+                correct += 1;
+            }
+        }
+        correct as f64 / ys.len() as f64
+    }
+
+    /// Integer forward pass with wb-bit weights and ib-bit inputs —
+    /// the arithmetic CAMP executes (narrow products, i32 accumulate).
+    fn accuracy_quantized(&self, xs: &[f32], ys: &[usize], wb: u32, ib: u32) -> f64 {
+        let qw1 = SymmetricQuantizer::fit(&self.w1, wb);
+        let qw2 = SymmetricQuantizer::fit(&self.w2, wb);
+        let w1q: Vec<i8> = self.w1.iter().map(|&w| qw1.quantize(w)).collect();
+        let w2q: Vec<i8> = self.w2.iter().map(|&w| qw2.quantize(w)).collect();
+        let qx = SymmetricQuantizer::fit(xs, ib);
+
+        let mut correct = 0;
+        let mut hq = vec![0f32; self.hidden];
+        let mut out = vec![0f32; self.classes];
+        for i in 0..ys.len() {
+            let x = &xs[i * self.features..(i + 1) * self.features];
+            let xq: Vec<i8> = x.iter().map(|&v| qx.quantize(v)).collect();
+            // layer 1: integer MACs, float rescale at the end
+            for j in 0..self.hidden {
+                let mut acc = 0i32;
+                for f in 0..self.features {
+                    acc += w1q[j * self.features + f] as i32 * xq[f] as i32;
+                }
+                hq[j] = relu(acc as f32 * qw1.scale * qx.scale + self.b1[j]);
+            }
+            // layer 2: re-quantize the hidden activations at ib bits
+            let qh = SymmetricQuantizer::fit(&hq, ib);
+            let hqq: Vec<i8> = hq.iter().map(|&v| qh.quantize(v)).collect();
+            for c in 0..self.classes {
+                let mut acc = 0i32;
+                for j in 0..self.hidden {
+                    acc += w2q[c * self.hidden + j] as i32 * hqq[j] as i32;
+                }
+                out[c] = acc as f32 * qw2.scale * qh.scale + self.b2[c];
+            }
+            if argmax(&out) == ys[i] {
+                correct += 1;
+            }
+        }
+        correct as f64 / ys.len() as f64
+    }
+}
+
+fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Train the model once and evaluate the full (weight-bits × input-bits)
+/// accuracy grid — the data behind Fig. 7.
+pub fn run_accuracy_grid(cfg: &StudyConfig) -> AccuracyGrid {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let centroids = gen_centroids(cfg, &mut rng);
+    let (train_x, train_y) = gen_data(cfg, &centroids, cfg.train_n, &mut rng);
+    let (test_x, test_y) = gen_data(cfg, &centroids, cfg.test_n, &mut rng);
+
+    let mut mlp = Mlp::new(cfg, &mut rng);
+    mlp.train(&train_x, &train_y, cfg.epochs, 0.02);
+
+    let fp32 = mlp.accuracy_fp32(&test_x, &test_y);
+    let mut grid = [[0.0; 7]; 7];
+    for wb in 2..=8u32 {
+        for ib in 2..=8u32 {
+            grid[(wb - 2) as usize][(ib - 2) as usize] =
+                mlp.accuracy_quantized(&test_x, &test_y, wb, ib);
+        }
+    }
+    AccuracyGrid { fp32_accuracy: fp32, grid }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> StudyConfig {
+        StudyConfig { train_n: 800, test_n: 400, epochs: 12, ..StudyConfig::default() }
+    }
+
+    #[test]
+    fn fp32_model_learns_the_task() {
+        let g = run_accuracy_grid(&quick_cfg());
+        assert!(g.fp32_accuracy > 0.85, "fp32 accuracy {}", g.fp32_accuracy);
+    }
+
+    #[test]
+    fn eight_bit_matches_fp32_closely() {
+        let g = run_accuracy_grid(&quick_cfg());
+        assert!(
+            g.at(8, 8) > g.fp32_accuracy - 0.05,
+            "8-bit {} vs fp32 {}",
+            g.at(8, 8),
+            g.fp32_accuracy
+        );
+    }
+
+    #[test]
+    fn four_bit_stays_reasonable_two_bit_degrades() {
+        // The Fig. 7 shape: flat to 4 bits, cliff at 2 bits.
+        let g = run_accuracy_grid(&quick_cfg());
+        let acc4 = g.at(4, 4);
+        let acc2 = g.at(2, 2);
+        assert!(acc4 > g.fp32_accuracy - 0.12, "4-bit collapsed: {acc4}");
+        assert!(acc2 < acc4, "2-bit ({acc2}) should degrade vs 4-bit ({acc4})");
+    }
+
+    #[test]
+    fn grid_is_monotone_ish_in_weight_bits() {
+        let g = run_accuracy_grid(&quick_cfg());
+        // 8-bit weights at least as good as 2-bit weights at 8-bit inputs
+        assert!(g.at(8, 8) >= g.at(2, 8) - 0.02);
+    }
+
+    #[test]
+    #[should_panic]
+    fn at_rejects_out_of_range() {
+        let g = AccuracyGrid { fp32_accuracy: 1.0, grid: [[0.0; 7]; 7] };
+        let _ = g.at(9, 4);
+    }
+}

@@ -1,0 +1,86 @@
+//! Quantization error metrics.
+
+/// Mean squared error between a reference and a reconstruction.
+///
+/// # Panics
+/// Panics if lengths differ or inputs are empty.
+pub fn mse(reference: &[f32], reconstructed: &[f32]) -> f64 {
+    assert_eq!(reference.len(), reconstructed.len());
+    assert!(!reference.is_empty());
+    reference
+        .iter()
+        .zip(reconstructed)
+        .map(|(&a, &b)| ((a - b) as f64).powi(2))
+        .sum::<f64>()
+        / reference.len() as f64
+}
+
+/// Signal-to-quantization-noise ratio in dB (higher is better; +6 dB per
+/// extra bit for a well-fit uniform quantizer).
+pub fn sqnr_db(reference: &[f32], reconstructed: &[f32]) -> f64 {
+    let signal = reference.iter().map(|&a| (a as f64).powi(2)).sum::<f64>();
+    let noise = reference
+        .iter()
+        .zip(reconstructed)
+        .map(|(&a, &b)| ((a - b) as f64).powi(2))
+        .sum::<f64>();
+    if noise == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (signal / noise).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantizer::SymmetricQuantizer;
+
+    fn signal() -> Vec<f32> {
+        (0..512).map(|i| ((i as f32) * 0.37).sin() * 3.0).collect()
+    }
+
+    #[test]
+    fn mse_of_identical_is_zero() {
+        let s = signal();
+        assert_eq!(mse(&s, &s), 0.0);
+        assert_eq!(sqnr_db(&s, &s), f64::INFINITY);
+    }
+
+    #[test]
+    fn sqnr_improves_roughly_6db_per_bit() {
+        let s = signal();
+        let mut prev = f64::NEG_INFINITY;
+        for bits in 3..=8 {
+            let q = SymmetricQuantizer::fit(&s, bits);
+            let rec: Vec<f32> = s.iter().map(|&x| q.dequantize(q.quantize(x))).collect();
+            let db = sqnr_db(&s, &rec);
+            assert!(db > prev + 3.0, "bits {bits}: {db} dB after {prev} dB");
+            prev = db;
+        }
+        // 8-bit should comfortably exceed 35 dB on a smooth signal
+        assert!(prev > 35.0);
+    }
+
+    #[test]
+    fn mse_decreases_with_bits() {
+        let s = signal();
+        let e4 = {
+            let q = SymmetricQuantizer::fit(&s, 4);
+            let rec: Vec<f32> = s.iter().map(|&x| q.dequantize(q.quantize(x))).collect();
+            mse(&s, &rec)
+        };
+        let e8 = {
+            let q = SymmetricQuantizer::fit(&s, 8);
+            let rec: Vec<f32> = s.iter().map(|&x| q.dequantize(q.quantize(x))).collect();
+            mse(&s, &rec)
+        };
+        assert!(e8 < e4 / 50.0, "e8 {e8} vs e4 {e4}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = mse(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,26 @@
+//! # camp-quant — quantization stack
+//!
+//! The software layer that feeds CAMP its integer operands:
+//!
+//! * [`quantizer`] — symmetric and affine (asymmetric) linear
+//!   quantization at any bit-width 2–8, per-tensor or per-channel, plus
+//!   requantization of i32 accumulators back to narrow outputs (the
+//!   gemmlowp/TFLite fixed-point pipeline);
+//! * [`error`] — quantization error metrics (MSE, SQNR);
+//! * [`accuracy`] — the Fig. 7 substitution study: a small MLP trained
+//!   in pure Rust on a synthetic Gaussian-mixture classification task,
+//!   then evaluated with weights and inputs quantized at every (2–8)-bit
+//!   combination. The paper quotes a survey for this figure; the
+//!   substitution preserves the relevant behaviour (accuracy flat down
+//!   to ~4 bits, collapsing below), which is the basis for CAMP's 4-bit
+//!   building-block choice (§3).
+
+pub mod accuracy;
+pub mod error;
+pub mod per_channel;
+pub mod quantizer;
+
+pub use accuracy::{run_accuracy_grid, AccuracyGrid, StudyConfig};
+pub use error::{mse, sqnr_db};
+pub use per_channel::{per_channel_gain, PerChannelQuantizer};
+pub use quantizer::{AffineQuantizer, QuantScheme, SymmetricQuantizer};

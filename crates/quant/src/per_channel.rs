@@ -1,0 +1,163 @@
+//! Per-channel (per-row) quantization — the scheme production
+//! frameworks use for weight matrices, where each output channel gets
+//! its own scale. Improves accuracy at no kernel cost: the per-channel
+//! scale folds into the output requantization.
+
+use crate::quantizer::SymmetricQuantizer;
+
+/// A per-channel symmetric quantizer for a row-major m×k weight matrix
+/// (one scale per row / output channel).
+#[derive(Debug, Clone)]
+pub struct PerChannelQuantizer {
+    scales: Vec<f32>,
+    bits: u32,
+    k: usize,
+}
+
+impl PerChannelQuantizer {
+    /// Fit one scale per row of the `m×k` row-major matrix.
+    ///
+    /// # Panics
+    /// Panics if `weights.len()` is not a multiple of `k`, or bits ∉ 2..=8.
+    pub fn fit(weights: &[f32], k: usize, bits: u32) -> Self {
+        assert!(k > 0 && weights.len() % k == 0, "weights must be m×k");
+        assert!((2..=8).contains(&bits));
+        let qmax = ((1i32 << (bits - 1)) - 1) as f32;
+        let scales = weights
+            .chunks_exact(k)
+            .map(|row| {
+                let max_abs = row.iter().fold(0f32, |m, &v| m.max(v.abs()));
+                if max_abs == 0.0 {
+                    1.0
+                } else {
+                    max_abs / qmax
+                }
+            })
+            .collect();
+        PerChannelQuantizer { scales, bits, k }
+    }
+
+    /// Number of channels (rows).
+    pub fn channels(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// Scale of one channel.
+    pub fn scale(&self, channel: usize) -> f32 {
+        self.scales[channel]
+    }
+
+    /// Quantize the whole matrix.
+    pub fn quantize_all(&self, weights: &[f32]) -> Vec<i8> {
+        assert_eq!(weights.len(), self.scales.len() * self.k);
+        let qmax = (1i32 << (self.bits - 1)) - 1;
+        let qmin = -(1i32 << (self.bits - 1));
+        weights
+            .chunks_exact(self.k)
+            .zip(&self.scales)
+            .flat_map(|(row, &s)| {
+                row.iter().map(move |&v| ((v / s).round() as i32).clamp(qmin, qmax) as i8)
+            })
+            .collect()
+    }
+
+    /// Dequantize one element of channel `c`.
+    pub fn dequantize(&self, c: usize, q: i8) -> f32 {
+        q as f32 * self.scales[c]
+    }
+}
+
+/// Mean per-row *normalized* reconstruction error (MSE / row signal
+/// power) of per-tensor vs per-channel quantization on the same matrix.
+/// Normalizing per row is what exposes the benefit: a per-tensor scale
+/// fitted to the loudest channel crushes quiet channels to zero even
+/// though their absolute error looks small.
+pub fn per_channel_gain(weights: &[f32], k: usize, bits: u32) -> (f64, f64) {
+    let pt = SymmetricQuantizer::fit(weights, bits);
+    let pc = PerChannelQuantizer::fit(weights, k, bits);
+    let pcq = pc.quantize_all(weights);
+    let rows = weights.len() / k;
+    let mut nmse_pt = 0f64;
+    let mut nmse_pc = 0f64;
+    for r in 0..rows {
+        let mut power = 0f64;
+        let mut e_pt = 0f64;
+        let mut e_pc = 0f64;
+        for c in 0..k {
+            let i = r * k + c;
+            let w = weights[i];
+            power += (w as f64).powi(2);
+            let r_pt = pt.dequantize(pt.quantize(w));
+            let r_pc = pc.dequantize(r, pcq[i]);
+            e_pt += ((w - r_pt) as f64).powi(2);
+            e_pc += ((w - r_pc) as f64).powi(2);
+        }
+        if power > 0.0 {
+            nmse_pt += e_pt / power;
+            nmse_pc += e_pc / power;
+        }
+    }
+    (nmse_pt / rows as f64, nmse_pc / rows as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rows with very different dynamic ranges — the case per-channel
+    /// quantization exists for.
+    fn skewed_weights(m: usize, k: usize) -> Vec<f32> {
+        let mut w = Vec::with_capacity(m * k);
+        for r in 0..m {
+            let amp = 0.01f32 * 10f32.powi((r % 4) as i32);
+            for c in 0..k {
+                w.push(amp * (((r * k + c) as f32) * 0.7).sin());
+            }
+        }
+        w
+    }
+
+    #[test]
+    fn per_channel_beats_per_tensor_on_skewed_rows() {
+        let w = skewed_weights(8, 32);
+        let (pt, pc) = per_channel_gain(&w, 32, 8);
+        assert!(pc < pt / 10.0, "per-channel {pc} should be ≪ per-tensor {pt}");
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_per_channel() {
+        let w = skewed_weights(4, 16);
+        let q = PerChannelQuantizer::fit(&w, 16, 8);
+        let qs = q.quantize_all(&w);
+        for (i, &v) in w.iter().enumerate() {
+            let back = q.dequantize(i / 16, qs[i]);
+            assert!((back - v).abs() <= q.scale(i / 16) * 0.51 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn channel_count_and_scales() {
+        let w = skewed_weights(6, 10);
+        let q = PerChannelQuantizer::fit(&w, 10, 4);
+        assert_eq!(q.channels(), 6);
+        for c in 0..6 {
+            assert!(q.scale(c) > 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_row_gets_unit_scale() {
+        let mut w = skewed_weights(2, 8);
+        for v in w.iter_mut().take(8) {
+            *v = 0.0;
+        }
+        let q = PerChannelQuantizer::fit(&w, 8, 8);
+        assert_eq!(q.scale(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "m×k")]
+    fn bad_shape_panics() {
+        let _ = PerChannelQuantizer::fit(&[1.0; 10], 3, 8);
+    }
+}

@@ -1,0 +1,209 @@
+//! Linear quantizers: symmetric and affine, 2–8 bits.
+
+/// Which quantization scheme a layer uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantScheme {
+    /// Symmetric: zero-point 0, range ±max|x|.
+    Symmetric,
+    /// Affine/asymmetric: zero-point shifts the range to [min, max].
+    Affine,
+}
+
+/// Symmetric linear quantizer to `bits`-bit signed integers.
+#[derive(Debug, Clone, Copy)]
+pub struct SymmetricQuantizer {
+    /// Scale (one LSB in real units).
+    pub scale: f32,
+    /// Bit width (2–8).
+    pub bits: u32,
+}
+
+impl SymmetricQuantizer {
+    /// Fit the quantizer to the data range.
+    ///
+    /// # Panics
+    /// Panics unless `2 <= bits <= 8`.
+    pub fn fit(data: &[f32], bits: u32) -> Self {
+        assert!((2..=8).contains(&bits), "bit width {bits} out of range");
+        let max_abs = data.iter().fold(0f32, |m, &v| m.max(v.abs()));
+        let qmax = ((1i32 << (bits - 1)) - 1) as f32;
+        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / qmax };
+        SymmetricQuantizer { scale, bits }
+    }
+
+    /// Largest representable quantized magnitude.
+    pub fn qmax(&self) -> i32 {
+        (1 << (self.bits - 1)) - 1
+    }
+
+    /// Smallest representable quantized value.
+    pub fn qmin(&self) -> i32 {
+        -(1 << (self.bits - 1))
+    }
+
+    /// Quantize one value (round-to-nearest, saturating).
+    pub fn quantize(&self, x: f32) -> i8 {
+        let q = (x / self.scale).round() as i32;
+        q.clamp(self.qmin(), self.qmax()) as i8
+    }
+
+    /// Dequantize one value.
+    pub fn dequantize(&self, q: i8) -> f32 {
+        q as f32 * self.scale
+    }
+
+    /// Quantize a slice.
+    pub fn quantize_all(&self, xs: &[f32]) -> Vec<i8> {
+        xs.iter().map(|&x| self.quantize(x)).collect()
+    }
+}
+
+/// Affine (asymmetric) quantizer: `x ≈ scale · (q − zero_point)`.
+#[derive(Debug, Clone, Copy)]
+pub struct AffineQuantizer {
+    /// Scale.
+    pub scale: f32,
+    /// Zero point in the quantized domain.
+    pub zero_point: i32,
+    /// Bit width.
+    pub bits: u32,
+}
+
+impl AffineQuantizer {
+    /// Fit to the data's [min, max] range.
+    ///
+    /// # Panics
+    /// Panics unless `2 <= bits <= 8`.
+    pub fn fit(data: &[f32], bits: u32) -> Self {
+        assert!((2..=8).contains(&bits));
+        let (mut lo, mut hi) = (0f32, 0f32);
+        for &v in data {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let qmin = -(1i32 << (bits - 1));
+        let qmax = (1i32 << (bits - 1)) - 1;
+        let span = (hi - lo).max(f32::EPSILON);
+        let scale = span / (qmax - qmin) as f32;
+        let zero_point = (qmin as f32 - lo / scale).round() as i32;
+        AffineQuantizer { scale, zero_point: zero_point.clamp(qmin, qmax), bits }
+    }
+
+    /// Quantize one value.
+    pub fn quantize(&self, x: f32) -> i8 {
+        let qmin = -(1i32 << (self.bits - 1));
+        let qmax = (1i32 << (self.bits - 1)) - 1;
+        let q = (x / self.scale).round() as i32 + self.zero_point;
+        q.clamp(qmin, qmax) as i8
+    }
+
+    /// Dequantize one value.
+    pub fn dequantize(&self, q: i8) -> f32 {
+        (q as i32 - self.zero_point) as f32 * self.scale
+    }
+}
+
+/// Requantize an i32 accumulator to an n-bit output using the
+/// fixed-point multiplier + shift scheme of gemmlowp/TFLite:
+/// `out = sat( (acc · mult) >> (31 + shift) )`.
+pub fn requantize(acc: i32, mult: i32, shift: i32, bits: u32) -> i8 {
+    let prod = (acc as i64) * (mult as i64);
+    let total_shift = 31 + shift;
+    let rounded = (prod + (1i64 << (total_shift - 1))) >> total_shift;
+    let qmin = -(1i64 << (bits - 1));
+    let qmax = (1i64 << (bits - 1)) - 1;
+    rounded.clamp(qmin, qmax) as i8
+}
+
+/// Compute the (multiplier, shift) pair approximating a real-valued
+/// rescale factor for [`requantize`].
+pub fn requant_params(real_scale: f64) -> (i32, i32) {
+    assert!(real_scale > 0.0, "scale must be positive");
+    let mut shift = 0;
+    let mut s = real_scale;
+    while s < 0.5 {
+        s *= 2.0;
+        shift += 1;
+    }
+    while s >= 1.0 {
+        s /= 2.0;
+        shift -= 1;
+    }
+    let mult = (s * (1i64 << 31) as f64).round() as i32;
+    (mult, shift)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_roundtrip_error_bounded() {
+        let data: Vec<f32> = (0..100).map(|i| (i as f32 - 50.0) / 10.0).collect();
+        let q = SymmetricQuantizer::fit(&data, 8);
+        for &x in &data {
+            let err = (q.dequantize(q.quantize(x)) - x).abs();
+            assert!(err <= q.scale * 0.5 + 1e-6, "err {err} scale {}", q.scale);
+        }
+    }
+
+    #[test]
+    fn symmetric_4bit_range() {
+        let q = SymmetricQuantizer::fit(&[-1.0, 1.0], 4);
+        assert_eq!(q.qmax(), 7);
+        assert_eq!(q.qmin(), -8);
+        assert_eq!(q.quantize(1.0), 7);
+        assert_eq!(q.quantize(-1.0), -7); // symmetric clip
+        assert_eq!(q.quantize(100.0), 7); // saturates
+    }
+
+    #[test]
+    fn affine_represents_zero_exactly() {
+        let data = vec![0.0f32, 0.5, 1.0, 2.0, 3.5];
+        let q = AffineQuantizer::fit(&data, 8);
+        let z = q.quantize(0.0);
+        assert!((q.dequantize(z) - 0.0).abs() < q.scale, "zero not near-exact");
+    }
+
+    #[test]
+    fn affine_roundtrip_error_bounded() {
+        let data: Vec<f32> = (0..64).map(|i| i as f32 * 0.13 - 2.0).collect();
+        let q = AffineQuantizer::fit(&data, 6);
+        for &x in &data {
+            let err = (q.dequantize(q.quantize(x)) - x).abs();
+            assert!(err <= q.scale, "err {err} scale {}", q.scale);
+        }
+    }
+
+    #[test]
+    fn requantize_matches_float_rescale() {
+        let real_scale = 0.0123f64;
+        let (mult, shift) = requant_params(real_scale);
+        for acc in [-100000i32, -999, -1, 0, 1, 4567, 123456] {
+            let expect = (acc as f64 * real_scale).round();
+            let got = requantize(acc, mult, shift, 8) as f64;
+            let clamped = expect.clamp(-128.0, 127.0);
+            assert!((got - clamped).abs() <= 1.0, "acc {acc}: {got} vs {clamped}");
+        }
+    }
+
+    #[test]
+    fn requant_params_normalized() {
+        for s in [0.9, 0.011, 0.5, 0.499999, 3.7] {
+            let (mult, _shift) = requant_params(s);
+            assert!(mult >= (1 << 30), "multiplier {mult} not normalized");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bit width")]
+    fn bits_out_of_range_panics() {
+        let _ = SymmetricQuantizer::fit(&[1.0], 9);
+    }
+
+    #[test]
+    fn zero_data_does_not_divide_by_zero() {
+        let q = SymmetricQuantizer::fit(&[0.0, 0.0], 8);
+        assert_eq!(q.quantize(0.0), 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Write a program against the virtual vector ISA directly: the Fig. 9
+//! micro-kernel, hand-assembled, executed functionally and timed on both
+//! cores. Shows the `camp` instruction's semantics and the simulator API
+//! at the lowest level.
+//!
+//! ```sh
+//! cargo run --release --example isa_playground
+//! ```
+
+use camp::isa::asm::Assembler;
+use camp::isa::inst::CampMode;
+use camp::isa::reg::{S, V};
+use camp::pipeline::{CoreConfig, FuKind, Simulator};
+
+fn main() {
+    // One 4×64 × 64×4 tile: kc = 64 → 4 camp.s8 issues (Fig. 9's loop).
+    let kc = 64i64;
+    let mut a = Assembler::new("fig9_microkernel");
+    a.li(S(1), 0); // packed A panel (4×kc col-major)
+    a.li(S(2), 4096); // packed B panel (kc×4 row-major)
+    a.li(S(3), 8192); // result tile
+    a.vzero(V(2));
+    a.li(S(20), 0);
+    a.li(S(4), kc / 16);
+    a.label("k_loop");
+    a.vload(V(0), S(1), 0);
+    a.vload(V(1), S(2), 0);
+    a.camp(CampMode::I8, V(2), V(0), V(1));
+    a.addi(S(1), S(1), 64);
+    a.addi(S(2), S(2), 64);
+    a.addi(S(20), S(20), 1);
+    a.blt(S(20), S(4), "k_loop");
+    a.vstore(V(2), S(3), 0); // store_32bit(&AB[0], ab_v)
+    let prog = a.finish();
+
+    for core in [CoreConfig::a64fx(), CoreConfig::edge_riscv()] {
+        let mut sim = Simulator::new(core, 1 << 16);
+        // fill the packed panels with a known pattern
+        for i in 0..(4 * kc) as u64 {
+            sim.machine_mut().write_i8(i, (i % 11) as i8 - 5);
+            sim.machine_mut().write_i8(4096 + i, (i % 7) as i8 - 3);
+        }
+        sim.run(&prog, 100_000).expect("runs");
+
+        // verify the 4×4 tile against a host-side reference
+        let machine = sim.machine();
+        for i in 0..4u64 {
+            for j in 0..4u64 {
+                let mut acc = 0i32;
+                for l in 0..kc as u64 {
+                    let av = machine.read_i8(l * 4 + i) as i32;
+                    let bv = machine.read_i8(4096 + l * 4 + j) as i32;
+                    acc += av * bv;
+                }
+                assert_eq!(machine.read_i32(8192 + (i * 4 + j) * 4), acc);
+            }
+        }
+
+        let s = sim.stats();
+        println!(
+            "{:10}: {:>4} cycles for {} insts ({} MACs) — camp busy {:.2}, IPC {:.2}",
+            core.name,
+            s.cycles,
+            s.insts,
+            s.macs,
+            s.fu_busy_rate(FuKind::Camp, 1),
+            s.insts as f64 / s.cycles as f64
+        );
+    }
+    println!("tile verified on both cores ✔");
+}

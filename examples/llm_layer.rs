@@ -1,0 +1,52 @@
+//! A BERT-base feed-forward layer, quantized to 4 bits and run on both
+//! simulated platforms — the Fig. 14 experiment for one layer, plus the
+//! energy model (Fig. 16 / Table 4 metrics).
+//!
+//! ```sh
+//! cargo run --release --example llm_layer
+//! ```
+
+use camp::energy::{EnergyModel};
+use camp::gemm::{simulate_gemm, GemmOptions, Method};
+use camp::models::LlmModel;
+use camp::pipeline::CoreConfig;
+
+fn main() {
+    let model = LlmModel::BertBase;
+    let shape = model.config().ff_shape();
+    println!("{} feed-forward GeMM: {shape}", model.name());
+
+    let opts = GemmOptions::default();
+
+    for (core, emodel) in [
+        (CoreConfig::a64fx(), EnergyModel::a64fx_7nm()),
+        (CoreConfig::edge_riscv(), EnergyModel::edge_22nm()),
+    ] {
+        println!("\n== {} ==", core.name);
+        let base_method =
+            if core.name == "a64fx-sve" { Method::OpenblasF32 } else { Method::HandvInt32 };
+        let base = simulate_gemm(core, base_method, shape.m, shape.n, shape.k, &opts);
+        let e_base = emodel.evaluate(&base.stats);
+        println!(
+            "  baseline ({:12}): {:>9} cycles, {:>6.1} GOPS, {:>7.1} GOPS/W",
+            base_method.name(),
+            base.stats.cycles,
+            e_base.gops,
+            e_base.gops_per_watt
+        );
+        for method in [Method::Camp8, Method::Camp4] {
+            let r = simulate_gemm(core, method, shape.m, shape.n, shape.k, &opts);
+            assert!(r.correct);
+            let e = emodel.evaluate(&r.stats);
+            println!(
+                "  {:22}: {:>9} cycles, {:>6.1} GOPS, {:>7.1} GOPS/W  ({:.1}x speedup, {:.0}% energy)",
+                method.name(),
+                r.stats.cycles,
+                e.gops,
+                e.gops_per_watt,
+                base.stats.cycles as f64 / r.stats.cycles as f64,
+                100.0 * e.total_pj / e_base.total_pj,
+            );
+        }
+    }
+}

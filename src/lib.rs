@@ -1,0 +1,37 @@
+//! # camp — reproduction of the CAMP architecture (MICRO 2025)
+//!
+//! *Empowering Vector Architectures for ML: The CAMP Architecture for
+//! Matrix Multiplication.*
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — the paper's contribution: hybrid multiplier, CAMP
+//!   functional unit, and a host-speed CAMP GeMM engine;
+//! * [`isa`] — the virtual vector ISA (with the `camp` instruction);
+//! * [`cache`] / [`pipeline`] — the simulation substrate (cache
+//!   hierarchy, in-order edge core, OoO A64FX-like core);
+//! * [`gemm`] — GotoBLAS-style blocked GeMM with every baseline kernel
+//!   the paper evaluates;
+//! * [`quant`] — the quantization stack and the Fig. 7 accuracy study;
+//! * [`models`] — Table 3 CNN layers, transformer configs, im2col;
+//! * [`energy`] — area/power/energy models for TSMC 7 nm and GF 22FDX.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use camp::core::engine::{camp_gemm_i8, gemm_i32_ref};
+//!
+//! let (m, n, k) = (8, 8, 32);
+//! let a: Vec<i8> = (0..m * k).map(|i| (i % 15) as i8 - 7).collect();
+//! let b: Vec<i8> = (0..k * n).map(|i| (i % 13) as i8 - 6).collect();
+//! assert_eq!(camp_gemm_i8(m, n, k, &a, &b), gemm_i32_ref(m, n, k, &a, &b));
+//! ```
+
+pub use camp_cache as cache;
+pub use camp_core as core;
+pub use camp_energy as energy;
+pub use camp_gemm as gemm;
+pub use camp_isa as isa;
+pub use camp_models as models;
+pub use camp_pipeline as pipeline;
+pub use camp_quant as quant;

@@ -1,0 +1,138 @@
+//! Workspace-level property-based tests (proptest) on the core
+//! invariants.
+
+use camp::cache::{Cache, CacheConfig};
+use camp::core::engine::{camp_gemm_i4, camp_gemm_i8};
+use camp::core::gemm_i32_ref;
+use camp::core::hybrid::HybridMultiplier;
+use camp::core::unit::{CampUnit, Mode};
+use camp::isa::encode::{decode, encode};
+use camp::isa::inst::{CampMode, Inst};
+use camp::isa::machine::camp_outer_product;
+use camp::quant::SymmetricQuantizer;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hybrid_multiplier_equals_native_i16(a in any::<i16>(), b in any::<i16>()) {
+        let mut h = HybridMultiplier::new();
+        prop_assert_eq!(h.mul_i16(a, b), a as i32 * b as i32);
+    }
+
+    #[test]
+    fn hybrid_multiplier_equals_native_i32(a in any::<i32>(), b in any::<i32>()) {
+        let mut h = HybridMultiplier::new();
+        prop_assert_eq!(h.mul_i32(a, b), a as i64 * b as i64);
+    }
+
+    #[test]
+    fn camp_unit_matches_isa_semantics(a in prop::array::uniform32(any::<u8>()),
+                                       b in prop::array::uniform32(any::<u8>())) {
+        // widen the 32-byte arrays to 64-byte registers
+        let mut ra = [0u8; 64];
+        let mut rb = [0u8; 64];
+        ra[..32].copy_from_slice(&a);
+        ra[32..].copy_from_slice(&a);
+        rb[..32].copy_from_slice(&b);
+        rb[32..].copy_from_slice(&b);
+        for mode in [CampMode::I8, CampMode::I4] {
+            let isa_tile = camp_outer_product(mode, &ra, &rb);
+            let mut unit = CampUnit::new();
+            let mut acc = [[0i32; 4]; 4];
+            let umode = match mode { CampMode::I8 => Mode::I8, CampMode::I4 => Mode::I4 };
+            unit.execute(umode, &ra, &rb, &mut acc);
+            prop_assert_eq!(acc, isa_tile);
+        }
+    }
+
+    #[test]
+    fn camp_engine_matches_reference(m in 1usize..12, n in 1usize..12, k in 1usize..48,
+                                     seed in any::<u32>()) {
+        let gen = |len: usize, s: u32| -> Vec<i8> {
+            (0..len).map(|i| ((i as u32).wrapping_mul(s).wrapping_add(s) % 200) as i8)
+                .map(|v| (v as i32 - 100).clamp(-8, 7) as i8).collect()
+        };
+        let a = gen(m * k, seed | 1);
+        let b = gen(k * n, seed.rotate_left(7) | 1);
+        prop_assert_eq!(camp_gemm_i8(m, n, k, &a, &b), gemm_i32_ref(m, n, k, &a, &b));
+        prop_assert_eq!(camp_gemm_i4(m, n, k, &a, &b), gemm_i32_ref(m, n, k, &a, &b));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_register_forms(rd in 0u8..32, rs1 in 0u8..32, rs2 in 0u8..32) {
+        use camp::isa::reg::{ScalarReg, VectorReg};
+        let insts = [
+            Inst::Add { rd: ScalarReg(rd), rs1: ScalarReg(rs1), rs2: ScalarReg(rs2) },
+            Inst::Smmla { vd: VectorReg(rd), vs1: VectorReg(rs1), vs2: VectorReg(rs2) },
+            Inst::Camp { mode: CampMode::I4, vd: VectorReg(rd), vs1: VectorReg(rs1), vs2: VectorReg(rs2) },
+        ];
+        for i in insts {
+            prop_assert_eq!(decode(encode(&i).unwrap()).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_immediates(imm in -8_000_000i64..8_000_000) {
+        use camp::isa::reg::ScalarReg;
+        let i = Inst::Addi { rd: ScalarReg(3), rs: ScalarReg(4), imm };
+        prop_assert_eq!(decode(encode(&i).unwrap()).unwrap(), i);
+    }
+
+    #[test]
+    fn cache_accounting_invariant(addrs in prop::collection::vec(0u64..(1 << 16), 1..400)) {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 1 << 10, assoc: 2, line_bytes: 64, hit_latency: 1, prefetch: false,
+        });
+        for &a in &addrs {
+            c.access(a, a % 3 == 0, false);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert_eq!(s.accesses, addrs.len() as u64);
+        prop_assert!(s.evictions <= s.misses);
+    }
+
+    #[test]
+    fn quantizer_roundtrip_error_bound(vals in prop::collection::vec(-100f32..100.0, 1..200),
+                                       bits in 2u32..9) {
+        let q = SymmetricQuantizer::fit(&vals, bits);
+        for &v in &vals {
+            let back = q.dequantize(q.quantize(v));
+            // error bounded by one step (clipping only at the extremes)
+            prop_assert!((back - v).abs() <= q.scale * 1.01 + 1e-6,
+                "v={v} back={back} scale={}", q.scale);
+        }
+    }
+
+    #[test]
+    fn quantized_gemm_error_shrinks_with_bits(seed in any::<u32>()) {
+        let n = 8usize;
+        let gen = |s: u32| -> Vec<f32> {
+            (0..n * n).map(|i| (((i as u32).wrapping_mul(s) % 1000) as f32 / 500.0) - 1.0).collect()
+        };
+        let a_f = gen(seed | 3);
+        let b_f = gen(seed.rotate_left(9) | 5);
+        let mut err = Vec::new();
+        for bits in [2u32, 4, 8] {
+            let qa = SymmetricQuantizer::fit(&a_f, bits);
+            let qb = SymmetricQuantizer::fit(&b_f, bits);
+            let c = camp_gemm_i8(n, n, n, &qa.quantize_all(&a_f), &qb.quantize_all(&b_f));
+            let mut e = 0f64;
+            for i in 0..n {
+                for j in 0..n {
+                    let mut want = 0f32;
+                    for l in 0..n {
+                        want += a_f[i * n + l] * b_f[l * n + j];
+                    }
+                    let got = c[i * n + j] as f32 * qa.scale * qb.scale;
+                    e += ((want - got) as f64).powi(2);
+                }
+            }
+            err.push(e);
+        }
+        // 8-bit error must not exceed 2-bit error
+        prop_assert!(err[2] <= err[0] + 1e-9, "8-bit {} vs 2-bit {}", err[2], err[0]);
+    }
+}
