@@ -1,7 +1,9 @@
 //! Criterion benches for the native (host-speed) CAMP GeMM engine —
-//! the library a downstream user calls — against the naive reference.
+//! the library a downstream user calls — against the naive reference,
+//! plus a serial-vs-parallel comparison at an LLM-ish shape so the
+//! multi-core speedup is tracked in the perf trajectory.
 
-use camp_core::{camp_gemm_i4, camp_gemm_i8, gemm_i32_ref};
+use camp_core::{camp_gemm_i4, camp_gemm_i8, gemm_i32_ref, CampEngine};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
@@ -30,5 +32,32 @@ fn bench_gemm(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gemm);
+/// Serial vs parallel host engine at a BERT-base-like feed-forward
+/// shape (512×512×4096). Engines are reused across iterations so the
+/// pack pools stay warm — steady-state throughput, no allocator noise.
+fn bench_host_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("host_engine");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    let (m, n, k) = (512usize, 512usize, 4096usize);
+    let a = data(m * k, 31, -8, 7);
+    let b = data(k * n, 17, -8, 7);
+
+    let mut serial = CampEngine::new();
+    g.bench_function("camp_i8_512x512x4096_serial", |bch| {
+        bch.iter(|| serial.gemm_i8(m, n, k, &a, &b))
+    });
+
+    let mut parallel = CampEngine::with_threads(0);
+    let threads = parallel.threads();
+    g.bench_with_input(
+        BenchmarkId::new("camp_i8_512x512x4096_parallel", threads),
+        &threads,
+        |bch, _| bch.iter(|| parallel.gemm_i8(m, n, k, &a, &b)),
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_host_parallel);
 criterion_main!(benches);

@@ -30,11 +30,8 @@ fn main() {
     println!("{:>6} {:>12} {:>10}", "kc", "cycles", "vs best");
     let mut results = Vec::new();
     for kc in [256usize, 512, 1024, 2048, 4096] {
-        let opts = GemmOptions {
-            blocking: Some((128, 512, kc)),
-            verify: false,
-            ..harness_options()
-        };
+        let opts =
+            GemmOptions { blocking: Some((128, 512, kc)), verify: false, ..harness_options() };
         let r = simulate_gemm(CoreConfig::a64fx(), Method::Camp8, 196, 512, 2304, &opts);
         results.push((kc, r.stats.cycles));
     }
@@ -46,11 +43,8 @@ fn main() {
     println!("\n-- unrolled+vectorized pack vs naive blocking (mc sweep, CAMP-8bit) --");
     println!("{:>6} {:>12}", "mc", "cycles");
     for mc in [32usize, 64, 128, 256] {
-        let opts = GemmOptions {
-            blocking: Some((mc, 512, 2048)),
-            verify: false,
-            ..harness_options()
-        };
+        let opts =
+            GemmOptions { blocking: Some((mc, 512, 2048)), verify: false, ..harness_options() };
         let r = simulate_gemm(CoreConfig::a64fx(), Method::Camp8, 196, 512, 2304, &opts);
         println!("{mc:>6} {:>12}", r.stats.cycles);
     }

@@ -21,15 +21,9 @@ fn main() {
         let ulm = run(CoreConfig::a64fx(), Method::HandvInt8, shape);
         let lowp = run(CoreConfig::a64fx(), Method::Gemmlowp, shape);
         // vector arithmetic pipes (2 per core): MUL class carries the MACs
-        let b1 = ulm.stats.fu_busy_rate(FuKind::VMul, 2)
-            + ulm.stats.fu_busy_rate(FuKind::VAlu, 2);
-        let b2 = lowp.stats.fu_busy_rate(FuKind::VMul, 2)
-            + lowp.stats.fu_busy_rate(FuKind::VAlu, 2);
-        println!(
-            "{:>10.2} {:>14.2} {:>14.2}",
-            shape.ops() as f64 / 1e9,
-            b1.min(1.0),
-            b2.min(1.0)
-        );
+        let b1 = ulm.stats.fu_busy_rate(FuKind::VMul, 2) + ulm.stats.fu_busy_rate(FuKind::VAlu, 2);
+        let b2 =
+            lowp.stats.fu_busy_rate(FuKind::VMul, 2) + lowp.stats.fu_busy_rate(FuKind::VAlu, 2);
+        println!("{:>10.2} {:>14.2} {:>14.2}", shape.ops() as f64 / 1e9, b1.min(1.0), b2.min(1.0));
     }
 }

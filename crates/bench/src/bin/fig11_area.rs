@@ -10,14 +10,10 @@ fn main() {
     let model = AreaModel::paper();
     println!("gate inventory: {:.0} NAND2-equivalents", model.gates());
     println!();
-    println!(
-        "{:12} {:>12} {:>12} {:>24}",
-        "node", "area mm²", "overhead", "paper"
-    );
-    for (node, paper_mm2, paper_ovh) in [
-        (TechNode::tsmc7(), 0.027263, "1% of A64FX core"),
-        (TechNode::gf22(), 0.0782, "4% of SoC"),
-    ] {
+    println!("{:12} {:>12} {:>12} {:>24}", "node", "area mm²", "overhead", "paper");
+    for (node, paper_mm2, paper_ovh) in
+        [(TechNode::tsmc7(), 0.027263, "1% of A64FX core"), (TechNode::gf22(), 0.0782, "4% of SoC")]
+    {
         let r = model.report(node);
         println!(
             "{:12} {:>12.4} {:>11.1}% {:>14.4} mm², {}",

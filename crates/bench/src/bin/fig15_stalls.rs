@@ -33,5 +33,8 @@ fn main() {
             100.0 * w
         );
     }
-    println!("\naverage CAMP busy rate: {:.2} (paper: <0.10–0.22 across operations)", busy_sum / n as f64);
+    println!(
+        "\naverage CAMP busy rate: {:.2} (paper: <0.10–0.22 across operations)",
+        busy_sum / n as f64
+    );
 }

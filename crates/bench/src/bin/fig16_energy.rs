@@ -22,9 +22,8 @@ fn main() {
         "benchmark", "8-bit CAMP", "4-bit CAMP"
     );
 
-    let mut cases: Vec<(String, camp_models::GemmShape)> = vec![
-        ("SMM".into(), camp_models::GemmShape::new(512, 512, 512)),
-    ];
+    let mut cases: Vec<(String, camp_models::GemmShape)> =
+        vec![("SMM".into(), camp_models::GemmShape::new(512, 512, 512))];
     for b in [Benchmark::AlexNet, Benchmark::MobileNet, Benchmark::ResNet, Benchmark::Vgg] {
         cases.push((b.name().into(), geo_shape(b)));
     }
@@ -37,11 +36,6 @@ fn main() {
         let e_base = model.evaluate(&base.stats).total_pj;
         let c8 = model.evaluate(&run(CoreConfig::a64fx(), Method::Camp8, shape).stats).total_pj;
         let c4 = model.evaluate(&run(CoreConfig::a64fx(), Method::Camp4, shape).stats).total_pj;
-        println!(
-            "{:12} {:>11.1}% {:>11.1}%",
-            name,
-            100.0 * c8 / e_base,
-            100.0 * c4 / e_base
-        );
+        println!("{:12} {:>11.1}% {:>11.1}%", name, 100.0 * c8 / e_base, 100.0 * c4 / e_base);
     }
 }

@@ -21,10 +21,7 @@ use camp_pipeline::CoreConfig;
 
 /// MAC budget for harness runs (env `CAMP_MAC_BUDGET`, default 32 M).
 pub fn mac_budget() -> u64 {
-    std::env::var("CAMP_MAC_BUDGET")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(32_000_000)
+    std::env::var("CAMP_MAC_BUDGET").ok().and_then(|s| s.parse().ok()).unwrap_or(32_000_000)
 }
 
 /// Default harness options (verification off — correctness is covered by

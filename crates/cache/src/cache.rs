@@ -263,7 +263,7 @@ mod tests {
         c.access(0x240, false, false);
         let out = c.access(0x280, false, false);
         // evicted line 0x200 must be dirty from the store hit
-        assert_eq!(out.evicted.unwrap().dirty, true);
+        assert!(out.evicted.unwrap().dirty);
     }
 
     #[test]

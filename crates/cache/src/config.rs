@@ -25,7 +25,7 @@ impl CacheConfig {
     pub fn sets(&self) -> usize {
         let per_way = self.line_bytes * self.assoc;
         assert!(
-            self.size_bytes % per_way == 0,
+            self.size_bytes.is_multiple_of(per_way),
             "capacity {} not divisible by line*assoc {}",
             self.size_bytes,
             per_way
@@ -116,7 +116,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "not divisible")]
     fn bad_geometry_panics() {
-        let c = CacheConfig { size_bytes: 1000, assoc: 3, line_bytes: 64, hit_latency: 1, prefetch: false };
+        let c = CacheConfig {
+            size_bytes: 1000,
+            assoc: 3,
+            line_bytes: 64,
+            hit_latency: 1,
+            prefetch: false,
+        };
         let _ = c.sets();
     }
 }

@@ -174,8 +174,20 @@ mod tests {
 
     fn small_cfg(prefetch: bool) -> HierarchyConfig {
         HierarchyConfig {
-            l1d: CacheConfig { size_bytes: 1 << 10, assoc: 2, line_bytes: 64, hit_latency: 2, prefetch },
-            l2: CacheConfig { size_bytes: 8 << 10, assoc: 4, line_bytes: 64, hit_latency: 10, prefetch },
+            l1d: CacheConfig {
+                size_bytes: 1 << 10,
+                assoc: 2,
+                line_bytes: 64,
+                hit_latency: 2,
+                prefetch,
+            },
+            l2: CacheConfig {
+                size_bytes: 8 << 10,
+                assoc: 4,
+                line_bytes: 64,
+                hit_latency: 10,
+                prefetch,
+            },
             mem_latency: 100,
         }
     }

@@ -8,6 +8,29 @@
 //! k-steps per "issue", mirroring `camp_s64` in the paper's Fig. 9
 //! listing. Results are bit-identical to a plain i32 GeMM (wrapping
 //! accumulation), which the test-suite and property tests verify.
+//!
+//! The engine shares `camp-gemm`'s blocked-loop skeleton
+//! ([`camp_gemm::loops`]) with the simulated §5.3 driver and packs into
+//! a reusable [`PackPool`] instead of allocating per panel, so the hot
+//! loop is allocation-free after warm-up ([`CampEngine::pack_allocations`]
+//! exposes the growth counter). An opt-in parallel path
+//! ([`CampEngine::with_threads`] or the `*_parallel` helpers) splits the
+//! row dimension across `std::thread::scope` workers — the Goto split of
+//! the macro loop — with one pack-pool arena per worker; its results are
+//! bit-identical to the serial path because every 4×4 tile is computed
+//! by exactly one worker with identical arithmetic.
+
+use camp_gemm::loops::{run_blocked, BlockPlan, BlockSink};
+use camp_gemm::workspace::PackPool;
+
+pub use camp_gemm::gemm_i32_ref;
+
+/// Default row-block height (multiple of the 4-row register tile).
+const MC: usize = 128;
+/// Default column-block width (multiple of the 4-column register tile).
+const NC: usize = 256;
+/// Default depth-block size (multiple of both camp k-steps).
+const KC: usize = 2048;
 
 /// Per-call statistics of the engine (what the instruction stream would
 /// have contained).
@@ -15,61 +38,33 @@
 pub struct EngineStats {
     /// `camp` issues.
     pub camp_issues: u64,
-    /// 64-byte vector loads (operand fetches).
+    /// 64-byte vector loads: operand fetches, plus one C-tile read per
+    /// tile visit on k blocks after the first (the read-modify-write
+    /// accumulation deep-k shapes require).
     pub vector_loads: u64,
-    /// 64-byte vector stores (result tiles).
+    /// 64-byte vector stores (result tiles, once per tile per k block).
     pub vector_stores: u64,
-    /// Bytes moved while packing panels.
+    /// Bytes moved while packing panels. In the parallel path each
+    /// worker packs its own copy of the B block, so this counts the
+    /// per-worker (not deduplicated) traffic.
     pub packed_bytes: u64,
     /// Multiply-accumulate operations represented.
     pub macs: u64,
 }
 
-/// Reference i32 GeMM over i8 inputs: `C[i][j] = Σ A[i][l]·B[l][j]`
-/// (row-major, wrapping accumulation).
-pub fn gemm_i32_ref(m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
-    assert_eq!(a.len(), m * k, "A must be m×k");
-    assert_eq!(b.len(), k * n, "B must be k×n");
-    let mut c = vec![0i32; m * n];
-    for i in 0..m {
-        for l in 0..k {
-            let av = a[i * k + l] as i32;
-            for j in 0..n {
-                let idx = i * n + j;
-                c[idx] = c[idx].wrapping_add(av.wrapping_mul(b[l * n + j] as i32));
-            }
-        }
+impl EngineStats {
+    fn merge(&mut self, other: &EngineStats) {
+        self.camp_issues += other.camp_issues;
+        self.vector_loads += other.vector_loads;
+        self.vector_stores += other.vector_stores;
+        self.packed_bytes += other.packed_bytes;
+        self.macs += other.macs;
     }
-    c
 }
 
-fn pack_a_panel(a: &[i8], m: usize, k: usize, i0: usize, kk: usize) -> Vec<i8> {
-    // 4 rows starting at i0, all k columns zero-padded to kk, col-major.
-    let mut out = vec![0i8; 4 * kk];
-    for l in 0..k {
-        for r in 0..4 {
-            let i = i0 + r;
-            if i < m {
-                out[l * 4 + r] = a[i * k + l];
-            }
-        }
-    }
-    out
-}
-
-fn pack_b_panel(b: &[i8], k: usize, n: usize, j0: usize, kk: usize) -> Vec<i8> {
-    // 4 cols starting at j0, all k rows zero-padded to kk, row-major.
-    let mut out = vec![0i8; kk * 4];
-    for l in 0..k {
-        for c in 0..4 {
-            let j = j0 + c;
-            if j < n {
-                out[l * 4 + c] = b[l * n + j];
-            }
-        }
-    }
-    out
-}
+/// One micro-kernel step: consume `k_step` k-values of a packed 4-row A
+/// panel and 4-column B panel into the 4×4 accumulator tile.
+type IssueFn = fn(&[i8], &[i8], &mut [[i32; 4]; 4]);
 
 fn camp_issue_i8(a: &[i8], b: &[i8], acc: &mut [[i32; 4]; 4]) {
     // One `camp.s8`: 16 k-steps of the 4×4 tile.
@@ -98,51 +93,265 @@ fn camp_issue_i4(a: &[i8], b: &[i8], acc: &mut [[i32; 4]; 4]) {
     }
 }
 
-fn camp_gemm(
+/// Host backend of the shared blocked-loop skeleton: packs blocks into
+/// the pool's buffers and runs the camp issue loop as the macro-kernel.
+struct HostBackend<'a> {
+    a: &'a [i8],
+    b: &'a [i8],
+    c: &'a mut [i32],
     m: usize,
     n: usize,
     k: usize,
-    a: &[i8],
-    b: &[i8],
     k_step: usize,
-    issue: fn(&[i8], &[i8], &mut [[i32; 4]; 4]),
-) -> (Vec<i32>, EngineStats) {
-    assert_eq!(a.len(), m * k, "A must be m×k");
-    assert_eq!(b.len(), k * n, "B must be k×n");
-    let kk = k.div_ceil(k_step) * k_step;
-    let mut c = vec![0i32; m * n];
-    let mut stats = EngineStats { macs: (m * n * k) as u64, ..EngineStats::default() };
+    issue: IssueFn,
+    pool: &'a mut PackPool,
+    stats: EngineStats,
+}
 
-    for i0 in (0..m).step_by(4) {
-        let pa = pack_a_panel(a, m, k, i0, kk);
-        stats.packed_bytes += pa.len() as u64;
-        for j0 in (0..n).step_by(4) {
-            let pb = pack_b_panel(b, k, n, j0, kk);
-            if i0 == 0 {
-                stats.packed_bytes += pb.len() as u64;
-            }
-            let mut acc = [[0i32; 4]; 4];
-            for l0 in (0..kk).step_by(k_step) {
-                issue(&pa[l0 * 4..(l0 + k_step) * 4], &pb[l0 * 4..(l0 + k_step) * 4], &mut acc);
-                stats.camp_issues += 1;
-                stats.vector_loads += 2;
-            }
-            stats.vector_stores += 1;
-            for (r, row) in acc.iter().enumerate() {
-                let i = i0 + r;
-                if i >= m {
-                    break;
+impl BlockSink for HostBackend<'_> {
+    fn pack_b(&mut self, jc: usize, ncb: usize, pc: usize, kcb: usize) {
+        // nR-column panels, row-major within the panel, zero-padded past
+        // the matrix edge — the layout one `camp` B operand expects.
+        let panel = kcb * 4;
+        let buf = self.pool.b_buffer(ncb / 4 * panel);
+        for (q, panel_buf) in buf.chunks_exact_mut(panel).enumerate() {
+            let j0 = jc + q * 4;
+            for l in 0..kcb {
+                let lg = pc + l;
+                for (cx, out) in panel_buf[l * 4..l * 4 + 4].iter_mut().enumerate() {
+                    let j = j0 + cx;
+                    *out = if lg < self.k && j < self.n { self.b[lg * self.n + j] } else { 0 };
                 }
-                for (col, &v) in row.iter().enumerate() {
-                    let j = j0 + col;
-                    if j < n {
-                        c[i * n + j] = v;
+            }
+        }
+        self.stats.packed_bytes += (ncb / 4 * panel) as u64;
+    }
+
+    fn pack_a(&mut self, ic: usize, mcb: usize, pc: usize, kcb: usize) {
+        // mR-row panels, column-major within the panel.
+        let panel = kcb * 4;
+        let buf = self.pool.a_buffer(mcb / 4 * panel);
+        for (p, panel_buf) in buf.chunks_exact_mut(panel).enumerate() {
+            let i0 = ic + p * 4;
+            for l in 0..kcb {
+                let lg = pc + l;
+                for (rx, out) in panel_buf[l * 4..l * 4 + 4].iter_mut().enumerate() {
+                    let i = i0 + rx;
+                    *out = if lg < self.k && i < self.m { self.a[i * self.k + lg] } else { 0 };
+                }
+            }
+        }
+        self.stats.packed_bytes += (mcb / 4 * panel) as u64;
+    }
+
+    fn macro_kernel(
+        &mut self,
+        ic: usize,
+        mcb: usize,
+        jc: usize,
+        ncb: usize,
+        pc: usize,
+        kcb: usize,
+    ) {
+        let panel = kcb * 4;
+        let (abuf, bbuf) = self.pool.buffers();
+        for q in 0..ncb / 4 {
+            let pb = &bbuf[q * panel..(q + 1) * panel];
+            for p in 0..mcb / 4 {
+                let pa = &abuf[p * panel..(p + 1) * panel];
+                let mut acc = [[0i32; 4]; 4];
+                for l0 in (0..kcb).step_by(self.k_step) {
+                    (self.issue)(
+                        &pa[l0 * 4..(l0 + self.k_step) * 4],
+                        &pb[l0 * 4..(l0 + self.k_step) * 4],
+                        &mut acc,
+                    );
+                    self.stats.camp_issues += 1;
+                    self.stats.vector_loads += 2;
+                }
+                // k blocks after the first read C back before storing
+                // (read-modify-write); the first visit stores into a
+                // zeroed C, so the stream has no load there.
+                if pc > 0 {
+                    self.stats.vector_loads += 1;
+                }
+                self.stats.vector_stores += 1;
+                // accumulate the tile into C (read-modify-write across k
+                // blocks), clipping the zero-padded edge
+                for (rx, row) in acc.iter().enumerate() {
+                    let i = ic + p * 4 + rx;
+                    if i >= self.m {
+                        break;
+                    }
+                    for (cx, &v) in row.iter().enumerate() {
+                        let j = jc + q * 4 + cx;
+                        if j < self.n {
+                            let idx = i * self.n + j;
+                            self.c[idx] = self.c[idx].wrapping_add(v);
+                        }
                     }
                 }
             }
         }
     }
-    (c, stats)
+}
+
+/// Run the blocked loops for one worker's row range.
+#[allow(clippy::too_many_arguments)]
+fn gemm_range(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    b: &[i8],
+    c: &mut [i32],
+    pool: &mut PackPool,
+    k_step: usize,
+    issue: IssueFn,
+) -> EngineStats {
+    let plan = BlockPlan::new(m, n, k, 4, 4, k_step, (MC, NC, KC));
+    let mut backend = HostBackend {
+        a,
+        b,
+        c,
+        m,
+        n,
+        k,
+        k_step,
+        issue,
+        pool,
+        stats: EngineStats { macs: (m * n * k) as u64, ..EngineStats::default() },
+    };
+    run_blocked(&plan, &mut backend);
+    backend.stats
+}
+
+/// Reusable host-speed GeMM engine: owns one pack-pool arena per worker
+/// thread, so the packing hot loop allocates nothing once the pools are
+/// warm (each call still allocates its m×n result vector).
+#[derive(Debug)]
+pub struct CampEngine {
+    threads: usize,
+    pools: Vec<PackPool>,
+}
+
+impl Default for CampEngine {
+    fn default() -> Self {
+        CampEngine::new()
+    }
+}
+
+impl CampEngine {
+    /// Serial engine (one worker).
+    pub fn new() -> Self {
+        CampEngine::with_threads(1)
+    }
+
+    /// Engine running up to `threads` workers over row partitions of the
+    /// Goto macro loop; `0` means one worker per available core.
+    pub fn with_threads(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            threads
+        };
+        CampEngine { threads, pools: Vec::new() }
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Total pack-buffer growths across all worker arenas. Flat across
+    /// same-shape calls ⇒ the hot loop is allocation-free.
+    pub fn pack_allocations(&self) -> u64 {
+        self.pools.iter().map(PackPool::allocations).sum()
+    }
+
+    /// Blocked GeMM with the `camp.s8` micro-kernel; see [`camp_gemm_i8`].
+    pub fn gemm_i8(&mut self, m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
+        self.gemm(m, n, k, a, b, 16, camp_issue_i8).0
+    }
+
+    /// [`CampEngine::gemm_i8`] plus instruction-level statistics.
+    pub fn gemm_i8_with_stats(
+        &mut self,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[i8],
+        b: &[i8],
+    ) -> (Vec<i32>, EngineStats) {
+        self.gemm(m, n, k, a, b, 16, camp_issue_i8)
+    }
+
+    /// Blocked GeMM with the `camp.s4` micro-kernel; see [`camp_gemm_i4`].
+    pub fn gemm_i4(&mut self, m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
+        self.gemm(m, n, k, a, b, 32, camp_issue_i4).0
+    }
+
+    /// [`CampEngine::gemm_i4`] plus instruction-level statistics.
+    pub fn gemm_i4_with_stats(
+        &mut self,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[i8],
+        b: &[i8],
+    ) -> (Vec<i32>, EngineStats) {
+        self.gemm(m, n, k, a, b, 32, camp_issue_i4)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn gemm(
+        &mut self,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[i8],
+        b: &[i8],
+        k_step: usize,
+        issue: IssueFn,
+    ) -> (Vec<i32>, EngineStats) {
+        assert_eq!(a.len(), m * k, "A must be m×k");
+        assert_eq!(b.len(), k * n, "B must be k×n");
+        let mut c = vec![0i32; m * n];
+        if m == 0 || n == 0 || k == 0 {
+            return (c, EngineStats::default());
+        }
+
+        // Row partition of the macro loop: chunks are multiples of the
+        // 4-row tile so every worker owns whole register tiles, which
+        // (with wrapping i32 accumulation) makes the result bit-identical
+        // to the serial path for any worker count.
+        let rows_per = m.div_ceil(self.threads).div_ceil(4) * 4;
+        let workers = m.div_ceil(rows_per);
+        while self.pools.len() < workers {
+            self.pools.push(PackPool::new());
+        }
+
+        let mut total = EngineStats::default();
+        if workers == 1 {
+            total.merge(&gemm_range(m, n, k, a, b, &mut c, &mut self.pools[0], k_step, issue));
+            return (c, total);
+        }
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for ((c_chunk, a_chunk), pool) in
+                c.chunks_mut(rows_per * n).zip(a.chunks(rows_per * k)).zip(self.pools.iter_mut())
+            {
+                let m_local = c_chunk.len() / n;
+                handles.push(scope.spawn(move || {
+                    gemm_range(m_local, n, k, a_chunk, b, c_chunk, pool, k_step, issue)
+                }));
+            }
+            for h in handles {
+                total.merge(&h.join().expect("GeMM worker panicked"));
+            }
+        });
+        (c, total)
+    }
 }
 
 /// Blocked GeMM with the `camp.s8` micro-kernel.
@@ -153,7 +362,7 @@ fn camp_gemm(
 /// # Panics
 /// Panics if slice lengths do not match the dimensions.
 pub fn camp_gemm_i8(m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
-    camp_gemm(m, n, k, a, b, 16, camp_issue_i8).0
+    CampEngine::new().gemm_i8(m, n, k, a, b)
 }
 
 /// Like [`camp_gemm_i8`] but also returns instruction-level statistics.
@@ -164,7 +373,7 @@ pub fn camp_gemm_i8_with_stats(
     a: &[i8],
     b: &[i8],
 ) -> (Vec<i32>, EngineStats) {
-    camp_gemm(m, n, k, a, b, 16, camp_issue_i8)
+    CampEngine::new().gemm_i8_with_stats(m, n, k, a, b)
 }
 
 /// Blocked GeMM with the `camp.s4` micro-kernel. Operand values must lie
@@ -173,7 +382,7 @@ pub fn camp_gemm_i8_with_stats(
 /// # Panics
 /// Panics if slice lengths do not match the dimensions.
 pub fn camp_gemm_i4(m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
-    camp_gemm(m, n, k, a, b, 32, camp_issue_i4).0
+    CampEngine::new().gemm_i4(m, n, k, a, b)
 }
 
 /// Like [`camp_gemm_i4`] but also returns instruction-level statistics.
@@ -184,7 +393,33 @@ pub fn camp_gemm_i4_with_stats(
     a: &[i8],
     b: &[i8],
 ) -> (Vec<i32>, EngineStats) {
-    camp_gemm(m, n, k, a, b, 32, camp_issue_i4)
+    CampEngine::new().gemm_i4_with_stats(m, n, k, a, b)
+}
+
+/// [`camp_gemm_i8`] across `threads` host cores (`0` = all cores).
+/// Bit-identical to the serial result.
+pub fn camp_gemm_i8_parallel(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    b: &[i8],
+    threads: usize,
+) -> Vec<i32> {
+    CampEngine::with_threads(threads).gemm_i8(m, n, k, a, b)
+}
+
+/// [`camp_gemm_i4`] across `threads` host cores (`0` = all cores).
+/// Bit-identical to the serial result.
+pub fn camp_gemm_i4_parallel(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    b: &[i8],
+    threads: usize,
+) -> Vec<i32> {
+    CampEngine::with_threads(threads).gemm_i4(m, n, k, a, b)
 }
 
 #[cfg(test)]
@@ -205,7 +440,9 @@ mod tests {
 
     #[test]
     fn matches_reference_various_shapes() {
-        for &(m, n, k) in &[(1, 1, 1), (4, 4, 16), (5, 7, 33), (12, 9, 64), (17, 3, 100), (3, 17, 5)] {
+        for &(m, n, k) in
+            &[(1, 1, 1), (4, 4, 16), (5, 7, 33), (12, 9, 64), (17, 3, 100), (3, 17, 5)]
+        {
             let a = fill(m * k, 31, 200, -100);
             let b = fill(k * n, 17, 200, -100);
             assert_eq!(
@@ -269,5 +506,93 @@ mod tests {
         let a = vec![i8::MIN; 4 * 16];
         let b = vec![i8::MIN; 16 * 4];
         assert_eq!(camp_gemm_i8(4, 4, 16, &a, &b), gemm_i32_ref(4, 4, 16, &a, &b));
+    }
+
+    #[test]
+    fn multi_block_shapes_match_reference() {
+        // exceed MC/NC/KC so every loop level blocks at least twice
+        let (m, n, k) = (2 * super::MC + 5, super::NC + 9, super::KC + 33);
+        let a = fill(m * k, 31, 15, -8);
+        let b = fill(k * n, 17, 15, -8);
+        assert_eq!(camp_gemm_i8(m, n, k, &a, &b), gemm_i32_ref(m, n, k, &a, &b));
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let (m, n, k) = (37, 29, 65);
+        let a = fill(m * k, 13, 200, -100);
+        let b = fill(k * n, 7, 200, -100);
+        let serial = camp_gemm_i8(m, n, k, &a, &b);
+        for threads in [2, 3, 4, 16, 64] {
+            assert_eq!(
+                camp_gemm_i8_parallel(m, n, k, &a, &b, threads),
+                serial,
+                "threads={threads}"
+            );
+        }
+        let a4 = fill(m * k, 13, 16, -8);
+        let b4 = fill(k * n, 7, 16, -8);
+        assert_eq!(camp_gemm_i4_parallel(m, n, k, &a4, &b4, 3), camp_gemm_i4(m, n, k, &a4, &b4));
+    }
+
+    #[test]
+    fn more_threads_than_row_tiles_is_fine() {
+        let (m, n, k) = (6, 4, 16);
+        let a = fill(m * k, 3, 10, -5);
+        let b = fill(k * n, 5, 10, -5);
+        assert_eq!(camp_gemm_i8_parallel(m, n, k, &a, &b, 32), gemm_i32_ref(m, n, k, &a, &b));
+    }
+
+    #[test]
+    fn hot_loop_is_allocation_free_after_warm_up() {
+        let (m, n, k) = (64, 48, 160);
+        let a = fill(m * k, 9, 30, -15);
+        let b = fill(k * n, 11, 30, -15);
+        let mut engine = CampEngine::new();
+        let first = engine.gemm_i8(m, n, k, &a, &b);
+        let warm = engine.pack_allocations();
+        assert!(warm > 0, "first call must populate the pool");
+        for _ in 0..5 {
+            let again = engine.gemm_i8(m, n, k, &a, &b);
+            assert_eq!(again, first);
+        }
+        assert_eq!(engine.pack_allocations(), warm, "steady state must not allocate");
+    }
+
+    #[test]
+    fn deep_k_stats_count_rmw_traffic() {
+        // one 4×4 tile, k spanning two KC blocks: the second block's
+        // tile visit adds a C read; stores happen once per visit
+        let k = 2 * super::KC;
+        let a = fill(4 * k, 3, 16, -8);
+        let b = fill(k * 4, 5, 16, -8);
+        let (c, s) = camp_gemm_i8_with_stats(4, 4, k, &a, &b);
+        assert_eq!(c, gemm_i32_ref(4, 4, k, &a, &b));
+        assert_eq!(s.camp_issues, (k / 16) as u64);
+        assert_eq!(s.vector_stores, 2);
+        assert_eq!(s.vector_loads, 2 * s.camp_issues + 1);
+    }
+
+    #[test]
+    fn default_engine_is_usable() {
+        // Default must normalize like new(); a zero worker count would
+        // divide by zero in the row partition.
+        let a = fill(4 * 4, 3, 10, -5);
+        let b = fill(4 * 4, 5, 10, -5);
+        assert_eq!(CampEngine::default().gemm_i8(4, 4, 4, &a, &b), gemm_i32_ref(4, 4, 4, &a, &b));
+    }
+
+    #[test]
+    fn parallel_stats_preserve_totals() {
+        let (m, n, k) = (32, 16, 64);
+        let a = fill(m * k, 3, 10, -5);
+        let b = fill(k * n, 5, 10, -5);
+        let mut eng = CampEngine::with_threads(4);
+        let (_, s) = eng.gemm_i8_with_stats(m, n, k, &a, &b);
+        assert_eq!(s.macs, (m * n * k) as u64);
+        // every 4×4 tile is issued by exactly one worker
+        let (_, serial) = camp_gemm_i8_with_stats(m, n, k, &a, &b);
+        assert_eq!(s.camp_issues, serial.camp_issues);
+        assert_eq!(s.vector_stores, serial.vector_stores);
     }
 }

@@ -14,7 +14,10 @@
 //! * [`engine`] — a host-speed **CAMP GeMM engine**: GotoBLAS-style
 //!   blocked matrix multiplication whose micro-kernel is the `camp`
 //!   instruction's semantics. This is the library a downstream user calls
-//!   to run quantized GeMM the way the paper's modified ulmBLAS does.
+//!   to run quantized GeMM the way the paper's modified ulmBLAS does. It
+//!   shares `camp-gemm`'s blocked-loop skeleton and pack-buffer pool, and
+//!   [`engine::CampEngine`] optionally runs the macro loop across host
+//!   cores with bit-identical results.
 //!
 //! # Quickstart
 //!
@@ -34,7 +37,10 @@ pub mod hybrid;
 pub mod structure;
 pub mod unit;
 
-pub use engine::{camp_gemm_i4, camp_gemm_i8, gemm_i32_ref};
+pub use engine::{
+    camp_gemm_i4, camp_gemm_i4_parallel, camp_gemm_i8, camp_gemm_i8_parallel, gemm_i32_ref,
+    CampEngine, EngineStats,
+};
 pub use hybrid::HybridMultiplier;
 pub use structure::CampStructure;
 pub use unit::{CampActivity, CampUnit};

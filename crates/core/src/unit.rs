@@ -118,7 +118,7 @@ impl CampUnit {
                 self.activity.issues_i4 += 1;
                 let nib = |buf: &[u8; 64], n: usize| -> i8 {
                     let byte = buf[n / 2];
-                    let raw = if n % 2 == 0 { byte & 0x0f } else { byte >> 4 };
+                    let raw = if n.is_multiple_of(2) { byte & 0x0f } else { byte >> 4 };
                     ((raw << 4) as i8) >> 4
                 };
                 // Each lane sees 16 nibbles: four columns of A, four rows
@@ -213,7 +213,7 @@ mod tests {
         let b = patt(23);
         let nib = |buf: &[u8; 64], n: usize| -> i32 {
             let byte = buf[n / 2];
-            let raw = if n % 2 == 0 { byte & 0x0f } else { byte >> 4 };
+            let raw = if n.is_multiple_of(2) { byte & 0x0f } else { byte >> 4 };
             (((raw << 4) as i8) >> 4) as i32
         };
         let mut expect = [[0i32; 4]; 4];
@@ -267,7 +267,13 @@ mod tests {
     #[test]
     fn merge_activity() {
         let mut a = CampActivity { issues_i8: 1, ..CampActivity::default() };
-        a.merge(&CampActivity { issues_i8: 0, issues_i4: 2, block_mults: 3, intra_adds: 4, inter_adds: 5 });
+        a.merge(&CampActivity {
+            issues_i8: 0,
+            issues_i4: 2,
+            block_mults: 3,
+            intra_adds: 4,
+            inter_adds: 5,
+        });
         assert_eq!(a.issues_i8, 1);
         assert_eq!(a.issues_i4, 2);
         assert_eq!(a.block_mults, 3);

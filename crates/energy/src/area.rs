@@ -22,13 +22,23 @@ impl TechNode {
     /// TSMC 7 nm as used for the A64FX comparison. The A64FX core area
     /// is derived from the paper: CAMP = 0.0273 mm² at 1 % overhead.
     pub fn tsmc7() -> Self {
-        TechNode { name: "TSMC 7nm", nand2_um2: 0.060, reference_mm2: 2.73, reference_name: "A64FX core" }
+        TechNode {
+            name: "TSMC 7nm",
+            nand2_um2: 0.060,
+            reference_mm2: 2.73,
+            reference_name: "A64FX core",
+        }
     }
 
     /// GlobalFoundries 22FDX as used for the Sargantana SoC comparison:
     /// CAMP = 0.0782 mm² at 4 % of the SoC.
     pub fn gf22() -> Self {
-        TechNode { name: "GF 22FDX", nand2_um2: 0.170, reference_mm2: 1.955, reference_name: "Sargantana SoC" }
+        TechNode {
+            name: "GF 22FDX",
+            nand2_um2: 0.170,
+            reference_mm2: 1.955,
+            reference_name: "Sargantana SoC",
+        }
     }
 }
 

@@ -83,7 +83,8 @@ impl EnergyModel {
         use camp_isa::inst::InstClass;
 
         // multiplier-array activity: camp issues × blocks used per issue
-        let camp_blocks = stats.camp_issues_i8 as f64 * 1024.0 + stats.camp_issues_i4 as f64 * 512.0;
+        let camp_blocks =
+            stats.camp_issues_i8 as f64 * 1024.0 + stats.camp_issues_i4 as f64 * 512.0;
         // non-camp multiplies modeled at their own width: a vector MLA
         // switches the equivalent of its lane products
         let vmul_blocks = stats.count(InstClass::VMul) as f64 * 16.0 * 4.0;

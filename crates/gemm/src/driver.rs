@@ -1,162 +1,22 @@
-//! Host-side blocked-GeMM driver: GotoBLAS loops 3–5, program dispatch,
-//! data generation and verification.
+//! Host-side blocked-GeMM driver: a single generic skeleton over the
+//! kernel-dispatch layer.
+//!
+//! The driver owns what is common to every method — dimension clamping
+//! and padding, memory layout, operand staging, the GotoBLAS loop nest
+//! (via [`crate::loops`]), macro-kernel invocation and verification —
+//! and consumes a [`crate::dispatch::MicroKernel`] descriptor for everything
+//! kernel-specific. It contains no per-method tables: adding a kernel
+//! touches only [`crate::dispatch`].
 
-use crate::kernels;
-use crate::pack;
-use crate::reference::{gemm_f32_ref, gemm_i8_wrapping_ref, SplitMix64};
+use crate::dispatch::{AccKind, ElemKind, KernelGeometry, PackBCtx, RUN_BUDGET};
+use crate::loops::{run_blocked, BlockPlan, BlockSink};
+use crate::reference::{gemm_f32_ref, gemm_i32_ref, gemm_i8_wrapping_ref, SplitMix64};
 use crate::workspace::Workspace;
-use camp_core::gemm_i32_ref;
-use camp_isa::inst::{CampMode, Program};
+use camp_isa::inst::Program;
 use camp_isa::reg::S;
 use camp_pipeline::{CoreConfig, CoreKind, SimStats, Simulator};
 
-/// GeMM implementation under test (the §5.3 experiment matrix).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Method {
-    /// CAMP with 8-bit operands (`camp.s8`).
-    Camp8,
-    /// CAMP with 4-bit operands (`camp.s4`).
-    Camp4,
-    /// Hand-vectorized 32-bit integer ulmBLAS (also the edge BLIS-int32
-    /// baseline).
-    HandvInt32,
-    /// Hand-vectorized 8-bit integer kernel with wrapping 8-bit
-    /// accumulators (overflow-unsafe, as in the paper).
-    HandvInt8,
-    /// gemmlowp-like widening int8 kernel.
-    Gemmlowp,
-    /// OpenBLAS-SGEMM-like f32 kernel (the normalization baseline).
-    OpenblasF32,
-    /// Arm FEAT_I8MM `smmla` kernel (§7.2 comparison).
-    Mmla,
-}
-
-impl Method {
-    /// All methods, CAMP first.
-    pub fn all() -> [Method; 7] {
-        [
-            Method::Camp8,
-            Method::Camp4,
-            Method::HandvInt32,
-            Method::HandvInt8,
-            Method::Gemmlowp,
-            Method::OpenblasF32,
-            Method::Mmla,
-        ]
-    }
-
-    /// Display name matching the paper's legends.
-    pub fn name(self) -> &'static str {
-        match self {
-            Method::Camp8 => "CAMP-8bit",
-            Method::Camp4 => "CAMP-4bit",
-            Method::HandvInt32 => "handv-int32",
-            Method::HandvInt8 => "handv-int8",
-            Method::Gemmlowp => "gemmlowp",
-            Method::OpenblasF32 => "OpenBLAS",
-            Method::Mmla => "MMLA",
-        }
-    }
-
-    /// Micro-kernel register-tile rows.
-    pub fn mr(self) -> usize {
-        match self {
-            Method::Camp8 | Method::Camp4 | Method::HandvInt32 | Method::HandvInt8 | Method::Gemmlowp => 4,
-            Method::OpenblasF32 | Method::Mmla => 8,
-        }
-    }
-
-    /// Micro-kernel register-tile columns.
-    pub fn nr(self) -> usize {
-        match self {
-            Method::Camp8 | Method::Camp4 => 4,
-            Method::HandvInt32 => 16,
-            Method::HandvInt8 => 64,
-            Method::Gemmlowp => 32,
-            Method::OpenblasF32 => 32,
-            Method::Mmla => 8,
-        }
-    }
-
-    /// k values consumed per micro-kernel primitive (one `camp`, one
-    /// MLA column, one `smmla` octet, ...).
-    pub fn k_step(self) -> usize {
-        match self {
-            Method::Camp8 => 16,
-            Method::Camp4 => 32,
-            Method::HandvInt32 | Method::HandvInt8 | Method::OpenblasF32 => 1,
-            Method::Gemmlowp => 2,
-            Method::Mmla => 8,
-        }
-    }
-
-    /// k values consumed per macro-kernel loop iteration (k-step ×
-    /// unroll factor); k is padded to a multiple of this.
-    pub fn k_unit(self) -> usize {
-        match self {
-            Method::Camp8 => 128, // 16 × unroll 8
-            Method::Camp4 => 128, // 32 × unroll 4
-            Method::HandvInt32 | Method::HandvInt8 => 2,
-            Method::Gemmlowp => 2,
-            Method::OpenblasF32 => 1,
-            Method::Mmla => 8,
-        }
-    }
-
-    /// Bytes per element of A/B in main memory.
-    fn ab_elem(self) -> usize {
-        match self {
-            Method::HandvInt32 | Method::OpenblasF32 => 4,
-            _ => 1,
-        }
-    }
-
-    /// Bytes per element of C.
-    fn c_elem(self) -> usize {
-        match self {
-            Method::HandvInt8 => 1,
-            _ => 4,
-        }
-    }
-
-    /// Packed-A panel bytes for a kc-deep block.
-    fn a_panel_bytes(self, kc: usize) -> usize {
-        match self {
-            Method::Camp8 => 4 * kc,
-            Method::Camp4 => 2 * kc,
-            Method::HandvInt32 => 16 * kc,
-            Method::HandvInt8 => 4 * kc,
-            Method::Gemmlowp => 4 * kc,
-            Method::OpenblasF32 => 32 * kc,
-            Method::Mmla => 8 * kc,
-        }
-    }
-
-    /// Packed-B panel bytes for a kc-deep block.
-    fn b_panel_bytes(self, kc: usize) -> usize {
-        match self {
-            Method::Camp8 => 4 * kc,
-            Method::Camp4 => 2 * kc,
-            Method::HandvInt32 => 64 * kc,
-            Method::HandvInt8 => 64 * kc,
-            Method::Gemmlowp => 64 * kc / 2,
-            Method::OpenblasF32 => 128 * kc,
-            Method::Mmla => 8 * kc,
-        }
-    }
-
-    fn macro_program(self) -> Program {
-        match self {
-            Method::Camp8 => kernels::macro_camp(CampMode::I8),
-            Method::Camp4 => kernels::macro_camp(CampMode::I4),
-            Method::HandvInt32 => kernels::macro_handv_int32(),
-            Method::HandvInt8 => kernels::macro_handv_int8(),
-            Method::Gemmlowp => kernels::macro_gemmlowp(),
-            Method::OpenblasF32 => kernels::macro_openblas_f32(),
-            Method::Mmla => kernels::macro_mmla(),
-        }
-    }
-}
+pub use crate::dispatch::Method;
 
 /// Options for [`simulate_gemm`].
 #[derive(Debug, Clone, Copy)]
@@ -199,11 +59,12 @@ pub struct GemmResult {
     pub gops: f64,
 }
 
-fn round_up(x: usize, to: usize) -> usize {
-    x.div_ceil(to) * to
-}
-
-fn clamp_dims(mut m: usize, mut n: usize, mut k: usize, budget: u64) -> (usize, usize, usize, bool) {
+fn clamp_dims(
+    mut m: usize,
+    mut n: usize,
+    mut k: usize,
+    budget: u64,
+) -> (usize, usize, usize, bool) {
     let mut clamped = false;
     while (m as u64) * (n as u64) * (k as u64) > budget {
         if m >= n && m >= k && m > 16 {
@@ -230,20 +91,174 @@ struct Buffers {
     total: u64,
 }
 
-fn layout(method: Method, mp: usize, np: usize, kp: usize, mc: usize, nc: usize, kc: usize) -> Buffers {
+fn layout(geo: &KernelGeometry, plan: &BlockPlan) -> Buffers {
     let mut w = Workspace::new();
-    let e = method.ab_elem() as u64;
-    let a_base = w.alloc((mp * kp) as u64 * e, 64);
-    let b_base = w.alloc((kp * np) as u64 * e, 64);
-    let c_base = w.alloc((mp * np * method.c_elem()) as u64, 64);
-    let apack = w.alloc((mc / method.mr() * method.a_panel_bytes(kc)) as u64, 64);
-    let bpack = w.alloc((nc / method.nr() * method.b_panel_bytes(kc)) as u64, 64);
+    let a_base = w.alloc(geo.elem.row_bytes(plan.mp * plan.kp) as u64, 64);
+    let b_base = w.alloc(geo.elem.row_bytes(plan.kp * plan.np) as u64, 64);
+    let c_base = w.alloc((plan.mp * plan.np * geo.acc.c_elem_bytes()) as u64, 64);
+    let apack = w.alloc((plan.mc / geo.mr * geo.a_panel_bytes(plan.kc)) as u64, 64);
+    let bpack = w.alloc((plan.nc / geo.nr * geo.b_panel_bytes(plan.kc)) as u64, 64);
     let scratch = w.alloc(64, 64);
     let total = w.total() + 4096;
     Buffers { a_base, b_base, c_base, apack, bpack, scratch, total }
 }
 
-const RUN_BUDGET: u64 = 4_000_000_000;
+/// Write the generated operands into simulated memory in the kernel's
+/// storage format.
+fn stage_operands(sim: &mut Simulator, geo: &KernelGeometry, bufs: &Buffers, a: &[i8], b: &[i8]) {
+    let mm = sim.machine_mut();
+    match geo.elem {
+        ElemKind::I4Nibble => {
+            // 4-bit data lives nibble-packed in main memory (two values
+            // per byte, row-major), as a quantized deployment stores it.
+            for (i, pair) in a.chunks_exact(2).enumerate() {
+                let byte = (pair[0] as u8 & 0x0f) | ((pair[1] as u8) << 4);
+                mm.write_i8(bufs.a_base + i as u64, byte as i8);
+            }
+            for (i, pair) in b.chunks_exact(2).enumerate() {
+                let byte = (pair[0] as u8 & 0x0f) | ((pair[1] as u8) << 4);
+                mm.write_i8(bufs.b_base + i as u64, byte as i8);
+            }
+        }
+        ElemKind::I8 => {
+            for (i, &v) in a.iter().enumerate() {
+                mm.write_i8(bufs.a_base + i as u64, v);
+            }
+            for (i, &v) in b.iter().enumerate() {
+                mm.write_i8(bufs.b_base + i as u64, v);
+            }
+        }
+        ElemKind::F32 => {
+            for (i, &v) in a.iter().enumerate() {
+                mm.write_f32(bufs.a_base + i as u64 * 4, v as f32);
+            }
+            for (i, &v) in b.iter().enumerate() {
+                mm.write_f32(bufs.b_base + i as u64 * 4, v as f32);
+            }
+        }
+        ElemKind::I32 => {
+            for (i, &v) in a.iter().enumerate() {
+                mm.write_i32(bufs.a_base + i as u64 * 4, v as i32);
+            }
+            for (i, &v) in b.iter().enumerate() {
+                mm.write_i32(bufs.b_base + i as u64 * 4, v as i32);
+            }
+        }
+    }
+}
+
+/// The simulation backend of the shared loop skeleton: packs blocks and
+/// runs macro-kernels as simulated programs against one persistent
+/// machine + cache state.
+struct SimBackend {
+    sim: Simulator,
+    geo: KernelGeometry,
+    bufs: Buffers,
+    lda: u64,
+    ldb: u64,
+    ldc: u64,
+    macro_prog: Program,
+    pack_a: crate::dispatch::PackAPlan,
+    pack_b: crate::dispatch::BPacker,
+}
+
+impl SimBackend {
+    /// Source bytes covering `cols` k-columns of A.
+    fn a_col_bytes(&self, cols: usize) -> u64 {
+        self.geo.elem.row_bytes(cols) as u64
+    }
+
+    fn set_a_row_ptrs(&mut self, ic: usize, panel: usize, pc: usize, col_off: u64) {
+        let mr = self.geo.mr;
+        let base_col = self.a_col_bytes(pc);
+        let mm = self.sim.machine_mut();
+        for r in 0..mr as u8 {
+            mm.set_x(
+                S(20 + r),
+                self.bufs.a_base
+                    + (ic + panel * mr + r as usize) as u64 * self.lda
+                    + base_col
+                    + col_off,
+            );
+        }
+    }
+}
+
+impl BlockSink for SimBackend {
+    fn pack_b(&mut self, jc: usize, ncb: usize, pc: usize, kcb: usize) {
+        let ctx = PackBCtx {
+            b_base: self.bufs.b_base,
+            bpack: self.bufs.bpack,
+            ldb: self.ldb,
+            jc,
+            ncb,
+            pc,
+            kcb,
+        };
+        (self.pack_b)(&mut self.sim, &ctx);
+    }
+
+    fn pack_a(&mut self, ic: usize, mcb: usize, pc: usize, kcb: usize) {
+        let per_kcol = self.geo.a_panel_bytes_per_kcol();
+        for p in 0..mcb / self.geo.mr {
+            let dst = self.bufs.apack + (p * self.geo.a_panel_bytes(kcb)) as u64;
+            // vectorized bulk pass over whole chunks, as optimized BLAS
+            // packs do ...
+            let mut done_cols = 0usize;
+            let cols_per_chunk = self.pack_a.vector.as_ref().map(|&(_, c)| c);
+            if let Some(cols_per_chunk) = cols_per_chunk {
+                let chunks = kcb / cols_per_chunk;
+                if chunks > 0 {
+                    self.set_a_row_ptrs(ic, p, pc, 0);
+                    let mm = self.sim.machine_mut();
+                    mm.set_x(S(11), dst);
+                    mm.set_x(S(12), chunks as u64);
+                    let (vec_prog, _) = self.pack_a.vector.as_ref().expect("vector plan present");
+                    self.sim.run(vec_prog, RUN_BUDGET).expect("pack A (vector)");
+                    done_cols = chunks * cols_per_chunk;
+                }
+            }
+            // ... then the scalar gather covers the sub-chunk tail
+            let tail = kcb - done_cols;
+            if tail > 0 {
+                let col_off = self.a_col_bytes(done_cols);
+                self.set_a_row_ptrs(ic, p, pc, col_off);
+                let mm = self.sim.machine_mut();
+                mm.set_x(S(11), dst + (done_cols * per_kcol) as u64);
+                mm.set_x(S(12), (tail / self.pack_a.scalar_cols_per_iter) as u64);
+                self.sim.run(&self.pack_a.scalar, RUN_BUDGET).expect("pack A (tail)");
+            }
+        }
+    }
+
+    fn macro_kernel(
+        &mut self,
+        ic: usize,
+        mcb: usize,
+        jc: usize,
+        ncb: usize,
+        _pc: usize,
+        kcb: usize,
+    ) {
+        let geo = &self.geo;
+        let mm = self.sim.machine_mut();
+        mm.set_x(S(1), self.bufs.apack);
+        mm.set_x(S(2), self.bufs.bpack);
+        mm.set_x(
+            S(3),
+            self.bufs.c_base + ic as u64 * self.ldc + (jc * geo.acc.c_elem_bytes()) as u64,
+        );
+        // one macro k-iteration consumes k_unit values (k-step × unroll)
+        mm.set_x(S(4), (kcb / geo.k_unit) as u64);
+        mm.set_x(S(5), (mcb / geo.mr) as u64);
+        mm.set_x(S(6), (ncb / geo.nr) as u64);
+        mm.set_x(S(7), self.ldc);
+        mm.set_x(S(8), geo.b_panel_bytes(kcb) as u64);
+        mm.set_x(S(9), geo.a_panel_bytes(kcb) as u64);
+        mm.set_x(S(30), self.bufs.scratch);
+        self.sim.run(&self.macro_prog, RUN_BUDGET).expect("macro kernel");
+    }
+}
 
 /// Simulate one blocked GeMM of `method` on `core` for an m×n×k problem.
 ///
@@ -263,38 +278,21 @@ pub fn simulate_gemm(
     opts: &GemmOptions,
 ) -> GemmResult {
     assert!(m > 0 && n > 0 && k > 0, "dimensions must be positive");
+    let kernel = method.dispatcher();
+    let geo = kernel.geometry();
     let (m, n, k, clamped) = clamp_dims(m, n, k, opts.mac_budget);
-    let mr = method.mr();
-    let nr = method.nr();
-    let ks = method.k_unit();
-    let mp = round_up(m, mr);
-    let np = round_up(n, nr);
-    let kp = round_up(k, ks);
 
-    // Per-method cache blocking: kc is sized so the packed A and B
-    // panels fit in L1 (Fig. 3's constraint). Byte-sized operands allow
-    // much deeper panels than f32; the CAMP micro-kernel in particular
-    // accumulates the whole k extent in the auxiliary register whenever
-    // it fits (Fig. 9).
-    let (dmc, dnc, dkc) = opts.blocking.unwrap_or_else(|| {
-        let kc = match (core.kind, method) {
-            (CoreKind::OutOfOrder, Method::Camp8 | Method::Camp4) => 4096,
-            (CoreKind::OutOfOrder, Method::HandvInt8 | Method::Gemmlowp | Method::Mmla) => 512,
-            (CoreKind::OutOfOrder, _) => 256,
-            (CoreKind::InOrder, Method::Camp8 | Method::Camp4) => 2048,
-            (CoreKind::InOrder, Method::HandvInt8 | Method::Gemmlowp | Method::Mmla) => 256,
-            (CoreKind::InOrder, _) => 128,
-        };
+    let blocking = opts.blocking.unwrap_or_else(|| {
+        let kc = kernel.default_kc(core.kind);
         match core.kind {
             CoreKind::InOrder => (64, 128, kc),
             CoreKind::OutOfOrder => (128, 512, kc),
         }
     });
-    let mc = round_up(dmc.min(mp), mr);
-    let nc = round_up(dnc.min(np), nr);
-    let kc = round_up(dkc.min(kp), ks);
+    let plan = BlockPlan::new(m, n, k, geo.mr, geo.nr, geo.k_unit, blocking);
+    let (mp, np, kp) = (plan.mp, plan.np, plan.kp);
 
-    let bufs = layout(method, mp, np, kp, mc, nc, kc);
+    let bufs = layout(&geo, &plan);
     let mut sim = Simulator::new(core, bufs.total as usize);
 
     // ---- workload ----
@@ -311,247 +309,26 @@ pub fn simulate_gemm(
             b_host[l * np + j] = rng.next_i8(-8, 7);
         }
     }
+    stage_operands(&mut sim, &geo, &bufs, &a_host, &b_host);
 
-    {
-        let mm = sim.machine_mut();
-        match method.ab_elem() {
-            1 if method == Method::Camp4 => {
-                // 4-bit data lives nibble-packed in main memory (two
-                // values per byte, row-major), as a quantized deployment
-                // stores it.
-                for (i, pair) in a_host.chunks_exact(2).enumerate() {
-                    let byte = (pair[0] as u8 & 0x0f) | ((pair[1] as u8) << 4);
-                    mm.write_i8(bufs.a_base + i as u64, byte as i8);
-                }
-                for (i, pair) in b_host.chunks_exact(2).enumerate() {
-                    let byte = (pair[0] as u8 & 0x0f) | ((pair[1] as u8) << 4);
-                    mm.write_i8(bufs.b_base + i as u64, byte as i8);
-                }
-            }
-            1 => {
-                for (i, &v) in a_host.iter().enumerate() {
-                    mm.write_i8(bufs.a_base + i as u64, v);
-                }
-                for (i, &v) in b_host.iter().enumerate() {
-                    mm.write_i8(bufs.b_base + i as u64, v);
-                }
-            }
-            4 => {
-                if method == Method::OpenblasF32 {
-                    for (i, &v) in a_host.iter().enumerate() {
-                        mm.write_f32(bufs.a_base + i as u64 * 4, v as f32);
-                    }
-                    for (i, &v) in b_host.iter().enumerate() {
-                        mm.write_f32(bufs.b_base + i as u64 * 4, v as f32);
-                    }
-                } else {
-                    for (i, &v) in a_host.iter().enumerate() {
-                        mm.write_i32(bufs.a_base + i as u64 * 4, v as i32);
-                    }
-                    for (i, &v) in b_host.iter().enumerate() {
-                        mm.write_i32(bufs.b_base + i as u64 * 4, v as i32);
-                    }
-                }
-            }
-            _ => unreachable!(),
-        }
-    }
-
-    // ---- programs ----
-    let macro_prog = method.macro_program();
-    let e = method.ab_elem();
-    // Row strides in bytes; the 4-bit path stores two elements per byte.
-    let (lda, ldb) = if method == Method::Camp4 {
-        ((kp / 2) as u64, (np / 2) as u64)
-    } else {
-        ((kp * e) as u64, (np * e) as u64)
+    // ---- blocked loops over the simulation backend ----
+    let mut backend = SimBackend {
+        sim,
+        geo,
+        lda: geo.elem.row_bytes(kp) as u64,
+        ldb: geo.elem.row_bytes(np) as u64,
+        ldc: (np * geo.acc.c_elem_bytes()) as u64,
+        macro_prog: kernel.macro_program(),
+        pack_a: kernel.pack_a_plan(),
+        pack_b: kernel.pack_b_packer(),
+        bufs,
     };
-    let ldc = (np * method.c_elem()) as u64;
-
-    let pack_a_prog: Program = match method {
-        Method::Camp8 | Method::HandvInt8 => pack::pack_a_rows(4, 1),
-        Method::Camp4 => pack::pack_a_camp4(),
-        Method::HandvInt32 => pack::pack_a_rows(4, 4),
-        Method::Gemmlowp => pack::pack_a_gemmlowp(),
-        Method::OpenblasF32 => pack::pack_a_rows(8, 4),
-        Method::Mmla => pack::pack_a_rows(8, 8),
-    };
-    // Vectorized bulk A-pack: (program, k-columns per chunk). The scalar
-    // program above handles the sub-chunk tail, as optimized BLAS packs
-    // do.
-    let pack_a_vec: Option<(Program, usize)> = match method {
-        Method::Camp8 | Method::HandvInt8 => Some((pack::pack_a_transpose4(1), 64)),
-        Method::Camp4 => Some((pack::pack_a_camp4_vec(), 128)),
-        Method::HandvInt32 => Some((pack::pack_a_transpose4(4), 16)),
-        Method::Gemmlowp => Some((pack::pack_a_transpose4(2), 64)),
-        Method::OpenblasF32 => Some((pack::pack_a_transpose8_words(), 16)),
-        Method::Mmla => None,
-    };
-    // Packed-panel bytes per k-column (for pointer advances).
-    let panel_bytes_per_kcol = method.a_panel_bytes(kp.max(1)) / kp.max(1);
-    let pack_b_lowp_vec = pack::pack_b_gemmlowp_vec();
-    let pack_b_prog: Program = match method {
-        Method::Camp8 => pack::pack_b_rows4(4),
-        Method::Camp4 => pack::pack_b_rows4(2),
-        Method::HandvInt32 | Method::HandvInt8 => pack::pack_b_rows(64),
-        Method::Gemmlowp => pack::pack_b_gemmlowp(32),
-        Method::OpenblasF32 => pack::pack_b_rows(128),
-        Method::Mmla => pack::pack_b_mmla(),
-    };
-
-    // ---- blocked loops (host side: GotoBLAS loops 3–5) ----
-    let mut jc = 0;
-    while jc < np {
-        let ncb = nc.min(np - jc);
-        let mut pc = 0;
-        while pc < kp {
-            let kcb = kc.min(kp - pc);
-            // ---- pack B block ----
-            if method == Method::Gemmlowp {
-                // vectorized pair-interleave covers two 32-column panels
-                // per pass; a lone trailing panel falls back to scalar
-                let panels = ncb / nr;
-                let mut p = 0;
-                while p < panels {
-                    let col = (jc + p * nr) as u64;
-                    let dst = bufs.bpack + (p * method.b_panel_bytes(kcb)) as u64;
-                    let mm = sim.machine_mut();
-                    mm.set_x(S(20), bufs.b_base + pc as u64 * ldb + col);
-                    mm.set_x(S(21), bufs.b_base + (pc as u64 + 1) * ldb + col);
-                    mm.set_x(S(11), dst);
-                    mm.set_x(S(12), (kcb / 2) as u64);
-                    mm.set_x(S(14), 2 * ldb);
-                    if p + 1 < panels {
-                        mm.set_x(S(15), dst + method.b_panel_bytes(kcb) as u64);
-                        sim.run(&pack_b_lowp_vec, RUN_BUDGET).expect("pack B (vector)");
-                        p += 2;
-                    } else {
-                        sim.run(&pack_b_prog, RUN_BUDGET).expect("pack B");
-                        p += 1;
-                    }
-                }
-            }
-            for p in 0..ncb / nr {
-                if method == Method::Gemmlowp {
-                    break;
-                }
-                let col = (jc + p * nr) as u64;
-                let dst = bufs.bpack + (p * method.b_panel_bytes(kcb)) as u64;
-                let mm = sim.machine_mut();
-                match method {
-                    Method::Gemmlowp => unreachable!("handled above"),
-                    Method::Mmla => {
-                        for t in 0..8u8 {
-                            mm.set_x(S(20 + t), bufs.b_base + (pc as u64 + t as u64) * ldb + col);
-                        }
-                        mm.set_x(S(11), dst);
-                        mm.set_x(S(12), (kcb / 8) as u64);
-                        mm.set_x(S(14), 8 * ldb);
-                    }
-                    Method::Camp4 => {
-                        for t in 0..4u8 {
-                            mm.set_x(S(20 + t), bufs.b_base + (pc as u64 + t as u64) * ldb + col / 2);
-                        }
-                        mm.set_x(S(11), dst);
-                        mm.set_x(S(12), (kcb / 4) as u64);
-                        mm.set_x(S(14), 4 * ldb);
-                    }
-                    Method::Camp8 => {
-                        for t in 0..4u8 {
-                            mm.set_x(S(20 + t), bufs.b_base + (pc as u64 + t as u64) * ldb + col);
-                        }
-                        mm.set_x(S(11), dst);
-                        mm.set_x(S(12), (kcb / 4) as u64);
-                        mm.set_x(S(14), 4 * ldb);
-                    }
-                    _ => {
-                        mm.set_x(S(10), bufs.b_base + pc as u64 * ldb + col * e as u64);
-                        mm.set_x(S(11), dst);
-                        mm.set_x(S(12), kcb as u64);
-                        mm.set_x(S(13), ldb);
-                    }
-                }
-                sim.run(&pack_b_prog, RUN_BUDGET).expect("pack B");
-            }
-
-            let mut ic = 0;
-            while ic < mp {
-                let mcb = mc.min(mp - ic);
-                // ---- pack A block ----
-                for p in 0..mcb / mr {
-                    let dst = bufs.apack + (p * method.a_panel_bytes(kcb)) as u64;
-                    // source bytes per k-column (½ byte for nibble data)
-                    let src_col_bytes = |cols: usize| -> u64 {
-                        if method == Method::Camp4 {
-                            (cols / 2) as u64
-                        } else {
-                            (cols * e) as u64
-                        }
-                    };
-                    let set_row_ptrs = |sim: &mut Simulator, col_off: u64| {
-                        let mm = sim.machine_mut();
-                        for r in 0..mr as u8 {
-                            mm.set_x(
-                                S(20 + r),
-                                bufs.a_base
-                                    + (ic + p * mr + r as usize) as u64 * lda
-                                    + src_col_bytes(pc)
-                                    + col_off,
-                            );
-                        }
-                    };
-                    let mut done_cols = 0usize;
-                    if let Some((vec_prog, cpc)) = &pack_a_vec {
-                        let chunks = kcb / cpc;
-                        if chunks > 0 {
-                            set_row_ptrs(&mut sim, 0);
-                            let mm = sim.machine_mut();
-                            mm.set_x(S(11), dst);
-                            mm.set_x(S(12), chunks as u64);
-                            sim.run(vec_prog, RUN_BUDGET).expect("pack A (vector)");
-                            done_cols = chunks * cpc;
-                        }
-                    }
-                    let tail = kcb - done_cols;
-                    if tail > 0 {
-                        set_row_ptrs(&mut sim, src_col_bytes(done_cols));
-                        let mm = sim.machine_mut();
-                        mm.set_x(S(11), dst + (done_cols * panel_bytes_per_kcol) as u64);
-                        let count = match method {
-                            Method::Gemmlowp | Method::Camp4 => tail / 2,
-                            Method::Mmla => tail / 8,
-                            _ => tail,
-                        };
-                        mm.set_x(S(12), count as u64);
-                        sim.run(&pack_a_prog, RUN_BUDGET).expect("pack A (tail)");
-                    }
-                }
-
-                // ---- macro-kernel ----
-                {
-                    let mm = sim.machine_mut();
-                    mm.set_x(S(1), bufs.apack);
-                    mm.set_x(S(2), bufs.bpack);
-                    mm.set_x(S(3), bufs.c_base + ic as u64 * ldc + (jc * method.c_elem()) as u64);
-                    mm.set_x(S(4), (kcb / ks) as u64);
-                    mm.set_x(S(5), (mcb / mr) as u64);
-                    mm.set_x(S(6), (ncb / nr) as u64);
-                    mm.set_x(S(7), ldc);
-                    mm.set_x(S(8), method.b_panel_bytes(kcb) as u64);
-                    mm.set_x(S(9), method.a_panel_bytes(kcb) as u64);
-                    mm.set_x(S(30), bufs.scratch);
-                }
-                sim.run(&macro_prog, RUN_BUDGET).expect("macro kernel");
-                ic += mcb;
-            }
-            pc += kcb;
-        }
-        jc += ncb;
-    }
+    run_blocked(&plan, &mut backend);
+    let sim = backend.sim;
 
     // ---- verification ----
     let correct = if opts.verify {
-        verify(&sim, method, &a_host, &b_host, mp, np, kp, bufs.c_base)
+        verify(&sim, geo.acc, &a_host, &b_host, mp, np, kp, backend.bufs.c_base)
     } else {
         true
     };
@@ -563,7 +340,7 @@ pub fn simulate_gemm(
 #[allow(clippy::too_many_arguments)]
 fn verify(
     sim: &Simulator,
-    method: Method,
+    acc: AccKind,
     a: &[i8],
     b: &[i8],
     mp: usize,
@@ -572,18 +349,18 @@ fn verify(
     c_base: u64,
 ) -> bool {
     let machine = sim.machine();
-    match method {
-        Method::HandvInt8 => {
+    match acc {
+        AccKind::I8Wrapping => {
             let expect = gemm_i8_wrapping_ref(mp, np, kp, a, b);
             (0..mp * np).all(|i| machine.read_i8(c_base + i as u64) == expect[i])
         }
-        Method::OpenblasF32 => {
+        AccKind::F32 => {
             let af: Vec<f32> = a.iter().map(|&v| v as f32).collect();
             let bf: Vec<f32> = b.iter().map(|&v| v as f32).collect();
             let expect = gemm_f32_ref(mp, np, kp, &af, &bf);
             (0..mp * np).all(|i| machine.read_f32(c_base + i as u64 * 4) == expect[i])
         }
-        _ => {
+        AccKind::I32 => {
             let expect = gemm_i32_ref(mp, np, kp, a, b);
             (0..mp * np).all(|i| machine.read_i32(c_base + i as u64 * 4) == expect[i])
         }
@@ -648,6 +425,24 @@ mod tests {
                 &GemmOptions::default(),
             );
             assert!(r.correct, "{} wrong on edge core", method.name());
+        }
+    }
+
+    #[test]
+    fn all_dispatchers_correct_on_ragged_shapes() {
+        // m, n, k deliberately not multiples of any kernel's mr/nr/k_step;
+        // verification inside simulate_gemm cross-checks every dispatcher
+        // against gemm_i32_ref / gemm_i8_wrapping_ref / gemm_f32_ref.
+        for (m, n, k) in [(5, 7, 19), (13, 3, 41), (9, 33, 27)] {
+            for method in Method::all() {
+                let r =
+                    simulate_gemm(CoreConfig::a64fx(), method, m, n, k, &GemmOptions::default());
+                assert!(r.correct, "{} wrong at ragged {m}x{n}x{k}", method.name());
+                let geo = method.dispatcher().geometry();
+                assert_eq!(r.m % geo.mr, 0);
+                assert_eq!(r.n % geo.nr, 0);
+                assert_eq!(r.k % geo.k_unit, 0);
+            }
         }
     }
 

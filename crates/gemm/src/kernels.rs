@@ -363,11 +363,8 @@ mod tests {
     #[test]
     fn gemmlowp_uses_widening_ops() {
         let p = macro_gemmlowp();
-        let mulls = p
-            .insts()
-            .iter()
-            .filter(|i| matches!(i, camp_isa::inst::Inst::VMull { .. }))
-            .count();
+        let mulls =
+            p.insts().iter().filter(|i| matches!(i, camp_isa::inst::Inst::VMull { .. })).count();
         assert_eq!(mulls, 8);
     }
 
@@ -380,16 +377,10 @@ mod tests {
     #[test]
     fn mmla_kernel_has_four_smmla_and_six_zips() {
         let p = macro_mmla();
-        let smmla = p
-            .insts()
-            .iter()
-            .filter(|i| matches!(i, camp_isa::inst::Inst::Smmla { .. }))
-            .count();
-        let zips = p
-            .insts()
-            .iter()
-            .filter(|i| matches!(i, camp_isa::inst::Inst::VZip { .. }))
-            .count();
+        let smmla =
+            p.insts().iter().filter(|i| matches!(i, camp_isa::inst::Inst::Smmla { .. })).count();
+        let zips =
+            p.insts().iter().filter(|i| matches!(i, camp_isa::inst::Inst::VZip { .. })).count();
         assert_eq!(smmla, 4);
         assert_eq!(zips, 6);
     }

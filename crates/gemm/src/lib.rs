@@ -17,11 +17,19 @@
 //! | `OpenblasF32` | OpenBLAS SGEMM-like | f32 | 8×32 |
 //! | `Mmla` | Arm FEAT_I8MM `smmla` kernel | i8 | 8×8, k-step 8 |
 //!
-//! The five-loop cache blocking runs on the host (3 outer loops) and
-//! dispatches simulated packing programs and macro-kernels (inner 2 loops
-//! plus micro-kernel — >99.9 % of dynamic instructions) against a single
-//! persistent machine + cache state, mirroring how the original code runs
-//! under gem5.
+//! The five-loop cache blocking runs on the host (3 outer loops, the
+//! shared [`loops`] skeleton) and dispatches simulated packing programs
+//! and macro-kernels (inner 2 loops plus micro-kernel — >99.9 % of
+//! dynamic instructions) against a single persistent machine + cache
+//! state, mirroring how the original code runs under gem5.
+//!
+//! Everything kernel-specific is described by a [`dispatch::MicroKernel`]
+//! descriptor — geometry, element/accumulator types, packing programs,
+//! macro-kernel builder, default blocking — so [`driver`] is a single
+//! generic skeleton and a new kernel plugs in without touching it (see
+//! the README's "kernel dispatch layer" section). The same skeleton and
+//! the [`workspace::PackPool`] buffer arena also back `camp-core`'s
+//! host-speed engine.
 //!
 //! For the Fig. 1 cache-miss-rate experiment the [`trace`] module
 //! generates naive and blocked GeMM address streams analytically and
@@ -38,12 +46,16 @@
 //! assert!(r.stats.cycles > 0);
 //! ```
 
+pub mod dispatch;
 pub mod driver;
 pub mod kernels;
+pub mod loops;
 pub mod pack;
 pub mod reference;
 pub mod trace;
-mod workspace;
+pub mod workspace;
 
+pub use dispatch::{AccKind, ElemKind, KernelGeometry, MicroKernel};
 pub use driver::{simulate_gemm, GemmOptions, GemmResult, Method};
-pub use reference::{gemm_f32_ref, gemm_i8_wrapping_ref, SplitMix64};
+pub use reference::{gemm_f32_ref, gemm_i32_ref, gemm_i8_wrapping_ref, SplitMix64};
+pub use workspace::PackPool;

@@ -1,0 +1,170 @@
+//! Shared blocked-loop skeleton (shared-types module of the dispatch
+//! layer).
+//!
+//! Both GeMM halves of this workspace — the simulated §5.3 driver
+//! ([`crate::driver`]) and the host-speed CAMP engine in `camp-core` —
+//! run the same GotoBLAS five-loop structure (Fig. 3): loop over column
+//! blocks (`nc`), over depth blocks (`kc`, packing B), over row blocks
+//! (`mc`, packing A), then hand the packed panels to a macro-kernel.
+//! This module owns that structure once, as pure host-side control flow
+//! with no dependency on either execution substrate. A backend plugs in
+//! by implementing [`BlockSink`]; [`run_blocked`] drives it.
+
+/// Round `x` up to the next multiple of `to`.
+pub fn round_up(x: usize, to: usize) -> usize {
+    x.div_ceil(to) * to
+}
+
+/// Padded problem dimensions plus the cache-blocking factors, all
+/// normalized so every block boundary is tile-aligned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockPlan {
+    /// m padded to a multiple of `mr`.
+    pub mp: usize,
+    /// n padded to a multiple of `nr`.
+    pub np: usize,
+    /// k padded to a multiple of the macro-kernel's k-unit.
+    pub kp: usize,
+    /// Row-block height (multiple of `mr`, ≤ `mp`).
+    pub mc: usize,
+    /// Column-block width (multiple of `nr`, ≤ `np`).
+    pub nc: usize,
+    /// Depth-block size (multiple of the k-unit, ≤ `kp`).
+    pub kc: usize,
+}
+
+impl BlockPlan {
+    /// Build a plan for an m×n×k problem on an `mr`×`nr` register tile
+    /// whose macro-kernel consumes `k_unit` k-values per iteration.
+    /// `(dmc, dnc, dkc)` are the desired blocking factors; they are
+    /// clamped to the padded problem and re-aligned to the tile.
+    ///
+    /// # Panics
+    /// Panics if any dimension or tile parameter is zero.
+    pub fn new(
+        m: usize,
+        n: usize,
+        k: usize,
+        mr: usize,
+        nr: usize,
+        k_unit: usize,
+        (dmc, dnc, dkc): (usize, usize, usize),
+    ) -> Self {
+        assert!(m > 0 && n > 0 && k > 0, "dimensions must be positive");
+        assert!(mr > 0 && nr > 0 && k_unit > 0, "tile must be positive");
+        let mp = round_up(m, mr);
+        let np = round_up(n, nr);
+        let kp = round_up(k, k_unit);
+        BlockPlan {
+            mp,
+            np,
+            kp,
+            mc: round_up(dmc.max(1).min(mp), mr),
+            nc: round_up(dnc.max(1).min(np), nr),
+            kc: round_up(dkc.max(1).min(kp), k_unit),
+        }
+    }
+}
+
+/// Backend hooks invoked by [`run_blocked`] at each stage of the
+/// five-loop nest. Coordinates are in (padded) element space; every
+/// block is tile-aligned by construction of [`BlockPlan`].
+pub trait BlockSink {
+    /// Pack the `kcb`×`ncb` block of B starting at `(pc, jc)`.
+    fn pack_b(&mut self, jc: usize, ncb: usize, pc: usize, kcb: usize);
+    /// Pack the `mcb`×`kcb` block of A starting at `(ic, pc)`.
+    fn pack_a(&mut self, ic: usize, mcb: usize, pc: usize, kcb: usize);
+    /// Run the macro-kernel over the packed blocks, updating the
+    /// `mcb`×`ncb` block of C at `(ic, jc)`.
+    fn macro_kernel(&mut self, ic: usize, mcb: usize, jc: usize, ncb: usize, pc: usize, kcb: usize);
+}
+
+/// Drive the GotoBLAS loops 3–5 over `sink` (Fig. 3): B is packed once
+/// per (jc, pc) block and reused for every row block; A is packed once
+/// per (ic, pc) block.
+pub fn run_blocked(plan: &BlockPlan, sink: &mut dyn BlockSink) {
+    let mut jc = 0;
+    while jc < plan.np {
+        let ncb = plan.nc.min(plan.np - jc);
+        let mut pc = 0;
+        while pc < plan.kp {
+            let kcb = plan.kc.min(plan.kp - pc);
+            sink.pack_b(jc, ncb, pc, kcb);
+            let mut ic = 0;
+            while ic < plan.mp {
+                let mcb = plan.mc.min(plan.mp - ic);
+                sink.pack_a(ic, mcb, pc, kcb);
+                sink.macro_kernel(ic, mcb, jc, ncb, pc, kcb);
+                ic += mcb;
+            }
+            pc += kcb;
+        }
+        jc += ncb;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_pads_and_aligns() {
+        let p = BlockPlan::new(5, 7, 19, 4, 4, 128, (64, 128, 4096));
+        assert_eq!((p.mp, p.np, p.kp), (8, 8, 128));
+        assert_eq!((p.mc, p.nc, p.kc), (8, 8, 128));
+    }
+
+    #[test]
+    fn plan_respects_requested_blocking() {
+        let p = BlockPlan::new(256, 256, 512, 4, 16, 2, (64, 128, 96));
+        assert_eq!((p.mc, p.nc, p.kc), (64, 128, 96));
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        packs_b: Vec<(usize, usize, usize, usize)>,
+        packs_a: Vec<(usize, usize, usize, usize)>,
+        macros: Vec<(usize, usize, usize, usize, usize, usize)>,
+    }
+
+    impl BlockSink for Recorder {
+        fn pack_b(&mut self, jc: usize, ncb: usize, pc: usize, kcb: usize) {
+            self.packs_b.push((jc, ncb, pc, kcb));
+        }
+        fn pack_a(&mut self, ic: usize, mcb: usize, pc: usize, kcb: usize) {
+            self.packs_a.push((ic, mcb, pc, kcb));
+        }
+        fn macro_kernel(
+            &mut self,
+            ic: usize,
+            mcb: usize,
+            jc: usize,
+            ncb: usize,
+            pc: usize,
+            kcb: usize,
+        ) {
+            self.macros.push((ic, mcb, jc, ncb, pc, kcb));
+        }
+    }
+
+    #[test]
+    fn loop_nest_covers_problem_without_overlap() {
+        let plan = BlockPlan::new(12, 20, 96, 4, 4, 32, (8, 8, 32));
+        let mut r = Recorder::default();
+        run_blocked(&plan, &mut r);
+        // B packed once per (jc, pc) pair
+        assert_eq!(r.packs_b.len(), (20usize.div_ceil(8)) * (96usize.div_ceil(32)));
+        // A packed once per (ic, pc) pair per column block
+        assert_eq!(r.packs_a.len(), r.packs_b.len() * 12usize.div_ceil(8));
+        assert_eq!(r.macros.len(), r.packs_a.len());
+        // blocks tile the full padded space exactly
+        let covered: usize = r.macros.iter().map(|&(_, mcb, _, ncb, _, kcb)| mcb * ncb * kcb).sum();
+        assert_eq!(covered, plan.mp * plan.np * plan.kp);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dims_rejected() {
+        let _ = BlockPlan::new(0, 4, 4, 4, 4, 1, (4, 4, 4));
+    }
+}

@@ -183,7 +183,7 @@ pub fn pack_a_transpose8_words() -> Program {
     a.vzip(V(13), V(1), V(5), 4, true); // c'
     a.vzip(V(14), V(3), V(7), 4, false); // d
     a.vzip(V(15), V(3), V(7), 4, true); // d'
-    // level 2
+                                        // level 2
     a.vzip(V(16), V(8), V(10), 4, false); // e  (evens cols 0-3)
     a.vzip(V(17), V(8), V(10), 4, true); // e' (evens cols 4-7)
     a.vzip(V(18), V(12), V(14), 4, false); // f  (odds cols 0-3)
@@ -192,7 +192,7 @@ pub fn pack_a_transpose8_words() -> Program {
     a.vzip(V(21), V(9), V(11), 4, true); // g' (evens cols 12-15)
     a.vzip(V(22), V(13), V(15), 4, false); // h
     a.vzip(V(23), V(13), V(15), 4, true); // h'
-    // level 3: full column interleave
+                                          // level 3: full column interleave
     a.vzip(V(24), V(16), V(18), 4, false); // cols 0-1
     a.vzip(V(25), V(16), V(18), 4, true); // cols 2-3
     a.vzip(V(26), V(17), V(19), 4, false); // cols 4-5
@@ -239,7 +239,7 @@ pub fn pack_a_camp4_vec() -> Program {
         a.vzip(V(13), V(8), V(10), 1, true); // cols 16-31
         a.vzip(V(14), V(9), V(11), 1, false); // cols 32-47
         a.vzip(V(15), V(9), V(11), 1, true); // cols 48-63
-        // pairwise nibble re-pack: 2 bytes per column
+                                             // pairwise nibble re-pack: 2 bytes per column
         a.vpack4(V(16), V(12), V(13));
         a.vpack4(V(17), V(14), V(15));
         a.vstore(V(16), S(11), half as i64 * 128);
@@ -479,8 +479,7 @@ mod tests {
         for i in 0..4 {
             let b = m.read_i8(0x200 + i as u64) as u8;
             let lo = ((b & 0xf) << 4) as i8 >> 4;
-            let hi = (b >> 4) as i8
-                | if b & 0x80 != 0 { -16 } else { 0 };
+            let hi = (b >> 4) as i8 | if b & 0x80 != 0 { -16 } else { 0 };
             assert_eq!(lo, vals[2 * i]);
             assert_eq!(hi, vals[2 * i + 1]);
         }
@@ -516,11 +515,7 @@ mod tests {
         m.set_x(S(12), vec_count);
         m.run(vec, 1_000_000).unwrap();
         for i in 0..out_bytes as u64 {
-            assert_eq!(
-                m.read_i8(0x4000 + i),
-                m.read_i8(0x8000 + i),
-                "mismatch at packed byte {i}"
-            );
+            assert_eq!(m.read_i8(0x4000 + i), m.read_i8(0x8000 + i), "mismatch at packed byte {i}");
         }
     }
 

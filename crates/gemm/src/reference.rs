@@ -34,6 +34,25 @@ impl SplitMix64 {
     }
 }
 
+/// Reference i32 GeMM over i8 inputs: `C[i][j] = Σ A[i][l]·B[l][j]`
+/// (row-major, wrapping accumulation). This is the golden model every
+/// kernel dispatcher and the host-speed engine are validated against.
+pub fn gemm_i32_ref(m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
+    assert_eq!(a.len(), m * k, "A must be m×k");
+    assert_eq!(b.len(), k * n, "B must be k×n");
+    let mut c = vec![0i32; m * n];
+    for i in 0..m {
+        for l in 0..k {
+            let av = a[i * k + l] as i32;
+            for j in 0..n {
+                let idx = i * n + j;
+                c[idx] = c[idx].wrapping_add(av.wrapping_mul(b[l * n + j] as i32));
+            }
+        }
+    }
+    c
+}
+
 /// i8-accumulator wrapping GeMM — the semantics of the paper's
 /// overflow-unsafe `handv-int8` baseline (§5.3 point 2).
 pub fn gemm_i8_wrapping_ref(m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i8> {
@@ -112,7 +131,7 @@ mod tests {
     fn distribution_covers_range() {
         let mut r = SplitMix64::new(3);
         let v = r.i8_vec(4096, -8, 7);
-        assert!(v.iter().any(|&x| x == -8));
-        assert!(v.iter().any(|&x| x == 7));
+        assert!(v.contains(&-8));
+        assert!(v.contains(&7));
     }
 }

@@ -145,12 +145,7 @@ pub fn blocked_trace(
                     while i < mcb {
                         for l in 0..kcb {
                             for r in 0..p.mr.min(mcb - i) {
-                                h.access(
-                                    ap0 + (((i + r) * kcb + l) * elem) as u64,
-                                    e,
-                                    false,
-                                    14,
-                                );
+                                h.access(ap0 + (((i + r) * kcb + l) * elem) as u64, e, false, 14);
                                 count += 1;
                             }
                             for cidx in 0..p.nr.min(ncb - j) {
@@ -166,8 +161,7 @@ pub fn blocked_trace(
                         // C tile read-modify-write
                         for r in 0..p.mr.min(mcb - i) {
                             for cidx in 0..p.nr.min(ncb - j) {
-                                let addr =
-                                    c0 + (((ic + i + r) * n + jc + j + cidx) * elem) as u64;
+                                let addr = c0 + (((ic + i + r) * n + jc + j + cidx) * elem) as u64;
                                 h.access(addr, e, false, 16);
                                 h.access(addr, e, true, 17);
                                 count += 2;

@@ -1,4 +1,7 @@
-//! Simple bump allocator for laying out matrices in machine memory.
+//! Buffer management for both GeMM halves: a bump allocator laying out
+//! matrices in *simulated* machine memory ([`Workspace`]), and a
+//! reusable *host-side* pack-buffer pool ([`PackPool`]) for the
+//! host-speed engine's packed A/B panels.
 
 /// Address-space planner for one simulated GeMM.
 #[derive(Debug, Clone)]
@@ -34,6 +37,64 @@ impl Default for Workspace {
     }
 }
 
+/// Reusable host-side pack buffers for one GeMM worker.
+///
+/// The blocked host engine packs each A/B block into panel buffers
+/// before the macro-kernel consumes them. Allocating those per panel
+/// (as the engine originally did with `vec![0; …]`) puts an allocator
+/// round-trip in the hottest loop; a `PackPool` instead grows its two
+/// buffers to the high-water mark once and hands out slices from then
+/// on. [`PackPool::allocations`] counts actual growths so tests can
+/// assert the steady state allocates nothing.
+///
+/// One pool serves one worker: the parallel engine path gives each
+/// thread its own arena.
+#[derive(Debug, Default)]
+pub struct PackPool {
+    a: Vec<i8>,
+    b: Vec<i8>,
+    allocations: u64,
+}
+
+impl PackPool {
+    /// Empty pool; buffers grow on first use.
+    pub fn new() -> Self {
+        PackPool::default()
+    }
+
+    /// Borrow the A pack buffer with room for `bytes` bytes, growing it
+    /// if needed. Contents are unspecified: packers must write every
+    /// byte they later read (zero-padding included).
+    pub fn a_buffer(&mut self, bytes: usize) -> &mut [i8] {
+        if self.a.len() < bytes {
+            self.a.resize(bytes, 0);
+            self.allocations += 1;
+        }
+        &mut self.a[..bytes]
+    }
+
+    /// Borrow the B pack buffer with room for `bytes` bytes; see
+    /// [`PackPool::a_buffer`].
+    pub fn b_buffer(&mut self, bytes: usize) -> &mut [i8] {
+        if self.b.len() < bytes {
+            self.b.resize(bytes, 0);
+            self.allocations += 1;
+        }
+        &mut self.b[..bytes]
+    }
+
+    /// Both packed buffers, read-only (for the macro-kernel).
+    pub fn buffers(&self) -> (&[i8], &[i8]) {
+        (&self.a, &self.b)
+    }
+
+    /// Number of buffer growths since construction. Flat across calls
+    /// ⇒ the hot loop is allocation-free.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,5 +114,24 @@ mod tests {
     fn zero_page_is_reserved() {
         let mut w = Workspace::new();
         assert!(w.alloc(1, 1) >= 256);
+    }
+
+    #[test]
+    fn pack_pool_reuses_buffers() {
+        let mut p = PackPool::new();
+        let _ = p.a_buffer(1024);
+        let _ = p.b_buffer(4096);
+        assert_eq!(p.allocations(), 2);
+        // same or smaller requests are served without allocating
+        for _ in 0..10 {
+            let _ = p.a_buffer(1024);
+            let _ = p.b_buffer(512);
+        }
+        assert_eq!(p.allocations(), 2);
+        // a larger request grows once
+        let _ = p.a_buffer(2048);
+        assert_eq!(p.allocations(), 3);
+        let (a, b) = p.buffers();
+        assert!(a.len() >= 2048 && b.len() >= 4096);
     }
 }

@@ -67,10 +67,8 @@ impl Assembler {
     /// Panics if a branch references an undefined label.
     pub fn finish(mut self) -> Program {
         for (at, label) in &self.fixups {
-            let target = *self
-                .labels
-                .get(label)
-                .unwrap_or_else(|| panic!("undefined label `{label}`"));
+            let target =
+                *self.labels.get(label).unwrap_or_else(|| panic!("undefined label `{label}`"));
             if let Inst::Branch { target: t, .. } = &mut self.insts[*at] {
                 *t = target;
             } else {

@@ -103,7 +103,13 @@ mod tests {
             "camp.s4 v2, v0, v1"
         );
         assert_eq!(
-            disassemble(&Inst::VBin { op: VOp::Mla, ty: ElemType::F32, vd: V(8), vs1: V(1), vs2: V(2) }),
+            disassemble(&Inst::VBin {
+                op: VOp::Mla,
+                ty: ElemType::F32,
+                vd: V(8),
+                vs1: V(1),
+                vs2: V(2)
+            }),
             "vmla.f32 v8, v1, v2"
         );
         assert_eq!(

@@ -194,45 +194,31 @@ impl Fields {
 /// [`EncodeError::ImmOutOfRange`] if an immediate exceeds its field.
 pub fn encode(inst: &Inst) -> Result<u64, EncodeError> {
     let w = match *inst {
-        Inst::Li { rd, imm } => {
-            pack(op::LI, &[(rd.0 as u64, 5), (imm_field(imm, 32)?, 32)])
+        Inst::Li { rd, imm } => pack(op::LI, &[(rd.0 as u64, 5), (imm_field(imm, 32)?, 32)]),
+        Inst::Addi { rd, rs, imm } => {
+            pack(op::ADDI, &[(rd.0 as u64, 5), (rs.0 as u64, 5), (imm_field(imm, 24)?, 24)])
         }
-        Inst::Addi { rd, rs, imm } => pack(
-            op::ADDI,
-            &[(rd.0 as u64, 5), (rs.0 as u64, 5), (imm_field(imm, 24)?, 24)],
-        ),
-        Inst::Add { rd, rs1, rs2 } => pack(
-            op::ADD,
-            &[(rd.0 as u64, 5), (rs1.0 as u64, 5), (rs2.0 as u64, 5)],
-        ),
-        Inst::Sub { rd, rs1, rs2 } => pack(
-            op::SUB,
-            &[(rd.0 as u64, 5), (rs1.0 as u64, 5), (rs2.0 as u64, 5)],
-        ),
-        Inst::Mul { rd, rs1, rs2 } => pack(
-            op::MUL,
-            &[(rd.0 as u64, 5), (rs1.0 as u64, 5), (rs2.0 as u64, 5)],
-        ),
-        Inst::Slli { rd, rs, sh } => pack(
-            op::SLLI,
-            &[(rd.0 as u64, 5), (rs.0 as u64, 5), (sh as u64, 6)],
-        ),
-        Inst::Srli { rd, rs, sh } => pack(
-            op::SRLI,
-            &[(rd.0 as u64, 5), (rs.0 as u64, 5), (sh as u64, 6)],
-        ),
-        Inst::Andi { rd, rs, imm } => pack(
-            op::ANDI,
-            &[(rd.0 as u64, 5), (rs.0 as u64, 5), (imm_field(imm, 24)?, 24)],
-        ),
+        Inst::Add { rd, rs1, rs2 } => {
+            pack(op::ADD, &[(rd.0 as u64, 5), (rs1.0 as u64, 5), (rs2.0 as u64, 5)])
+        }
+        Inst::Sub { rd, rs1, rs2 } => {
+            pack(op::SUB, &[(rd.0 as u64, 5), (rs1.0 as u64, 5), (rs2.0 as u64, 5)])
+        }
+        Inst::Mul { rd, rs1, rs2 } => {
+            pack(op::MUL, &[(rd.0 as u64, 5), (rs1.0 as u64, 5), (rs2.0 as u64, 5)])
+        }
+        Inst::Slli { rd, rs, sh } => {
+            pack(op::SLLI, &[(rd.0 as u64, 5), (rs.0 as u64, 5), (sh as u64, 6)])
+        }
+        Inst::Srli { rd, rs, sh } => {
+            pack(op::SRLI, &[(rd.0 as u64, 5), (rs.0 as u64, 5), (sh as u64, 6)])
+        }
+        Inst::Andi { rd, rs, imm } => {
+            pack(op::ANDI, &[(rd.0 as u64, 5), (rs.0 as u64, 5), (imm_field(imm, 24)?, 24)])
+        }
         Inst::Branch { cond, rs1, rs2, target } => pack(
             op::BRANCH,
-            &[
-                (cond_code(cond), 2),
-                (rs1.0 as u64, 5),
-                (rs2.0 as u64, 5),
-                (target as u64, 32),
-            ],
+            &[(cond_code(cond), 2), (rs1.0 as u64, 5), (rs2.0 as u64, 5), (target as u64, 32)],
         ),
         Inst::LoadS { rd, base, offset, width } => pack(
             op::LOADS,
@@ -253,14 +239,12 @@ pub fn encode(inst: &Inst) -> Result<u64, EncodeError> {
             ],
         ),
         Inst::Nop => pack(op::NOP, &[]),
-        Inst::VLoad { vd, base, offset } => pack(
-            op::VLOAD,
-            &[(vd.0 as u64, 5), (base.0 as u64, 5), (imm_field(offset, 24)?, 24)],
-        ),
-        Inst::VStore { vs, base, offset } => pack(
-            op::VSTORE,
-            &[(vs.0 as u64, 5), (base.0 as u64, 5), (imm_field(offset, 24)?, 24)],
-        ),
+        Inst::VLoad { vd, base, offset } => {
+            pack(op::VLOAD, &[(vd.0 as u64, 5), (base.0 as u64, 5), (imm_field(offset, 24)?, 24)])
+        }
+        Inst::VStore { vs, base, offset } => {
+            pack(op::VSTORE, &[(vs.0 as u64, 5), (base.0 as u64, 5), (imm_field(offset, 24)?, 24)])
+        }
         Inst::VBin { op: o, ty, vd, vs1, vs2 } => pack(
             op::VBIN,
             &[
@@ -271,27 +255,18 @@ pub fn encode(inst: &Inst) -> Result<u64, EncodeError> {
                 (vs2.0 as u64, 5),
             ],
         ),
-        Inst::VDup { ty, vd, rs } => pack(
-            op::VDUP,
-            &[(ty_code(ty), 2), (vd.0 as u64, 5), (rs.0 as u64, 5)],
-        ),
+        Inst::VDup { ty, vd, rs } => {
+            pack(op::VDUP, &[(ty_code(ty), 2), (vd.0 as u64, 5), (rs.0 as u64, 5)])
+        }
         Inst::VZero { vd } => pack(op::VZERO, &[(vd.0 as u64, 5)]),
         Inst::VMull { vd, vs1, vs2, hi } => pack(
             op::VMULL,
-            &[
-                (vd.0 as u64, 5),
-                (vs1.0 as u64, 5),
-                (vs2.0 as u64, 5),
-                (hi as u64, 1),
-            ],
+            &[(vd.0 as u64, 5), (vs1.0 as u64, 5), (vs2.0 as u64, 5), (hi as u64, 1)],
         ),
-        Inst::VAdalp { vd, vs } => {
-            pack(op::VADALP, &[(vd.0 as u64, 5), (vs.0 as u64, 5)])
+        Inst::VAdalp { vd, vs } => pack(op::VADALP, &[(vd.0 as u64, 5), (vs.0 as u64, 5)]),
+        Inst::VSxtl { vd, vs, part } => {
+            pack(op::VSXTL, &[(vd.0 as u64, 5), (vs.0 as u64, 5), (part as u64, 2)])
         }
-        Inst::VSxtl { vd, vs, part } => pack(
-            op::VSXTL,
-            &[(vd.0 as u64, 5), (vs.0 as u64, 5), (part as u64, 2)],
-        ),
         Inst::VZip { vd, vs1, vs2, granule, hi } => pack(
             op::VZIP,
             &[
@@ -304,25 +279,17 @@ pub fn encode(inst: &Inst) -> Result<u64, EncodeError> {
         ),
         Inst::VLoadRep { ty, vd, base, offset } => pack(
             op::VLOADREP,
-            &[
-                (ty_code(ty), 2),
-                (vd.0 as u64, 5),
-                (base.0 as u64, 5),
-                (imm_field(offset, 24)?, 24),
-            ],
+            &[(ty_code(ty), 2), (vd.0 as u64, 5), (base.0 as u64, 5), (imm_field(offset, 24)?, 24)],
         ),
-        Inst::VPack4 { vd, vs1, vs2 } => pack(
-            op::VPACK4,
-            &[(vd.0 as u64, 5), (vs1.0 as u64, 5), (vs2.0 as u64, 5)],
-        ),
-        Inst::VUnpack4 { vd, vs, hi } => pack(
-            op::VUNPACK4,
-            &[(vd.0 as u64, 5), (vs.0 as u64, 5), (hi as u64, 1)],
-        ),
-        Inst::Smmla { vd, vs1, vs2 } => pack(
-            op::SMMLA,
-            &[(vd.0 as u64, 5), (vs1.0 as u64, 5), (vs2.0 as u64, 5)],
-        ),
+        Inst::VPack4 { vd, vs1, vs2 } => {
+            pack(op::VPACK4, &[(vd.0 as u64, 5), (vs1.0 as u64, 5), (vs2.0 as u64, 5)])
+        }
+        Inst::VUnpack4 { vd, vs, hi } => {
+            pack(op::VUNPACK4, &[(vd.0 as u64, 5), (vs.0 as u64, 5), (hi as u64, 1)])
+        }
+        Inst::Smmla { vd, vs1, vs2 } => {
+            pack(op::SMMLA, &[(vd.0 as u64, 5), (vs1.0 as u64, 5), (vs2.0 as u64, 5)])
+        }
         Inst::Camp { mode, vd, vs1, vs2 } => pack(
             op::CAMP,
             &[

@@ -243,7 +243,11 @@ impl InstClass {
     pub fn is_vector(self) -> bool {
         matches!(
             self,
-            InstClass::VLoad | InstClass::VStore | InstClass::VAlu | InstClass::VMul | InstClass::Camp
+            InstClass::VLoad
+                | InstClass::VStore
+                | InstClass::VAlu
+                | InstClass::VMul
+                | InstClass::Camp
         )
     }
 }
@@ -356,10 +360,7 @@ mod tests {
     #[test]
     fn classification() {
         assert_eq!(Inst::Nop.class(), InstClass::ScalarAlu);
-        assert_eq!(
-            Inst::VLoad { vd: V(0), base: S(1), offset: 0 }.class(),
-            InstClass::VLoad
-        );
+        assert_eq!(Inst::VLoad { vd: V(0), base: S(1), offset: 0 }.class(), InstClass::VLoad);
         assert_eq!(
             Inst::VBin { op: VOp::Mla, ty: ElemType::I32, vd: V(0), vs1: V(1), vs2: V(2) }.class(),
             InstClass::VMul

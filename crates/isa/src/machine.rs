@@ -339,10 +339,8 @@ impl Machine {
                 let s = self.v[vs.index()];
                 let mut d = self.v[vd.index()];
                 for i in 0..16 {
-                    let lo =
-                        i16::from_le_bytes([s[i * 4], s[i * 4 + 1]]) as i32;
-                    let hi =
-                        i16::from_le_bytes([s[i * 4 + 2], s[i * 4 + 3]]) as i32;
+                    let lo = i16::from_le_bytes([s[i * 4], s[i * 4 + 1]]) as i32;
+                    let hi = i16::from_le_bytes([s[i * 4 + 2], s[i * 4 + 3]]) as i32;
                     let acc = i32::from_le_bytes(d[i * 4..i * 4 + 4].try_into().expect("4"));
                     let r = acc.wrapping_add(lo).wrapping_add(hi);
                     d[i * 4..i * 4 + 4].copy_from_slice(&r.to_le_bytes());
@@ -528,7 +526,11 @@ fn apply_int(op: VOp, x: i64, y: i64, acc: i64) -> i64 {
 /// accumulated). This is the architectural semantics of the hardware in
 /// Fig. 8 of the paper; `camp-core` models the same computation at the
 /// lane/multiplier level and is tested for equivalence against this.
-pub fn camp_outer_product(mode: CampMode, a: &[u8; VLEN_BYTES], b: &[u8; VLEN_BYTES]) -> [[i32; 4]; 4] {
+pub fn camp_outer_product(
+    mode: CampMode,
+    a: &[u8; VLEN_BYTES],
+    b: &[u8; VLEN_BYTES],
+) -> [[i32; 4]; 4] {
     let mut tile = [[0i32; 4]; 4];
     match mode {
         CampMode::I8 => {
@@ -545,7 +547,7 @@ pub fn camp_outer_product(mode: CampMode, a: &[u8; VLEN_BYTES], b: &[u8; VLEN_BY
         CampMode::I4 => {
             let nib = |buf: &[u8; VLEN_BYTES], n: usize| -> i32 {
                 let byte = buf[n / 2];
-                let raw = if n % 2 == 0 { byte & 0x0f } else { byte >> 4 };
+                let raw = if n.is_multiple_of(2) { byte & 0x0f } else { byte >> 4 };
                 sext4(raw) as i32
             };
             for l in 0..32 {
@@ -639,7 +641,7 @@ mod tests {
     fn vector_roundtrip_and_add() {
         let mut m = machine();
         for i in 0..16 {
-            m.write_i32(i as u64 * 4, i as i32 + 1);
+            m.write_i32(i as u64 * 4, i + 1);
         }
         let mut a = Assembler::new("t");
         a.vload(V(0), S(0), 0);
@@ -648,7 +650,7 @@ mod tests {
         let p = a.finish();
         m.run(&p, 10).unwrap();
         for i in 0..16 {
-            assert_eq!(m.read_i32(128 + i as u64 * 4), 2 * (i as i32 + 1));
+            assert_eq!(m.read_i32(128 + i as u64 * 4), 2 * (i + 1));
         }
     }
 
@@ -656,7 +658,7 @@ mod tests {
     fn vdup_and_mla_i32() {
         let mut m = machine();
         for i in 0..16 {
-            m.write_i32(i as u64 * 4, i as i32);
+            m.write_i32(i as u64 * 4, i);
         }
         let mut a = Assembler::new("t");
         a.vload(V(0), S(0), 0);
@@ -669,7 +671,7 @@ mod tests {
         let p = a.finish();
         m.run(&p, 20).unwrap();
         for i in 0..16 {
-            assert_eq!(m.read_i32(256 + i as u64 * 4), 6 * i as i32);
+            assert_eq!(m.read_i32(256 + i as u64 * 4), 6 * i);
         }
     }
 
@@ -685,7 +687,7 @@ mod tests {
         a.vmla_i8(V(1), V(0), V(0));
         let p = a.finish();
         m.run(&p, 10).unwrap();
-        assert_eq!(m.v(V(1))[0] as i8, (10000i32 & 0xff) as i8 as i8);
+        assert_eq!(m.v(V(1))[0] as i8, ((10000i32 & 0xff) as i8));
     }
 
     #[test]
@@ -853,8 +855,9 @@ mod tests {
                 for l in 0..16 {
                     acc += (a[l * 4 + i] as i8 as i32) * (b[l * 4 + j] as i8 as i32);
                 }
-                let got =
-                    i32::from_le_bytes(m.v(V(2))[(i * 4 + j) * 4..(i * 4 + j) * 4 + 4].try_into().unwrap());
+                let got = i32::from_le_bytes(
+                    m.v(V(2))[(i * 4 + j) * 4..(i * 4 + j) * 4 + 4].try_into().unwrap(),
+                );
                 assert_eq!(got, 2 * acc, "tile ({i},{j})");
             }
         }
@@ -879,8 +882,9 @@ mod tests {
         let tile = camp_outer_product(CampMode::I4, &a, &b);
         for i in 0..4 {
             for j in 0..4 {
-                let got =
-                    i32::from_le_bytes(m.v(V(2))[(i * 4 + j) * 4..(i * 4 + j) * 4 + 4].try_into().unwrap());
+                let got = i32::from_le_bytes(
+                    m.v(V(2))[(i * 4 + j) * 4..(i * 4 + j) * 4 + 4].try_into().unwrap(),
+                );
                 assert_eq!(got, tile[i][j]);
             }
         }

@@ -55,7 +55,13 @@ pub enum Benchmark {
 impl Benchmark {
     /// All CNN-side benchmarks in the paper's order.
     pub fn all() -> [Benchmark; 5] {
-        [Benchmark::AlexNet, Benchmark::Smm, Benchmark::ResNet, Benchmark::Vgg, Benchmark::MobileNet]
+        [
+            Benchmark::AlexNet,
+            Benchmark::Smm,
+            Benchmark::ResNet,
+            Benchmark::Vgg,
+            Benchmark::MobileNet,
+        ]
     }
 
     /// Display name.

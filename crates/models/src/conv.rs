@@ -51,11 +51,7 @@ impl Conv2d {
     /// The Table 4 comparison benchmark: input 16×16×32, filters
     /// 64×3×3×32 (stride 1, padding 1).
     pub fn table4_benchmark() -> (Conv2d, usize, usize) {
-        (
-            Conv2d { in_channels: 32, out_channels: 64, kernel: 3, stride: 1, padding: 1 },
-            16,
-            16,
-        )
+        (Conv2d { in_channels: 32, out_channels: 64, kernel: 3, stride: 1, padding: 1 }, 16, 16)
     }
 
     /// Output spatial size for an `h×w` input.
@@ -90,14 +86,17 @@ impl Conv2d {
                             for kx in 0..self.kernel {
                                 let iy = (oy * self.stride + ky) as isize - self.padding as isize;
                                 let ix = (ox * self.stride + kx) as isize - self.padding as isize;
-                                if iy < 0 || ix < 0 || iy >= input.h as isize || ix >= input.w as isize
+                                if iy < 0
+                                    || ix < 0
+                                    || iy >= input.h as isize
+                                    || ix >= input.w as isize
                                 {
                                     continue;
                                 }
                                 let iv = input.at(ic, iy as usize, ix as usize) as i32;
-                                let wv = weights
-                                    [((oc * self.in_channels + ic) * self.kernel + ky) * self.kernel + kx]
-                                    as i32;
+                                let wv = weights[((oc * self.in_channels + ic) * self.kernel + ky)
+                                    * self.kernel
+                                    + kx] as i32;
                                 acc = acc.wrapping_add(iv.wrapping_mul(wv));
                             }
                         }
@@ -126,15 +125,13 @@ pub fn im2col(conv: &Conv2d, input: &Tensor3) -> Vec<i8> {
                     for kx in 0..conv.kernel {
                         let iy = (oy * conv.stride + ky) as isize - conv.padding as isize;
                         let ix = (ox * conv.stride + kx) as isize - conv.padding as isize;
-                        out[row * k + col] = if iy < 0
-                            || ix < 0
-                            || iy >= input.h as isize
-                            || ix >= input.w as isize
-                        {
-                            0
-                        } else {
-                            input.at(ic, iy as usize, ix as usize)
-                        };
+                        out[row * k + col] =
+                            if iy < 0 || ix < 0 || iy >= input.h as isize || ix >= input.w as isize
+                            {
+                                0
+                            } else {
+                                input.at(ic, iy as usize, ix as usize)
+                            };
                         col += 1;
                     }
                 }

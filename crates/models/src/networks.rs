@@ -26,6 +26,7 @@ pub struct ConvLayer {
 }
 
 impl ConvLayer {
+    #[allow(clippy::too_many_arguments)]
     const fn new(
         name: &'static str,
         in_channels: usize,

@@ -180,9 +180,7 @@ impl CoreConfig {
             FuKind::VAlu => self.valu,
             FuKind::VMul => self.vmul,
             FuKind::Camp => self.camp,
-            FuKind::LoadPort => {
-                FuDesc { count: self.load_ports, latency: 0, ii: self.vmem_beats }
-            }
+            FuKind::LoadPort => FuDesc { count: self.load_ports, latency: 0, ii: self.vmem_beats },
             FuKind::StorePort => {
                 FuDesc { count: self.store_ports, latency: 1, ii: self.vmem_beats }
             }

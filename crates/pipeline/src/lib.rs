@@ -45,7 +45,7 @@ mod config;
 mod sim;
 mod stats;
 
-pub use config::{CoreConfig, CoreKind, FuDesc, FuKind};
 pub use config::NUM_FU_KINDS;
+pub use config::{CoreConfig, CoreKind, FuDesc, FuKind};
 pub use sim::Simulator;
 pub use stats::SimStats;

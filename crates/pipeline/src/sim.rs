@@ -27,10 +27,8 @@ struct Timing {
 
 impl Timing {
     fn new(cfg: &CoreConfig) -> Self {
-        let unit_free = FuKind::all()
-            .iter()
-            .map(|&k| vec![0u64; cfg.fu(k).count.max(1) as usize])
-            .collect();
+        let unit_free =
+            FuKind::all().iter().map(|&k| vec![0u64; cfg.fu(k).count.max(1) as usize]).collect();
         Timing {
             disp_cycle: 0,
             slot_used: 0,
@@ -141,10 +139,13 @@ impl Simulator {
         // (separate closure borrows are fine because we only borrow t)
         match *inst {
             Inst::Li { .. } | Inst::Nop => {}
-            Inst::Addi { rs, .. } | Inst::Slli { rs, .. } | Inst::Srli { rs, .. } | Inst::Andi { rs, .. } => {
-                upd_x(rs)
-            }
-            Inst::Add { rs1, rs2, .. } | Inst::Sub { rs1, rs2, .. } | Inst::Mul { rs1, rs2, .. } => {
+            Inst::Addi { rs, .. }
+            | Inst::Slli { rs, .. }
+            | Inst::Srli { rs, .. }
+            | Inst::Andi { rs, .. } => upd_x(rs),
+            Inst::Add { rs1, rs2, .. }
+            | Inst::Sub { rs1, rs2, .. }
+            | Inst::Mul { rs1, rs2, .. } => {
                 upd_x(rs1);
                 upd_x(rs2);
             }
@@ -378,11 +379,8 @@ impl Simulator {
             // The CAMP auxiliary register accepts a new accumulation
             // every II cycles; only a non-camp consumer needs the final
             // value, which the driver reads once per tile.
-            let ready = if matches!(inst, Inst::Camp { .. }) {
-                start + fu.ii as u64
-            } else {
-                finish
-            };
+            let ready =
+                if matches!(inst, Inst::Camp { .. }) { start + fu.ii as u64 } else { finish };
             t.ready_v[v.index()] = ready;
             t.v_from_load[v.index()] = is_load;
         }
@@ -431,7 +429,14 @@ impl Simulator {
         if self.trace && self.stats.insts < 400 {
             eprintln!(
                 "[trace] #{:<4} idx={:<4} {:?} disp={} src={} fu={} start={} fin={}",
-                self.stats.insts, out.index, inst.class(), disp, src_ready, fu_free, start, finish
+                self.stats.insts,
+                out.index,
+                inst.class(),
+                disp,
+                src_ready,
+                fu_free,
+                start,
+                finish
             );
         }
 
@@ -457,10 +462,7 @@ impl Simulator {
         self.machine.rewind();
         let mut t = Timing::new(&self.cfg);
         let mut steps: u64 = 0;
-        loop {
-            let Some(out) = self.machine.step(prog)? else {
-                break;
-            };
+        while let Some(out) = self.machine.step(prog)? {
             steps += 1;
             if steps > max_steps {
                 return Err(ExecError::StepLimit);

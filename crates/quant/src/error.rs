@@ -7,11 +7,7 @@
 pub fn mse(reference: &[f32], reconstructed: &[f32]) -> f64 {
     assert_eq!(reference.len(), reconstructed.len());
     assert!(!reference.is_empty());
-    reference
-        .iter()
-        .zip(reconstructed)
-        .map(|(&a, &b)| ((a - b) as f64).powi(2))
-        .sum::<f64>()
+    reference.iter().zip(reconstructed).map(|(&a, &b)| ((a - b) as f64).powi(2)).sum::<f64>()
         / reference.len() as f64
 }
 
@@ -19,11 +15,8 @@ pub fn mse(reference: &[f32], reconstructed: &[f32]) -> f64 {
 /// extra bit for a well-fit uniform quantizer).
 pub fn sqnr_db(reference: &[f32], reconstructed: &[f32]) -> f64 {
     let signal = reference.iter().map(|&a| (a as f64).powi(2)).sum::<f64>();
-    let noise = reference
-        .iter()
-        .zip(reconstructed)
-        .map(|(&a, &b)| ((a - b) as f64).powi(2))
-        .sum::<f64>();
+    let noise =
+        reference.iter().zip(reconstructed).map(|(&a, &b)| ((a - b) as f64).powi(2)).sum::<f64>();
     if noise == 0.0 {
         f64::INFINITY
     } else {

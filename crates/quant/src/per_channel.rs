@@ -20,7 +20,7 @@ impl PerChannelQuantizer {
     /// # Panics
     /// Panics if `weights.len()` is not a multiple of `k`, or bits ∉ 2..=8.
     pub fn fit(weights: &[f32], k: usize, bits: u32) -> Self {
-        assert!(k > 0 && weights.len() % k == 0, "weights must be m×k");
+        assert!(k > 0 && weights.len().is_multiple_of(k), "weights must be m×k");
         assert!((2..=8).contains(&bits));
         let qmax = ((1i32 << (bits - 1)) - 1) as f32;
         let scales = weights

@@ -6,7 +6,7 @@
 //! cargo run --release --example llm_layer
 //! ```
 
-use camp::energy::{EnergyModel};
+use camp::energy::EnergyModel;
 use camp::gemm::{simulate_gemm, GemmOptions, Method};
 use camp::models::LlmModel;
 use camp::pipeline::CoreConfig;

@@ -44,11 +44,7 @@ fn main() {
     println!("  MACs represented : {}", stats.macs);
     println!("  MACs per issue   : {:.0}", stats.macs as f64 / stats.camp_issues as f64);
     println!("  SQNR vs fp32     : {:.1} dB", sqnr_db(&c_ref, &c_deq));
-    let max_err = c_ref
-        .iter()
-        .zip(&c_deq)
-        .map(|(&r, &q)| (r - q).abs())
-        .fold(0f32, f32::max);
+    let max_err = c_ref.iter().zip(&c_deq).map(|(&r, &q)| (r - q).abs()).fold(0f32, f32::max);
     println!("  max abs error    : {max_err:.4}");
     assert!(sqnr_db(&c_ref, &c_deq) > 25.0, "quantized GeMM should track fp32 closely");
     println!("OK: int8 CAMP GeMM tracks the fp32 product.");

@@ -1,0 +1,106 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this shim provides
+//! the API subset the workspace uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and [`Rng::gen_range`] over integer
+//! and float ranges. The generator is SplitMix64 — deterministic and
+//! high-enough quality for synthetic workload generation, but *not* the
+//! ChaCha generator real `rand` uses, so sequences differ from upstream.
+
+/// Types samplable from a `Range<T>` (the subset of rand's
+/// `SampleUniform` this workspace needs). The type parameter mirrors
+/// rand's generic shape so literal ranges infer their element type from
+/// the call site's expected result type.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample(&self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(&self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (next() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample(&self, next: &mut dyn FnMut() -> u64) -> f32 {
+        let u01 = (next() >> 40) as f32 / (1u64 << 24) as f32;
+        self.start + u01 * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample(&self, next: &mut dyn FnMut() -> u64) -> f64 {
+        let u01 = (next() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + u01 * (self.end - self.start)
+    }
+}
+
+/// Random-value methods over a generator.
+pub trait Rng {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value from a range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(&mut || self.next_u64())
+    }
+}
+
+/// Constructors from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    /// Deterministic standard generator (SplitMix64 in this shim).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed ^ 0x1656_6791_6e17_3db5 }
+        }
+    }
+
+    impl crate::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x = a.gen_range(-1.5f32..1.5);
+            assert_eq!(x, b.gen_range(-1.5f32..1.5));
+            assert!((-1.5..1.5).contains(&x));
+            let n = a.gen_range(0usize..10);
+            assert_eq!(n, b.gen_range(0usize..10));
+            assert!(n < 10);
+        }
+    }
+}

@@ -2,7 +2,9 @@
 //! invariants.
 
 use camp::cache::{Cache, CacheConfig};
-use camp::core::engine::{camp_gemm_i4, camp_gemm_i8};
+use camp::core::engine::{
+    camp_gemm_i4, camp_gemm_i4_parallel, camp_gemm_i8, camp_gemm_i8_parallel,
+};
 use camp::core::gemm_i32_ref;
 use camp::core::hybrid::HybridMultiplier;
 use camp::core::unit::{CampUnit, Mode};
@@ -58,6 +60,19 @@ proptest! {
         let b = gen(k * n, seed.rotate_left(7) | 1);
         prop_assert_eq!(camp_gemm_i8(m, n, k, &a, &b), gemm_i32_ref(m, n, k, &a, &b));
         prop_assert_eq!(camp_gemm_i4(m, n, k, &a, &b), gemm_i32_ref(m, n, k, &a, &b));
+    }
+
+    #[test]
+    fn parallel_engine_is_bit_identical_to_serial(m in 1usize..26, n in 1usize..26, k in 1usize..70,
+                                                  threads in 2usize..9, seed in any::<u32>()) {
+        let gen = |len: usize, s: u32| -> Vec<i8> {
+            (0..len).map(|i| (((i as u32).wrapping_mul(s).wrapping_add(s) % 16) as i32 - 8) as i8)
+                .collect()
+        };
+        let a = gen(m * k, seed | 1);
+        let b = gen(k * n, seed.rotate_left(11) | 1);
+        prop_assert_eq!(camp_gemm_i8_parallel(m, n, k, &a, &b, threads), camp_gemm_i8(m, n, k, &a, &b));
+        prop_assert_eq!(camp_gemm_i4_parallel(m, n, k, &a, &b, threads), camp_gemm_i4(m, n, k, &a, &b));
     }
 
     #[test]
