@@ -16,13 +16,36 @@
 //! exposes the growth counter). An opt-in parallel path
 //! ([`CampEngine::with_threads`] or the `*_parallel` helpers) splits the
 //! row dimension across `std::thread::scope` workers — the Goto split of
-//! the macro loop — with one pack-pool arena per worker; its results are
-//! bit-identical to the serial path because every 4×4 tile is computed
-//! by exactly one worker with identical arithmetic.
+//! the macro loop. B is packed exactly once per call into a shared
+//! read-only panel that every worker consumes (workers no longer pack
+//! private copies), and results are bit-identical to the serial path
+//! because every 4×4 tile is computed by exactly one worker with
+//! identical arithmetic.
+//!
+//! # Batched GeMM
+//!
+//! Transformer attention is dominated by *many small* GeMMs per step —
+//! per-head (s×dₕ)·(dₕ×s) score and (s×s)·(s×dₕ) context products,
+//! 12–20 heads per layer (§5.2, Fig. 14) — shapes where per-call setup
+//! and operand re-packing swamp compute. [`CampEngine::gemm_i8_batch`] /
+//! [`CampEngine::gemm_i4_batch`] take a slice of [`GemmProblem`]
+//! descriptors and amortize all of it:
+//!
+//! * **B deduplication** — problems sharing one weight matrix (the QKV
+//!   projections across heads and layers) pack B once into a pool-owned
+//!   panel reused across the whole batch;
+//! * **cross-item parallelism** — small problems are distributed across
+//!   workers whole (one spawn per batch, not per call); problems above
+//!   a MAC-count threshold fall back to the row-partition split;
+//! * **bit-identity** — batch results equal looping the per-call API
+//!   over the same problems, element for element.
 
-use camp_gemm::loops::{run_blocked, BlockPlan, BlockSink};
-use camp_gemm::workspace::PackPool;
+use camp_gemm::batch::{packed_b_bytes, packed_b_offset};
+use camp_gemm::loops::{for_each_b_block, run_blocked, BlockPlan, BlockSink};
+use camp_gemm::workspace::{PackPool, PanelId};
+use std::collections::HashMap;
 
+pub use camp_gemm::batch::GemmProblem;
 pub use camp_gemm::gemm_i32_ref;
 
 /// Default row-block height (multiple of the 4-row register tile).
@@ -31,6 +54,13 @@ const MC: usize = 128;
 const NC: usize = 256;
 /// Default depth-block size (multiple of both camp k-steps).
 const KC: usize = 2048;
+
+/// MAC count above which a batch item is row-partitioned across all
+/// workers instead of sharing one worker with other items. Below it,
+/// the per-item thread fan-out costs more than it buys (the attention
+/// score/context products are ~1 M MACs); above it, a single problem
+/// has enough rows to keep every worker busy on its own.
+const BATCH_ROW_SPLIT_MACS: u64 = 8 * 1024 * 1024;
 
 /// Per-call statistics of the engine (what the instruction stream would
 /// have contained).
@@ -44,9 +74,10 @@ pub struct EngineStats {
     pub vector_loads: u64,
     /// 64-byte vector stores (result tiles, once per tile per k block).
     pub vector_stores: u64,
-    /// Bytes moved while packing panels. In the parallel path each
-    /// worker packs its own copy of the B block, so this counts the
-    /// per-worker (not deduplicated) traffic.
+    /// Bytes moved while packing panels, deduplicated: the parallel
+    /// path packs B once into a shared read-only panel (not once per
+    /// worker), and the batched API packs each unique B operand once
+    /// per call no matter how many problems consume it.
     pub packed_bytes: u64,
     /// Multiply-accumulate operations represented.
     pub macs: u64,
@@ -93,8 +124,41 @@ fn camp_issue_i4(a: &[i8], b: &[i8], acc: &mut [[i32; 4]; 4]) {
     }
 }
 
+/// Pack a block of row-major B starting at column `jc`, depth `pc` into
+/// nR-column panels (row-major within the panel), zero-padded past the
+/// matrix edge — the layout one `camp` B operand expects. `buf` must
+/// hold exactly `ncb * kcb` bytes; its length determines the block
+/// width.
+fn pack_b_block(buf: &mut [i8], b: &[i8], n: usize, k: usize, jc: usize, pc: usize, kcb: usize) {
+    let panel = kcb * 4;
+    for (q, panel_buf) in buf.chunks_exact_mut(panel).enumerate() {
+        let j0 = jc + q * 4;
+        for l in 0..kcb {
+            let lg = pc + l;
+            for (cx, out) in panel_buf[l * 4..l * 4 + 4].iter_mut().enumerate() {
+                let j = j0 + cx;
+                *out = if lg < k && j < n { b[lg * n + j] } else { 0 };
+            }
+        }
+    }
+}
+
+/// Pack every (jc, pc) block of B in the blocked loops' visit order
+/// (shared with [`run_blocked`] via [`for_each_b_block`]) into `dst`
+/// (sized by [`packed_b_bytes`]). Each block's bytes are bit-identical
+/// to what per-block packing produces, so a macro-kernel reading at
+/// [`packed_b_offset`] computes exactly the serial result.
+fn prepack_b(dst: &mut [i8], b: &[i8], n: usize, k: usize, plan: &BlockPlan) {
+    for_each_b_block(plan, |jc, ncb, pc, kcb| {
+        let off = packed_b_offset(plan.kp, jc, ncb, pc);
+        pack_b_block(&mut dst[off..off + ncb * kcb], b, n, k, jc, pc, kcb);
+    });
+}
+
 /// Host backend of the shared blocked-loop skeleton: packs blocks into
 /// the pool's buffers and runs the camp issue loop as the macro-kernel.
+/// With `shared_b` set, B arrives fully pre-packed (see [`prepack_b`])
+/// and the per-block B pack becomes a no-op.
 struct HostBackend<'a> {
     a: &'a [i8],
     b: &'a [i8],
@@ -102,29 +166,25 @@ struct HostBackend<'a> {
     m: usize,
     n: usize,
     k: usize,
+    /// Padded depth of the plan (for shared-panel block offsets).
+    kp: usize,
     k_step: usize,
     issue: IssueFn,
     pool: &'a mut PackPool,
+    shared_b: Option<&'a [i8]>,
     stats: EngineStats,
 }
 
 impl BlockSink for HostBackend<'_> {
     fn pack_b(&mut self, jc: usize, ncb: usize, pc: usize, kcb: usize) {
-        // nR-column panels, row-major within the panel, zero-padded past
-        // the matrix edge — the layout one `camp` B operand expects.
-        let panel = kcb * 4;
-        let buf = self.pool.b_buffer(ncb / 4 * panel);
-        for (q, panel_buf) in buf.chunks_exact_mut(panel).enumerate() {
-            let j0 = jc + q * 4;
-            for l in 0..kcb {
-                let lg = pc + l;
-                for (cx, out) in panel_buf[l * 4..l * 4 + 4].iter_mut().enumerate() {
-                    let j = j0 + cx;
-                    *out = if lg < self.k && j < self.n { self.b[lg * self.n + j] } else { 0 };
-                }
-            }
+        if self.shared_b.is_some() {
+            // B was packed once for all workers/batch items; the pack
+            // traffic is accounted exactly once by the caller.
+            return;
         }
-        self.stats.packed_bytes += (ncb / 4 * panel) as u64;
+        let buf = self.pool.b_buffer(ncb * kcb);
+        pack_b_block(buf, self.b, self.n, self.k, jc, pc, kcb);
+        self.stats.packed_bytes += (ncb * kcb) as u64;
     }
 
     fn pack_a(&mut self, ic: usize, mcb: usize, pc: usize, kcb: usize) {
@@ -154,7 +214,14 @@ impl BlockSink for HostBackend<'_> {
         kcb: usize,
     ) {
         let panel = kcb * 4;
-        let (abuf, bbuf) = self.pool.buffers();
+        let (abuf, own_b) = self.pool.buffers();
+        let bbuf = match self.shared_b {
+            Some(packed) => {
+                let off = packed_b_offset(self.kp, jc, ncb, pc);
+                &packed[off..off + ncb * kcb]
+            }
+            None => own_b,
+        };
         for q in 0..ncb / 4 {
             let pb = &bbuf[q * panel..(q + 1) * panel];
             for p in 0..mcb / 4 {
@@ -196,7 +263,8 @@ impl BlockSink for HostBackend<'_> {
     }
 }
 
-/// Run the blocked loops for one worker's row range.
+/// Run the blocked loops for one worker's row range. With `shared_b`,
+/// B is consumed from the caller's pre-packed panel.
 #[allow(clippy::too_many_arguments)]
 fn gemm_range(
     m: usize,
@@ -208,6 +276,7 @@ fn gemm_range(
     pool: &mut PackPool,
     k_step: usize,
     issue: IssueFn,
+    shared_b: Option<&[i8]>,
 ) -> EngineStats {
     let plan = BlockPlan::new(m, n, k, 4, 4, k_step, (MC, NC, KC));
     let mut backend = HostBackend {
@@ -217,22 +286,83 @@ fn gemm_range(
         m,
         n,
         k,
+        kp: plan.kp,
         k_step,
         issue,
         pool,
+        shared_b,
         stats: EngineStats { macs: (m * n * k) as u64, ..EngineStats::default() },
     };
     run_blocked(&plan, &mut backend);
     backend.stats
 }
 
+/// Worker row-chunk height (a multiple of the 4-row register tile, so
+/// every worker owns whole tiles) and the resulting worker count for an
+/// m-row problem across up to `threads` workers. The single source of
+/// truth for the row split: `gemm` uses the worker count to decide
+/// whether to pre-pack a shared B panel, and [`gemm_partitioned`] uses
+/// the same numbers to chunk the work.
+fn row_partition(m: usize, threads: usize) -> (usize, usize) {
+    let rows_per = m.div_ceil(threads).div_ceil(4) * 4;
+    (rows_per, m.div_ceil(rows_per))
+}
+
+/// Row partition of the macro loop across up to `threads` workers:
+/// chunks are multiples of the 4-row tile so every worker owns whole
+/// register tiles, which (with wrapping i32 accumulation) makes the
+/// result bit-identical to the serial path for any worker count.
+#[allow(clippy::too_many_arguments)]
+fn gemm_partitioned(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    b: &[i8],
+    c: &mut [i32],
+    pools: &mut Vec<PackPool>,
+    threads: usize,
+    k_step: usize,
+    issue: IssueFn,
+    shared_b: Option<&[i8]>,
+) -> EngineStats {
+    let (rows_per, workers) = row_partition(m, threads);
+    while pools.len() < workers {
+        pools.push(PackPool::new());
+    }
+    let mut total = EngineStats::default();
+    if workers == 1 {
+        total.merge(&gemm_range(m, n, k, a, b, c, &mut pools[0], k_step, issue, shared_b));
+        return total;
+    }
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for ((c_chunk, a_chunk), pool) in
+            c.chunks_mut(rows_per * n).zip(a.chunks(rows_per * k)).zip(pools.iter_mut())
+        {
+            let m_local = c_chunk.len() / n;
+            handles.push(scope.spawn(move || {
+                gemm_range(m_local, n, k, a_chunk, b, c_chunk, pool, k_step, issue, shared_b)
+            }));
+        }
+        for h in handles {
+            total.merge(&h.join().expect("GeMM worker panicked"));
+        }
+    });
+    total
+}
+
 /// Reusable host-speed GeMM engine: owns one pack-pool arena per worker
-/// thread, so the packing hot loop allocates nothing once the pools are
-/// warm (each call still allocates its m×n result vector).
+/// thread plus a shared arena for pre-packed B panels, so the packing
+/// hot loop allocates nothing once the pools are warm (each call still
+/// allocates its m×n result vector).
 #[derive(Debug)]
 pub struct CampEngine {
     threads: usize,
     pools: Vec<PackPool>,
+    /// Arena for B panels shared read-only across workers: the parallel
+    /// path's single packed B, and the batch path's deduplicated B set.
+    shared: PackPool,
 }
 
 impl Default for CampEngine {
@@ -255,7 +385,7 @@ impl CampEngine {
         } else {
             threads
         };
-        CampEngine { threads, pools: Vec::new() }
+        CampEngine { threads, pools: Vec::new(), shared: PackPool::new() }
     }
 
     /// Configured worker count.
@@ -263,10 +393,10 @@ impl CampEngine {
         self.threads
     }
 
-    /// Total pack-buffer growths across all worker arenas. Flat across
+    /// Total pack-buffer growths across all arenas. Flat across
     /// same-shape calls ⇒ the hot loop is allocation-free.
     pub fn pack_allocations(&self) -> u64 {
-        self.pools.iter().map(PackPool::allocations).sum()
+        self.pools.iter().map(PackPool::allocations).sum::<u64>() + self.shared.allocations()
     }
 
     /// Blocked GeMM with the `camp.s8` micro-kernel; see [`camp_gemm_i8`].
@@ -303,6 +433,43 @@ impl CampEngine {
         self.gemm(m, n, k, a, b, 32, camp_issue_i4)
     }
 
+    /// Run a batch of independent `camp.s8` GeMMs in one call; see the
+    /// [module docs](self) for what the batch amortizes. Returns one
+    /// row-major C per problem, in input order, bit-identical to calling
+    /// [`CampEngine::gemm_i8`] per problem. Zero-dimension problems
+    /// yield their natural degenerate result (empty, or all-zero when
+    /// only k is 0).
+    ///
+    /// # Panics
+    /// Panics if any problem's slice lengths do not match its
+    /// dimensions.
+    pub fn gemm_i8_batch(&mut self, problems: &[GemmProblem<'_>]) -> Vec<Vec<i32>> {
+        self.gemm_batch(problems, 16, camp_issue_i8).0
+    }
+
+    /// [`CampEngine::gemm_i8_batch`] plus merged statistics.
+    /// `packed_bytes` counts each unique B operand once.
+    pub fn gemm_i8_batch_with_stats(
+        &mut self,
+        problems: &[GemmProblem<'_>],
+    ) -> (Vec<Vec<i32>>, EngineStats) {
+        self.gemm_batch(problems, 16, camp_issue_i8)
+    }
+
+    /// Batched [`CampEngine::gemm_i4`]; see [`CampEngine::gemm_i8_batch`].
+    /// Operand values must lie in [-8, 7] (checked in debug builds).
+    pub fn gemm_i4_batch(&mut self, problems: &[GemmProblem<'_>]) -> Vec<Vec<i32>> {
+        self.gemm_batch(problems, 32, camp_issue_i4).0
+    }
+
+    /// [`CampEngine::gemm_i4_batch`] plus merged statistics.
+    pub fn gemm_i4_batch_with_stats(
+        &mut self,
+        problems: &[GemmProblem<'_>],
+    ) -> (Vec<Vec<i32>>, EngineStats) {
+        self.gemm_batch(problems, 32, camp_issue_i4)
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn gemm(
         &mut self,
@@ -321,36 +488,156 @@ impl CampEngine {
             return (c, EngineStats::default());
         }
 
-        // Row partition of the macro loop: chunks are multiples of the
-        // 4-row tile so every worker owns whole register tiles, which
-        // (with wrapping i32 accumulation) makes the result bit-identical
-        // to the serial path for any worker count.
-        let rows_per = m.div_ceil(self.threads).div_ceil(4) * 4;
-        let workers = m.div_ceil(rows_per);
+        let mut total = EngineStats::default();
+        let (_, workers) = row_partition(m, self.threads);
+        let panel_id = if workers > 1 {
+            // Pack B once into a shared read-only panel instead of once
+            // per worker — the packing traffic below is everything the
+            // whole call moves for B.
+            let plan = BlockPlan::new(m, n, k, 4, 4, k_step, (MC, NC, KC));
+            self.shared.reset_panels();
+            let id = self.shared.alloc_panel(packed_b_bytes(&plan));
+            prepack_b(self.shared.panel_mut(id), b, n, k, &plan);
+            total.packed_bytes += packed_b_bytes(&plan) as u64;
+            Some(id)
+        } else {
+            None
+        };
+        let shared_b = panel_id.map(|id| self.shared.panel(id));
+        total.merge(&gemm_partitioned(
+            m,
+            n,
+            k,
+            a,
+            b,
+            &mut c,
+            &mut self.pools,
+            self.threads,
+            k_step,
+            issue,
+            shared_b,
+        ));
+        (c, total)
+    }
+
+    fn gemm_batch(
+        &mut self,
+        problems: &[GemmProblem<'_>],
+        k_step: usize,
+        issue: IssueFn,
+    ) -> (Vec<Vec<i32>>, EngineStats) {
+        for (i, p) in problems.iter().enumerate() {
+            assert_eq!(p.a.len(), p.m * p.k, "problem {i}: A must be m×k");
+            assert_eq!(p.b.len(), p.k * p.n, "problem {i}: B must be k×n");
+        }
+        let mut total = EngineStats::default();
+
+        // --- B deduplication: pack each unique operand exactly once ---
+        self.shared.reset_panels();
+        let mut panel_of: HashMap<_, PanelId> = HashMap::new();
+        let mut panel_ids: Vec<Option<PanelId>> = Vec::with_capacity(problems.len());
+        for p in problems {
+            if p.is_degenerate() {
+                panel_ids.push(None);
+                continue;
+            }
+            let plan = BlockPlan::new(p.m, p.n, p.k, 4, 4, k_step, (MC, NC, KC));
+            let id = *panel_of.entry(p.b_key()).or_insert_with(|| {
+                let id = self.shared.alloc_panel(packed_b_bytes(&plan));
+                prepack_b(self.shared.panel_mut(id), p.b, p.n, p.k, &plan);
+                total.packed_bytes += packed_b_bytes(&plan) as u64;
+                id
+            });
+            panel_ids.push(Some(id));
+        }
+
+        // Degenerate results exist up front (all-zero when only k is 0,
+        // empty otherwise); real results are filled below.
+        let mut results: Vec<Vec<i32>> = problems
+            .iter()
+            .map(|p| if p.is_degenerate() { vec![0i32; p.m * p.n] } else { Vec::new() })
+            .collect();
+
+        // --- large problems: row-partition each across all workers ---
+        for (i, p) in problems.iter().enumerate() {
+            if p.is_degenerate() || p.macs() < BATCH_ROW_SPLIT_MACS {
+                continue;
+            }
+            let mut c = vec![0i32; p.m * p.n];
+            let shared_b = self.shared.panel(panel_ids[i].expect("non-degenerate"));
+            total.merge(&gemm_partitioned(
+                p.m,
+                p.n,
+                p.k,
+                p.a,
+                p.b,
+                &mut c,
+                &mut self.pools,
+                self.threads,
+                k_step,
+                issue,
+                Some(shared_b),
+            ));
+            results[i] = c;
+        }
+
+        // --- small problems: parallelism across batch items ---
+        let mut small: Vec<usize> = (0..problems.len())
+            .filter(|&i| !problems[i].is_degenerate() && problems[i].macs() < BATCH_ROW_SPLIT_MACS)
+            .collect();
+        if small.is_empty() {
+            return (results, total);
+        }
+        // longest-processing-time greedy: biggest problems first onto
+        // the least-loaded worker
+        small.sort_by_key(|&i| std::cmp::Reverse(problems[i].macs()));
+        let workers = self.threads.min(small.len()).max(1);
+        let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); workers];
+        let mut load = vec![0u64; workers];
+        for i in small {
+            let w = (0..workers).min_by_key(|&w| load[w]).expect("workers > 0");
+            assignment[w].push(i);
+            load[w] += problems[i].macs();
+        }
         while self.pools.len() < workers {
             self.pools.push(PackPool::new());
         }
-
-        let mut total = EngineStats::default();
-        if workers == 1 {
-            total.merge(&gemm_range(m, n, k, a, b, &mut c, &mut self.pools[0], k_step, issue));
-            return (c, total);
-        }
+        let shared = &self.shared;
+        let panel_ids = &panel_ids;
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for ((c_chunk, a_chunk), pool) in
-                c.chunks_mut(rows_per * n).zip(a.chunks(rows_per * k)).zip(self.pools.iter_mut())
-            {
-                let m_local = c_chunk.len() / n;
+            for (list, pool) in assignment.iter().zip(self.pools.iter_mut()) {
                 handles.push(scope.spawn(move || {
-                    gemm_range(m_local, n, k, a_chunk, b, c_chunk, pool, k_step, issue)
+                    let mut out = Vec::with_capacity(list.len());
+                    for &i in list {
+                        let p = &problems[i];
+                        let mut c = vec![0i32; p.m * p.n];
+                        let panel = shared.panel(panel_ids[i].expect("non-degenerate"));
+                        let stats = gemm_range(
+                            p.m,
+                            p.n,
+                            p.k,
+                            p.a,
+                            p.b,
+                            &mut c,
+                            pool,
+                            k_step,
+                            issue,
+                            Some(panel),
+                        );
+                        out.push((i, c, stats));
+                    }
+                    out
                 }));
             }
             for h in handles {
-                total.merge(&h.join().expect("GeMM worker panicked"));
+                for (i, c, stats) in h.join().expect("batch worker panicked") {
+                    results[i] = c;
+                    total.merge(&stats);
+                }
             }
         });
-        (c, total)
+        (results, total)
     }
 }
 
@@ -358,6 +645,8 @@ impl CampEngine {
 ///
 /// `a` is row-major m×k, `b` row-major k×n; returns row-major m×n i32.
 /// Accumulation wraps, matching the hardware and [`gemm_i32_ref`].
+/// Zero-dimension problems return their degenerate result (empty, or
+/// all-zero when only k is 0) instead of panicking.
 ///
 /// # Panics
 /// Panics if slice lengths do not match the dimensions.
@@ -502,6 +791,19 @@ mod tests {
     }
 
     #[test]
+    fn zero_dimensions_return_degenerate_results() {
+        // no dimension combination may panic, serial or parallel
+        assert!(camp_gemm_i8(0, 4, 4, &[], &[0; 16]).is_empty());
+        assert!(camp_gemm_i8(4, 0, 4, &[0; 16], &[]).is_empty());
+        assert_eq!(camp_gemm_i8(4, 4, 0, &[], &[]), vec![0; 16]);
+        assert!(camp_gemm_i8(0, 0, 0, &[], &[]).is_empty());
+        assert_eq!(camp_gemm_i8_parallel(4, 4, 0, &[], &[], 8), vec![0; 16]);
+        assert_eq!(camp_gemm_i4(4, 4, 0, &[], &[]), vec![0; 16]);
+        let (_, s) = camp_gemm_i8_with_stats(0, 4, 4, &[], &[0; 16]);
+        assert_eq!(s, EngineStats::default());
+    }
+
+    #[test]
     fn extreme_values_wrap_like_reference() {
         let a = vec![i8::MIN; 4 * 16];
         let b = vec![i8::MIN; 16 * 4];
@@ -590,9 +892,159 @@ mod tests {
         let mut eng = CampEngine::with_threads(4);
         let (_, s) = eng.gemm_i8_with_stats(m, n, k, &a, &b);
         assert_eq!(s.macs, (m * n * k) as u64);
-        // every 4×4 tile is issued by exactly one worker
+        // every 4×4 tile is issued by exactly one worker, and B is
+        // packed once into the shared panel — the whole stats block
+        // matches the serial run, packing traffic included
         let (_, serial) = camp_gemm_i8_with_stats(m, n, k, &a, &b);
         assert_eq!(s.camp_issues, serial.camp_issues);
         assert_eq!(s.vector_stores, serial.vector_stores);
+        assert_eq!(s.vector_loads, serial.vector_loads);
+        assert_eq!(s.packed_bytes, serial.packed_bytes, "parallel B packing must be deduplicated");
+        assert_eq!(s, serial);
+    }
+
+    #[test]
+    fn parallel_packed_bytes_stay_deduplicated_across_blocked_shapes() {
+        // shapes spanning several (jc, pc) blocks so the shared panel
+        // holds more than one block
+        let (m, n, k) = (96, super::NC + 12, super::KC / 4 + 40);
+        let a = fill(m * k, 7, 30, -15);
+        let b = fill(k * n, 11, 30, -15);
+        let (c_serial, serial) = camp_gemm_i8_with_stats(m, n, k, &a, &b);
+        let mut eng = CampEngine::with_threads(5);
+        let (c_par, par) = eng.gemm_i8_with_stats(m, n, k, &a, &b);
+        assert_eq!(c_par, c_serial);
+        assert_eq!(par, serial);
+    }
+
+    // ---- batched API ----
+
+    fn mixed_problems(bufs: &[(Vec<i8>, Vec<i8>)]) -> Vec<GemmProblem<'_>> {
+        // ragged shapes, one shared-B pair, one zero-dim problem
+        let (a0, b0) = &bufs[0];
+        let (a1, b1) = &bufs[1];
+        let (a2, _) = &bufs[2];
+        vec![
+            GemmProblem::new(5, 7, 33, a0, b0),
+            GemmProblem::new(12, 9, 16, a1, b1),
+            GemmProblem::new(8, 7, 33, a2, b0), // shares B with problem 0
+            GemmProblem::new(4, 4, 0, &[], &[]), // degenerate
+        ]
+    }
+
+    fn batch_buffers() -> Vec<(Vec<i8>, Vec<i8>)> {
+        vec![
+            (fill(5 * 33, 3, 16, -8), fill(33 * 7, 5, 16, -8)),
+            (fill(12 * 16, 7, 16, -8), fill(16 * 9, 11, 16, -8)),
+            (fill(8 * 33, 13, 16, -8), Vec::new()),
+        ]
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_per_call_loop() {
+        let bufs = batch_buffers();
+        let problems = mixed_problems(&bufs);
+        for threads in [1, 2, 3, 8, 64] {
+            let mut eng = CampEngine::with_threads(threads);
+            let batch = eng.gemm_i8_batch(&problems);
+            assert_eq!(batch.len(), problems.len());
+            let mut per_call = CampEngine::with_threads(threads);
+            for (c, p) in batch.iter().zip(&problems) {
+                assert_eq!(c, &per_call.gemm_i8(p.m, p.n, p.k, p.a, p.b), "threads={threads}");
+            }
+            // i4 path too (operands above are 4-bit safe)
+            let batch4 = eng.gemm_i4_batch(&problems);
+            for (c, p) in batch4.iter().zip(&problems) {
+                assert_eq!(c, &per_call.gemm_i4(p.m, p.n, p.k, p.a, p.b), "i4 threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_zero_dim_problems_are_degenerate_not_fatal() {
+        let b = fill(4 * 4, 3, 10, -5);
+        let problems = [
+            GemmProblem::new(0, 4, 4, &[], &b),
+            GemmProblem::new(4, 0, 4, &b, &[]),
+            GemmProblem::new(4, 4, 0, &[], &[]),
+        ];
+        let mut eng = CampEngine::with_threads(2);
+        let (cs, stats) = eng.gemm_i8_batch_with_stats(&problems);
+        assert!(cs[0].is_empty());
+        assert!(cs[1].is_empty());
+        assert_eq!(cs[2], vec![0; 16], "k=0 must produce a zero-filled m×n C");
+        assert_eq!(stats, EngineStats::default(), "degenerate batch runs no kernels");
+    }
+
+    #[test]
+    fn batch_dedups_shared_b_packing() {
+        // three problems over one weight matrix: B must be packed once
+        let (n, k) = (20, 33);
+        let w = fill(k * n, 5, 16, -8);
+        let a1 = fill(6 * k, 3, 16, -8);
+        let a2 = fill(9 * k, 7, 16, -8);
+        let a3 = fill(5 * k, 11, 16, -8);
+        let problems = [
+            GemmProblem::new(6, n, k, &a1, &w),
+            GemmProblem::new(9, n, k, &a2, &w),
+            GemmProblem::new(5, n, k, &a3, &w),
+        ];
+        let mut eng = CampEngine::new();
+        let (_, batch) = eng.gemm_i8_batch_with_stats(&problems);
+        let mut per_call_packed = 0;
+        for p in &problems {
+            let (_, s) = camp_gemm_i8_with_stats(p.m, p.n, p.k, p.a, p.b);
+            per_call_packed += s.packed_bytes;
+        }
+        // packed B bytes of one problem = padded n × padded k
+        let b_packed_once = (n.div_ceil(4) * 4 * k.div_ceil(16) * 16) as u64;
+        assert_eq!(
+            batch.packed_bytes,
+            per_call_packed - 2 * b_packed_once,
+            "two of the three B packs must be deduplicated away"
+        );
+    }
+
+    #[test]
+    fn batch_row_splits_large_problems_identically() {
+        // straddle BATCH_ROW_SPLIT_MACS: one problem above (row-split
+        // path), one below (cross-item path); both must match per-call
+        let big = (160, 160, 512); // 13.1 M MACs
+        assert!((big.0 * big.1 * big.2) as u64 >= super::BATCH_ROW_SPLIT_MACS);
+        let small = (16, 16, 64);
+        let ab = fill(big.0 * big.2, 3, 16, -8);
+        let bb = fill(big.2 * big.1, 5, 16, -8);
+        let asml = fill(small.0 * small.2, 7, 16, -8);
+        let bsml = fill(small.2 * small.1, 11, 16, -8);
+        let problems = [
+            GemmProblem::new(big.0, big.1, big.2, &ab, &bb),
+            GemmProblem::new(small.0, small.1, small.2, &asml, &bsml),
+        ];
+        let mut eng = CampEngine::with_threads(4);
+        let batch = eng.gemm_i8_batch(&problems);
+        assert_eq!(batch[0], camp_gemm_i8(big.0, big.1, big.2, &ab, &bb));
+        assert_eq!(batch[1], camp_gemm_i8(small.0, small.1, small.2, &asml, &bsml));
+    }
+
+    #[test]
+    fn batch_hot_loop_is_allocation_free_after_warm_up() {
+        let bufs = batch_buffers();
+        let problems = mixed_problems(&bufs);
+        let mut eng = CampEngine::with_threads(2);
+        let first = eng.gemm_i8_batch(&problems);
+        let warm = eng.pack_allocations();
+        assert!(warm > 0);
+        for _ in 0..3 {
+            assert_eq!(eng.gemm_i8_batch(&problems), first);
+        }
+        assert_eq!(eng.pack_allocations(), warm, "steady-state batches must not allocate");
+    }
+
+    #[test]
+    #[should_panic(expected = "problem 1: B must be k×n")]
+    fn batch_rejects_malformed_problems() {
+        let a = fill(4 * 4, 3, 10, -5);
+        let problems = [GemmProblem::new(4, 4, 4, &a, &a), GemmProblem::new(4, 4, 4, &a, &a[..8])];
+        let _ = CampEngine::new().gemm_i8_batch(&problems);
     }
 }

@@ -17,7 +17,10 @@
 //!   to run quantized GeMM the way the paper's modified ulmBLAS does. It
 //!   shares `camp-gemm`'s blocked-loop skeleton and pack-buffer pool, and
 //!   [`engine::CampEngine`] optionally runs the macro loop across host
-//!   cores with bit-identical results.
+//!   cores with bit-identical results. For attention-style workloads of
+//!   many small GeMMs, [`engine::CampEngine::gemm_i8_batch`] runs a whole
+//!   [`engine::GemmProblem`] batch per call, deduplicating shared weight
+//!   matrices and parallelizing across batch items.
 //!
 //! # Quickstart
 //!
@@ -39,7 +42,7 @@ pub mod unit;
 
 pub use engine::{
     camp_gemm_i4, camp_gemm_i4_parallel, camp_gemm_i8, camp_gemm_i8_parallel, gemm_i32_ref,
-    CampEngine, EngineStats,
+    CampEngine, EngineStats, GemmProblem,
 };
 pub use hybrid::HybridMultiplier;
 pub use structure::CampStructure;

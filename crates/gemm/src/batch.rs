@@ -1,0 +1,131 @@
+//! Batched-GeMM building blocks shared by the host engine and its
+//! consumers.
+//!
+//! Transformer attention runs *many small* GeMMs per step — per-head
+//! (s×dₕ)·(dₕ×s) score and (s×s)·(s×dₕ) context products, 12–20 heads
+//! per layer (§5.2, Fig. 14) — shapes where per-call setup and operand
+//! re-packing swamp compute. A batch call amortizes both: problems are
+//! described by [`GemmProblem`] descriptors, problems sharing one
+//! weight matrix reuse a single packed copy of it, and the engine moves
+//! parallelism across batch items instead of inside each tiny GeMM.
+//!
+//! This module owns the substrate-independent pieces: the problem
+//! descriptor, the operand-identity key used for B deduplication, and
+//! the layout of a *fully pre-packed* B operand (every (jc, pc) block
+//! of the blocked loops, concatenated in visit order) that lets one
+//! packed panel serve any number of batch items and workers.
+
+use crate::loops::BlockPlan;
+
+/// One GeMM of a batch: row-major C (m×n) = A (m×k) · B (k×n), borrowing
+/// its operands. Values must fit the kernel the batch runs under (i8 for
+/// `camp.s8`, [-8, 7] for `camp.s4`).
+#[derive(Debug, Clone, Copy)]
+pub struct GemmProblem<'a> {
+    /// Rows of A / C.
+    pub m: usize,
+    /// Columns of B / C.
+    pub n: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Row-major m×k left operand.
+    pub a: &'a [i8],
+    /// Row-major k×n right operand.
+    pub b: &'a [i8],
+}
+
+impl<'a> GemmProblem<'a> {
+    /// Describe one problem.
+    pub fn new(m: usize, n: usize, k: usize, a: &'a [i8], b: &'a [i8]) -> Self {
+        GemmProblem { m, n, k, a, b }
+    }
+
+    /// Multiply-accumulate operations of this problem.
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.n as u64 * self.k as u64
+    }
+
+    /// True if any dimension is zero (the result is empty or all-zero
+    /// and no kernel work runs).
+    pub fn is_degenerate(&self) -> bool {
+        self.m == 0 || self.n == 0 || self.k == 0
+    }
+
+    /// Identity of the packed form of this problem's B operand. Two
+    /// problems whose keys match can share one packed B panel: same
+    /// buffer and same (n, k) means the same values in the same packed
+    /// layout (the layout depends only on n, k and the blocking, never
+    /// on m).
+    pub fn b_key(&self) -> BOperandKey {
+        BOperandKey { addr: self.b.as_ptr() as usize, len: self.b.len(), n: self.n, k: self.k }
+    }
+}
+
+/// Hashable identity of a packed B operand (see [`GemmProblem::b_key`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BOperandKey {
+    addr: usize,
+    len: usize,
+    n: usize,
+    k: usize,
+}
+
+/// Total bytes of a fully pre-packed B: every (jc, pc) block of the
+/// plan's traversal, concatenated. Each column strip of width `ncb`
+/// spans the whole padded depth, so the total is exactly `np·kp` —
+/// the same bytes a blocked per-(jc, pc) packing moves in one full
+/// traversal.
+pub fn packed_b_bytes(plan: &BlockPlan) -> usize {
+    plan.np * plan.kp
+}
+
+/// Byte offset of the (jc, pc) block inside a fully pre-packed B, for a
+/// plan whose padded depth is `kp`.
+///
+/// Column strips before `jc` (total width `jc`) each span the padded
+/// depth `kp`; within the current strip of width `ncb`, the `pc`
+/// previous depth blocks hold `ncb` bytes per k-value.
+pub fn packed_b_offset(kp: usize, jc: usize, ncb: usize, pc: usize) -> usize {
+    jc * kp + ncb * pc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b_keys_identify_shared_operands() {
+        let b1 = vec![1i8; 12];
+        let b2 = vec![1i8; 12];
+        let a = vec![0i8; 8];
+        let p1 = GemmProblem::new(2, 3, 4, &a, &b1);
+        let p2 = GemmProblem::new(7, 3, 4, &a, &b1); // different m, same B
+        let p3 = GemmProblem::new(2, 3, 4, &a, &b2); // equal values, different buffer
+        let p4 = GemmProblem::new(2, 4, 3, &a, &b1); // same buffer, different shape
+        assert_eq!(p1.b_key(), p2.b_key(), "m must not affect B identity");
+        assert_ne!(p1.b_key(), p3.b_key(), "distinct buffers are distinct operands");
+        assert_ne!(p1.b_key(), p4.b_key(), "shape is part of the packed identity");
+    }
+
+    #[test]
+    fn degenerate_problems_are_flagged() {
+        let empty: [i8; 0] = [];
+        assert!(GemmProblem::new(0, 3, 4, &empty, &[0; 12]).is_degenerate());
+        assert!(GemmProblem::new(2, 3, 0, &empty, &empty).is_degenerate());
+        assert!(!GemmProblem::new(1, 1, 1, &[1], &[1]).is_degenerate());
+    }
+
+    #[test]
+    fn packed_b_layout_offsets_tile_the_panel() {
+        // blocks in run_blocked's own visit order (via the shared
+        // for_each_b_block iterator) must be contiguous and cover
+        // packed_b_bytes exactly
+        let plan = BlockPlan::new(12, 20, 96, 4, 4, 32, (8, 8, 32));
+        let mut expected = 0usize;
+        crate::loops::for_each_b_block(&plan, |jc, ncb, pc, kcb| {
+            assert_eq!(packed_b_offset(plan.kp, jc, ncb, pc), expected);
+            expected += ncb * kcb;
+        });
+        assert_eq!(expected, packed_b_bytes(&plan));
+    }
+}

@@ -46,6 +46,7 @@
 //! assert!(r.stats.cycles > 0);
 //! ```
 
+pub mod batch;
 pub mod dispatch;
 pub mod driver;
 pub mod kernels;
@@ -55,7 +56,8 @@ pub mod reference;
 pub mod trace;
 pub mod workspace;
 
+pub use batch::GemmProblem;
 pub use dispatch::{AccKind, ElemKind, KernelGeometry, MicroKernel};
 pub use driver::{simulate_gemm, GemmOptions, GemmResult, Method};
 pub use reference::{gemm_f32_ref, gemm_i32_ref, gemm_i8_wrapping_ref, SplitMix64};
-pub use workspace::PackPool;
+pub use workspace::{PackPool, PanelId};

@@ -39,8 +39,14 @@ impl BlockPlan {
     /// `(dmc, dnc, dkc)` are the desired blocking factors; they are
     /// clamped to the padded problem and re-aligned to the tile.
     ///
+    /// A zero dimension yields a degenerate plan whose padded space is
+    /// empty; [`run_blocked`] then visits nothing, so the m×n result of
+    /// a k=0 problem stays all-zero and empty results stay empty. This
+    /// matches the host engine, which returns an empty (or zero-filled)
+    /// C for zero-dimension problems instead of panicking.
+    ///
     /// # Panics
-    /// Panics if any dimension or tile parameter is zero.
+    /// Panics if a tile parameter is zero.
     pub fn new(
         m: usize,
         n: usize,
@@ -50,7 +56,6 @@ impl BlockPlan {
         k_unit: usize,
         (dmc, dnc, dkc): (usize, usize, usize),
     ) -> Self {
-        assert!(m > 0 && n > 0 && k > 0, "dimensions must be positive");
         assert!(mr > 0 && nr > 0 && k_unit > 0, "tile must be positive");
         let mp = round_up(m, mr);
         let np = round_up(n, nr);
@@ -79,28 +84,44 @@ pub trait BlockSink {
     fn macro_kernel(&mut self, ic: usize, mcb: usize, jc: usize, ncb: usize, pc: usize, kcb: usize);
 }
 
-/// Drive the GotoBLAS loops 3–5 over `sink` (Fig. 3): B is packed once
-/// per (jc, pc) block and reused for every row block; A is packed once
-/// per (ic, pc) block.
-pub fn run_blocked(plan: &BlockPlan, sink: &mut dyn BlockSink) {
+/// Visit every `(jc, ncb, pc, kcb)` B block of the plan in the order
+/// [`run_blocked`] packs them (jc outer, pc inner). This is the single
+/// source of truth for the B traversal: anything that lays out B per
+/// block — the per-block packing inside `run_blocked`, or a fully
+/// pre-packed shared panel indexed by `crate::batch::packed_b_offset` —
+/// must iterate identically, so both go through here.
+pub fn for_each_b_block(plan: &BlockPlan, mut f: impl FnMut(usize, usize, usize, usize)) {
     let mut jc = 0;
     while jc < plan.np {
         let ncb = plan.nc.min(plan.np - jc);
         let mut pc = 0;
         while pc < plan.kp {
             let kcb = plan.kc.min(plan.kp - pc);
-            sink.pack_b(jc, ncb, pc, kcb);
-            let mut ic = 0;
-            while ic < plan.mp {
-                let mcb = plan.mc.min(plan.mp - ic);
-                sink.pack_a(ic, mcb, pc, kcb);
-                sink.macro_kernel(ic, mcb, jc, ncb, pc, kcb);
-                ic += mcb;
-            }
+            f(jc, ncb, pc, kcb);
             pc += kcb;
         }
         jc += ncb;
     }
+}
+
+/// Drive the GotoBLAS loops 3–5 over `sink` (Fig. 3): B is packed once
+/// per (jc, pc) block and reused for every row block; A is packed once
+/// per (ic, pc) block. A degenerate (zero-dimension) plan visits no
+/// blocks at all — not even `pack_b` — so sinks never see empty blocks.
+pub fn run_blocked(plan: &BlockPlan, sink: &mut dyn BlockSink) {
+    if plan.mp == 0 || plan.np == 0 || plan.kp == 0 {
+        return;
+    }
+    for_each_b_block(plan, |jc, ncb, pc, kcb| {
+        sink.pack_b(jc, ncb, pc, kcb);
+        let mut ic = 0;
+        while ic < plan.mp {
+            let mcb = plan.mc.min(plan.mp - ic);
+            sink.pack_a(ic, mcb, pc, kcb);
+            sink.macro_kernel(ic, mcb, jc, ncb, pc, kcb);
+            ic += mcb;
+        }
+    });
 }
 
 #[cfg(test)]
@@ -163,8 +184,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "dimensions must be positive")]
-    fn zero_dims_rejected() {
-        let _ = BlockPlan::new(0, 4, 4, 4, 4, 1, (4, 4, 4));
+    fn zero_dims_yield_empty_traversal() {
+        // zero-dimension problems must not panic anywhere: the plan is
+        // degenerate and the loop nest visits no blocks
+        for (m, n, k) in [(0, 4, 4), (4, 0, 4), (4, 4, 0), (0, 0, 0)] {
+            let plan = BlockPlan::new(m, n, k, 4, 4, 1, (4, 4, 4));
+            let mut r = Recorder::default();
+            run_blocked(&plan, &mut r);
+            assert!(r.packs_b.is_empty(), "{m}x{n}x{k} packed B");
+            assert!(r.packs_a.is_empty(), "{m}x{n}x{k} packed A");
+            assert!(r.macros.is_empty(), "{m}x{n}x{k} ran a macro-kernel");
+        }
     }
 }

@@ -48,13 +48,32 @@ impl Default for Workspace {
 /// assert the steady state allocates nothing.
 ///
 /// One pool serves one worker: the parallel engine path gives each
-/// thread its own arena.
+/// thread its own arena. Alongside the two per-block A/B buffers, a
+/// pool also owns an arena of long-lived *panels* ([`PackPool::alloc_panel`])
+/// for callers that must keep several packed B operands alive at once —
+/// the batched engine deduplicates shared weight matrices by packing
+/// each unique B into one panel and pointing every batch item at it.
 #[derive(Debug, Default)]
 pub struct PackPool {
     a: Vec<i8>,
     b: Vec<i8>,
+    /// Bytes of `a`/`b` actually packed by the most recent
+    /// `a_buffer`/`b_buffer` call — `buffers()` hands out exactly these,
+    /// never the stale high-water-mark tail.
+    a_packed: usize,
+    b_packed: usize,
+    /// Panel storage (high-water length, never truncated) and the
+    /// logical size of each live panel's current allocation.
+    panels: Vec<Vec<i8>>,
+    panel_lens: Vec<usize>,
+    live_panels: usize,
     allocations: u64,
 }
+
+/// Handle to one pool-owned panel (see [`PackPool::alloc_panel`]).
+/// Valid until the next [`PackPool::reset_panels`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PanelId(usize);
 
 impl PackPool {
     /// Empty pool; buffers grow on first use.
@@ -70,6 +89,7 @@ impl PackPool {
             self.a.resize(bytes, 0);
             self.allocations += 1;
         }
+        self.a_packed = bytes;
         &mut self.a[..bytes]
     }
 
@@ -80,12 +100,63 @@ impl PackPool {
             self.b.resize(bytes, 0);
             self.allocations += 1;
         }
+        self.b_packed = bytes;
         &mut self.b[..bytes]
     }
 
-    /// Both packed buffers, read-only (for the macro-kernel).
+    /// Both packed buffers, read-only (for the macro-kernel), sized to
+    /// exactly what the most recent `a_buffer`/`b_buffer` calls packed.
+    /// The underlying storage is a high-water mark, so without the size
+    /// tracking a smaller block packed after a larger one would expose a
+    /// stale tail of the previous block's panels.
     pub fn buffers(&self) -> (&[i8], &[i8]) {
-        (&self.a, &self.b)
+        (&self.a[..self.a_packed], &self.b[..self.b_packed])
+    }
+
+    /// Invalidate all panel handles and recycle their storage. Call at
+    /// the start of a batch; previously grown panel buffers are reused,
+    /// so a steady-state batch loop allocates nothing.
+    pub fn reset_panels(&mut self) {
+        self.live_panels = 0;
+    }
+
+    /// Allocate a pool-owned panel of exactly `bytes` bytes and return
+    /// its handle. Contents are unspecified (packers must write every
+    /// byte they later read), so the steady state neither allocates nor
+    /// zero-fills: storage stays at its high-water length and only the
+    /// logical size is recorded. Unlike the per-block A/B buffers, any
+    /// number of panels can be live at once.
+    pub fn alloc_panel(&mut self, bytes: usize) -> PanelId {
+        if self.live_panels == self.panels.len() {
+            self.panels.push(Vec::new());
+            self.panel_lens.push(0);
+        }
+        let panel = &mut self.panels[self.live_panels];
+        if panel.len() < bytes {
+            panel.resize(bytes, 0);
+            self.allocations += 1;
+        }
+        self.panel_lens[self.live_panels] = bytes;
+        self.live_panels += 1;
+        PanelId(self.live_panels - 1)
+    }
+
+    /// Mutable access to a live panel (for packing).
+    ///
+    /// # Panics
+    /// Panics if `id` is not live (allocated since the last reset).
+    pub fn panel_mut(&mut self, id: PanelId) -> &mut [i8] {
+        assert!(id.0 < self.live_panels, "stale PanelId");
+        &mut self.panels[id.0][..self.panel_lens[id.0]]
+    }
+
+    /// Read-only access to a live panel (for the macro-kernel).
+    ///
+    /// # Panics
+    /// Panics if `id` is not live (allocated since the last reset).
+    pub fn panel(&self, id: PanelId) -> &[i8] {
+        assert!(id.0 < self.live_panels, "stale PanelId");
+        &self.panels[id.0][..self.panel_lens[id.0]]
     }
 
     /// Number of buffer growths since construction. Flat across calls
@@ -132,6 +203,51 @@ mod tests {
         let _ = p.a_buffer(2048);
         assert_eq!(p.allocations(), 3);
         let (a, b) = p.buffers();
-        assert!(a.len() >= 2048 && b.len() >= 4096);
+        assert_eq!((a.len(), b.len()), (2048, 512));
+    }
+
+    #[test]
+    fn buffers_are_sized_to_the_packed_block_not_the_high_water_mark() {
+        let mut p = PackPool::new();
+        p.a_buffer(1024).fill(7);
+        p.b_buffer(1024).fill(9);
+        // a smaller block packed after a larger one must not expose the
+        // stale tail of the previous block
+        p.a_buffer(64).fill(1);
+        p.b_buffer(96).fill(2);
+        let (a, b) = p.buffers();
+        assert_eq!(a.len(), 64);
+        assert_eq!(b.len(), 96);
+        assert!(a.iter().all(|&v| v == 1));
+        assert!(b.iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    fn multiple_panels_are_live_simultaneously() {
+        let mut p = PackPool::new();
+        let one = p.alloc_panel(16);
+        let two = p.alloc_panel(32);
+        p.panel_mut(one).fill(1);
+        p.panel_mut(two).fill(2);
+        assert_eq!(p.panel(one).len(), 16);
+        assert_eq!(p.panel(two).len(), 32);
+        assert!(p.panel(one).iter().all(|&v| v == 1), "panels must not alias");
+        let grown = p.allocations();
+        // steady state: same-size reallocation after reset is free
+        p.reset_panels();
+        let one2 = p.alloc_panel(16);
+        let two2 = p.alloc_panel(32);
+        assert_eq!(p.panel(one2).len(), 16);
+        assert_eq!(p.panel(two2).len(), 32);
+        assert_eq!(p.allocations(), grown, "panel reuse must not allocate");
+    }
+
+    #[test]
+    #[should_panic(expected = "stale PanelId")]
+    fn stale_panel_handles_are_rejected() {
+        let mut p = PackPool::new();
+        let id = p.alloc_panel(8);
+        p.reset_panels();
+        let _ = p.panel(id);
     }
 }

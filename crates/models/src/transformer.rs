@@ -18,6 +18,8 @@
 //! (s × 4d) · (4d × d).
 
 use crate::cnn::GemmShape;
+use camp_gemm::batch::GemmProblem;
+use camp_gemm::reference::SplitMix64;
 
 /// Architecture hyper-parameters of one transformer model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +76,99 @@ impl TransformerConfig {
     /// The representative FF GeMM used for Fig. 14's "FF" bar.
     pub fn ff_shape(&self) -> GemmShape {
         GemmShape::new(self.seq_len, self.ff_dim, self.hidden)
+    }
+
+    /// Materialize the full per-head attention GeMM inventory of this
+    /// configuration as a ready-to-run batch (the Fig. 14 self-attention
+    /// workload, expanded per layer and head): for every layer the four
+    /// (s×d)·(d×d) Q/K/V/output projections, then per head the
+    /// (s×dₕ)·(dₕ×s) score and (s×s)·(s×dₕ) context products.
+    ///
+    /// Operands are synthetic quantized tensors (4-bit range, so the
+    /// batch runs under both the `camp.s8` and `camp.s4` kernels),
+    /// deterministic in `seed`. Weight matrices and per-head operands
+    /// are shared across layers — the operand-reuse structure a batched
+    /// engine deduplicates (a real checkpoint has distinct weights per
+    /// layer, but QKV weights are still shared across that layer's
+    /// heads; sharing across layers additionally exercises the dedup
+    /// path without inflating the workload's memory footprint).
+    pub fn attention_workload(&self, seed: u64) -> AttentionWorkload {
+        let (s, d, dh) = (self.seq_len, self.hidden, self.hidden / self.heads);
+        let mut rng = SplitMix64::new(seed);
+        let mut tensor = |len: usize| -> Vec<i8> { rng.i8_vec(len, -8, 7) };
+        AttentionWorkload {
+            cfg: *self,
+            x: tensor(s * d),
+            weights: std::array::from_fn(|_| tensor(d * d)),
+            q: (0..self.heads).map(|_| tensor(s * dh)).collect(),
+            kt: (0..self.heads).map(|_| tensor(dh * s)).collect(),
+            probs: (0..self.heads).map(|_| tensor(s * s)).collect(),
+            v: (0..self.heads).map(|_| tensor(s * dh)).collect(),
+        }
+    }
+}
+
+/// Owned operand storage for one transformer's attention GeMM batch
+/// (see [`TransformerConfig::attention_workload`]). The storage is the
+/// *unique* tensor set; [`AttentionWorkload::problems`] expands it into
+/// the full per-layer, per-head problem list, with shared operands
+/// borrowing the same buffers.
+#[derive(Debug, Clone)]
+pub struct AttentionWorkload {
+    cfg: TransformerConfig,
+    /// s×d hidden activations (A of every projection).
+    x: Vec<i8>,
+    /// The four d×d projection weights: Q, K, V, output.
+    weights: [Vec<i8>; 4],
+    /// Per-head s×dₕ query blocks (A of the score product).
+    q: Vec<Vec<i8>>,
+    /// Per-head dₕ×s transposed key blocks (B of the score product).
+    kt: Vec<Vec<i8>>,
+    /// Per-head s×s attention probabilities (A of the context product).
+    probs: Vec<Vec<i8>>,
+    /// Per-head s×dₕ value blocks (B of the context product).
+    v: Vec<Vec<i8>>,
+}
+
+impl AttentionWorkload {
+    /// The configuration this workload was built from.
+    pub fn config(&self) -> &TransformerConfig {
+        &self.cfg
+    }
+
+    /// The ready-to-run batch: every attention GeMM of every layer, in
+    /// execution order — per layer the Q/K/V/output projections, then
+    /// (score, context) per head. Problems borrow the workload's
+    /// storage, so projections across layers share one weight buffer
+    /// each and per-head operands repeat across layers.
+    pub fn problems(&self) -> Vec<GemmProblem<'_>> {
+        let (s, d, dh) = (self.cfg.seq_len, self.cfg.hidden, self.cfg.hidden / self.cfg.heads);
+        let mut out = Vec::with_capacity(self.len());
+        for _layer in 0..self.cfg.layers {
+            for w in &self.weights {
+                out.push(GemmProblem::new(s, d, d, &self.x, w));
+            }
+            for h in 0..self.cfg.heads {
+                out.push(GemmProblem::new(s, s, dh, &self.q[h], &self.kt[h]));
+                out.push(GemmProblem::new(s, dh, s, &self.probs[h], &self.v[h]));
+            }
+        }
+        out
+    }
+
+    /// Number of GeMMs in the batch: layers × (4 + 2·heads).
+    pub fn len(&self) -> usize {
+        self.cfg.layers * (4 + 2 * self.cfg.heads)
+    }
+
+    /// True for a zero-layer configuration.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total multiply-accumulate operations across the batch.
+    pub fn total_macs(&self) -> u64 {
+        self.problems().iter().map(GemmProblem::macs).sum()
     }
 }
 
@@ -152,5 +247,79 @@ mod tests {
             let c = m.config();
             assert!(c.ff_shape().macs() > c.sa_shape().macs());
         }
+    }
+
+    fn tiny_config() -> TransformerConfig {
+        TransformerConfig { hidden: 8, ff_dim: 32, heads: 2, layers: 3, seq_len: 4 }
+    }
+
+    #[test]
+    fn attention_workload_inventory_matches_fig14_structure() {
+        let cfg = tiny_config();
+        let w = cfg.attention_workload(7);
+        let problems = w.problems();
+        assert_eq!(problems.len(), w.len());
+        assert_eq!(w.len(), cfg.layers * (4 + 2 * cfg.heads));
+        let per_layer = 4 + 2 * cfg.heads;
+        for layer in 0..cfg.layers {
+            let base = layer * per_layer;
+            // four (s×d)·(d×d) projections ...
+            for p in &problems[base..base + 4] {
+                assert_eq!((p.m, p.n, p.k), (cfg.seq_len, cfg.hidden, cfg.hidden));
+            }
+            // ... then per head the score and context products
+            let dh = cfg.hidden / cfg.heads;
+            for h in 0..cfg.heads {
+                let score = &problems[base + 4 + 2 * h];
+                let context = &problems[base + 4 + 2 * h + 1];
+                assert_eq!((score.m, score.n, score.k), (cfg.seq_len, cfg.seq_len, dh));
+                assert_eq!((context.m, context.n, context.k), (cfg.seq_len, dh, cfg.seq_len));
+                let shapes = cfg.attention_score_gemms();
+                assert_eq!(GemmShape::new(score.m, score.n, score.k), shapes[0]);
+                assert_eq!(GemmShape::new(context.m, context.n, context.k), shapes[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn attention_workload_shares_weights_across_layers() {
+        let cfg = tiny_config();
+        let w = cfg.attention_workload(7);
+        let problems = w.problems();
+        let per_layer = 4 + 2 * cfg.heads;
+        // every layer's Q projection must reuse the same packed-B
+        // identity (same buffer), and so for each head's operands
+        for layer in 1..cfg.layers {
+            for slot in 0..per_layer {
+                assert_eq!(
+                    problems[slot].b_key(),
+                    problems[layer * per_layer + slot].b_key(),
+                    "layer {layer} slot {slot} must share B with layer 0"
+                );
+            }
+        }
+        // ... while the four projection weights are distinct operands
+        assert_ne!(problems[0].b_key(), problems[1].b_key());
+        assert_ne!(problems[1].b_key(), problems[2].b_key());
+        assert_ne!(problems[2].b_key(), problems[3].b_key());
+    }
+
+    #[test]
+    fn attention_workload_is_quantized_and_deterministic() {
+        let cfg = tiny_config();
+        let w1 = cfg.attention_workload(42);
+        let w2 = cfg.attention_workload(42);
+        let w3 = cfg.attention_workload(43);
+        let (p1, p2, p3) = (w1.problems(), w2.problems(), w3.problems());
+        assert_eq!(p1[0].a, p2[0].a, "same seed must reproduce the workload");
+        assert_ne!(p1[0].a, p3[0].a, "different seeds must differ");
+        for p in &p1 {
+            assert!(p.a.iter().all(|&v| (-8..=7).contains(&v)), "4-bit range");
+            assert!(p.b.iter().all(|&v| (-8..=7).contains(&v)), "4-bit range");
+            assert_eq!(p.a.len(), p.m * p.k);
+            assert_eq!(p.b.len(), p.k * p.n);
+        }
+        assert_eq!(w1.total_macs(), p1.iter().map(|p| p.macs()).sum::<u64>());
+        assert!(!w1.is_empty());
     }
 }

@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the full stack from workload models
 //! through quantization, kernels, simulation and energy.
 
-use camp::core::engine::{camp_gemm_i4, camp_gemm_i8};
+use camp::core::engine::{camp_gemm_i4, camp_gemm_i8, CampEngine};
 use camp::core::gemm_i32_ref;
 use camp::energy::{AreaModel, EnergyModel, TechNode};
 use camp::gemm::{simulate_gemm, GemmOptions, Method};
@@ -76,6 +76,46 @@ fn llm_shape_simulates_and_wins() {
         simulate_gemm(CoreConfig::a64fx(), Method::OpenblasF32, shape.m, shape.n, shape.k, &opts);
     assert!(camp.correct);
     assert!(camp.stats.cycles * 2 < base.stats.cycles, "CAMP-4bit should be >2x here");
+}
+
+#[test]
+fn attention_batch_cross_validates_for_all_llms() {
+    // the per-head Fig. 14 attention inventory for every paper model,
+    // run as one batch and checked element-for-element against the
+    // golden reference and the per-call engine; scaled to test runtime
+    // (one layer, short sequence) with the real hidden size and head
+    // count so the projection/score/context structure is intact
+    for (i, model) in LlmModel::all().into_iter().enumerate() {
+        let mut cfg = model.config();
+        cfg.layers = 1;
+        cfg.seq_len = 8;
+        let workload = cfg.attention_workload(0xFEED + i as u64);
+        let problems = workload.problems();
+        assert_eq!(problems.len(), 4 + 2 * cfg.heads, "{}", model.name());
+        let mut eng = CampEngine::with_threads(3);
+        let batch = eng.gemm_i8_batch(&problems);
+        let mut per_call = CampEngine::new();
+        for (c, p) in batch.iter().zip(&problems) {
+            let shape = format!("{} {}x{}x{}", model.name(), p.m, p.n, p.k);
+            assert_eq!(c, &gemm_i32_ref(p.m, p.n, p.k, p.a, p.b), "{shape} vs reference");
+            assert_eq!(c, &per_call.gemm_i8(p.m, p.n, p.k, p.a, p.b), "{shape} vs per-call");
+        }
+    }
+}
+
+#[test]
+fn attention_batch_runs_under_the_i4_kernel() {
+    // workload data is 4-bit quantized, so the same batch must be exact
+    // under camp.s4 as well
+    let mut cfg = LlmModel::BertBase.config();
+    cfg.layers = 1;
+    cfg.seq_len = 8;
+    let workload = cfg.attention_workload(0xBEEF);
+    let problems = workload.problems();
+    let batch = CampEngine::with_threads(2).gemm_i4_batch(&problems);
+    for (c, p) in batch.iter().zip(&problems) {
+        assert_eq!(c, &gemm_i32_ref(p.m, p.n, p.k, p.a, p.b), "{}x{}x{}", p.m, p.n, p.k);
+    }
 }
 
 #[test]

@@ -3,7 +3,8 @@
 
 use camp::cache::{Cache, CacheConfig};
 use camp::core::engine::{
-    camp_gemm_i4, camp_gemm_i4_parallel, camp_gemm_i8, camp_gemm_i8_parallel,
+    camp_gemm_i4, camp_gemm_i4_parallel, camp_gemm_i8, camp_gemm_i8_parallel, CampEngine,
+    GemmProblem,
 };
 use camp::core::gemm_i32_ref;
 use camp::core::hybrid::HybridMultiplier;
@@ -73,6 +74,41 @@ proptest! {
         let b = gen(k * n, seed.rotate_left(11) | 1);
         prop_assert_eq!(camp_gemm_i8_parallel(m, n, k, &a, &b, threads), camp_gemm_i8(m, n, k, &a, &b));
         prop_assert_eq!(camp_gemm_i4_parallel(m, n, k, &a, &b, threads), camp_gemm_i4(m, n, k, &a, &b));
+    }
+
+    #[test]
+    fn batched_gemm_is_bit_identical_to_per_call_loop(
+        m1 in 0usize..13, n1 in 0usize..13, k1 in 0usize..40,
+        m2 in 1usize..13, n2 in 1usize..13, k2 in 1usize..40,
+        threads in 1usize..65, seed in any::<u32>())
+    {
+        // mixed ragged shapes (zero dims included), one problem sharing
+        // its B operand with another, across 1–64 worker threads; data
+        // is 4-bit so the same batch exercises both kernels
+        let gen = |len: usize, s: u32| -> Vec<i8> {
+            (0..len).map(|i| (((i as u32).wrapping_mul(s).wrapping_add(s) % 16) as i32 - 8) as i8)
+                .collect()
+        };
+        let a1 = gen(m1 * k1, seed | 1);
+        let b1 = gen(k1 * n1, seed.rotate_left(5) | 1);
+        let a2 = gen(m2 * k2, seed.rotate_left(9) | 1);
+        let b2 = gen(k2 * n2, seed.rotate_left(13) | 1);
+        let a3 = gen(m2 * k1, seed.rotate_left(17) | 1);
+        let problems = vec![
+            GemmProblem::new(m1, n1, k1, &a1, &b1),
+            GemmProblem::new(m2, n2, k2, &a2, &b2),
+            GemmProblem::new(m2, n1, k1, &a3, &b1), // shares B with problem 0
+        ];
+        let mut eng = CampEngine::with_threads(threads);
+        let batch8 = eng.gemm_i8_batch(&problems);
+        let batch4 = eng.gemm_i4_batch(&problems);
+        let mut per_call = CampEngine::with_threads(threads);
+        for (c, p) in batch8.iter().zip(&problems) {
+            prop_assert_eq!(c, &per_call.gemm_i8(p.m, p.n, p.k, p.a, p.b));
+        }
+        for (c, p) in batch4.iter().zip(&problems) {
+            prop_assert_eq!(c, &per_call.gemm_i4(p.m, p.n, p.k, p.a, p.b));
+        }
     }
 
     #[test]
