@@ -45,7 +45,7 @@ fn run_set(name: &str, problems: &[GemmProblem<'_>], threads: usize, reps: usize
     for (c, p) in batch_c.iter().zip(problems) {
         let (c_ref, s) = eng_loop.gemm_i8_with_stats(p.m, p.n, p.k, p.a, p.b);
         assert_eq!(c, &c_ref, "batched result diverged at {}x{}x{}", p.m, p.n, p.k);
-        loop_packed += s.packed_bytes;
+        loop_packed += s.packed_bytes();
     }
 
     let t_loop = time_best(reps, || {
@@ -64,8 +64,8 @@ fn run_set(name: &str, problems: &[GemmProblem<'_>], threads: usize, reps: usize
         problems.len(),
         macs as f64 / 1e6,
         mib(loop_packed),
-        mib(batch_stats.packed_bytes),
-        loop_packed as f64 / batch_stats.packed_bytes as f64,
+        mib(batch_stats.packed_bytes()),
+        loop_packed as f64 / batch_stats.packed_bytes() as f64,
     );
     println!(
         "  per-call loop {:8.2} ms   batched {:8.2} ms   speedup {:.2}x",

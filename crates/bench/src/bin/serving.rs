@@ -1,0 +1,167 @@
+//! Serving-path shootout on repeated BERT-base attention batches:
+//! per-call loop vs batched (PR 2) vs submit/poll session with
+//! registered weights.
+//!
+//! A serving workload answers the *same* model's attention inventory
+//! over and over — the weights never change, only the activations. The
+//! three contenders pay different per-batch overheads:
+//!
+//! * **per-call loop** — one `gemm_i8` per problem: thread fan-out and
+//!   B re-packing on every single GeMM;
+//! * **batched** — one `gemm_i8_batch` per batch: fan-out once per
+//!   batch, each unique B packed once *per batch* (re-packed every
+//!   repetition);
+//! * **session** — weights registered once up front
+//!   (`register_weights`), batches streamed through `Session::submit`
+//!   with several in flight: zero B-packing per batch, and the staging
+//!   thread pre-packs batch N+1's activations while batch N computes.
+//!
+//! Results are checked bit-identical before timing; throughput is
+//! reported in requests (GeMMs) per second. Knobs: `CAMP_THREADS`,
+//! `CAMP_BENCH_REPS`, `CAMP_SERVING_BATCHES`, and `CAMP_SERVING_SMOKE=1`
+//! shrinks everything to a one-iteration CI smoke run.
+
+use camp_core::{CampEngine, DType};
+use camp_models::LlmModel;
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// Best-of-`reps` wall time in seconds.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn req_per_sec(requests: usize, secs: f64) -> f64 {
+    requests as f64 / secs
+}
+
+fn main() {
+    let smoke = std::env::var("CAMP_SERVING_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let threads = std::env::var("CAMP_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1));
+    let reps = env_usize("CAMP_BENCH_REPS", if smoke { 1 } else { 5 });
+    let batches = env_usize("CAMP_SERVING_BATCHES", if smoke { 2 } else { 8 });
+
+    let mut cfg = LlmModel::BertBase.config();
+    if smoke {
+        cfg.layers = 1;
+        cfg.seq_len = 32;
+    }
+    let workload = cfg.attention_workload(0x5E12_71C3);
+    let problems = workload.problems();
+    let per_batch = problems.len();
+    let total_requests = per_batch * batches;
+
+    println!("==============================================================");
+    println!("serving: per-call loop vs batched vs session (BERT base attention)");
+    println!(
+        "layers={} seq={} heads={}: {} GeMMs/batch x {} batches, \
+         engine threads={}, best of {}{}",
+        cfg.layers,
+        cfg.seq_len,
+        cfg.heads,
+        per_batch,
+        batches,
+        threads,
+        reps,
+        if smoke { " [smoke]" } else { "" }
+    );
+    println!("==============================================================");
+
+    // --- engines: one per contender, identically configured ---
+    let mut eng_loop = CampEngine::with_threads(threads);
+    let mut eng_batch = CampEngine::with_threads(threads);
+    let mut eng_session = CampEngine::with_threads(threads);
+    let handles = workload.register(&mut eng_session, DType::I8);
+
+    // --- correctness + warm-up before any timing ---
+    let golden = eng_batch.gemm_i8_batch(&problems);
+    for (c, p) in golden.iter().zip(&problems) {
+        assert_eq!(
+            c,
+            &eng_loop.gemm_i8(p.m, p.n, p.k, p.a, p.b),
+            "batched diverged at {}x{}x{}",
+            p.m,
+            p.n,
+            p.k
+        );
+    }
+    let (session_c, session_stats) = {
+        let mut session = eng_session.serve();
+        let t = session.submit(workload.requests(&handles));
+        let out = session.wait_with_stats(t);
+        eng_session = session.into_engine();
+        out
+    };
+    assert_eq!(session_c, golden, "session results diverged from the batched path");
+    assert_eq!(session_stats.packed_b_bytes, 0, "session must not pack B");
+
+    // --- per-call loop: every GeMM pays setup and B packing ---
+    let t_loop = time_best(reps, || {
+        for _ in 0..batches {
+            for p in &problems {
+                let _ = eng_loop.gemm_i8(p.m, p.n, p.k, p.a, p.b);
+            }
+        }
+    });
+
+    // --- batched (PR 2): B deduped within a batch, re-packed per batch ---
+    let t_batch = time_best(reps, || {
+        for _ in 0..batches {
+            let _ = eng_batch.gemm_i8_batch(&problems);
+        }
+    });
+
+    // --- session: registered weights, all batches in flight ---
+    // Request batches are materialized (activations cloned) before the
+    // clock starts: a real serving caller owns its activations, and the
+    // other two contenders borrow slices in their timed loops.
+    let mut t_session = f64::INFINITY;
+    for _ in 0..reps {
+        let mut session = eng_session.serve();
+        let request_batches: Vec<_> = (0..batches).map(|_| workload.requests(&handles)).collect();
+        let t = Instant::now();
+        let tickets: Vec<_> = request_batches.into_iter().map(|b| session.submit(b)).collect();
+        for ticket in tickets {
+            let _ = session.wait(ticket);
+        }
+        t_session = t_session.min(t.elapsed().as_secs_f64());
+        eng_session = session.into_engine();
+    }
+
+    println!(
+        "per-call loop {:9.2} ms  {:>12.0} req/s",
+        t_loop * 1e3,
+        req_per_sec(total_requests, t_loop)
+    );
+    println!(
+        "batched       {:9.2} ms  {:>12.0} req/s   {:.2}x vs loop",
+        t_batch * 1e3,
+        req_per_sec(total_requests, t_batch),
+        t_loop / t_batch
+    );
+    println!(
+        "session       {:9.2} ms  {:>12.0} req/s   {:.2}x vs loop, {:.2}x vs batched",
+        t_session * 1e3,
+        req_per_sec(total_requests, t_session),
+        t_loop / t_session,
+        t_batch / t_session
+    );
+    println!(
+        "registered weights: {} panels, {:.2} MiB packed once (batched re-packs every batch)",
+        eng_session.registered_weights(),
+        eng_session.registered_weight_bytes() as f64 / (1024.0 * 1024.0)
+    );
+    println!("target: session >= batched on repeated batches -> {:.2}x", t_batch / t_session);
+}

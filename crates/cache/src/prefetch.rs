@@ -27,7 +27,7 @@ pub struct StridePrefetcher {
 
 impl StridePrefetcher {
     /// Create a prefetcher with a power-of-two `entries` table and the
-    /// given prefetch `degree` (clamped to [`MAX_DEGREE`]).
+    /// given prefetch `degree` (clamped to `MAX_DEGREE`).
     ///
     /// # Panics
     /// Panics if `entries` is not a power of two.

@@ -15,12 +15,24 @@
 //! loop is allocation-free after warm-up ([`CampEngine::pack_allocations`]
 //! exposes the growth counter). An opt-in parallel path
 //! ([`CampEngine::with_threads`] or the `*_parallel` helpers) splits the
-//! row dimension across `std::thread::scope` workers — the Goto split of
-//! the macro loop. B is packed exactly once per call into a shared
-//! read-only panel that every worker consumes (workers no longer pack
-//! private copies), and results are bit-identical to the serial path
+//! row dimension across a **persistent worker pool**
+//! ([`crate::pool::WorkerPool`]) — the Goto split of the macro loop.
+//! Workers are spawned once per engine and parked between calls, so a
+//! serving workload pays thread-spawn cost once, not per request. B is
+//! packed exactly once per call into a shared read-only panel that every
+//! worker consumes, and results are bit-identical to the serial path
 //! because every 4×4 tile is computed by exactly one worker with
 //! identical arithmetic.
+//!
+//! # Pre-packed weights
+//!
+//! A serving workload multiplies the same quantized weights against
+//! millions of activations. [`CampEngine::register_weights`] packs a
+//! weight matrix once into the engine's [`WeightRegistry`] and returns
+//! a copyable [`WeightHandle`]; [`CampEngine::gemm_with_handle`] (and
+//! [`GemmProblem::with_handle`] batch items) then run with **zero
+//! B-packing** — [`EngineStats::packed_b_bytes`] stays 0 on the steady
+//! state, which the test-suite asserts.
 //!
 //! # Batched GeMM
 //!
@@ -33,34 +45,38 @@
 //!
 //! * **B deduplication** — problems sharing one weight matrix (the QKV
 //!   projections across heads and layers) pack B once into a pool-owned
-//!   panel reused across the whole batch;
+//!   panel reused across the whole batch, and problems carrying a
+//!   [`WeightHandle`] skip packing entirely;
 //! * **cross-item parallelism** — small problems are distributed across
-//!   workers whole (one spawn per batch, not per call); problems above
-//!   a MAC-count threshold fall back to the row-partition split;
+//!   the persistent workers whole; problems above a MAC-count threshold
+//!   fall back to the row-partition split;
 //! * **bit-identity** — batch results equal looping the per-call API
 //!   over the same problems, element for element.
+//!
+//! [`CampEngine::gemm_batch`] additionally respects each problem's own
+//! [`DType`], so one batch can mix i4 and i8 problems. For streaming
+//! many batches, [`CampEngine::serve`] upgrades the engine into a
+//! [`crate::session::Session`] with a submit/poll API that overlaps the
+//! A-packing of one batch with the compute of the previous one.
 
-use camp_gemm::batch::{packed_b_bytes, packed_b_offset};
-use camp_gemm::loops::{for_each_b_block, run_blocked, BlockPlan, BlockSink};
+use camp_gemm::batch::{packed_a_offset, packed_b_bytes, packed_b_offset, BOperandKey};
+use camp_gemm::loops::{run_blocked, BlockSink};
+use camp_gemm::weights::{host_block_plan, pack_a_block, pack_b_block, prepack_b, WeightRegistry};
 use camp_gemm::workspace::{PackPool, PanelId};
 use std::collections::HashMap;
 
+use crate::pool::{Job, WorkerPool};
+
 pub use camp_gemm::batch::GemmProblem;
 pub use camp_gemm::gemm_i32_ref;
-
-/// Default row-block height (multiple of the 4-row register tile).
-const MC: usize = 128;
-/// Default column-block width (multiple of the 4-column register tile).
-const NC: usize = 256;
-/// Default depth-block size (multiple of both camp k-steps).
-const KC: usize = 2048;
+pub use camp_gemm::weights::{DType, WeightHandle, WeightMeta};
 
 /// MAC count above which a batch item is row-partitioned across all
 /// workers instead of sharing one worker with other items. Below it,
-/// the per-item thread fan-out costs more than it buys (the attention
+/// the per-item fan-out costs more than it buys (the attention
 /// score/context products are ~1 M MACs); above it, a single problem
 /// has enough rows to keep every worker busy on its own.
-const BATCH_ROW_SPLIT_MACS: u64 = 8 * 1024 * 1024;
+pub(crate) const BATCH_ROW_SPLIT_MACS: u64 = 8 * 1024 * 1024;
 
 /// Per-call statistics of the engine (what the instruction stream would
 /// have contained).
@@ -74,28 +90,39 @@ pub struct EngineStats {
     pub vector_loads: u64,
     /// 64-byte vector stores (result tiles, once per tile per k block).
     pub vector_stores: u64,
-    /// Bytes moved while packing panels, deduplicated: the parallel
-    /// path packs B once into a shared read-only panel (not once per
-    /// worker), and the batched API packs each unique B operand once
-    /// per call no matter how many problems consume it.
-    pub packed_bytes: u64,
+    /// Bytes moved packing A panels (activations — paid per call; the
+    /// serving session moves this work off the compute path by
+    /// pre-packing the next batch while the current one runs).
+    pub packed_a_bytes: u64,
+    /// Bytes moved packing B panels, deduplicated: the parallel path
+    /// packs B once into a shared read-only panel (not once per
+    /// worker), the batched API packs each unique B operand once per
+    /// call, and calls against a registered [`WeightHandle`] pack
+    /// **nothing** — this stays 0 on the serving steady state.
+    pub packed_b_bytes: u64,
     /// Multiply-accumulate operations represented.
     pub macs: u64,
 }
 
 impl EngineStats {
+    /// Total pack traffic, A and B panels combined.
+    pub fn packed_bytes(&self) -> u64 {
+        self.packed_a_bytes + self.packed_b_bytes
+    }
+
     fn merge(&mut self, other: &EngineStats) {
         self.camp_issues += other.camp_issues;
         self.vector_loads += other.vector_loads;
         self.vector_stores += other.vector_stores;
-        self.packed_bytes += other.packed_bytes;
+        self.packed_a_bytes += other.packed_a_bytes;
+        self.packed_b_bytes += other.packed_b_bytes;
         self.macs += other.macs;
     }
 }
 
 /// One micro-kernel step: consume `k_step` k-values of a packed 4-row A
 /// panel and 4-column B panel into the 4×4 accumulator tile.
-type IssueFn = fn(&[i8], &[i8], &mut [[i32; 4]; 4]);
+pub(crate) type IssueFn = fn(&[i8], &[i8], &mut [[i32; 4]; 4]);
 
 fn camp_issue_i8(a: &[i8], b: &[i8], acc: &mut [[i32; 4]; 4]) {
     // One `camp.s8`: 16 k-steps of the 4×4 tile.
@@ -124,41 +151,21 @@ fn camp_issue_i4(a: &[i8], b: &[i8], acc: &mut [[i32; 4]; 4]) {
     }
 }
 
-/// Pack a block of row-major B starting at column `jc`, depth `pc` into
-/// nR-column panels (row-major within the panel), zero-padded past the
-/// matrix edge — the layout one `camp` B operand expects. `buf` must
-/// hold exactly `ncb * kcb` bytes; its length determines the block
-/// width.
-fn pack_b_block(buf: &mut [i8], b: &[i8], n: usize, k: usize, jc: usize, pc: usize, kcb: usize) {
-    let panel = kcb * 4;
-    for (q, panel_buf) in buf.chunks_exact_mut(panel).enumerate() {
-        let j0 = jc + q * 4;
-        for l in 0..kcb {
-            let lg = pc + l;
-            for (cx, out) in panel_buf[l * 4..l * 4 + 4].iter_mut().enumerate() {
-                let j = j0 + cx;
-                *out = if lg < k && j < n { b[lg * n + j] } else { 0 };
-            }
-        }
+/// The kernel a dtype selects: k-values per camp issue plus the issue
+/// function itself.
+pub(crate) fn kernel_of(dtype: DType) -> (usize, IssueFn) {
+    match dtype {
+        DType::I8 => (16, camp_issue_i8 as IssueFn),
+        DType::I4 => (32, camp_issue_i4 as IssueFn),
     }
-}
-
-/// Pack every (jc, pc) block of B in the blocked loops' visit order
-/// (shared with [`run_blocked`] via [`for_each_b_block`]) into `dst`
-/// (sized by [`packed_b_bytes`]). Each block's bytes are bit-identical
-/// to what per-block packing produces, so a macro-kernel reading at
-/// [`packed_b_offset`] computes exactly the serial result.
-fn prepack_b(dst: &mut [i8], b: &[i8], n: usize, k: usize, plan: &BlockPlan) {
-    for_each_b_block(plan, |jc, ncb, pc, kcb| {
-        let off = packed_b_offset(plan.kp, jc, ncb, pc);
-        pack_b_block(&mut dst[off..off + ncb * kcb], b, n, k, jc, pc, kcb);
-    });
 }
 
 /// Host backend of the shared blocked-loop skeleton: packs blocks into
 /// the pool's buffers and runs the camp issue loop as the macro-kernel.
-/// With `shared_b` set, B arrives fully pre-packed (see [`prepack_b`])
-/// and the per-block B pack becomes a no-op.
+/// With `shared_b` set, B arrives fully pre-packed (see
+/// [`camp_gemm::weights::prepack_b`]) and the per-block B pack becomes
+/// a no-op; `shared_a` does the same for a pre-packed A (the serving
+/// session stages it off the compute path).
 struct HostBackend<'a> {
     a: &'a [i8],
     b: &'a [i8],
@@ -172,36 +179,32 @@ struct HostBackend<'a> {
     issue: IssueFn,
     pool: &'a mut PackPool,
     shared_b: Option<&'a [i8]>,
+    shared_a: Option<&'a [i8]>,
     stats: EngineStats,
 }
 
 impl BlockSink for HostBackend<'_> {
     fn pack_b(&mut self, jc: usize, ncb: usize, pc: usize, kcb: usize) {
         if self.shared_b.is_some() {
-            // B was packed once for all workers/batch items; the pack
-            // traffic is accounted exactly once by the caller.
+            // B was packed once for all workers/batch items (or at
+            // weight-registration time); the pack traffic is accounted
+            // exactly once by whoever packed it.
             return;
         }
         let buf = self.pool.b_buffer(ncb * kcb);
         pack_b_block(buf, self.b, self.n, self.k, jc, pc, kcb);
-        self.stats.packed_bytes += (ncb * kcb) as u64;
+        self.stats.packed_b_bytes += (ncb * kcb) as u64;
     }
 
     fn pack_a(&mut self, ic: usize, mcb: usize, pc: usize, kcb: usize) {
-        // mR-row panels, column-major within the panel.
-        let panel = kcb * 4;
-        let buf = self.pool.a_buffer(mcb / 4 * panel);
-        for (p, panel_buf) in buf.chunks_exact_mut(panel).enumerate() {
-            let i0 = ic + p * 4;
-            for l in 0..kcb {
-                let lg = pc + l;
-                for (rx, out) in panel_buf[l * 4..l * 4 + 4].iter_mut().enumerate() {
-                    let i = i0 + rx;
-                    *out = if lg < self.k && i < self.m { self.a[i * self.k + lg] } else { 0 };
-                }
-            }
+        if self.shared_a.is_some() {
+            // A was staged up front (serving session); traffic is
+            // accounted by the stager.
+            return;
         }
-        self.stats.packed_bytes += (mcb / 4 * panel) as u64;
+        let buf = self.pool.a_buffer(mcb * kcb);
+        pack_a_block(buf, self.a, self.m, self.k, ic, pc, kcb);
+        self.stats.packed_a_bytes += (mcb * kcb) as u64;
     }
 
     fn macro_kernel(
@@ -214,7 +217,14 @@ impl BlockSink for HostBackend<'_> {
         kcb: usize,
     ) {
         let panel = kcb * 4;
-        let (abuf, own_b) = self.pool.buffers();
+        let (own_a, own_b) = self.pool.buffers();
+        let abuf = match self.shared_a {
+            Some(packed) => {
+                let off = packed_a_offset(self.kp, ic, mcb, pc);
+                &packed[off..off + mcb * kcb]
+            }
+            None => own_a,
+        };
         let bbuf = match self.shared_b {
             Some(packed) => {
                 let off = packed_b_offset(self.kp, jc, ncb, pc);
@@ -263,8 +273,9 @@ impl BlockSink for HostBackend<'_> {
     }
 }
 
-/// Run the blocked loops for one worker's row range. With `shared_b`,
-/// B is consumed from the caller's pre-packed panel.
+/// Run the blocked loops for one worker's row range. With `shared_b` /
+/// `shared_a`, the operand is consumed from the caller's pre-packed
+/// panel instead of being packed per block.
 #[allow(clippy::too_many_arguments)]
 fn gemm_range(
     m: usize,
@@ -277,8 +288,9 @@ fn gemm_range(
     k_step: usize,
     issue: IssueFn,
     shared_b: Option<&[i8]>,
+    shared_a: Option<&[i8]>,
 ) -> EngineStats {
-    let plan = BlockPlan::new(m, n, k, 4, 4, k_step, (MC, NC, KC));
+    let plan = host_block_plan(m, n, k, k_step);
     let mut backend = HostBackend {
         a,
         b,
@@ -291,6 +303,7 @@ fn gemm_range(
         issue,
         pool,
         shared_b,
+        shared_a,
         stats: EngineStats { macs: (m * n * k) as u64, ..EngineStats::default() },
     };
     run_blocked(&plan, &mut backend);
@@ -308,10 +321,24 @@ fn row_partition(m: usize, threads: usize) -> (usize, usize) {
     (rows_per, m.div_ceil(rows_per))
 }
 
-/// Row partition of the macro loop across up to `threads` workers:
-/// chunks are multiples of the 4-row tile so every worker owns whole
-/// register tiles, which (with wrapping i32 accumulation) makes the
-/// result bit-identical to the serial path for any worker count.
+/// Execute jobs on the persistent pool, or inline when the engine is
+/// serial (no pool exists).
+fn run_jobs(wp: Option<&WorkerPool>, jobs: Vec<Job<'_>>) {
+    match wp {
+        Some(wp) => wp.run(jobs),
+        None => {
+            for job in jobs {
+                job();
+            }
+        }
+    }
+}
+
+/// Row partition of the macro loop across up to `threads` workers on
+/// the persistent pool: chunks are multiples of the 4-row tile so every
+/// worker owns whole register tiles, which (with wrapping i32
+/// accumulation) makes the result bit-identical to the serial path for
+/// any worker count.
 #[allow(clippy::too_many_arguments)]
 fn gemm_partitioned(
     m: usize,
@@ -321,6 +348,7 @@ fn gemm_partitioned(
     b: &[i8],
     c: &mut [i32],
     pools: &mut Vec<PackPool>,
+    wp: Option<&WorkerPool>,
     threads: usize,
     k_step: usize,
     issue: IssueFn,
@@ -332,30 +360,202 @@ fn gemm_partitioned(
     }
     let mut total = EngineStats::default();
     if workers == 1 {
-        total.merge(&gemm_range(m, n, k, a, b, c, &mut pools[0], k_step, issue, shared_b));
+        total.merge(&gemm_range(m, n, k, a, b, c, &mut pools[0], k_step, issue, shared_b, None));
         return total;
     }
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for ((c_chunk, a_chunk), pool) in
-            c.chunks_mut(rows_per * n).zip(a.chunks(rows_per * k)).zip(pools.iter_mut())
-        {
-            let m_local = c_chunk.len() / n;
-            handles.push(scope.spawn(move || {
-                gemm_range(m_local, n, k, a_chunk, b, c_chunk, pool, k_step, issue, shared_b)
-            }));
-        }
-        for h in handles {
-            total.merge(&h.join().expect("GeMM worker panicked"));
-        }
-    });
+    let mut slots: Vec<Option<EngineStats>> = vec![None; workers];
+    let jobs: Vec<Job<'_>> = c
+        .chunks_mut(rows_per * n)
+        .zip(a.chunks(rows_per * k))
+        .zip(pools.iter_mut())
+        .zip(slots.iter_mut())
+        .map(|(((c_chunk, a_chunk), pool), slot)| -> Job<'_> {
+            Box::new(move || {
+                let m_local = c_chunk.len() / n;
+                *slot = Some(gemm_range(
+                    m_local, n, k, a_chunk, b, c_chunk, pool, k_step, issue, shared_b, None,
+                ));
+            })
+        })
+        .collect();
+    run_jobs(wp, jobs);
+    for s in slots.iter().flatten() {
+        total.merge(s);
+    }
     total
 }
 
-/// Reusable host-speed GeMM engine: owns one pack-pool arena per worker
-/// thread plus a shared arena for pre-packed B panels, so the packing
-/// hot loop allocates nothing once the pools are warm (each call still
-/// allocates its m×n result vector).
+/// One non-degenerate work unit of a batch or serving dispatch: its
+/// effective kernel, an always-pre-packed B panel, and optionally a
+/// pre-packed A (serving session). [`run_work_items`] is the single
+/// dispatch path both the batched API and the serving driver go
+/// through, so the row-split rule and stats accounting cannot diverge
+/// between them.
+struct WorkItem<'a> {
+    slot: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    k_step: usize,
+    issue: IssueFn,
+    a: &'a [i8],
+    /// Fully pre-packed A; consumed only on the cross-item path (the
+    /// row-split path partitions rows, whose per-worker plans index A
+    /// differently).
+    shared_a: Option<&'a [i8]>,
+    shared_b: &'a [i8],
+}
+
+impl WorkItem<'_> {
+    fn macs(&self) -> u64 {
+        self.m as u64 * self.n as u64 * self.k as u64
+    }
+}
+
+/// Shared dispatch of a batch of work items: problems above
+/// [`BATCH_ROW_SPLIT_MACS`] are row-partitioned across all workers,
+/// the rest are distributed whole across the persistent workers.
+/// Each result lands in `results[item.slot]`.
+fn run_work_items(
+    items: Vec<WorkItem<'_>>,
+    results: &mut [Vec<i32>],
+    pools: &mut Vec<PackPool>,
+    wp: Option<&WorkerPool>,
+    threads: usize,
+) -> EngineStats {
+    let mut total = EngineStats::default();
+    let mut small = Vec::with_capacity(items.len());
+    for it in items {
+        if it.macs() < BATCH_ROW_SPLIT_MACS {
+            small.push(it);
+            continue;
+        }
+        let mut c = vec![0i32; it.m * it.n];
+        total.merge(&gemm_partitioned(
+            it.m,
+            it.n,
+            it.k,
+            it.a,
+            &[],
+            &mut c,
+            pools,
+            wp,
+            threads,
+            it.k_step,
+            it.issue,
+            Some(it.shared_b),
+        ));
+        results[it.slot] = c;
+    }
+    total.merge(&run_small_items(small, results, pools, wp, threads));
+    total
+}
+
+/// Distribute small items across the persistent workers
+/// (longest-processing-time greedy — biggest problems first onto the
+/// least-loaded worker) and write each result into `results[item.slot]`.
+fn run_small_items(
+    items: Vec<WorkItem<'_>>,
+    results: &mut [Vec<i32>],
+    pools: &mut Vec<PackPool>,
+    wp: Option<&WorkerPool>,
+    threads: usize,
+) -> EngineStats {
+    let mut total = EngineStats::default();
+    if items.is_empty() {
+        return total;
+    }
+    let workers = threads.min(items.len()).max(1);
+    while pools.len() < workers {
+        pools.push(PackPool::new());
+    }
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(items[i].macs()));
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    let mut load = vec![0u64; workers];
+    for i in order {
+        let w = (0..workers).min_by_key(|&w| load[w]).expect("workers > 0");
+        assignment[w].push(i);
+        load[w] += items[i].macs();
+    }
+    let items = &items;
+    let mut cells: Vec<Vec<(usize, Vec<i32>, EngineStats)>> = vec![Vec::new(); workers];
+    let jobs: Vec<Job<'_>> = assignment
+        .iter()
+        .zip(pools.iter_mut())
+        .zip(cells.iter_mut())
+        .map(|((list, pool), cell)| -> Job<'_> {
+            Box::new(move || {
+                for &i in list {
+                    let it = &items[i];
+                    let mut c = vec![0i32; it.m * it.n];
+                    let s = gemm_range(
+                        it.m,
+                        it.n,
+                        it.k,
+                        it.a,
+                        &[],
+                        &mut c,
+                        pool,
+                        it.k_step,
+                        it.issue,
+                        Some(it.shared_b),
+                        it.shared_a,
+                    );
+                    cell.push((it.slot, c, s));
+                }
+            })
+        })
+        .collect();
+    // a single worker runs its one job inline, same code path
+    run_jobs(if workers > 1 { wp } else { None }, jobs);
+    for (slot, c, s) in cells.into_iter().flatten() {
+        results[slot] = c;
+        total.merge(&s);
+    }
+    total
+}
+
+/// One staged request of a serving batch: the activation (optionally
+/// pre-packed by the session's staging thread) plus the registered
+/// weight it multiplies against. `packed_a_bytes` is the staging
+/// traffic, folded into the ticket's stats by
+/// [`CampEngine::run_staged`].
+pub(crate) struct StagedRequest {
+    pub m: usize,
+    pub n: usize,
+    pub k: usize,
+    pub dtype: DType,
+    pub a: Vec<i8>,
+    pub packed_a: Option<Vec<i8>>,
+    pub packed_a_bytes: u64,
+    pub handle: WeightHandle,
+}
+
+impl StagedRequest {
+    pub(crate) fn is_degenerate(&self) -> bool {
+        self.m == 0 || self.n == 0 || self.k == 0
+    }
+
+    pub(crate) fn macs(&self) -> u64 {
+        self.m as u64 * self.n as u64 * self.k as u64
+    }
+}
+
+/// Which packed panel a batch problem's B operand lives in.
+enum PanelSrc {
+    /// Packed this call into the engine's shared arena (slice operand).
+    Transient(PanelId),
+    /// Pre-packed at registration time — zero packing this call.
+    Registered(WeightHandle),
+}
+
+/// Reusable host-speed GeMM engine: a persistent worker pool spawned
+/// once at construction, one pack-pool arena per worker, a shared arena
+/// for per-call pre-packed B panels, and a [`WeightRegistry`] of
+/// pre-packed weights for serving workloads. The packing hot loop
+/// allocates nothing once the pools are warm (each call still allocates
+/// its m×n result vector).
 #[derive(Debug)]
 pub struct CampEngine {
     threads: usize,
@@ -363,6 +563,10 @@ pub struct CampEngine {
     /// Arena for B panels shared read-only across workers: the parallel
     /// path's single packed B, and the batch path's deduplicated B set.
     shared: PackPool,
+    /// Pre-packed weights (serving steady state packs no B at all).
+    weights: WeightRegistry,
+    /// Persistent workers; `None` for a serial engine.
+    workers: Option<WorkerPool>,
 }
 
 impl Default for CampEngine {
@@ -372,20 +576,32 @@ impl Default for CampEngine {
 }
 
 impl CampEngine {
-    /// Serial engine (one worker).
+    /// Serial engine (one worker, no pool threads).
     pub fn new() -> Self {
         CampEngine::with_threads(1)
     }
 
-    /// Engine running up to `threads` workers over row partitions of the
-    /// Goto macro loop; `0` means one worker per available core.
+    /// Engine running up to `threads` workers over row partitions of
+    /// the Goto macro loop; `0` means one worker per available core.
+    /// The resolved count is validated to be at least 1 (a zero worker
+    /// count would divide by zero in the row partition), and the worker
+    /// threads are spawned **once** here — parallel calls only enqueue
+    /// jobs on the persistent pool.
     pub fn with_threads(threads: usize) -> Self {
         let threads = if threads == 0 {
             std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
         } else {
             threads
-        };
-        CampEngine { threads, pools: Vec::new(), shared: PackPool::new() }
+        }
+        .max(1);
+        let workers = (threads > 1).then(|| WorkerPool::new(threads));
+        CampEngine {
+            threads,
+            pools: Vec::new(),
+            shared: PackPool::new(),
+            weights: WeightRegistry::new(),
+            workers,
+        }
     }
 
     /// Configured worker count.
@@ -393,15 +609,115 @@ impl CampEngine {
         self.threads
     }
 
-    /// Total pack-buffer growths across all arenas. Flat across
-    /// same-shape calls ⇒ the hot loop is allocation-free.
+    /// Total pack-buffer growths across the per-worker and shared
+    /// arenas. Flat across same-shape calls ⇒ the hot loop is
+    /// allocation-free. Weight registration (a one-time cost) is
+    /// accounted separately by [`CampEngine::registered_weight_bytes`].
     pub fn pack_allocations(&self) -> u64 {
         self.pools.iter().map(PackPool::allocations).sum::<u64>() + self.shared.allocations()
     }
 
+    // ---- pre-packed weight registry ----
+
+    /// Pack the row-major k×n weight matrix `b` once for `dtype`'s
+    /// kernel and keep the panel alive for the engine's lifetime. Every
+    /// later call against the returned handle performs zero B-packing.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != k * n`.
+    pub fn register_weights(&mut self, n: usize, k: usize, b: &[i8], dtype: DType) -> WeightHandle {
+        self.weights.register(n, k, b, dtype)
+    }
+
+    /// Shape/dtype of a registered weight.
+    pub fn weight_meta(&self, h: WeightHandle) -> WeightMeta {
+        self.weights.meta(h)
+    }
+
+    /// Number of registered weights.
+    pub fn registered_weights(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Total bytes packed at registration time (one-time; never paid on
+    /// the steady-state request path).
+    pub fn registered_weight_bytes(&self) -> u64 {
+        self.weights.packed_bytes()
+    }
+
+    /// A [`GemmProblem`] over a registered weight, with shape and dtype
+    /// filled in from the registration.
+    pub fn handle_problem<'a>(&self, m: usize, a: &'a [i8], h: WeightHandle) -> GemmProblem<'a> {
+        let meta = self.weights.meta(h);
+        GemmProblem::with_handle(m, meta.n, meta.k, a, h).with_dtype(meta.dtype)
+    }
+
+    /// GeMM of an m-row activation against a registered weight, under
+    /// the kernel the weight was registered for. No B is packed — the
+    /// panel built at registration time is consumed directly, serially
+    /// or by every pool worker.
+    ///
+    /// # Panics
+    /// Panics if `a.len() != m * k` for the registered k.
+    pub fn gemm_with_handle(&mut self, m: usize, a: &[i8], h: WeightHandle) -> Vec<i32> {
+        self.gemm_with_handle_with_stats(m, a, h).0
+    }
+
+    /// [`CampEngine::gemm_with_handle`] plus statistics;
+    /// `packed_b_bytes` is always 0 here.
+    pub fn gemm_with_handle_with_stats(
+        &mut self,
+        m: usize,
+        a: &[i8],
+        h: WeightHandle,
+    ) -> (Vec<i32>, EngineStats) {
+        let meta = self.weights.meta(h);
+        assert_eq!(a.len(), m * meta.k, "A must be m×k");
+        let mut c = vec![0i32; m * meta.n];
+        if m == 0 || meta.n == 0 || meta.k == 0 {
+            return (c, EngineStats::default());
+        }
+        let (k_step, issue) = kernel_of(meta.dtype);
+        let stats = gemm_partitioned(
+            m,
+            meta.n,
+            meta.k,
+            a,
+            &[],
+            &mut c,
+            &mut self.pools,
+            self.workers.as_ref(),
+            self.threads,
+            k_step,
+            issue,
+            Some(self.weights.panel(h)),
+        );
+        (c, stats)
+    }
+
+    /// Upgrade the engine into a serving [`crate::session::Session`]
+    /// (submit/poll API, staged A-packing overlapping compute).
+    /// Register weights first: the session validates submissions
+    /// against the registrations present at this call.
+    pub fn serve(self) -> crate::session::Session {
+        crate::session::Session::new(self)
+    }
+
+    /// Registration metadata snapshot for the serving session.
+    pub(crate) fn weight_metas(&self) -> Vec<WeightMeta> {
+        self.weights.metas()
+    }
+
+    /// Identity of this engine's registry (stamped into its handles).
+    pub(crate) fn weight_registry_id(&self) -> u64 {
+        self.weights.id()
+    }
+
+    // ---- single-call API ----
+
     /// Blocked GeMM with the `camp.s8` micro-kernel; see [`camp_gemm_i8`].
     pub fn gemm_i8(&mut self, m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
-        self.gemm(m, n, k, a, b, 16, camp_issue_i8).0
+        self.gemm(m, n, k, a, b, DType::I8).0
     }
 
     /// [`CampEngine::gemm_i8`] plus instruction-level statistics.
@@ -413,12 +729,12 @@ impl CampEngine {
         a: &[i8],
         b: &[i8],
     ) -> (Vec<i32>, EngineStats) {
-        self.gemm(m, n, k, a, b, 16, camp_issue_i8)
+        self.gemm(m, n, k, a, b, DType::I8)
     }
 
     /// Blocked GeMM with the `camp.s4` micro-kernel; see [`camp_gemm_i4`].
     pub fn gemm_i4(&mut self, m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
-        self.gemm(m, n, k, a, b, 32, camp_issue_i4).0
+        self.gemm(m, n, k, a, b, DType::I4).0
     }
 
     /// [`CampEngine::gemm_i4`] plus instruction-level statistics.
@@ -430,36 +746,42 @@ impl CampEngine {
         a: &[i8],
         b: &[i8],
     ) -> (Vec<i32>, EngineStats) {
-        self.gemm(m, n, k, a, b, 32, camp_issue_i4)
+        self.gemm(m, n, k, a, b, DType::I4)
     }
+
+    // ---- batched API ----
 
     /// Run a batch of independent `camp.s8` GeMMs in one call; see the
     /// [module docs](self) for what the batch amortizes. Returns one
     /// row-major C per problem, in input order, bit-identical to calling
     /// [`CampEngine::gemm_i8`] per problem. Zero-dimension problems
     /// yield their natural degenerate result (empty, or all-zero when
-    /// only k is 0).
+    /// only k is 0). Per-problem dtypes are overridden (every problem
+    /// runs under `camp.s8`); handle problems must have been registered
+    /// as [`DType::I8`].
     ///
     /// # Panics
     /// Panics if any problem's slice lengths do not match its
-    /// dimensions.
+    /// dimensions, or a handle's registration disagrees with the
+    /// problem's shape or the forced dtype.
     pub fn gemm_i8_batch(&mut self, problems: &[GemmProblem<'_>]) -> Vec<Vec<i32>> {
-        self.gemm_batch(problems, 16, camp_issue_i8).0
+        self.gemm_batch_impl(problems, Some(DType::I8)).0
     }
 
     /// [`CampEngine::gemm_i8_batch`] plus merged statistics.
-    /// `packed_bytes` counts each unique B operand once.
+    /// `packed_b_bytes` counts each unique slice-B operand once and
+    /// handle operands never.
     pub fn gemm_i8_batch_with_stats(
         &mut self,
         problems: &[GemmProblem<'_>],
     ) -> (Vec<Vec<i32>>, EngineStats) {
-        self.gemm_batch(problems, 16, camp_issue_i8)
+        self.gemm_batch_impl(problems, Some(DType::I8))
     }
 
     /// Batched [`CampEngine::gemm_i4`]; see [`CampEngine::gemm_i8_batch`].
     /// Operand values must lie in [-8, 7] (checked in debug builds).
     pub fn gemm_i4_batch(&mut self, problems: &[GemmProblem<'_>]) -> Vec<Vec<i32>> {
-        self.gemm_batch(problems, 32, camp_issue_i4).0
+        self.gemm_batch_impl(problems, Some(DType::I4)).0
     }
 
     /// [`CampEngine::gemm_i4_batch`] plus merged statistics.
@@ -467,10 +789,27 @@ impl CampEngine {
         &mut self,
         problems: &[GemmProblem<'_>],
     ) -> (Vec<Vec<i32>>, EngineStats) {
-        self.gemm_batch(problems, 32, camp_issue_i4)
+        self.gemm_batch_impl(problems, Some(DType::I4))
     }
 
-    #[allow(clippy::too_many_arguments)]
+    /// Mixed-dtype batch: each problem runs under its **own** kernel —
+    /// slice problems under [`GemmProblem::dtype`] (see
+    /// [`GemmProblem::with_dtype`]), handle problems under the dtype
+    /// their weight was registered for. Everything else matches
+    /// [`CampEngine::gemm_i8_batch`]: results are bit-identical to
+    /// per-call loops of the matching kernel, in input order.
+    pub fn gemm_batch(&mut self, problems: &[GemmProblem<'_>]) -> Vec<Vec<i32>> {
+        self.gemm_batch_impl(problems, None).0
+    }
+
+    /// [`CampEngine::gemm_batch`] plus merged statistics.
+    pub fn gemm_batch_with_stats(
+        &mut self,
+        problems: &[GemmProblem<'_>],
+    ) -> (Vec<Vec<i32>>, EngineStats) {
+        self.gemm_batch_impl(problems, None)
+    }
+
     fn gemm(
         &mut self,
         m: usize,
@@ -478,8 +817,7 @@ impl CampEngine {
         k: usize,
         a: &[i8],
         b: &[i8],
-        k_step: usize,
-        issue: IssueFn,
+        dtype: DType,
     ) -> (Vec<i32>, EngineStats) {
         assert_eq!(a.len(), m * k, "A must be m×k");
         assert_eq!(b.len(), k * n, "B must be k×n");
@@ -487,6 +825,7 @@ impl CampEngine {
         if m == 0 || n == 0 || k == 0 {
             return (c, EngineStats::default());
         }
+        let (k_step, issue) = kernel_of(dtype);
 
         let mut total = EngineStats::default();
         let (_, workers) = row_partition(m, self.threads);
@@ -494,11 +833,11 @@ impl CampEngine {
             // Pack B once into a shared read-only panel instead of once
             // per worker — the packing traffic below is everything the
             // whole call moves for B.
-            let plan = BlockPlan::new(m, n, k, 4, 4, k_step, (MC, NC, KC));
+            let plan = host_block_plan(m, n, k, k_step);
             self.shared.reset_panels();
             let id = self.shared.alloc_panel(packed_b_bytes(&plan));
             prepack_b(self.shared.panel_mut(id), b, n, k, &plan);
-            total.packed_bytes += packed_b_bytes(&plan) as u64;
+            total.packed_b_bytes += packed_b_bytes(&plan) as u64;
             Some(id)
         } else {
             None
@@ -512,6 +851,7 @@ impl CampEngine {
             b,
             &mut c,
             &mut self.pools,
+            self.workers.as_ref(),
             self.threads,
             k_step,
             issue,
@@ -520,35 +860,66 @@ impl CampEngine {
         (c, total)
     }
 
-    fn gemm_batch(
+    fn gemm_batch_impl(
         &mut self,
         problems: &[GemmProblem<'_>],
-        k_step: usize,
-        issue: IssueFn,
+        forced: Option<DType>,
     ) -> (Vec<Vec<i32>>, EngineStats) {
+        // Effective kernel per problem: a forced dtype wins; otherwise
+        // handles run under their registration and slices under their
+        // own dtype field.
+        let dtypes: Vec<DType> = problems
+            .iter()
+            .map(|p| match (forced, p.handle) {
+                (Some(dt), _) => dt,
+                (None, Some(h)) => self.weights.meta(h).dtype,
+                (None, None) => p.dtype,
+            })
+            .collect();
         for (i, p) in problems.iter().enumerate() {
             assert_eq!(p.a.len(), p.m * p.k, "problem {i}: A must be m×k");
-            assert_eq!(p.b.len(), p.k * p.n, "problem {i}: B must be k×n");
+            match p.handle {
+                None => assert_eq!(p.b.len(), p.k * p.n, "problem {i}: B must be k×n"),
+                Some(h) => {
+                    let meta = self.weights.meta(h);
+                    assert_eq!(
+                        (meta.n, meta.k),
+                        (p.n, p.k),
+                        "problem {i}: registered weight shape mismatch"
+                    );
+                    assert_eq!(
+                        meta.dtype, dtypes[i],
+                        "problem {i}: registered weight dtype mismatch"
+                    );
+                }
+            }
         }
         let mut total = EngineStats::default();
 
-        // --- B deduplication: pack each unique operand exactly once ---
+        // --- B panels: handles as-registered (zero packing), slice
+        // operands packed exactly once per unique (operand, k-step) ---
         self.shared.reset_panels();
-        let mut panel_of: HashMap<_, PanelId> = HashMap::new();
-        let mut panel_ids: Vec<Option<PanelId>> = Vec::with_capacity(problems.len());
-        for p in problems {
+        let mut panel_of: HashMap<(BOperandKey, usize), PanelId> = HashMap::new();
+        let mut srcs: Vec<Option<PanelSrc>> = Vec::with_capacity(problems.len());
+        for (p, dt) in problems.iter().zip(&dtypes) {
             if p.is_degenerate() {
-                panel_ids.push(None);
+                srcs.push(None);
                 continue;
             }
-            let plan = BlockPlan::new(p.m, p.n, p.k, 4, 4, k_step, (MC, NC, KC));
-            let id = *panel_of.entry(p.b_key()).or_insert_with(|| {
-                let id = self.shared.alloc_panel(packed_b_bytes(&plan));
-                prepack_b(self.shared.panel_mut(id), p.b, p.n, p.k, &plan);
-                total.packed_bytes += packed_b_bytes(&plan) as u64;
-                id
-            });
-            panel_ids.push(Some(id));
+            srcs.push(Some(match p.handle {
+                Some(h) => PanelSrc::Registered(h),
+                None => {
+                    let k_step = dt.k_step();
+                    let plan = host_block_plan(p.m, p.n, p.k, k_step);
+                    let id = *panel_of.entry((p.b_key(), k_step)).or_insert_with(|| {
+                        let id = self.shared.alloc_panel(packed_b_bytes(&plan));
+                        prepack_b(self.shared.panel_mut(id), p.b, p.n, p.k, &plan);
+                        total.packed_b_bytes += packed_b_bytes(&plan) as u64;
+                        id
+                    });
+                    PanelSrc::Transient(id)
+                }
+            }));
         }
 
         // Degenerate results exist up front (all-zero when only k is 0,
@@ -558,85 +929,80 @@ impl CampEngine {
             .map(|p| if p.is_degenerate() { vec![0i32; p.m * p.n] } else { Vec::new() })
             .collect();
 
-        // --- large problems: row-partition each across all workers ---
-        for (i, p) in problems.iter().enumerate() {
-            if p.is_degenerate() || p.macs() < BATCH_ROW_SPLIT_MACS {
-                continue;
-            }
-            let mut c = vec![0i32; p.m * p.n];
-            let shared_b = self.shared.panel(panel_ids[i].expect("non-degenerate"));
-            total.merge(&gemm_partitioned(
-                p.m,
-                p.n,
-                p.k,
-                p.a,
-                p.b,
-                &mut c,
-                &mut self.pools,
-                self.threads,
-                k_step,
-                issue,
-                Some(shared_b),
-            ));
-            results[i] = c;
-        }
-
-        // --- small problems: parallelism across batch items ---
-        let mut small: Vec<usize> = (0..problems.len())
-            .filter(|&i| !problems[i].is_degenerate() && problems[i].macs() < BATCH_ROW_SPLIT_MACS)
-            .collect();
-        if small.is_empty() {
-            return (results, total);
-        }
-        // longest-processing-time greedy: biggest problems first onto
-        // the least-loaded worker
-        small.sort_by_key(|&i| std::cmp::Reverse(problems[i].macs()));
-        let workers = self.threads.min(small.len()).max(1);
-        let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); workers];
-        let mut load = vec![0u64; workers];
-        for i in small {
-            let w = (0..workers).min_by_key(|&w| load[w]).expect("workers > 0");
-            assignment[w].push(i);
-            load[w] += problems[i].macs();
-        }
-        while self.pools.len() < workers {
-            self.pools.push(PackPool::new());
-        }
         let shared = &self.shared;
-        let panel_ids = &panel_ids;
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (list, pool) in assignment.iter().zip(self.pools.iter_mut()) {
-                handles.push(scope.spawn(move || {
-                    let mut out = Vec::with_capacity(list.len());
-                    for &i in list {
-                        let p = &problems[i];
-                        let mut c = vec![0i32; p.m * p.n];
-                        let panel = shared.panel(panel_ids[i].expect("non-degenerate"));
-                        let stats = gemm_range(
-                            p.m,
-                            p.n,
-                            p.k,
-                            p.a,
-                            p.b,
-                            &mut c,
-                            pool,
-                            k_step,
-                            issue,
-                            Some(panel),
-                        );
-                        out.push((i, c, stats));
-                    }
-                    out
-                }));
+        let weights = &self.weights;
+        let wp = self.workers.as_ref();
+        let threads = self.threads;
+        let pools = &mut self.pools;
+        let panel = |src: &PanelSrc| -> &[i8] {
+            match src {
+                PanelSrc::Transient(id) => shared.panel(*id),
+                PanelSrc::Registered(h) => weights.panel(*h),
             }
-            for h in handles {
-                for (i, c, stats) in h.join().expect("batch worker panicked") {
-                    results[i] = c;
-                    total.merge(&stats);
+        };
+
+        let items: Vec<WorkItem<'_>> = problems
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_degenerate())
+            .map(|(i, p)| {
+                let (k_step, issue) = kernel_of(dtypes[i]);
+                WorkItem {
+                    slot: i,
+                    m: p.m,
+                    n: p.n,
+                    k: p.k,
+                    k_step,
+                    issue,
+                    a: p.a,
+                    shared_a: None,
+                    shared_b: panel(srcs[i].as_ref().expect("non-degenerate")),
                 }
-            }
-        });
+            })
+            .collect();
+        total.merge(&run_work_items(items, &mut results, pools, wp, threads));
+        (results, total)
+    }
+
+    /// Compute one staged serving batch (see [`crate::session`]):
+    /// registered B panels everywhere, pre-packed A where the stager
+    /// provided it, row-partitioning for oversized requests. Returns
+    /// one row-major C per request plus the batch's merged stats
+    /// (staging traffic included).
+    pub(crate) fn run_staged(&mut self, reqs: &[StagedRequest]) -> (Vec<Vec<i32>>, EngineStats) {
+        let mut total = EngineStats::default();
+        for r in reqs {
+            total.packed_a_bytes += r.packed_a_bytes;
+        }
+        let mut results: Vec<Vec<i32>> = reqs
+            .iter()
+            .map(|r| if r.is_degenerate() { vec![0i32; r.m * r.n] } else { Vec::new() })
+            .collect();
+        let weights = &self.weights;
+        let wp = self.workers.as_ref();
+        let threads = self.threads;
+        let pools = &mut self.pools;
+
+        let items: Vec<WorkItem<'_>> = reqs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_degenerate())
+            .map(|(i, r)| {
+                let (k_step, issue) = kernel_of(r.dtype);
+                WorkItem {
+                    slot: i,
+                    m: r.m,
+                    n: r.n,
+                    k: r.k,
+                    k_step,
+                    issue,
+                    a: &r.a,
+                    shared_a: r.packed_a.as_deref(),
+                    shared_b: weights.panel(r.handle),
+                }
+            })
+            .collect();
+        total.merge(&run_work_items(items, &mut results, pools, wp, threads));
         (results, total)
     }
 }
@@ -686,7 +1052,8 @@ pub fn camp_gemm_i4_with_stats(
 }
 
 /// [`camp_gemm_i8`] across `threads` host cores (`0` = all cores).
-/// Bit-identical to the serial result.
+/// Bit-identical to the serial result. (Convenience wrapper: spawns an
+/// engine — and its pool — per call; reuse a [`CampEngine`] to amortize.)
 pub fn camp_gemm_i8_parallel(
     m: usize,
     n: usize,
@@ -699,7 +1066,8 @@ pub fn camp_gemm_i8_parallel(
 }
 
 /// [`camp_gemm_i4`] across `threads` host cores (`0` = all cores).
-/// Bit-identical to the serial result.
+/// Bit-identical to the serial result. (Convenience wrapper: spawns an
+/// engine — and its pool — per call; reuse a [`CampEngine`] to amortize.)
 pub fn camp_gemm_i4_parallel(
     m: usize,
     n: usize,
@@ -714,6 +1082,11 @@ pub fn camp_gemm_i4_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use camp_gemm::weights::HOST_BLOCKING;
+
+    const MC: usize = HOST_BLOCKING.0;
+    const NC: usize = HOST_BLOCKING.1;
+    const KC: usize = HOST_BLOCKING.2;
 
     fn fill(len: usize, seed: i32, modulus: i32, offset: i32) -> Vec<i8> {
         (0..len).map(|i| ((i as i32 * seed) % modulus + offset) as i8).collect()
@@ -765,6 +1138,7 @@ mod tests {
         assert_eq!(s.vector_loads, 16);
         assert_eq!(s.vector_stores, 4);
         assert_eq!(s.macs, 8 * 8 * 32);
+        assert_eq!(s.packed_bytes(), s.packed_a_bytes + s.packed_b_bytes);
     }
 
     #[test]
@@ -813,7 +1187,7 @@ mod tests {
     #[test]
     fn multi_block_shapes_match_reference() {
         // exceed MC/NC/KC so every loop level blocks at least twice
-        let (m, n, k) = (2 * super::MC + 5, super::NC + 9, super::KC + 33);
+        let (m, n, k) = (2 * MC + 5, NC + 9, KC + 33);
         let a = fill(m * k, 31, 15, -8);
         let b = fill(k * n, 17, 15, -8);
         assert_eq!(camp_gemm_i8(m, n, k, &a, &b), gemm_i32_ref(m, n, k, &a, &b));
@@ -846,6 +1220,32 @@ mod tests {
     }
 
     #[test]
+    fn zero_threads_resolve_to_at_least_one_worker() {
+        // with_threads(0) means "all cores" and must clamp to >= 1 so
+        // the row partition can never divide by zero
+        let eng = CampEngine::with_threads(0);
+        assert!(eng.threads() >= 1, "0 threads must resolve to >= 1");
+        let a = fill(4 * 4, 3, 10, -5);
+        let b = fill(4 * 4, 5, 10, -5);
+        assert_eq!(
+            CampEngine::with_threads(0).gemm_i8(4, 4, 4, &a, &b),
+            gemm_i32_ref(4, 4, 4, &a, &b)
+        );
+    }
+
+    #[test]
+    fn persistent_pool_is_reused_across_calls() {
+        // one engine, many parallel calls over different shapes: the
+        // pool is spawned once and every result stays bit-identical
+        let mut eng = CampEngine::with_threads(4);
+        for &(m, n, k) in &[(37, 29, 65), (8, 8, 32), (64, 48, 160), (5, 7, 33)] {
+            let a = fill(m * k, 13, 200, -100);
+            let b = fill(k * n, 7, 200, -100);
+            assert_eq!(eng.gemm_i8(m, n, k, &a, &b), camp_gemm_i8(m, n, k, &a, &b), "{m}x{n}x{k}");
+        }
+    }
+
+    #[test]
     fn hot_loop_is_allocation_free_after_warm_up() {
         let (m, n, k) = (64, 48, 160);
         let a = fill(m * k, 9, 30, -15);
@@ -865,7 +1265,7 @@ mod tests {
     fn deep_k_stats_count_rmw_traffic() {
         // one 4×4 tile, k spanning two KC blocks: the second block's
         // tile visit adds a C read; stores happen once per visit
-        let k = 2 * super::KC;
+        let k = 2 * KC;
         let a = fill(4 * k, 3, 16, -8);
         let b = fill(k * 4, 5, 16, -8);
         let (c, s) = camp_gemm_i8_with_stats(4, 4, k, &a, &b);
@@ -899,7 +1299,10 @@ mod tests {
         assert_eq!(s.camp_issues, serial.camp_issues);
         assert_eq!(s.vector_stores, serial.vector_stores);
         assert_eq!(s.vector_loads, serial.vector_loads);
-        assert_eq!(s.packed_bytes, serial.packed_bytes, "parallel B packing must be deduplicated");
+        assert_eq!(
+            s.packed_b_bytes, serial.packed_b_bytes,
+            "parallel B packing must be deduplicated"
+        );
         assert_eq!(s, serial);
     }
 
@@ -907,7 +1310,7 @@ mod tests {
     fn parallel_packed_bytes_stay_deduplicated_across_blocked_shapes() {
         // shapes spanning several (jc, pc) blocks so the shared panel
         // holds more than one block
-        let (m, n, k) = (96, super::NC + 12, super::KC / 4 + 40);
+        let (m, n, k) = (96, NC + 12, KC / 4 + 40);
         let a = fill(m * k, 7, 30, -15);
         let b = fill(k * n, 11, 30, -15);
         let (c_serial, serial) = camp_gemm_i8_with_stats(m, n, k, &a, &b);
@@ -915,6 +1318,96 @@ mod tests {
         let (c_par, par) = eng.gemm_i8_with_stats(m, n, k, &a, &b);
         assert_eq!(c_par, c_serial);
         assert_eq!(par, serial);
+    }
+
+    // ---- pre-packed weight registry ----
+
+    #[test]
+    fn handle_calls_match_the_slice_api_and_pack_no_b() {
+        let (n, k) = (20, 33);
+        let w = fill(k * n, 5, 16, -8);
+        for threads in [1, 3, 8] {
+            let mut eng = CampEngine::with_threads(threads);
+            let h = eng.register_weights(n, k, &w, DType::I8);
+            assert_eq!(eng.registered_weights(), 1);
+            assert!(eng.registered_weight_bytes() > 0);
+            for m in [1, 6, 17] {
+                let a = fill(m * k, 3, 16, -8);
+                let (c, s) = eng.gemm_with_handle_with_stats(m, &a, h);
+                assert_eq!(c, camp_gemm_i8(m, n, k, &a, &w), "threads={threads} m={m}");
+                assert_eq!(s.packed_b_bytes, 0, "handle calls must never pack B");
+                assert!(s.packed_a_bytes > 0, "A is still packed per call");
+            }
+        }
+    }
+
+    #[test]
+    fn i4_handles_run_the_i4_kernel() {
+        let (n, k) = (10, 40);
+        let w = fill(k * n, 5, 16, -8);
+        let a = fill(7 * k, 3, 16, -8);
+        let mut eng = CampEngine::with_threads(2);
+        let h = eng.register_weights(n, k, &w, DType::I4);
+        assert_eq!(eng.weight_meta(h).dtype, DType::I4);
+        assert_eq!(eng.gemm_with_handle(7, &a, h), camp_gemm_i4(7, n, k, &a, &w));
+    }
+
+    #[test]
+    fn steady_state_handle_calls_have_zero_packed_b_bytes() {
+        // the acceptance criterion: after warmup, repeated calls
+        // against a registered weight move zero B-pack bytes and
+        // allocate nothing
+        let (n, k) = (48, 64);
+        let w = fill(k * n, 7, 16, -8);
+        let a = fill(32 * k, 3, 16, -8);
+        let mut eng = CampEngine::with_threads(4);
+        let h = eng.register_weights(n, k, &w, DType::I8);
+        let (first, warm_stats) = eng.gemm_with_handle_with_stats(32, &a, h);
+        assert_eq!(warm_stats.packed_b_bytes, 0);
+        let warm_allocs = eng.pack_allocations();
+        for _ in 0..5 {
+            let (c, s) = eng.gemm_with_handle_with_stats(32, &a, h);
+            assert_eq!(c, first);
+            assert_eq!(s.packed_b_bytes, 0, "steady state must not pack B");
+        }
+        assert_eq!(eng.pack_allocations(), warm_allocs, "steady state must not allocate");
+    }
+
+    #[test]
+    fn handle_problems_in_batches_skip_packing() {
+        let (n, k) = (20, 33);
+        let w = fill(k * n, 5, 16, -8);
+        let a1 = fill(6 * k, 3, 16, -8);
+        let a2 = fill(9 * k, 7, 16, -8);
+        let mut eng = CampEngine::with_threads(2);
+        let h = eng.register_weights(n, k, &w, DType::I8);
+        let problems = [eng.handle_problem(6, &a1, h), eng.handle_problem(9, &a2, h)];
+        let (cs, stats) = eng.gemm_i8_batch_with_stats(&problems);
+        assert_eq!(cs[0], camp_gemm_i8(6, n, k, &a1, &w));
+        assert_eq!(cs[1], camp_gemm_i8(9, n, k, &a2, &w));
+        assert_eq!(stats.packed_b_bytes, 0, "registered weights must not repack in batches");
+    }
+
+    #[test]
+    #[should_panic(expected = "registered weight dtype mismatch")]
+    fn forced_kernel_rejects_mismatched_handles() {
+        let w = fill(16 * 4, 5, 16, -8);
+        let a = fill(4 * 16, 3, 16, -8);
+        let mut eng = CampEngine::new();
+        let h = eng.register_weights(4, 16, &w, DType::I4);
+        let problems = [GemmProblem::with_handle(4, 4, 16, &a, h)];
+        let _ = eng.gemm_i8_batch(&problems); // i8 batch, i4 handle
+    }
+
+    #[test]
+    #[should_panic(expected = "registered weight shape mismatch")]
+    fn handle_problems_must_match_registered_shape() {
+        let w = fill(16 * 4, 5, 16, -8);
+        let a = fill(4 * 16, 3, 16, -8);
+        let mut eng = CampEngine::new();
+        let h = eng.register_weights(4, 16, &w, DType::I8);
+        let problems = [GemmProblem::with_handle(4, 8, 16, &a, h)];
+        let _ = eng.gemm_i8_batch(&problems);
     }
 
     // ---- batched API ----
@@ -961,6 +1454,48 @@ mod tests {
     }
 
     #[test]
+    fn mixed_dtype_batch_runs_each_problem_under_its_own_kernel() {
+        let a1 = fill(5 * 33, 3, 16, -8);
+        let b1 = fill(33 * 7, 5, 16, -8);
+        let a2 = fill(6 * 40, 7, 16, -8);
+        let b2 = fill(40 * 9, 11, 16, -8);
+        let problems = [
+            GemmProblem::new(5, 7, 33, &a1, &b1), // defaults to i8
+            GemmProblem::new(6, 9, 40, &a2, &b2).with_dtype(DType::I4),
+            GemmProblem::new(5, 7, 33, &a1, &b1).with_dtype(DType::I4), // same B, other kernel
+        ];
+        for threads in [1, 2, 8] {
+            let mut eng = CampEngine::with_threads(threads);
+            let (cs, stats) = eng.gemm_batch_with_stats(&problems);
+            assert_eq!(cs[0], camp_gemm_i8(5, 7, 33, &a1, &b1), "threads={threads}");
+            assert_eq!(cs[1], camp_gemm_i4(6, 9, 40, &a2, &b2), "threads={threads}");
+            assert_eq!(cs[2], camp_gemm_i4(5, 7, 33, &a1, &b1), "threads={threads}");
+            // both dtypes issue camp instructions; the shared operand
+            // is packed per kernel (layouts differ), never per problem
+            assert!(stats.camp_issues > 0);
+        }
+    }
+
+    #[test]
+    fn mixed_dtype_batch_packs_shared_b_once_per_kernel() {
+        // the same operand under i8 and i4 needs two packed layouts
+        // (different padded depths) but each exactly once
+        let (n, k) = (8, 48);
+        let w = fill(k * n, 5, 16, -8);
+        let a = fill(4 * k, 3, 16, -8);
+        let problems = [
+            GemmProblem::new(4, n, k, &a, &w),
+            GemmProblem::new(4, n, k, &a, &w).with_dtype(DType::I4),
+            GemmProblem::new(4, n, k, &a, &w), // dedups with problem 0
+        ];
+        let mut eng = CampEngine::new();
+        let (_, stats) = eng.gemm_batch_with_stats(&problems);
+        let packed_once = (n.div_ceil(4) * 4 * k.div_ceil(16) * 16) as u64;
+        let packed_once_i4 = (n.div_ceil(4) * 4 * k.div_ceil(32) * 32) as u64;
+        assert_eq!(stats.packed_b_bytes, packed_once + packed_once_i4);
+    }
+
+    #[test]
     fn batch_zero_dim_problems_are_degenerate_not_fatal() {
         let b = fill(4 * 4, 3, 10, -5);
         let problems = [
@@ -991,18 +1526,18 @@ mod tests {
         ];
         let mut eng = CampEngine::new();
         let (_, batch) = eng.gemm_i8_batch_with_stats(&problems);
-        let mut per_call_packed = 0;
-        for p in &problems {
-            let (_, s) = camp_gemm_i8_with_stats(p.m, p.n, p.k, p.a, p.b);
-            per_call_packed += s.packed_bytes;
-        }
         // packed B bytes of one problem = padded n × padded k
         let b_packed_once = (n.div_ceil(4) * 4 * k.div_ceil(16) * 16) as u64;
         assert_eq!(
-            batch.packed_bytes,
-            per_call_packed - 2 * b_packed_once,
-            "two of the three B packs must be deduplicated away"
+            batch.packed_b_bytes, b_packed_once,
+            "three problems over one weight matrix must pack B exactly once"
         );
+        let mut per_call_packed = 0;
+        for p in &problems {
+            let (_, s) = camp_gemm_i8_with_stats(p.m, p.n, p.k, p.a, p.b);
+            per_call_packed += s.packed_b_bytes;
+        }
+        assert_eq!(per_call_packed, 3 * b_packed_once, "the per-call loop packs B per problem");
     }
 
     #[test]
@@ -1010,7 +1545,7 @@ mod tests {
         // straddle BATCH_ROW_SPLIT_MACS: one problem above (row-split
         // path), one below (cross-item path); both must match per-call
         let big = (160, 160, 512); // 13.1 M MACs
-        assert!((big.0 * big.1 * big.2) as u64 >= super::BATCH_ROW_SPLIT_MACS);
+        assert!((big.0 * big.1 * big.2) as u64 >= BATCH_ROW_SPLIT_MACS);
         let small = (16, 16, 64);
         let ab = fill(big.0 * big.2, 3, 16, -8);
         let bb = fill(big.2 * big.1, 5, 16, -8);

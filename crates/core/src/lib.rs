@@ -7,7 +7,7 @@
 //!   multiply uses four 4-bit blocks; reconfigured, the same blocks
 //!   perform four independent 4-bit multiplies. The model is bit-accurate
 //!   and counts block activations for the area/energy model.
-//! * [`unit`] — the **CAMP functional unit** (Fig. 8/10): 8 lanes × 32
+//! * [`mod@unit`] — the **CAMP functional unit** (Fig. 8/10): 8 lanes × 32
 //!   8-bit hybrid multipliers, 16 intra-lane adders, 16 inter-lane
 //!   accumulators and the auxiliary register. Computes the outer
 //!   (Cartesian) product of a 4×k and a k×4 register block.
@@ -16,11 +16,18 @@
 //!   instruction's semantics. This is the library a downstream user calls
 //!   to run quantized GeMM the way the paper's modified ulmBLAS does. It
 //!   shares `camp-gemm`'s blocked-loop skeleton and pack-buffer pool, and
-//!   [`engine::CampEngine`] optionally runs the macro loop across host
-//!   cores with bit-identical results. For attention-style workloads of
-//!   many small GeMMs, [`engine::CampEngine::gemm_i8_batch`] runs a whole
+//!   [`engine::CampEngine`] optionally runs the macro loop across a
+//!   **persistent worker pool** ([`pool`]) with bit-identical results.
+//!   For attention-style workloads of many small GeMMs,
+//!   [`engine::CampEngine::gemm_i8_batch`] runs a whole
 //!   [`engine::GemmProblem`] batch per call, deduplicating shared weight
 //!   matrices and parallelizing across batch items.
+//! * [`session`] — the **serving layer**: register weights once
+//!   ([`engine::CampEngine::register_weights`] packs B into a
+//!   persistent panel), then stream request batches through a
+//!   submit/poll [`session::Session`] that overlaps the A-packing of
+//!   one batch with the compute of the previous one. The steady state
+//!   spawns no threads and packs zero B bytes per request.
 //!
 //! # Quickstart
 //!
@@ -37,13 +44,17 @@
 
 pub mod engine;
 pub mod hybrid;
+pub mod pool;
+pub mod session;
 pub mod structure;
 pub mod unit;
 
 pub use engine::{
     camp_gemm_i4, camp_gemm_i4_parallel, camp_gemm_i8, camp_gemm_i8_parallel, gemm_i32_ref,
-    CampEngine, EngineStats, GemmProblem,
+    CampEngine, DType, EngineStats, GemmProblem, WeightHandle, WeightMeta,
 };
 pub use hybrid::HybridMultiplier;
+pub use pool::WorkerPool;
+pub use session::{Request, Session, TicketId};
 pub use structure::CampStructure;
 pub use unit::{CampActivity, CampUnit};

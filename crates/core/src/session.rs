@@ -1,0 +1,714 @@
+//! Submit/poll serving sessions over a [`CampEngine`].
+//!
+//! A serving deployment does not call a blocking GeMM API: it enqueues
+//! request batches and collects results when they are ready, keeping
+//! several batches in flight so the machine never idles between them.
+//! [`Session`] is that front end, built as a three-stage pipeline:
+//!
+//! 1. **submit** ([`Session::submit`]) — the caller hands over a batch
+//!    of owned [`Request`]s (activation + registered [`WeightHandle`])
+//!    and immediately gets a [`TicketId`] back;
+//! 2. **stage** — a dedicated staging thread pre-packs each request's A
+//!    operand into the panel layout the macro-kernel consumes
+//!    ([`camp_gemm::weights::prepack_a`]), so the A-packing of batch
+//!    N+1 overlaps the compute of batch N;
+//! 3. **compute** — a driver thread owning the engine runs each staged
+//!    batch on the persistent worker pool: registered B panels
+//!    everywhere, pre-packed A panels for everything below the
+//!    row-split threshold — the steady state packs **zero** B bytes and
+//!    does no A-packing on the compute path.
+//!
+//! Results come back through [`Session::poll`] (non-blocking) or
+//! [`Session::wait`] (blocking), in any order, each exactly once.
+//! Batches complete in submission order; results are bit-identical to
+//! looping [`CampEngine::gemm_with_handle`] over the same requests
+//! (property-tested). [`Session::into_engine`] drains the pipeline and
+//! hands the engine back.
+//!
+//! ```
+//! use camp_core::{CampEngine, DType, Request};
+//!
+//! let (n, k) = (8, 32);
+//! let w: Vec<i8> = (0..k * n).map(|i| (i % 15) as i8 - 7).collect();
+//! let a: Vec<i8> = (0..4 * k).map(|i| (i % 13) as i8 - 6).collect();
+//!
+//! let mut engine = CampEngine::with_threads(2);
+//! let weights = engine.register_weights(n, k, &w, DType::I8);
+//! let expected = engine.gemm_with_handle(4, &a, weights);
+//!
+//! let mut session = engine.serve();
+//! let ticket = session.submit(vec![Request { m: 4, a, weights }]);
+//! let results = session.wait(ticket);
+//! assert_eq!(results[0], expected);
+//! ```
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use camp_gemm::batch::packed_a_bytes;
+use camp_gemm::weights::{host_block_plan, prepack_a, WeightHandle, WeightMeta};
+
+use crate::engine::{CampEngine, EngineStats, StagedRequest, BATCH_ROW_SPLIT_MACS};
+
+/// One GeMM of a serving batch: an owned m×k activation multiplied
+/// against a weight matrix registered with the engine before the
+/// session started ([`CampEngine::register_weights`]). The kernel (i8
+/// vs i4) is the one the weight was registered for.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Rows of the activation / result.
+    pub m: usize,
+    /// Row-major m×k activation (k from the weight's registration).
+    pub a: Vec<i8>,
+    /// The registered weight to multiply against.
+    pub weights: WeightHandle,
+}
+
+/// Identifier of one submitted batch; redeem it with [`Session::poll`]
+/// or [`Session::wait`]. Stamped with its session's identity, so a
+/// ticket presented to a different session panics instead of silently
+/// redeeming that session's unrelated results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TicketId {
+    session: u64,
+    seq: u64,
+}
+
+/// Staged batches the stager may run ahead of the driver: one being
+/// computed, one ready — the documented "pack batch N+1 while batch N
+/// computes" pipeline. Beyond this the stager parks instead of staging
+/// the whole backlog into memory.
+const MAX_STAGED: usize = 2;
+
+/// Pipeline state shared by the submitter, the stager and the driver.
+#[derive(Default)]
+struct State {
+    /// Submitted, not yet staged.
+    submitted: VecDeque<(u64, Vec<Request>)>,
+    /// Staged (A pre-packed), not yet computed; at most [`MAX_STAGED`].
+    staged: VecDeque<(u64, Vec<StagedRequest>)>,
+    /// Computed, not yet collected (results are retained until
+    /// redeemed or the session drops).
+    done: HashMap<u64, (Vec<Vec<i32>>, EngineStats)>,
+    /// Collected-ticket tracking (poll and wait are one-shot; waiting
+    /// again is a caller bug, not a hang), compacted so a long-lived
+    /// session stays O(out-of-orderness): every ticket below
+    /// `collected_floor` was redeemed, plus the sparse set above it.
+    collected_floor: u64,
+    collected: HashSet<u64>,
+    shutdown: bool,
+    stager_exited: bool,
+    /// Set when a pipeline thread died; poll/wait panic instead of
+    /// hanging.
+    dead: Option<&'static str>,
+}
+
+impl State {
+    fn is_collected(&self, ticket: u64) -> bool {
+        ticket < self.collected_floor || self.collected.contains(&ticket)
+    }
+
+    fn mark_collected(&mut self, ticket: u64) {
+        self.collected.insert(ticket);
+        while self.collected.remove(&self.collected_floor) {
+            self.collected_floor += 1;
+        }
+    }
+
+    fn collected_count(&self) -> usize {
+        self.collected_floor as usize + self.collected.len()
+    }
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Wakes the stager (new submission, or shutdown).
+    submitted_cv: Condvar,
+    /// Wakes the driver (new staged batch, or stager exit).
+    staged_cv: Condvar,
+    /// Wakes the stager when the driver makes room in the staged queue.
+    stage_room_cv: Condvar,
+    /// Wakes `wait` (new completed batch, or pipeline death).
+    done_cv: Condvar,
+}
+
+impl Shared {
+    fn new() -> Self {
+        Shared {
+            state: Mutex::new(State::default()),
+            submitted_cv: Condvar::new(),
+            staged_cv: Condvar::new(),
+            stage_room_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    /// Lock the state, ignoring mutex poisoning: every mutation below
+    /// is atomic under the lock (queues stay consistent even if a
+    /// caller panicked mid-`wait`), and shutdown must still work after
+    /// a panic so `Drop` can join the pipeline threads.
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Wait on `cv`, ignoring poisoning like [`Shared::lock`].
+    fn wait<'a>(&self, cv: &Condvar, st: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+        cv.wait(st).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mark the pipeline dead and wake everyone.
+    fn mark_dead(&self, who: &'static str) {
+        let mut st = self.lock();
+        st.dead = Some(who);
+        self.submitted_cv.notify_all();
+        self.staged_cv.notify_all();
+        self.stage_room_cv.notify_all();
+        self.done_cv.notify_all();
+    }
+}
+
+/// Notifies the session if a pipeline thread unwinds, so callers
+/// blocked in [`Session::wait`] fail fast instead of hanging.
+struct DeathWatch<'a> {
+    shared: &'a Shared,
+    who: &'static str,
+    armed: bool,
+}
+
+impl Drop for DeathWatch<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.shared.mark_dead(self.who);
+        }
+    }
+}
+
+/// Streaming serving front end over a [`CampEngine`]; see the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct Session {
+    shared: Arc<Shared>,
+    /// Registration snapshot for submit-side validation.
+    metas: Vec<WeightMeta>,
+    /// Identity of the engine's registry: handles from another engine
+    /// are rejected at submit time even when indices/shapes coincide.
+    registry_id: u64,
+    /// Process-unique identity stamped into this session's tickets.
+    session_id: u64,
+    next_ticket: u64,
+    stager: Option<JoinHandle<()>>,
+    driver: Option<JoinHandle<CampEngine>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared").finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Start serving on `engine`. Weights must already be registered:
+    /// submissions are validated against this moment's registry.
+    pub fn new(engine: CampEngine) -> Self {
+        let metas = engine.weight_metas();
+        let registry_id = engine.weight_registry_id();
+        let shared = Arc::new(Shared::new());
+
+        let stager_shared = Arc::clone(&shared);
+        let stager_metas = metas.clone();
+        let stager = std::thread::Builder::new()
+            .name("camp-stager".into())
+            .spawn(move || stager_loop(&stager_shared, &stager_metas))
+            .expect("failed to spawn session stager");
+
+        let driver_shared = Arc::clone(&shared);
+        let driver = std::thread::Builder::new()
+            .name("camp-driver".into())
+            .spawn(move || driver_loop(&driver_shared, engine))
+            .expect("failed to spawn session driver");
+
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_SESSION_ID: AtomicU64 = AtomicU64::new(0);
+        Session {
+            shared,
+            metas,
+            registry_id,
+            session_id: NEXT_SESSION_ID.fetch_add(1, Ordering::Relaxed),
+            next_ticket: 0,
+            stager: Some(stager),
+            driver: Some(driver),
+        }
+    }
+
+    /// Enqueue one batch; returns immediately with the ticket that will
+    /// redeem its results. Batches complete in submission order, with
+    /// the A-packing of this batch overlapping the compute of earlier
+    /// ones.
+    ///
+    /// # Panics
+    /// Panics if a request's handle was not registered before the
+    /// session started, or its activation length is not m×k for the
+    /// registered k.
+    pub fn submit(&mut self, batch: Vec<Request>) -> TicketId {
+        for (i, r) in batch.iter().enumerate() {
+            assert_eq!(
+                r.weights.registry(),
+                self.registry_id,
+                "request {i}: WeightHandle from a different engine's registry"
+            );
+            let meta = self
+                .metas
+                .get(r.weights.index())
+                .unwrap_or_else(|| panic!("request {i}: unknown WeightHandle"));
+            assert_eq!(
+                r.a.len(),
+                r.m * meta.k,
+                "request {i}: activation must be m×k for the registered weight"
+            );
+        }
+        let seq = self.next_ticket;
+        self.next_ticket += 1;
+        let mut st = self.shared.lock();
+        if let Some(who) = st.dead {
+            panic!("serving session is dead: {who} thread panicked");
+        }
+        st.submitted.push_back((seq, batch));
+        self.shared.submitted_cv.notify_one();
+        TicketId { session: self.session_id, seq }
+    }
+
+    /// A ticket's queue key, after verifying it belongs to this session.
+    fn check_ticket(&self, ticket: TicketId) -> u64 {
+        assert_eq!(ticket.session, self.session_id, "ticket was issued by a different session");
+        assert!(ticket.seq < self.next_ticket, "ticket was never issued by this session");
+        ticket.seq
+    }
+
+    /// Non-blocking result check: `None` while the batch is still in
+    /// the pipeline. The result is handed out exactly once — a second
+    /// poll of the same ticket returns `None` again.
+    pub fn poll(&mut self, ticket: TicketId) -> Option<Vec<Vec<i32>>> {
+        self.poll_with_stats(ticket).map(|(c, _)| c)
+    }
+
+    /// [`Session::poll`] plus the batch's merged [`EngineStats`]
+    /// (staging traffic included; `packed_b_bytes` is always 0 since
+    /// every request multiplies a registered weight).
+    pub fn poll_with_stats(&mut self, ticket: TicketId) -> Option<(Vec<Vec<i32>>, EngineStats)> {
+        let seq = self.check_ticket(ticket);
+        let mut st = self.shared.lock();
+        // completed results stay retrievable even after a pipeline
+        // thread died — only a still-pending ticket has to fail
+        if let Some(result) = st.done.remove(&seq) {
+            st.mark_collected(seq);
+            return Some(result);
+        }
+        if let Some(who) = st.dead {
+            panic!("serving session is dead: {who} thread panicked");
+        }
+        None
+    }
+
+    /// Block until the batch is computed; returns one row-major C per
+    /// request, in request order. Each ticket can be waited on exactly
+    /// once.
+    ///
+    /// # Panics
+    /// Panics if a pipeline thread died, or the ticket's result was
+    /// already collected.
+    pub fn wait(&mut self, ticket: TicketId) -> Vec<Vec<i32>> {
+        self.wait_with_stats(ticket).0
+    }
+
+    /// [`Session::wait`] plus the batch's merged [`EngineStats`].
+    pub fn wait_with_stats(&mut self, ticket: TicketId) -> (Vec<Vec<i32>>, EngineStats) {
+        let seq = self.check_ticket(ticket);
+        let mut st = self.shared.lock();
+        loop {
+            assert!(!st.is_collected(seq), "ticket result was already collected");
+            if let Some(result) = st.done.remove(&seq) {
+                st.mark_collected(seq);
+                return result;
+            }
+            if let Some(who) = st.dead {
+                panic!("serving session is dead: {who} thread panicked");
+            }
+            st = self.shared.wait(&self.shared.done_cv, st);
+        }
+    }
+
+    /// Batches submitted whose results have not been collected yet
+    /// (queued, staging, computing, or done-but-unredeemed).
+    pub fn in_flight(&self) -> usize {
+        let st = self.shared.lock();
+        self.next_ticket as usize - st.collected_count()
+    }
+
+    /// Drain the pipeline (every submitted batch finishes; uncollected
+    /// results are dropped) and return the engine, weights and warm
+    /// pools intact.
+    pub fn into_engine(mut self) -> CampEngine {
+        self.begin_shutdown();
+        if let Some(h) = self.stager.take() {
+            let _ = h.join();
+        }
+        let driver = self.driver.take().expect("driver already joined");
+        driver.join().expect("session driver panicked")
+    }
+
+    fn begin_shutdown(&self) {
+        let mut st = self.shared.lock();
+        st.shutdown = true;
+        self.shared.submitted_cv.notify_all();
+        self.shared.staged_cv.notify_all();
+        self.shared.stage_room_cv.notify_all();
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        if let Some(h) = self.stager.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.driver.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Stage one request: resolve its shape from the registration and
+/// pre-pack A (small requests only — row-split requests are packed by
+/// the workers that own the rows).
+fn stage_request(r: Request, metas: &[WeightMeta]) -> StagedRequest {
+    let meta = metas[r.weights.index()];
+    let mut staged = StagedRequest {
+        m: r.m,
+        n: meta.n,
+        k: meta.k,
+        dtype: meta.dtype,
+        a: r.a,
+        packed_a: None,
+        packed_a_bytes: 0,
+        handle: r.weights,
+    };
+    if !staged.is_degenerate() && staged.macs() < BATCH_ROW_SPLIT_MACS {
+        let plan = host_block_plan(staged.m, staged.n, staged.k, staged.dtype.k_step());
+        let mut buf = vec![0i8; packed_a_bytes(&plan)];
+        prepack_a(&mut buf, &staged.a, staged.m, staged.k, &plan);
+        staged.packed_a_bytes = buf.len() as u64;
+        staged.packed_a = Some(buf);
+    }
+    staged
+}
+
+fn stager_loop(shared: &Shared, metas: &[WeightMeta]) {
+    let mut watch = DeathWatch { shared, who: "stager", armed: true };
+    loop {
+        let next = {
+            let mut st = shared.lock();
+            loop {
+                if let Some(batch) = st.submitted.pop_front() {
+                    break Some(batch);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = shared.wait(&shared.submitted_cv, st);
+            }
+        };
+        let Some((ticket, batch)) = next else {
+            // graceful exit: tell the driver no more staged batches come
+            let mut st = shared.lock();
+            st.stager_exited = true;
+            shared.staged_cv.notify_all();
+            watch.armed = false;
+            return;
+        };
+        // the pipeline overlap: this packing runs while the driver
+        // computes the previous batch on the worker pool
+        let staged: Vec<StagedRequest> =
+            batch.into_iter().map(|r| stage_request(r, metas)).collect();
+        let mut st = shared.lock();
+        // backpressure: hold at most MAX_STAGED pre-packed batches (the
+        // one in hand counts once pushed) so a deep submission backlog
+        // does not stage its packed-A copies all at once; the driver
+        // signals room as it consumes (skip waiting if it died)
+        while st.staged.len() >= MAX_STAGED && st.dead.is_none() {
+            st = shared.wait(&shared.stage_room_cv, st);
+        }
+        st.staged.push_back((ticket, staged));
+        shared.staged_cv.notify_one();
+    }
+}
+
+fn driver_loop(shared: &Shared, mut engine: CampEngine) -> CampEngine {
+    let mut watch = DeathWatch { shared, who: "driver", armed: true };
+    loop {
+        let next = {
+            let mut st = shared.lock();
+            loop {
+                if let Some(batch) = st.staged.pop_front() {
+                    shared.stage_room_cv.notify_one();
+                    break Some(batch);
+                }
+                if st.shutdown && st.stager_exited {
+                    break None;
+                }
+                // a dead stager will never stage again nor set
+                // stager_exited — exit so Drop/into_engine can join
+                // instead of deadlocking
+                if st.dead.is_some() {
+                    break None;
+                }
+                st = shared.wait(&shared.staged_cv, st);
+            }
+        };
+        let Some((ticket, staged)) = next else {
+            watch.armed = false;
+            return engine;
+        };
+        let result = engine.run_staged(&staged);
+        let mut st = shared.lock();
+        st.done.insert(ticket, result);
+        shared.done_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{camp_gemm_i4, camp_gemm_i8, DType};
+
+    fn fill(len: usize, seed: i32) -> Vec<i8> {
+        (0..len).map(|i| ((i as i32 * seed) % 16 - 8) as i8).collect()
+    }
+
+    fn serving_setup(threads: usize) -> (CampEngine, WeightHandle, Vec<i8>, usize, usize) {
+        let (n, k) = (12, 33);
+        let w = fill(k * n, 5);
+        let mut eng = CampEngine::with_threads(threads);
+        let h = eng.register_weights(n, k, &w, DType::I8);
+        (eng, h, w, n, k)
+    }
+
+    #[test]
+    fn submit_wait_matches_the_blocking_engine() {
+        for threads in [1, 2, 4] {
+            let (eng, h, w, n, k) = serving_setup(threads);
+            let a1 = fill(7 * k, 3);
+            let a2 = fill(4 * k, 11);
+            let mut session = eng.serve();
+            let t = session.submit(vec![
+                Request { m: 7, a: a1.clone(), weights: h },
+                Request { m: 4, a: a2.clone(), weights: h },
+            ]);
+            let (cs, stats) = session.wait_with_stats(t);
+            assert_eq!(cs[0], camp_gemm_i8(7, n, k, &a1, &w), "threads={threads}");
+            assert_eq!(cs[1], camp_gemm_i8(4, n, k, &a2, &w), "threads={threads}");
+            assert_eq!(stats.packed_b_bytes, 0, "sessions never pack B");
+            assert!(stats.packed_a_bytes > 0, "staging traffic is accounted");
+        }
+    }
+
+    #[test]
+    fn many_batches_in_flight_complete_and_poll_in_any_order() {
+        let (eng, h, w, n, k) = serving_setup(2);
+        let mut session = eng.serve();
+        let activations: Vec<Vec<i8>> = (0..6).map(|i| fill(3 * k, 3 + 2 * i)).collect();
+        let tickets: Vec<TicketId> = activations
+            .iter()
+            .map(|a| session.submit(vec![Request { m: 3, a: a.clone(), weights: h }]))
+            .collect();
+        // redeem newest-first: out-of-order collection must work
+        for (a, t) in activations.iter().zip(&tickets).rev() {
+            let cs = session.wait(*t);
+            assert_eq!(cs[0], camp_gemm_i8(3, n, k, a, &w));
+        }
+    }
+
+    #[test]
+    fn poll_returns_none_until_ready_and_hands_out_once() {
+        let (eng, h, w, n, k) = serving_setup(2);
+        let a = fill(5 * k, 7);
+        let mut session = eng.serve();
+        let t = session.submit(vec![Request { m: 5, a: a.clone(), weights: h }]);
+        // poll until ready (bounded busy loop, the batch is tiny)
+        let mut got = None;
+        for _ in 0..10_000 {
+            if let Some(cs) = session.poll(t) {
+                got = Some(cs);
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let cs = got.expect("batch never completed");
+        assert_eq!(cs[0], camp_gemm_i8(5, n, k, &a, &w));
+        assert_eq!(session.poll(t), None, "results are handed out exactly once");
+    }
+
+    #[test]
+    fn i4_weights_serve_under_the_i4_kernel() {
+        let (n, k) = (8, 40);
+        let w = fill(k * n, 5);
+        let mut eng = CampEngine::with_threads(2);
+        let h = eng.register_weights(n, k, &w, DType::I4);
+        let a = fill(6 * k, 3);
+        let mut session = eng.serve();
+        let t = session.submit(vec![Request { m: 6, a: a.clone(), weights: h }]);
+        assert_eq!(session.wait(t)[0], camp_gemm_i4(6, n, k, &a, &w));
+    }
+
+    #[test]
+    fn degenerate_requests_serve_zero_filled_results() {
+        let (n, k) = (4, 4);
+        let w = fill(k * n, 5);
+        let mut eng = CampEngine::new();
+        let h = eng.register_weights(n, k, &w, DType::I8);
+        let h0 = eng.register_weights(4, 0, &[], DType::I8);
+        let mut session = eng.serve();
+        let t = session.submit(vec![
+            Request { m: 0, a: Vec::new(), weights: h },
+            Request { m: 3, a: Vec::new(), weights: h0 }, // k = 0
+        ]);
+        let cs = session.wait(t);
+        assert!(cs[0].is_empty());
+        assert_eq!(cs[1], vec![0; 12]);
+    }
+
+    #[test]
+    fn into_engine_drains_and_returns_a_warm_engine() {
+        let (eng, h, w, n, k) = serving_setup(2);
+        let a = fill(4 * k, 9);
+        let mut session = eng.serve();
+        let t = session.submit(vec![Request { m: 4, a: a.clone(), weights: h }]);
+        let cs = session.wait(t);
+        let mut eng = session.into_engine();
+        // registry and pools survive the round trip
+        assert_eq!(eng.gemm_with_handle(4, &a, h), cs[0]);
+        assert_eq!(eng.gemm_with_handle(4, &a, h), camp_gemm_i8(4, n, k, &a, &w));
+    }
+
+    #[test]
+    fn large_requests_take_the_row_split_path() {
+        // above BATCH_ROW_SPLIT_MACS: staged without a pre-packed A,
+        // row-partitioned across the pool — still bit-identical
+        let (n, k) = (160, 512);
+        let m = 160; // 13.1 M MACs
+        assert!((m * n * k) as u64 >= BATCH_ROW_SPLIT_MACS);
+        let w = fill(k * n, 5);
+        let a = fill(m * k, 3);
+        let mut eng = CampEngine::with_threads(4);
+        let h = eng.register_weights(n, k, &w, DType::I8);
+        let mut session = eng.serve();
+        let t = session.submit(vec![Request { m, a: a.clone(), weights: h }]);
+        assert_eq!(session.wait(t)[0], camp_gemm_i8(m, n, k, &a, &w));
+    }
+
+    #[test]
+    #[should_panic(expected = "request 0: activation must be m×k")]
+    fn submit_rejects_malformed_activations() {
+        let (eng, h, _, _, _) = serving_setup(1);
+        let mut session = eng.serve();
+        let _ = session.submit(vec![Request { m: 3, a: vec![0; 5], weights: h }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ticket result was already collected")]
+    fn waiting_twice_on_a_ticket_is_an_error() {
+        let (eng, h, _, _, k) = serving_setup(1);
+        let a = fill(2 * k, 3);
+        let mut session = eng.serve();
+        let t = session.submit(vec![Request { m: 2, a, weights: h }]);
+        let _ = session.wait(t);
+        let _ = session.wait(t);
+    }
+
+    #[test]
+    fn session_steady_state_packs_no_b_and_pools_stop_growing() {
+        let (eng, h, w, n, k) = serving_setup(3);
+        let a = fill(8 * k, 3);
+        let mut session = eng.serve();
+        // warm-up round, then steady state
+        let warm = session.submit(vec![Request { m: 8, a: a.clone(), weights: h }]);
+        let _ = session.wait(warm);
+        let eng = session.into_engine();
+        let warm_allocs = eng.pack_allocations();
+        let mut session = eng.serve();
+        for _ in 0..4 {
+            let t = session.submit(vec![Request { m: 8, a: a.clone(), weights: h }]);
+            let (cs, stats) = session.wait_with_stats(t);
+            assert_eq!(cs[0], camp_gemm_i8(8, n, k, &a, &w));
+            assert_eq!(stats.packed_b_bytes, 0, "steady-state serving must not pack B");
+        }
+        // pack pools are warm: steady-state batches grow nothing (the
+        // per-request result and staged-A vectors are the caller-visible
+        // allocations, not pool churn)
+        assert_eq!(session.into_engine().pack_allocations(), warm_allocs);
+    }
+
+    #[test]
+    fn deep_submission_backlogs_complete_in_order() {
+        // many more batches than MAX_STAGED: backpressure parks the
+        // stager without deadlock and every batch still completes
+        let (eng, h, w, n, k) = serving_setup(2);
+        let mut session = eng.serve();
+        let activations: Vec<Vec<i8>> = (0..12).map(|i| fill(2 * k, 3 + 2 * i)).collect();
+        let tickets: Vec<TicketId> = activations
+            .iter()
+            .map(|a| session.submit(vec![Request { m: 2, a: a.clone(), weights: h }]))
+            .collect();
+        assert_eq!(session.in_flight(), 12);
+        for (a, t) in activations.iter().zip(&tickets) {
+            assert_eq!(session.wait(*t)[0], camp_gemm_i8(2, n, k, a, &w));
+        }
+        assert_eq!(session.in_flight(), 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "serving session is dead")]
+    fn a_poisoned_request_kills_the_session_loudly_not_silently() {
+        // out-of-range i4 operands trip the kernel's debug assertion in
+        // a worker; the death must surface on wait(), not hang it, and
+        // the session must still shut down cleanly afterwards (Drop)
+        let (n, k) = (4, 32);
+        let w = fill(k * n, 5); // 4-bit safe
+        let mut eng = CampEngine::new();
+        let h = eng.register_weights(n, k, &w, DType::I4);
+        let mut session = eng.serve();
+        let a = vec![100i8; 2 * k]; // not 4-bit
+        let t = session.submit(vec![Request { m: 2, a, weights: h }]);
+        let _ = session.wait(t);
+    }
+
+    #[test]
+    #[should_panic(expected = "WeightHandle from a different engine's registry")]
+    fn handles_from_another_engine_are_rejected_at_submit() {
+        // same index, same shape, different engine: without the
+        // registry stamp this would silently use the wrong weights
+        let (eng, _, _, n, k) = serving_setup(1);
+        let mut other = CampEngine::new();
+        let foreign = other.register_weights(n, k, &fill(k * n, 9), DType::I8);
+        let mut session = eng.serve();
+        let _ = session.submit(vec![Request { m: 2, a: fill(2 * k, 3), weights: foreign }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ticket was issued by a different session")]
+    fn polling_a_foreign_ticket_fails_fast() {
+        // the dangerous case: s2 has issued a ticket with the same
+        // sequence number, so without the session stamp s1's ticket
+        // would silently redeem s2's unrelated batch
+        let (eng, h, _, _, k) = serving_setup(1);
+        let mut s1 = eng.serve();
+        let t = s1.submit(vec![Request { m: 2, a: fill(2 * k, 3), weights: h }]);
+        let _ = s1.wait(t);
+        let (eng2, h2, _, _, k2) = serving_setup(1);
+        let mut s2 = eng2.serve();
+        let _ = s2.submit(vec![Request { m: 2, a: fill(2 * k2, 5), weights: h2 }]);
+        // a ticket s2 never issued must panic, not spin or mis-redeem
+        let _ = s2.poll(t);
+    }
+}

@@ -16,10 +16,19 @@
 //! packed panel serve any number of batch items and workers.
 
 use crate::loops::BlockPlan;
+use crate::weights::{DType, WeightHandle};
 
 /// One GeMM of a batch: row-major C (m×n) = A (m×k) · B (k×n), borrowing
 /// its operands. Values must fit the kernel the batch runs under (i8 for
 /// `camp.s8`, [-8, 7] for `camp.s4`).
+///
+/// B is either a borrowed slice (packed — and deduplicated — by the
+/// engine per batch call) or a [`WeightHandle`] into the engine's
+/// registry ([`GemmProblem::with_handle`]), in which case the batch
+/// performs **zero** B-packing for this problem. `dtype` selects the
+/// kernel in dtype-respecting batch calls (`CampEngine::gemm_batch`);
+/// the forced-kernel entry points (`gemm_i8_batch` / `gemm_i4_batch`)
+/// override it.
 #[derive(Debug, Clone, Copy)]
 pub struct GemmProblem<'a> {
     /// Rows of A / C.
@@ -30,14 +39,35 @@ pub struct GemmProblem<'a> {
     pub k: usize,
     /// Row-major m×k left operand.
     pub a: &'a [i8],
-    /// Row-major k×n right operand.
+    /// Row-major k×n right operand; empty (and ignored) when `handle`
+    /// is set.
     pub b: &'a [i8],
+    /// Pre-registered B operand; `None` means pack `b` at call time.
+    pub handle: Option<WeightHandle>,
+    /// Kernel this problem runs under in mixed-dtype batches.
+    pub dtype: DType,
 }
 
 impl<'a> GemmProblem<'a> {
-    /// Describe one problem.
+    /// Describe one problem with a borrowed B operand (i8 kernel by
+    /// default; see [`GemmProblem::with_dtype`]).
     pub fn new(m: usize, n: usize, k: usize, a: &'a [i8], b: &'a [i8]) -> Self {
-        GemmProblem { m, n, k, a, b }
+        GemmProblem { m, n, k, a, b, handle: None, dtype: DType::I8 }
+    }
+
+    /// Describe a problem whose B operand was pre-registered with the
+    /// engine. `n`/`k` must match the registration (checked at call
+    /// time), and the problem's dtype is set to the handle's at call
+    /// time in dtype-respecting entry points.
+    pub fn with_handle(m: usize, n: usize, k: usize, a: &'a [i8], handle: WeightHandle) -> Self {
+        GemmProblem { m, n, k, a, b: &[], handle: Some(handle), dtype: DType::I8 }
+    }
+
+    /// Select the kernel this problem runs under in mixed-dtype batch
+    /// calls.
+    pub fn with_dtype(mut self, dtype: DType) -> Self {
+        self.dtype = dtype;
+        self
     }
 
     /// Multiply-accumulate operations of this problem.
@@ -89,6 +119,25 @@ pub fn packed_b_offset(kp: usize, jc: usize, ncb: usize, pc: usize) -> usize {
     jc * kp + ncb * pc
 }
 
+/// Total bytes of a fully pre-packed A: every *unique* (ic, pc) block
+/// (see [`crate::loops::for_each_a_block`]) exactly once. Each row
+/// strip of height `mcb` spans the whole padded depth, so the total is
+/// `mp·kp`. Unlike B — which the blocked loops also pack once per
+/// block — the loops re-pack A once per *column strip*, so a pre-packed
+/// A additionally elides the repeats for wide problems.
+pub fn packed_a_bytes(plan: &BlockPlan) -> usize {
+    plan.mp * plan.kp
+}
+
+/// Byte offset of the (ic, pc) block inside a fully pre-packed A, for a
+/// plan whose padded depth is `kp` — the mirror of [`packed_b_offset`]:
+/// row strips before `ic` (total height `ic`) each span the padded
+/// depth, and within the current strip of height `mcb` the `pc`
+/// previous depth blocks hold `mcb` bytes per k-value.
+pub fn packed_a_offset(kp: usize, ic: usize, mcb: usize, pc: usize) -> usize {
+    ic * kp + mcb * pc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +162,37 @@ mod tests {
         assert!(GemmProblem::new(0, 3, 4, &empty, &[0; 12]).is_degenerate());
         assert!(GemmProblem::new(2, 3, 0, &empty, &empty).is_degenerate());
         assert!(!GemmProblem::new(1, 1, 1, &[1], &[1]).is_degenerate());
+    }
+
+    #[test]
+    fn handle_problems_carry_dtype_and_empty_b() {
+        let a = vec![0i8; 8];
+        let h = {
+            let mut reg = crate::weights::WeightRegistry::new();
+            reg.register(3, 4, &[0i8; 12], crate::weights::DType::I4)
+        };
+        let p = GemmProblem::with_handle(2, 3, 4, &a, h).with_dtype(crate::weights::DType::I4);
+        assert_eq!(p.handle, Some(h));
+        assert!(p.b.is_empty());
+        assert_eq!(p.dtype, crate::weights::DType::I4);
+        assert!(!p.is_degenerate());
+        // plain problems default to the i8 kernel with no handle
+        let q = GemmProblem::new(2, 3, 4, &a, &[0i8; 12]);
+        assert_eq!(q.handle, None);
+        assert_eq!(q.dtype, crate::weights::DType::I8);
+    }
+
+    #[test]
+    fn packed_a_layout_offsets_tile_the_panel() {
+        // unique A blocks in for_each_a_block order must be contiguous
+        // and cover packed_a_bytes exactly (the mirror of the B test)
+        let plan = BlockPlan::new(22, 20, 96, 4, 4, 32, (8, 8, 32));
+        let mut expected = 0usize;
+        crate::loops::for_each_a_block(&plan, |ic, mcb, pc, kcb| {
+            assert_eq!(packed_a_offset(plan.kp, ic, mcb, pc), expected);
+            expected += mcb * kcb;
+        });
+        assert_eq!(expected, packed_a_bytes(&plan));
     }
 
     #[test]

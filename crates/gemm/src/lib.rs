@@ -54,10 +54,12 @@ pub mod loops;
 pub mod pack;
 pub mod reference;
 pub mod trace;
+pub mod weights;
 pub mod workspace;
 
 pub use batch::GemmProblem;
 pub use dispatch::{AccKind, ElemKind, KernelGeometry, MicroKernel};
 pub use driver::{simulate_gemm, GemmOptions, GemmResult, Method};
 pub use reference::{gemm_f32_ref, gemm_i32_ref, gemm_i8_wrapping_ref, SplitMix64};
-pub use workspace::{PackPool, PanelId};
+pub use weights::{DType, WeightHandle, WeightMeta, WeightRegistry};
+pub use workspace::{PackPool, PanelId, PersistentId};

@@ -104,6 +104,27 @@ pub fn for_each_b_block(plan: &BlockPlan, mut f: impl FnMut(usize, usize, usize,
     }
 }
 
+/// Visit every *unique* `(ic, mcb, pc, kcb)` A block of the plan, row
+/// strips outer, depth blocks inner. [`run_blocked`] re-packs each A
+/// block once per column strip; a fully pre-packed A (see
+/// `camp_gemm::weights::prepack_a`, laid out by
+/// [`crate::batch::packed_a_offset`]) holds each block exactly once and
+/// serves every column strip, which is what lets a serving session pack
+/// a batch's A operands while the previous batch computes.
+pub fn for_each_a_block(plan: &BlockPlan, mut f: impl FnMut(usize, usize, usize, usize)) {
+    let mut ic = 0;
+    while ic < plan.mp {
+        let mcb = plan.mc.min(plan.mp - ic);
+        let mut pc = 0;
+        while pc < plan.kp {
+            let kcb = plan.kc.min(plan.kp - pc);
+            f(ic, mcb, pc, kcb);
+            pc += kcb;
+        }
+        ic += mcb;
+    }
+}
+
 /// Drive the GotoBLAS loops 3–5 over `sink` (Fig. 3): B is packed once
 /// per (jc, pc) block and reused for every row block; A is packed once
 /// per (ic, pc) block. A degenerate (zero-dimension) plan visits no
@@ -181,6 +202,28 @@ mod tests {
         // blocks tile the full padded space exactly
         let covered: usize = r.macros.iter().map(|&(_, mcb, _, ncb, _, kcb)| mcb * ncb * kcb).sum();
         assert_eq!(covered, plan.mp * plan.np * plan.kp);
+    }
+
+    #[test]
+    fn a_block_iterator_tiles_the_padded_row_depth_space() {
+        let plan = BlockPlan::new(12, 20, 96, 4, 4, 32, (8, 8, 32));
+        let mut covered = 0usize;
+        let mut blocks = Vec::new();
+        for_each_a_block(&plan, |ic, mcb, pc, kcb| {
+            covered += mcb * kcb;
+            blocks.push((ic, pc));
+        });
+        // each (ic, pc) exactly once, tiling mp×kp
+        assert_eq!(covered, plan.mp * plan.kp);
+        let mut dedup = blocks.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), blocks.len(), "A blocks must be unique");
+        // run_blocked packs the same (ic, pc) set, repeated per column strip
+        let mut r = Recorder::default();
+        run_blocked(&plan, &mut r);
+        let strips = 20usize.div_ceil(8);
+        assert_eq!(r.packs_a.len(), blocks.len() * strips);
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! Pre-packed weight registry and the host-side packing routines it
+//! shares with `camp-core`'s engine.
+//!
+//! A serving workload multiplies the *same* quantized weight matrices
+//! against millions of distinct activations. Re-packing B on every call
+//! is pure overhead: the packed image of a k×n operand depends only on
+//! (n, k), the kernel's k-step and the blocking — never on the
+//! activation — so it can be built exactly once and consumed forever.
+//! [`WeightRegistry::register`] packs a weight matrix into a
+//! pool-owned persistent panel ([`crate::workspace::PackPool`]'s
+//! persistent arena) and returns a copyable [`WeightHandle`]; every
+//! later GeMM against that handle runs with **zero B-packing**.
+//!
+//! This module is also the single source of truth for the host engine's
+//! packed layouts: [`pack_a_block`] / [`pack_b_block`] pack one cache
+//! block, [`prepack_a`] / [`prepack_b`] lay out a whole operand in the
+//! blocked loops' visit order (offsets from
+//! [`crate::batch::packed_a_offset`] / [`crate::batch::packed_b_offset`]),
+//! and [`host_block_plan`] pins the blocking factors. The engine, the
+//! registry and the serving session all pack through these functions, so
+//! a pre-packed panel is bit-identical to what per-block packing would
+//! have produced and results cannot diverge.
+
+use crate::batch::{packed_a_offset, packed_b_bytes, packed_b_offset};
+use crate::loops::{for_each_a_block, for_each_b_block, BlockPlan};
+use crate::workspace::{PackPool, PersistentId};
+
+/// Host-engine cache blocking: (mc, nc, kc), multiples of the 4×4
+/// register tile and both camp k-steps. Shared by every host-side
+/// packer so pre-packed panels and per-block packing agree on layout.
+pub const HOST_BLOCKING: (usize, usize, usize) = (128, 256, 2048);
+
+/// The [`BlockPlan`] every host-side GeMM over a 4×4 camp tile uses.
+/// B-panel layout depends only on `n`, `k` and `k_step` (never `m`), so
+/// a plan built here for any `m` indexes the same packed B image.
+pub fn host_block_plan(m: usize, n: usize, k: usize, k_step: usize) -> BlockPlan {
+    BlockPlan::new(m, n, k, 4, 4, k_step, HOST_BLOCKING)
+}
+
+/// Element type a problem runs under — selects the camp kernel
+/// (`camp.s8` vs `camp.s4`) and with it the packed-operand layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 8-bit operands, 16 k-steps per `camp.s8` issue.
+    I8,
+    /// 4-bit operands (stored one per byte, values in [-8, 7]),
+    /// 32 k-steps per `camp.s4` issue.
+    I4,
+}
+
+impl DType {
+    /// k-values one camp issue of this dtype consumes.
+    pub fn k_step(self) -> usize {
+        match self {
+            DType::I8 => 16,
+            DType::I4 => 32,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DType::I8 => "i8",
+            DType::I4 => "i4",
+        }
+    }
+}
+
+/// Copyable handle to one registered weight matrix. Valid for the
+/// lifetime of the registry (registrations are never evicted). Handles
+/// are stamped with their registry's identity, so using one against a
+/// different engine's registry panics instead of silently multiplying
+/// the wrong weights when shapes happen to coincide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WeightHandle {
+    registry: u64,
+    index: usize,
+}
+
+impl WeightHandle {
+    /// Index of this handle in registration order.
+    pub fn index(self) -> usize {
+        self.index
+    }
+
+    /// Identity of the registry that issued this handle (see
+    /// [`WeightRegistry::id`]).
+    pub fn registry(self) -> u64 {
+        self.registry
+    }
+}
+
+/// Shape and dtype of one registered weight matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightMeta {
+    /// Columns of the weight matrix (N of the GeMM).
+    pub n: usize,
+    /// Rows of the weight matrix (K of the GeMM).
+    pub k: usize,
+    /// Kernel the panel was packed for.
+    pub dtype: DType,
+}
+
+impl WeightMeta {
+    /// Multiply-accumulates of one m-row GeMM against this weight.
+    pub fn macs(&self, m: usize) -> u64 {
+        m as u64 * self.n as u64 * self.k as u64
+    }
+}
+
+/// Registry of pre-packed B operands: each registration packs the
+/// weight once into a persistent pool panel; lookups are index reads.
+#[derive(Debug)]
+pub struct WeightRegistry {
+    id: u64,
+    pool: PackPool,
+    entries: Vec<(WeightMeta, PersistentId)>,
+    packed_bytes: u64,
+}
+
+impl Default for WeightRegistry {
+    fn default() -> Self {
+        WeightRegistry::new()
+    }
+}
+
+impl WeightRegistry {
+    /// Empty registry with a process-unique identity.
+    pub fn new() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_REGISTRY_ID: AtomicU64 = AtomicU64::new(0);
+        WeightRegistry {
+            id: NEXT_REGISTRY_ID.fetch_add(1, Ordering::Relaxed),
+            pool: PackPool::new(),
+            entries: Vec::new(),
+            packed_bytes: 0,
+        }
+    }
+
+    /// Process-unique identity stamped into every handle this registry
+    /// issues.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Pack the row-major k×n weight matrix `b` for `dtype`'s kernel and
+    /// keep the panel alive for the registry's lifetime. Zero-dimension
+    /// weights register an empty panel (their GeMMs are degenerate).
+    ///
+    /// # Panics
+    /// Panics if `b.len() != k * n`.
+    pub fn register(&mut self, n: usize, k: usize, b: &[i8], dtype: DType) -> WeightHandle {
+        assert_eq!(b.len(), k * n, "weights must be k×n");
+        let plan = host_block_plan(4, n, k, dtype.k_step());
+        let bytes = if n == 0 || k == 0 { 0 } else { packed_b_bytes(&plan) };
+        let id = self.pool.alloc_persistent(bytes);
+        prepack_b(self.pool.persistent_mut(id), b, n, k, &plan);
+        self.packed_bytes += bytes as u64;
+        self.entries.push((WeightMeta { n, k, dtype }, id));
+        WeightHandle { registry: self.id, index: self.entries.len() - 1 }
+    }
+
+    fn entry(&self, h: WeightHandle) -> &(WeightMeta, PersistentId) {
+        assert_eq!(h.registry, self.id, "WeightHandle from a different registry");
+        self.entries.get(h.index).expect("unknown WeightHandle")
+    }
+
+    /// Shape/dtype of a registered weight.
+    ///
+    /// # Panics
+    /// Panics on a handle from a different registry.
+    pub fn meta(&self, h: WeightHandle) -> WeightMeta {
+        self.entry(h).0
+    }
+
+    /// The packed panel of a registered weight, ready for any worker to
+    /// consume at [`packed_b_offset`] offsets.
+    ///
+    /// # Panics
+    /// Panics on a handle from a different registry.
+    pub fn panel(&self, h: WeightHandle) -> &[i8] {
+        self.pool.persistent(self.entry(h).1)
+    }
+
+    /// Number of registered weights.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bytes packed at registration time (one-time cost the
+    /// steady state never pays again).
+    pub fn packed_bytes(&self) -> u64 {
+        self.packed_bytes
+    }
+
+    /// Metadata of every registration, in handle order — the snapshot a
+    /// serving session validates submissions against.
+    pub fn metas(&self) -> Vec<WeightMeta> {
+        self.entries.iter().map(|(m, _)| *m).collect()
+    }
+}
+
+/// Pack a block of row-major B starting at column `jc`, depth `pc` into
+/// nR-column panels (row-major within the panel), zero-padded past the
+/// matrix edge — the layout one `camp` B operand expects. `buf` must
+/// hold exactly `ncb * kcb` bytes; its length determines the block
+/// width.
+pub fn pack_b_block(
+    buf: &mut [i8],
+    b: &[i8],
+    n: usize,
+    k: usize,
+    jc: usize,
+    pc: usize,
+    kcb: usize,
+) {
+    let panel = kcb * 4;
+    for (q, panel_buf) in buf.chunks_exact_mut(panel).enumerate() {
+        let j0 = jc + q * 4;
+        for l in 0..kcb {
+            let lg = pc + l;
+            for (cx, out) in panel_buf[l * 4..l * 4 + 4].iter_mut().enumerate() {
+                let j = j0 + cx;
+                *out = if lg < k && j < n { b[lg * n + j] } else { 0 };
+            }
+        }
+    }
+}
+
+/// Pack a block of row-major A starting at row `ic`, depth `pc` into
+/// mR-row panels (column-major within the panel), zero-padded past the
+/// matrix edge. `buf` must hold exactly `mcb * kcb` bytes; its length
+/// determines the block height.
+pub fn pack_a_block(
+    buf: &mut [i8],
+    a: &[i8],
+    m: usize,
+    k: usize,
+    ic: usize,
+    pc: usize,
+    kcb: usize,
+) {
+    let panel = kcb * 4;
+    for (p, panel_buf) in buf.chunks_exact_mut(panel).enumerate() {
+        let i0 = ic + p * 4;
+        for l in 0..kcb {
+            let lg = pc + l;
+            for (rx, out) in panel_buf[l * 4..l * 4 + 4].iter_mut().enumerate() {
+                let i = i0 + rx;
+                *out = if lg < k && i < m { a[i * k + lg] } else { 0 };
+            }
+        }
+    }
+}
+
+/// Pack every (jc, pc) block of B in the blocked loops' visit order
+/// (shared with `run_blocked` via [`for_each_b_block`]) into `dst`
+/// (sized by [`packed_b_bytes`]). Each block's bytes are bit-identical
+/// to what per-block packing produces, so a macro-kernel reading at
+/// [`packed_b_offset`] computes exactly the serial result.
+pub fn prepack_b(dst: &mut [i8], b: &[i8], n: usize, k: usize, plan: &BlockPlan) {
+    for_each_b_block(plan, |jc, ncb, pc, kcb| {
+        let off = packed_b_offset(plan.kp, jc, ncb, pc);
+        pack_b_block(&mut dst[off..off + ncb * kcb], b, n, k, jc, pc, kcb);
+    });
+}
+
+/// Pack every (ic, pc) block of A once into `dst` (sized by
+/// [`crate::batch::packed_a_bytes`]), in [`for_each_a_block`] order. A macro-kernel
+/// reading at [`packed_a_offset`] sees exactly the bytes per-block
+/// packing would have produced — the serving session uses this to
+/// overlap the A-packing of one batch with the compute of another.
+pub fn prepack_a(dst: &mut [i8], a: &[i8], m: usize, k: usize, plan: &BlockPlan) {
+    for_each_a_block(plan, |ic, mcb, pc, kcb| {
+        let off = packed_a_offset(plan.kp, ic, mcb, pc);
+        pack_a_block(&mut dst[off..off + mcb * kcb], a, m, k, ic, pc, kcb);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::packed_a_bytes;
+
+    fn fill(len: usize, seed: i32) -> Vec<i8> {
+        (0..len).map(|i| ((i as i32 * seed) % 16 - 8) as i8).collect()
+    }
+
+    #[test]
+    fn dtype_k_steps_match_the_camp_issues() {
+        assert_eq!(DType::I8.k_step(), 16);
+        assert_eq!(DType::I4.k_step(), 32);
+        assert_ne!(DType::I8.name(), DType::I4.name());
+    }
+
+    #[test]
+    fn register_packs_once_and_serves_forever() {
+        let (n, k) = (10, 33);
+        let b = fill(k * n, 7);
+        let mut reg = WeightRegistry::new();
+        let h = reg.register(n, k, &b, DType::I8);
+        assert_eq!(reg.len(), 1);
+        assert!(!reg.is_empty());
+        let meta = reg.meta(h);
+        assert_eq!((meta.n, meta.k, meta.dtype), (n, k, DType::I8));
+        assert_eq!(meta.macs(5), 5 * n as u64 * k as u64);
+        // panel bytes equal a standalone prepack of the same operand
+        let plan = host_block_plan(1, n, k, 16);
+        let mut expect = vec![0i8; packed_b_bytes(&plan)];
+        prepack_b(&mut expect, &b, n, k, &plan);
+        assert_eq!(reg.panel(h), &expect[..]);
+        assert_eq!(reg.packed_bytes(), expect.len() as u64);
+    }
+
+    #[test]
+    fn i4_and_i8_registrations_pack_distinct_layouts() {
+        // k between the two k-steps: padded depth (and so panel size)
+        // must differ between the kernels
+        let (n, k) = (4, 20);
+        let b = fill(k * n, 5);
+        let mut reg = WeightRegistry::new();
+        let h8 = reg.register(n, k, &b, DType::I8);
+        let h4 = reg.register(n, k, &b, DType::I4);
+        assert_eq!(reg.panel(h8).len(), 4 * 32); // kp = 32 under k-step 16
+        assert_eq!(reg.panel(h4).len(), 4 * 32); // kp = 32 under k-step 32
+        assert_eq!(reg.metas().len(), 2);
+        assert_eq!(reg.metas()[1].dtype, DType::I4);
+    }
+
+    #[test]
+    fn zero_dim_weights_register_empty_panels() {
+        let mut reg = WeightRegistry::new();
+        let h = reg.register(0, 8, &[], DType::I8);
+        assert!(reg.panel(h).is_empty());
+        let h2 = reg.register(4, 0, &[], DType::I4);
+        assert!(reg.panel(h2).is_empty());
+        assert_eq!(reg.packed_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "WeightHandle from a different registry")]
+    fn foreign_handles_are_rejected_even_when_shapes_coincide() {
+        // the dangerous case: the other registry has an entry with the
+        // same index and shape — without the identity stamp this would
+        // silently multiply the wrong weights
+        let mut reg = WeightRegistry::new();
+        let h = reg.register(4, 4, &fill(16, 3), DType::I8);
+        let mut other = WeightRegistry::new();
+        let _ = other.register(4, 4, &fill(16, 7), DType::I8);
+        let _ = other.meta(h);
+    }
+
+    #[test]
+    fn prepacked_a_blocks_match_per_block_packing() {
+        let (m, k) = (13, 70);
+        let a = fill(m * k, 11);
+        let plan = host_block_plan(m, 8, k, 16);
+        let mut packed = vec![99i8; packed_a_bytes(&plan)];
+        prepack_a(&mut packed, &a, m, k, &plan);
+        // every (ic, pc) block read at its offset equals a fresh
+        // per-block pack of the same coordinates
+        for_each_a_block(&plan, |ic, mcb, pc, kcb| {
+            let mut fresh = vec![0i8; mcb * kcb];
+            pack_a_block(&mut fresh, &a, m, k, ic, pc, kcb);
+            let off = packed_a_offset(plan.kp, ic, mcb, pc);
+            assert_eq!(&packed[off..off + mcb * kcb], &fresh[..], "block ({ic}, {pc})");
+        });
+    }
+
+    #[test]
+    fn host_plan_b_layout_is_independent_of_m() {
+        let (n, k) = (300, 2100); // spans several (jc, pc) blocks
+        for m in [1, 4, 129, 1000] {
+            let p = host_block_plan(m, n, k, 16);
+            let q = host_block_plan(4, n, k, 16);
+            assert_eq!((p.np, p.kp, p.nc, p.kc), (q.np, q.kp, q.nc, q.kc), "m={m}");
+        }
+    }
+}

@@ -67,6 +67,11 @@ pub struct PackPool {
     panels: Vec<Vec<i8>>,
     panel_lens: Vec<usize>,
     live_panels: usize,
+    /// Persistent panels ([`PackPool::alloc_persistent`]): never
+    /// recycled by [`PackPool::reset_panels`], exactly sized. The weight
+    /// registry keeps pre-packed B operands here for the pool's
+    /// lifetime.
+    persistent: Vec<Vec<i8>>,
     allocations: u64,
 }
 
@@ -74,6 +79,11 @@ pub struct PackPool {
 /// Valid until the next [`PackPool::reset_panels`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PanelId(usize);
+
+/// Handle to one *persistent* pool-owned panel (see
+/// [`PackPool::alloc_persistent`]). Never invalidated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PersistentId(usize);
 
 impl PackPool {
     /// Empty pool; buffers grow on first use.
@@ -159,6 +169,28 @@ impl PackPool {
         &self.panels[id.0][..self.panel_lens[id.0]]
     }
 
+    /// Allocate a panel that survives [`PackPool::reset_panels`] —
+    /// storage for operands with registration lifetime (pre-packed
+    /// weights), not per-call scratch. Zero-filled, exactly sized; each
+    /// call allocates fresh storage (registration is a one-time cost,
+    /// so the growth counter is bumped for honesty, not reuse).
+    pub fn alloc_persistent(&mut self, bytes: usize) -> PersistentId {
+        self.persistent.push(vec![0; bytes]);
+        self.allocations += 1;
+        PersistentId(self.persistent.len() - 1)
+    }
+
+    /// Mutable access to a persistent panel (for packing at
+    /// registration time).
+    pub fn persistent_mut(&mut self, id: PersistentId) -> &mut [i8] {
+        &mut self.persistent[id.0]
+    }
+
+    /// Read-only access to a persistent panel (for the macro-kernel).
+    pub fn persistent(&self, id: PersistentId) -> &[i8] {
+        &self.persistent[id.0]
+    }
+
     /// Number of buffer growths since construction. Flat across calls
     /// ⇒ the hot loop is allocation-free.
     pub fn allocations(&self) -> u64 {
@@ -240,6 +272,21 @@ mod tests {
         assert_eq!(p.panel(one2).len(), 16);
         assert_eq!(p.panel(two2).len(), 32);
         assert_eq!(p.allocations(), grown, "panel reuse must not allocate");
+    }
+
+    #[test]
+    fn persistent_panels_survive_resets() {
+        let mut p = PackPool::new();
+        let keep = p.alloc_persistent(24);
+        p.persistent_mut(keep).fill(5);
+        // transient churn must not disturb persistent storage
+        for round in 0..3 {
+            p.reset_panels();
+            let t = p.alloc_panel(64);
+            p.panel_mut(t).fill(round as i8);
+        }
+        assert_eq!(p.persistent(keep).len(), 24);
+        assert!(p.persistent(keep).iter().all(|&v| v == 5));
     }
 
     #[test]

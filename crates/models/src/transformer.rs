@@ -18,6 +18,8 @@
 //! (s × 4d) · (4d × d).
 
 use crate::cnn::GemmShape;
+use camp_core::session::Request;
+use camp_core::{CampEngine, DType, WeightHandle};
 use camp_gemm::batch::GemmProblem;
 use camp_gemm::reference::SplitMix64;
 
@@ -170,6 +172,86 @@ impl AttentionWorkload {
     pub fn total_macs(&self) -> u64 {
         self.problems().iter().map(GemmProblem::macs).sum()
     }
+
+    /// Register every unique B operand of this workload with `engine`'s
+    /// weight registry — the four projection weights, and each head's
+    /// Kᵀ and V blocks — packing each exactly **once per model** instead
+    /// of once per call. The returned handle set drives
+    /// [`AttentionWorkload::problems_with_handles`] (batched API) and
+    /// [`AttentionWorkload::requests`] (serving session).
+    pub fn register(&self, engine: &mut CampEngine, dtype: DType) -> AttentionHandles {
+        let (s, d, dh) = (self.cfg.seq_len, self.cfg.hidden, self.cfg.hidden / self.cfg.heads);
+        AttentionHandles {
+            // projection weights: k=d rows, n=d columns
+            weights: std::array::from_fn(|i| {
+                engine.register_weights(d, d, &self.weights[i], dtype)
+            }),
+            // score product B = Kᵀ (dh×s): k=dh, n=s
+            kt: self.kt.iter().map(|t| engine.register_weights(s, dh, t, dtype)).collect(),
+            // context product B = V (s×dh): k=s, n=dh
+            v: self.v.iter().map(|t| engine.register_weights(dh, s, t, dtype)).collect(),
+            dtype,
+        }
+    }
+
+    /// The same batch as [`AttentionWorkload::problems`], with every B
+    /// operand referenced through its registered handle: the engine
+    /// packs **zero** B bytes running it (`EngineStats::packed_b_bytes
+    /// == 0`), per call, forever.
+    pub fn problems_with_handles(&self, h: &AttentionHandles) -> Vec<GemmProblem<'_>> {
+        let (s, d, dh) = (self.cfg.seq_len, self.cfg.hidden, self.cfg.hidden / self.cfg.heads);
+        let mut out = Vec::with_capacity(self.len());
+        for _layer in 0..self.cfg.layers {
+            for w in &h.weights {
+                out.push(GemmProblem::with_handle(s, d, d, &self.x, *w).with_dtype(h.dtype));
+            }
+            for head in 0..self.cfg.heads {
+                out.push(
+                    GemmProblem::with_handle(s, s, dh, &self.q[head], h.kt[head])
+                        .with_dtype(h.dtype),
+                );
+                out.push(
+                    GemmProblem::with_handle(s, dh, s, &self.probs[head], h.v[head])
+                        .with_dtype(h.dtype),
+                );
+            }
+        }
+        out
+    }
+
+    /// The same inventory as owned serving [`Request`]s, ready for
+    /// `Session::submit` — one full per-layer/per-head batch whose
+    /// activations are cloned out of the workload (a serving caller
+    /// owns its activations; the weights live in the engine).
+    pub fn requests(&self, h: &AttentionHandles) -> Vec<Request> {
+        let (s, _, _) = (self.cfg.seq_len, self.cfg.hidden, self.cfg.hidden / self.cfg.heads);
+        let mut out = Vec::with_capacity(self.len());
+        for _layer in 0..self.cfg.layers {
+            for w in &h.weights {
+                out.push(Request { m: s, a: self.x.clone(), weights: *w });
+            }
+            for head in 0..self.cfg.heads {
+                out.push(Request { m: s, a: self.q[head].clone(), weights: h.kt[head] });
+                out.push(Request { m: s, a: self.probs[head].clone(), weights: h.v[head] });
+            }
+        }
+        out
+    }
+}
+
+/// Handles of one registered [`AttentionWorkload`] (see
+/// [`AttentionWorkload::register`]): QKV/output projection weights plus
+/// each head's Kᵀ and V blocks, all packed once for `dtype`'s kernel.
+#[derive(Debug, Clone)]
+pub struct AttentionHandles {
+    /// The four d×d projection weights: Q, K, V, output.
+    pub weights: [WeightHandle; 4],
+    /// Per-head Kᵀ blocks (B of the score product).
+    pub kt: Vec<WeightHandle>,
+    /// Per-head V blocks (B of the context product).
+    pub v: Vec<WeightHandle>,
+    /// Kernel every handle was registered for.
+    pub dtype: DType,
 }
 
 /// The four LLMs of the paper (§5.2).
@@ -302,6 +384,33 @@ mod tests {
         assert_ne!(problems[0].b_key(), problems[1].b_key());
         assert_ne!(problems[1].b_key(), problems[2].b_key());
         assert_ne!(problems[2].b_key(), problems[3].b_key());
+    }
+
+    #[test]
+    fn registered_workload_mirrors_the_slice_problems() {
+        let cfg = tiny_config();
+        let w = cfg.attention_workload(7);
+        let mut eng = CampEngine::new();
+        let handles = w.register(&mut eng, DType::I8);
+        // one registration per unique operand: 4 weights + 2 per head
+        assert_eq!(eng.registered_weights(), 4 + 2 * cfg.heads);
+        let by_handle = w.problems_with_handles(&handles);
+        let by_slice = w.problems();
+        assert_eq!(by_handle.len(), by_slice.len());
+        for (h, s) in by_handle.iter().zip(&by_slice) {
+            assert_eq!((h.m, h.n, h.k), (s.m, s.n, s.k));
+            assert_eq!(h.a, s.a, "activations must alias the same storage");
+            assert!(h.handle.is_some());
+            let meta = eng.weight_meta(h.handle.unwrap());
+            assert_eq!((meta.n, meta.k), (h.n, h.k), "registration shape must match");
+        }
+        // serving requests carry the same inventory
+        let reqs = w.requests(&handles);
+        assert_eq!(reqs.len(), by_slice.len());
+        for (r, s) in reqs.iter().zip(&by_slice) {
+            assert_eq!(r.m, s.m);
+            assert_eq!(&r.a[..], s.a);
+        }
     }
 
     #[test]

@@ -70,7 +70,7 @@ enum StallCause {
 /// Architectural state (registers, memory) and cache contents persist
 /// across [`run`](Simulator::run) calls so a host-side driver can execute
 /// packing programs and macro-kernels back to back, the way the paper's
-/// blocked GeMM executes; statistics accumulate into [`stats`]
+/// blocked GeMM executes; statistics accumulate into [`stats`](Simulator::stats)
 /// (cycle spans add up).
 pub struct Simulator {
     cfg: CoreConfig,

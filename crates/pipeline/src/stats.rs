@@ -12,7 +12,7 @@ pub struct SimStats {
     pub cycles: u64,
     /// Dynamic instruction count.
     pub insts: u64,
-    /// Dynamic counts by class: indexed like [`class_index`].
+    /// Dynamic counts by class: indexed like `class_index`.
     pub class_counts: [u64; 8],
     /// Multiply-accumulate operations represented by the executed
     /// instructions (for GOPS accounting).

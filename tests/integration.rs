@@ -1,8 +1,9 @@
 //! Cross-crate integration tests: the full stack from workload models
 //! through quantization, kernels, simulation and energy.
 
-use camp::core::engine::{camp_gemm_i4, camp_gemm_i8, CampEngine};
+use camp::core::engine::{camp_gemm_i4, camp_gemm_i8, CampEngine, DType};
 use camp::core::gemm_i32_ref;
+use camp::core::session::Request;
 use camp::energy::{AreaModel, EnergyModel, TechNode};
 use camp::gemm::{simulate_gemm, GemmOptions, Method};
 use camp::models::conv::{im2col, weights_to_b, Conv2d, Tensor3};
@@ -116,6 +117,100 @@ fn attention_batch_runs_under_the_i4_kernel() {
     for (c, p) in batch.iter().zip(&problems) {
         assert_eq!(c, &gemm_i32_ref(p.m, p.n, p.k, p.a, p.b), "{}x{}x{}", p.m, p.n, p.k);
     }
+}
+
+#[test]
+fn registered_attention_weights_skip_all_b_packing() {
+    // the serving acceptance criterion: with every B operand
+    // pre-registered, batch calls move zero B-pack bytes — on the
+    // first call and forever after — while staying bit-identical to
+    // the golden reference
+    let mut cfg = LlmModel::BertBase.config();
+    cfg.layers = 1;
+    cfg.seq_len = 8;
+    let workload = cfg.attention_workload(0xCAFE);
+    let mut eng = CampEngine::with_threads(3);
+    let handles = workload.register(&mut eng, DType::I8);
+    let by_handle = workload.problems_with_handles(&handles);
+    let slices = workload.problems();
+
+    let (first, s1) = eng.gemm_batch_with_stats(&by_handle);
+    assert_eq!(s1.packed_b_bytes, 0, "registered weights must never pack B");
+    for (c, p) in first.iter().zip(&slices) {
+        assert_eq!(c, &gemm_i32_ref(p.m, p.n, p.k, p.a, p.b), "{}x{}x{}", p.m, p.n, p.k);
+    }
+    let warm_allocs = eng.pack_allocations();
+    for _ in 0..3 {
+        let (again, s) = eng.gemm_batch_with_stats(&by_handle);
+        assert_eq!(again, first);
+        assert_eq!(s.packed_b_bytes, 0, "steady state must not pack B");
+    }
+    assert_eq!(eng.pack_allocations(), warm_allocs, "steady state must not allocate");
+}
+
+#[test]
+fn serving_session_streams_attention_batches_bit_identically() {
+    // register once, stream several batches through submit/poll with
+    // all of them in flight, and compare against the golden reference
+    let mut cfg = LlmModel::BertBase.config();
+    cfg.layers = 1;
+    cfg.seq_len = 8;
+    let workload = cfg.attention_workload(0xD15C0);
+    let slices = workload.problems();
+    let mut eng = CampEngine::with_threads(2);
+    let handles = workload.register(&mut eng, DType::I8);
+    let mut session = eng.serve();
+    let tickets: Vec<_> = (0..3).map(|_| session.submit(workload.requests(&handles))).collect();
+    for ticket in tickets {
+        let (cs, stats) = session.wait_with_stats(ticket);
+        assert_eq!(stats.packed_b_bytes, 0, "sessions never pack B");
+        for (c, p) in cs.iter().zip(&slices) {
+            assert_eq!(c, &gemm_i32_ref(p.m, p.n, p.k, p.a, p.b), "{}x{}x{}", p.m, p.n, p.k);
+        }
+    }
+    // the engine comes back warm and usable
+    let mut eng = session.into_engine();
+    let p = &slices[0];
+    assert_eq!(eng.gemm_i8(p.m, p.n, p.k, p.a, p.b), gemm_i32_ref(p.m, p.n, p.k, p.a, p.b));
+}
+
+#[test]
+fn mixed_dtype_attention_batch_cross_validates() {
+    // one batch carrying both kernels: the i4-registered half and the
+    // i8 slice half must each match the golden reference (workload
+    // data is 4-bit, so both kernels are exact)
+    let mut cfg = LlmModel::Gpt3Small.config();
+    cfg.layers = 1;
+    cfg.seq_len = 8;
+    let workload = cfg.attention_workload(0x7A1D);
+    let mut eng = CampEngine::with_threads(2);
+    let handles = workload.register(&mut eng, DType::I4);
+    let by_handle = workload.problems_with_handles(&handles);
+    let slices = workload.problems();
+    let mixed: Vec<_> = by_handle
+        .iter()
+        .zip(&slices)
+        .enumerate()
+        .map(|(i, (h, s))| if i % 2 == 0 { *h } else { *s })
+        .collect();
+    let cs = eng.gemm_batch(&mixed);
+    for (c, p) in cs.iter().zip(&slices) {
+        assert_eq!(c, &gemm_i32_ref(p.m, p.n, p.k, p.a, p.b), "{}x{}x{}", p.m, p.n, p.k);
+    }
+}
+
+#[test]
+fn session_requests_flow_through_the_facade() {
+    // minimal end-to-end serving round trip via the facade crate's
+    // re-exports (what a downstream user would write)
+    let (n, k, m) = (16, 24, 5);
+    let w: Vec<i8> = (0..k * n).map(|i| (i % 15) as i8 - 7).collect();
+    let a: Vec<i8> = (0..m * k).map(|i| (i % 13) as i8 - 6).collect();
+    let mut eng = CampEngine::with_threads(2);
+    let h = eng.register_weights(n, k, &w, DType::I8);
+    let mut session = eng.serve();
+    let t = session.submit(vec![Request { m, a: a.clone(), weights: h }]);
+    assert_eq!(session.wait(t)[0], gemm_i32_ref(m, n, k, &a, &w));
 }
 
 #[test]

@@ -3,11 +3,12 @@
 
 use camp::cache::{Cache, CacheConfig};
 use camp::core::engine::{
-    camp_gemm_i4, camp_gemm_i4_parallel, camp_gemm_i8, camp_gemm_i8_parallel, CampEngine,
+    camp_gemm_i4, camp_gemm_i4_parallel, camp_gemm_i8, camp_gemm_i8_parallel, CampEngine, DType,
     GemmProblem,
 };
 use camp::core::gemm_i32_ref;
 use camp::core::hybrid::HybridMultiplier;
+use camp::core::session::Request;
 use camp::core::unit::{CampUnit, Mode};
 use camp::isa::encode::{decode, encode};
 use camp::isa::inst::{CampMode, Inst};
@@ -109,6 +110,67 @@ proptest! {
         for (c, p) in batch4.iter().zip(&problems) {
             prop_assert_eq!(c, &per_call.gemm_i4(p.m, p.n, p.k, p.a, p.b));
         }
+    }
+
+    #[test]
+    fn serving_paths_are_bit_identical_to_serial(
+        m1 in 1usize..14, n1 in 1usize..14, k1 in 1usize..40,
+        m2 in 1usize..14, n2 in 1usize..14, k2 in 1usize..40,
+        threads in 1usize..65, seed in any::<u32>())
+    {
+        // the persistent pool, the pre-packed weight registry and the
+        // submit/poll session must all reproduce the serial engine
+        // exactly, over ragged shapes, shared and unshared handles,
+        // mixed dtypes, and 1-64 worker threads
+        let gen = |len: usize, s: u32| -> Vec<i8> {
+            (0..len).map(|i| (((i as u32).wrapping_mul(s).wrapping_add(s) % 16) as i32 - 8) as i8)
+                .collect()
+        };
+        let b1 = gen(k1 * n1, seed | 1);
+        let b2 = gen(k2 * n2, seed.rotate_left(5) | 1);
+        let a1 = gen(m1 * k1, seed.rotate_left(9) | 1);
+        let a2 = gen(m2 * k2, seed.rotate_left(13) | 1);
+        let a3 = gen(m2 * k1, seed.rotate_left(17) | 1);
+
+        let mut eng = CampEngine::with_threads(threads);
+        let h1 = eng.register_weights(n1, k1, &b1, DType::I8);
+        let h2 = eng.register_weights(n2, k2, &b2, DType::I4);
+
+        // handle calls == slice calls (persistent pool + registry)
+        prop_assert_eq!(eng.gemm_with_handle(m1, &a1, h1), camp_gemm_i8(m1, n1, k1, &a1, &b1));
+        prop_assert_eq!(eng.gemm_with_handle(m2, &a2, h2), camp_gemm_i4(m2, n2, k2, &a2, &b2));
+
+        // mixed batch: two problems sharing handle h1, one i4 handle,
+        // one plain slice problem running under i4
+        let problems = vec![
+            GemmProblem::with_handle(m1, n1, k1, &a1, h1),
+            GemmProblem::with_handle(m2, n2, k2, &a2, h2),
+            GemmProblem::with_handle(m2, n1, k1, &a3, h1), // shares h1
+            GemmProblem::new(m2, n2, k2, &a2, &b2).with_dtype(DType::I4),
+        ];
+        let (batch, stats) = eng.gemm_batch_with_stats(&problems);
+        prop_assert_eq!(&batch[0], &camp_gemm_i8(m1, n1, k1, &a1, &b1));
+        prop_assert_eq!(&batch[1], &camp_gemm_i4(m2, n2, k2, &a2, &b2));
+        prop_assert_eq!(&batch[2], &camp_gemm_i8(m2, n1, k1, &a3, &b1));
+        prop_assert_eq!(&batch[3], &camp_gemm_i4(m2, n2, k2, &a2, &b2));
+        // only the slice problem may pack B
+        let i4_pack = (n2.div_ceil(4) * 4 * k2.div_ceil(32) * 32) as u64;
+        prop_assert_eq!(stats.packed_b_bytes, i4_pack);
+
+        // session: two batches in flight, collected out of order
+        let mut session = eng.serve();
+        let t1 = session.submit(vec![
+            Request { m: m1, a: a1.clone(), weights: h1 },
+            Request { m: m2, a: a3.clone(), weights: h1 }, // shared handle
+        ]);
+        let t2 = session.submit(vec![Request { m: m2, a: a2.clone(), weights: h2 }]);
+        let (cs2, s2) = session.wait_with_stats(t2);
+        let (cs1, s1) = session.wait_with_stats(t1);
+        prop_assert_eq!(&cs1[0], &batch[0]);
+        prop_assert_eq!(&cs1[1], &batch[2]);
+        prop_assert_eq!(&cs2[0], &batch[1]);
+        prop_assert_eq!(s1.packed_b_bytes, 0);
+        prop_assert_eq!(s2.packed_b_bytes, 0);
     }
 
     #[test]
