@@ -1,8 +1,11 @@
 //! Criterion benches for the simulation stack itself: end-to-end
-//! simulated-GeMM latency per core model and cache trace throughput.
+//! simulated-GeMM latency per core model, the parallel driver across
+//! (jc, pc) block units and batch items (`--sim-threads N` /
+//! `CAMP_SIM_THREADS` picks the pool size), and cache trace throughput.
 
+use camp_bench::SimRunner;
 use camp_cache::{Hierarchy, HierarchyConfig};
-use camp_gemm::{simulate_gemm, GemmOptions, Method};
+use camp_gemm::{simulate_gemm, GemmOptions, GemmProblem, Method};
 use camp_pipeline::CoreConfig;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
@@ -23,6 +26,41 @@ fn bench_simulator(c: &mut Criterion) {
         b.iter(|| simulate_gemm(CoreConfig::a64fx(), Method::OpenblasF32, 64, 64, 128, &opts))
     });
     g.finish();
+
+    // the parallel driver: same work, units scheduled on the pool; the
+    // serial/N-thread results are bit-identical, so this measures pure
+    // wall-clock. A blocking override splits the problem into several
+    // lanes and depth blocks even at modest size.
+    let mut gp = c.benchmark_group("simulator_parallel");
+    gp.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
+    let popts =
+        GemmOptions { verify: false, blocking: Some((32, 32, 128)), ..GemmOptions::default() };
+    let serial = SimRunner::with_threads(1);
+    let pool = SimRunner::from_cli();
+    gp.bench_function("camp8_96x96x256_blocked_serial", |b| {
+        b.iter(|| serial.simulate(CoreConfig::a64fx(), Method::Camp8, 96, 96, 256, &popts))
+    });
+    gp.bench_function(&format!("camp8_96x96x256_blocked_{}thr", pool.threads()), |b| {
+        b.iter(|| pool.simulate(CoreConfig::a64fx(), Method::Camp8, 96, 96, 256, &popts))
+    });
+    // batch of attention-style small problems sharing one weight matrix:
+    // B-dedup plus cross-item parallelism
+    let (n, k) = (32, 64);
+    let w: Vec<i8> = (0..k * n).map(|i| (i % 15) as i8 - 7).collect();
+    let acts: Vec<Vec<i8>> =
+        (0..8).map(|h| (0..16 * k).map(|i| ((i + h) % 13) as i8 - 6).collect()).collect();
+    let problems: Vec<GemmProblem<'_>> =
+        acts.iter().map(|a| GemmProblem::new(16, n, k, a, &w)).collect();
+    let bopts = GemmOptions { verify: false, ..GemmOptions::default() };
+    gp.bench_function("batch8_shared_b_serial", |b| {
+        b.iter(|| serial.simulate_batch(CoreConfig::a64fx(), &problems, &bopts))
+    });
+    gp.bench_function(&format!("batch8_shared_b_{}thr", pool.threads()), |b| {
+        b.iter(|| pool.simulate_batch(CoreConfig::a64fx(), &problems, &bopts))
+    });
+    gp.finish();
 
     let mut g2 = c.benchmark_group("cache_trace");
     g2.sample_size(10)

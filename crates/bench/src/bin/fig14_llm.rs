@@ -2,13 +2,14 @@
 //! benchmarks (feed-forward and self-attention layers), vs OpenBLAS on
 //! the A64FX-like core.
 
-use camp_bench::{fig13_methods, header, run};
+use camp_bench::{fig13_methods, header, SimRunner};
 use camp_gemm::Method;
 use camp_models::LlmModel;
 use camp_pipeline::CoreConfig;
 
 fn main() {
     header("Fig. 14", "LLM FF/SA speedup + instruction-count ratio (vs OpenBLAS)");
+    let sim = SimRunner::from_cli();
     let methods = fig13_methods();
     print!("{:12} {:>5}", "model", "layer");
     for m in methods {
@@ -20,10 +21,10 @@ fn main() {
     for model in LlmModel::all() {
         let cfg = model.config();
         for (tag, shape) in [("FF", cfg.ff_shape()), ("SA", cfg.sa_shape())] {
-            let base = run(CoreConfig::a64fx(), Method::OpenblasF32, shape);
+            let base = sim.run(CoreConfig::a64fx(), Method::OpenblasF32, shape);
             print!("{:12} {:>5}", model.name(), tag);
             for &m in &methods {
-                let r = run(CoreConfig::a64fx(), m, shape);
+                let r = sim.run(CoreConfig::a64fx(), m, shape);
                 print!(
                     " {:>6.2}/{:<5.2}",
                     base.stats.cycles as f64 / r.stats.cycles as f64,

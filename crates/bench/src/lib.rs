@@ -15,7 +15,11 @@
 //!   A64FX-like core (Figs. 13/14/18, Table 1) or BLIS-int32 on the edge
 //!   core (Fig. 12), exactly as in the paper.
 
-use camp_gemm::{simulate_gemm, GemmOptions, GemmResult, Method};
+use camp_core::WorkerPool;
+use camp_gemm::{
+    simulate_gemm_batch_on, simulate_gemm_on, GemmOptions, GemmProblem, GemmResult, Method,
+    SerialScheduler, SimBatchResult, SimScheduler,
+};
 use camp_models::GemmShape;
 use camp_pipeline::CoreConfig;
 
@@ -24,15 +28,100 @@ pub fn mac_budget() -> u64 {
     std::env::var("CAMP_MAC_BUDGET").ok().and_then(|s| s.parse().ok()).unwrap_or(32_000_000)
 }
 
+/// Simulator scheduler threads for harness runs: `--sim-threads N` (or
+/// `--sim-threads=N`) on the command line, else the `CAMP_SIM_THREADS`
+/// environment variable, else 1 (serial). Results are bit-identical at
+/// any value; only wall-clock changes.
+pub fn sim_threads() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--sim-threads" {
+            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        } else if let Some(v) = a.strip_prefix("--sim-threads=").and_then(|v| v.parse().ok()) {
+            return v;
+        }
+    }
+    std::env::var("CAMP_SIM_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+}
+
+/// The harness-side simulated-GeMM runner: owns the worker pool the
+/// driver's independent (jc, pc) block units (and batch items) are
+/// scheduled on. `--sim-threads 1` (the default) runs serially with no
+/// pool; any thread count produces bit-identical results (the driver's
+/// decomposition, not the scheduler, defines them), so the flag only
+/// buys wall-clock on paper-fidelity sweeps.
+pub struct SimRunner {
+    threads: usize,
+    pool: Option<WorkerPool>,
+}
+
+impl SimRunner {
+    /// A runner honoring [`sim_threads`] (CLI flag / env / default 1).
+    pub fn from_cli() -> Self {
+        SimRunner::with_threads(sim_threads())
+    }
+
+    /// A runner with an explicit thread count (0 and 1 both mean
+    /// serial).
+    pub fn with_threads(threads: usize) -> Self {
+        let threads = threads.max(1);
+        SimRunner { threads, pool: (threads > 1).then(|| WorkerPool::new(threads)) }
+    }
+
+    /// Scheduler threads (1 = serial, no pool spawned).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The scheduler simulated work runs on.
+    pub fn scheduler(&self) -> &dyn SimScheduler {
+        match &self.pool {
+            Some(pool) => pool,
+            None => &SerialScheduler,
+        }
+    }
+
+    /// Simulate one blocked GeMM on this runner's scheduler. The
+    /// result is reframed to the single-core view
+    /// ([`GemmResult::into_single_core`]): harness binaries quote the
+    /// paper's single-core cycle counts, GOPS, busy and stall *rates*,
+    /// so their `stats.cycles` must be the serialized sum, not the
+    /// max-across-lanes parallel model (which stays available through
+    /// the `camp_gemm` API directly).
+    pub fn simulate(
+        &self,
+        core: CoreConfig,
+        method: Method,
+        m: usize,
+        n: usize,
+        k: usize,
+        opts: &GemmOptions,
+    ) -> GemmResult {
+        simulate_gemm_on(core, method, m, n, k, opts, self.scheduler()).into_single_core()
+    }
+
+    /// Simulate a batch of [`GemmProblem`]s on this runner's scheduler.
+    pub fn simulate_batch(
+        &self,
+        core: CoreConfig,
+        problems: &[GemmProblem<'_>],
+        opts: &GemmOptions,
+    ) -> SimBatchResult {
+        simulate_gemm_batch_on(core, problems, opts, self.scheduler())
+    }
+
+    /// [`SimRunner::simulate`] with harness options on `shape`.
+    pub fn run(&self, core: CoreConfig, method: Method, shape: GemmShape) -> GemmResult {
+        self.simulate(core, method, shape.m, shape.n, shape.k, &harness_options())
+    }
+}
+
 /// Default harness options (verification off — correctness is covered by
 /// the test suite; harness runs measure performance).
 pub fn harness_options() -> GemmOptions {
     GemmOptions { mac_budget: mac_budget(), verify: false, ..GemmOptions::default() }
-}
-
-/// Simulate one method on one shape with harness options.
-pub fn run(core: CoreConfig, method: Method, shape: GemmShape) -> GemmResult {
-    simulate_gemm(core, method, shape.m, shape.n, shape.k, &harness_options())
 }
 
 /// The six methods of Fig. 13/14, in legend order.
@@ -57,5 +146,6 @@ pub fn header(id: &str, what: &str) {
     println!("==============================================================");
     println!("{id}: {what}");
     println!("mac_budget={} (set CAMP_MAC_BUDGET to change)", mac_budget());
+    println!("sim_threads={} (pass --sim-threads N; results are identical)", sim_threads());
     println!("==============================================================");
 }

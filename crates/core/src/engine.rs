@@ -565,8 +565,11 @@ pub struct CampEngine {
     shared: PackPool,
     /// Pre-packed weights (serving steady state packs no B at all).
     weights: WeightRegistry,
-    /// Persistent workers; `None` for a serial engine.
-    workers: Option<WorkerPool>,
+    /// Persistent workers; `None` for a serial engine. Behind an `Arc`
+    /// so the pool is sharable outside the engine ([`CampEngine::worker_pool`])
+    /// — the simulated driver schedules its block units on the same
+    /// threads the host path computes on.
+    workers: Option<std::sync::Arc<WorkerPool>>,
 }
 
 impl Default for CampEngine {
@@ -594,7 +597,7 @@ impl CampEngine {
             threads
         }
         .max(1);
-        let workers = (threads > 1).then(|| WorkerPool::new(threads));
+        let workers = (threads > 1).then(|| std::sync::Arc::new(WorkerPool::new(threads)));
         CampEngine {
             threads,
             pools: Vec::new(),
@@ -607,6 +610,17 @@ impl CampEngine {
     /// Configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// A sharable handle to the engine's persistent worker pool, or
+    /// `None` for a serial engine. The pool implements
+    /// [`camp_gemm::SimScheduler`], so the *simulated* driver
+    /// (`simulate_gemm_on` / `simulate_gemm_batch_on`) can schedule its
+    /// independent (jc, pc) block units on the same threads that serve
+    /// the host-speed path — one thread budget for both halves, which
+    /// is how the figure harnesses run `--sim-threads N` sweeps.
+    pub fn worker_pool(&self) -> Option<std::sync::Arc<WorkerPool>> {
+        self.workers.clone()
     }
 
     /// Total pack-buffer growths across the per-worker and shared
@@ -622,6 +636,18 @@ impl CampEngine {
     /// Pack the row-major k×n weight matrix `b` once for `dtype`'s
     /// kernel and keep the panel alive for the engine's lifetime. Every
     /// later call against the returned handle performs zero B-packing.
+    ///
+    /// ```
+    /// use camp_core::{CampEngine, DType};
+    ///
+    /// let (n, k) = (8, 32);
+    /// let w: Vec<i8> = (0..k * n).map(|i| (i % 15) as i8 - 7).collect();
+    ///
+    /// let mut engine = CampEngine::new();
+    /// let weights = engine.register_weights(n, k, &w, DType::I8);
+    /// assert_eq!(engine.registered_weights(), 1);
+    /// assert_eq!(engine.weight_meta(weights).k, k);
+    /// ```
     ///
     /// # Panics
     /// Panics if `b.len() != k * n`.
@@ -657,6 +683,21 @@ impl CampEngine {
     /// panel built at registration time is consumed directly, serially
     /// or by every pool worker.
     ///
+    /// ```
+    /// use camp_core::{CampEngine, DType};
+    /// use camp_gemm::gemm_i32_ref;
+    ///
+    /// let (m, n, k) = (4, 8, 32);
+    /// let w: Vec<i8> = (0..k * n).map(|i| (i % 15) as i8 - 7).collect();
+    /// let a: Vec<i8> = (0..m * k).map(|i| (i % 13) as i8 - 6).collect();
+    ///
+    /// let mut engine = CampEngine::new();
+    /// let weights = engine.register_weights(n, k, &w, DType::I8);
+    /// let (c, stats) = engine.gemm_with_handle_with_stats(m, &a, weights);
+    /// assert_eq!(c, gemm_i32_ref(m, n, k, &a, &w));
+    /// assert_eq!(stats.packed_b_bytes, 0); // steady state packs no B
+    /// ```
+    ///
     /// # Panics
     /// Panics if `a.len() != m * k` for the registered k.
     pub fn gemm_with_handle(&mut self, m: usize, a: &[i8], h: WeightHandle) -> Vec<i32> {
@@ -686,7 +727,7 @@ impl CampEngine {
             &[],
             &mut c,
             &mut self.pools,
-            self.workers.as_ref(),
+            self.workers.as_deref(),
             self.threads,
             k_step,
             issue,
@@ -851,7 +892,7 @@ impl CampEngine {
             b,
             &mut c,
             &mut self.pools,
-            self.workers.as_ref(),
+            self.workers.as_deref(),
             self.threads,
             k_step,
             issue,
@@ -931,7 +972,7 @@ impl CampEngine {
 
         let shared = &self.shared;
         let weights = &self.weights;
-        let wp = self.workers.as_ref();
+        let wp = self.workers.as_deref();
         let threads = self.threads;
         let pools = &mut self.pools;
         let panel = |src: &PanelSrc| -> &[i8] {
@@ -979,7 +1020,7 @@ impl CampEngine {
             .map(|r| if r.is_degenerate() { vec![0i32; r.m * r.n] } else { Vec::new() })
             .collect();
         let weights = &self.weights;
-        let wp = self.workers.as_ref();
+        let wp = self.workers.as_deref();
         let threads = self.threads;
         let pools = &mut self.pools;
 

@@ -13,6 +13,13 @@
 //! Panics inside a job do not kill the pool: the worker catches the
 //! unwind, the batch completes, and `run` re-raises a panic on the
 //! submitting thread — so a poisoned request cannot wedge the engine.
+//!
+//! The pool is also the execution substrate of the *simulated* driver:
+//! it implements [`camp_gemm::SimScheduler`], so `simulate_gemm_on` /
+//! `simulate_gemm_batch_on` can schedule their independent (jc, pc)
+//! block units on the same threads (see the impl below for an
+//! example), and [`crate::CampEngine::worker_pool`] shares an engine's
+//! pool for exactly that purpose — one thread budget for both halves.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -142,6 +149,30 @@ impl WorkerPool {
         }
         let panics = latch.wait();
         assert!(panics == 0, "{panics} engine worker job(s) panicked");
+    }
+}
+
+/// The pool doubles as the scheduler of `camp-gemm`'s parallel
+/// simulated driver: [`camp_gemm::SimScheduler::run_jobs`] is exactly
+/// [`WorkerPool::run`] (same borrowed-job type, same
+/// finished-before-return guarantee), so one pool can serve host-speed
+/// GeMMs and simulated (jc, pc) block units interchangeably — share an
+/// engine's pool via [`crate::CampEngine::worker_pool`], or build a
+/// standalone one:
+///
+/// ```
+/// use camp_core::WorkerPool;
+/// use camp_gemm::{simulate_gemm_on, GemmOptions, Method, SimScheduler};
+/// use camp_pipeline::CoreConfig;
+///
+/// let pool = WorkerPool::new(2);
+/// let opts = GemmOptions::default();
+/// let r = simulate_gemm_on(CoreConfig::a64fx(), Method::Camp8, 16, 16, 32, &opts, &pool);
+/// assert!(r.correct);
+/// ```
+impl camp_gemm::SimScheduler for WorkerPool {
+    fn run_jobs<'env>(&self, jobs: Vec<camp_gemm::SimJob<'env>>) {
+        self.run(jobs);
     }
 }
 

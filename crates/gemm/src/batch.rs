@@ -14,6 +14,28 @@
 //! the layout of a *fully pre-packed* B operand (every (jc, pc) block
 //! of the blocked loops, concatenated in visit order) that lets one
 //! packed panel serve any number of batch items and workers.
+//!
+//! The same descriptors drive both execution substrates: the host
+//! engine (`CampEngine::gemm_batch` in `camp-core`) and the simulated
+//! driver ([`crate::driver::simulate_gemm_batch`]), which applies the
+//! identical B-dedup rule to the *simulated* packing work:
+//!
+//! ```
+//! use camp_gemm::{simulate_gemm_batch, GemmOptions, GemmProblem};
+//! use camp_pipeline::CoreConfig;
+//!
+//! let a: Vec<i8> = (0..4 * 8).map(|i| (i % 13) as i8 - 6).collect();
+//! let w: Vec<i8> = (0..8 * 4).map(|i| (i % 15) as i8 - 7).collect();
+//! let problems = [
+//!     GemmProblem::new(4, 4, 8, &a, &w),
+//!     GemmProblem::new(4, 4, 8, &a, &w), // same weights: B packed once
+//! ];
+//! assert_eq!(problems[0].b_key(), problems[1].b_key());
+//! let batch = simulate_gemm_batch(CoreConfig::a64fx(), &problems, &GemmOptions::default());
+//! assert!(batch.results.iter().all(|r| r.correct));
+//! // the dedup consumer simulated fewer instructions: no B-pack program
+//! assert!(batch.results[1].stats.insts < batch.results[0].stats.insts);
+//! ```
 
 use crate::loops::BlockPlan;
 use crate::weights::{DType, WeightHandle};

@@ -605,6 +605,16 @@ impl Method {
         ]
     }
 
+    /// The camp method a host-engine [`crate::weights::DType`] runs
+    /// under — the mapping `CampEngine::gemm_batch` applies per problem,
+    /// mirrored by the simulated batch driver.
+    pub fn for_dtype(dtype: crate::weights::DType) -> Method {
+        match dtype {
+            crate::weights::DType::I8 => Method::Camp8,
+            crate::weights::DType::I4 => Method::Camp4,
+        }
+    }
+
     /// Resolve to the kernel descriptor the driver consumes.
     pub fn dispatcher(self) -> &'static dyn MicroKernel {
         match self {

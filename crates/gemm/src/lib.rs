@@ -59,7 +59,10 @@ pub mod workspace;
 
 pub use batch::GemmProblem;
 pub use dispatch::{AccKind, ElemKind, KernelGeometry, MicroKernel};
-pub use driver::{simulate_gemm, GemmOptions, GemmResult, Method};
+pub use driver::{
+    simulate_gemm, simulate_gemm_batch, simulate_gemm_batch_on, simulate_gemm_on, CMatrix,
+    GemmOptions, GemmResult, Method, SerialScheduler, SimBatchResult, SimJob, SimScheduler,
+};
 pub use reference::{gemm_f32_ref, gemm_i32_ref, gemm_i8_wrapping_ref, SplitMix64};
 pub use weights::{DType, WeightHandle, WeightMeta, WeightRegistry};
 pub use workspace::{PackPool, PanelId, PersistentId};

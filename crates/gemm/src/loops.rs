@@ -125,6 +125,20 @@ pub fn for_each_a_block(plan: &BlockPlan, mut f: impl FnMut(usize, usize, usize,
     }
 }
 
+/// Visit every `(ic, mcb)` row strip of the plan, in ascending-`ic`
+/// order — the macro loop [`run_blocked`] runs inside each (jc, pc)
+/// block. The parallel simulated driver replays exactly this traversal
+/// per independent block unit, so serial and parallel runs visit
+/// identical row strips in identical order (the bit-identity contract).
+pub fn for_each_row_strip(plan: &BlockPlan, mut f: impl FnMut(usize, usize)) {
+    let mut ic = 0;
+    while ic < plan.mp {
+        let mcb = plan.mc.min(plan.mp - ic);
+        f(ic, mcb);
+        ic += mcb;
+    }
+}
+
 /// Drive the GotoBLAS loops 3–5 over `sink` (Fig. 3): B is packed once
 /// per (jc, pc) block and reused for every row block; A is packed once
 /// per (ic, pc) block. A degenerate (zero-dimension) plan visits no
@@ -135,13 +149,10 @@ pub fn run_blocked(plan: &BlockPlan, sink: &mut dyn BlockSink) {
     }
     for_each_b_block(plan, |jc, ncb, pc, kcb| {
         sink.pack_b(jc, ncb, pc, kcb);
-        let mut ic = 0;
-        while ic < plan.mp {
-            let mcb = plan.mc.min(plan.mp - ic);
+        for_each_row_strip(plan, |ic, mcb| {
             sink.pack_a(ic, mcb, pc, kcb);
             sink.macro_kernel(ic, mcb, jc, ncb, pc, kcb);
-            ic += mcb;
-        }
+        });
     });
 }
 
@@ -224,6 +235,19 @@ mod tests {
         run_blocked(&plan, &mut r);
         let strips = 20usize.div_ceil(8);
         assert_eq!(r.packs_a.len(), blocks.len() * strips);
+    }
+
+    #[test]
+    fn row_strips_tile_the_padded_rows_in_order() {
+        let plan = BlockPlan::new(13, 8, 8, 4, 4, 1, (8, 8, 8));
+        let mut covered = 0usize;
+        let mut prev_end = 0usize;
+        for_each_row_strip(&plan, |ic, mcb| {
+            assert_eq!(ic, prev_end, "strips must be contiguous and ascending");
+            prev_end = ic + mcb;
+            covered += mcb;
+        });
+        assert_eq!(covered, plan.mp);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! is disabled for this experiment so the miss rate reflects pure access
 //! locality, which is what Fig. 1 contrasts.
 
+use crate::loops::{for_each_b_block, for_each_row_strip, BlockPlan};
 use camp_cache::{Hierarchy, HierarchyConfig};
 
 /// Outcome of a trace replay.
@@ -95,6 +96,12 @@ impl Default for BlockedTraceParams {
 /// Replay the GotoBLAS/ulmBLAS blocked GeMM reference stream: B-panel
 /// packing, A-panel packing and the packed streaming micro-kernel,
 /// stopping after `budget` accesses.
+///
+/// The (jc, pc) block traversal and the row-strip loop come from the
+/// shared skeleton ([`for_each_b_block`] / [`for_each_row_strip`] over
+/// an element-granular [`BlockPlan`]), so this trace replays exactly
+/// the stream whose blocks the parallel simulated driver partitions
+/// into units.
 pub fn blocked_trace(
     cfg: HierarchyConfig,
     m: usize,
@@ -113,74 +120,69 @@ pub fn blocked_trace(
     let mut count = 0u64;
     let e = elem as u32;
 
-    let mut jc = 0;
-    while jc < n {
-        let ncb = p.nc.min(n - jc);
-        let mut pc = 0;
-        while pc < k {
-            let kcb = p.kc.min(k - pc);
-            // pack B panel: read B (row-major slice), write packed
-            for jj in 0..ncb {
+    // element-granular plan: tile 1×1, k-unit 1 — padding-free, so the
+    // traversal visits exactly the raw (jc, pc) blocks
+    let plan = BlockPlan::new(m, n, k, 1, 1, 1, (p.mc, p.nc, p.kc));
+    let mut truncated = false;
+    for_each_b_block(&plan, |jc, ncb, pc, kcb| {
+        if truncated {
+            return;
+        }
+        // pack B panel: read B (row-major slice), write packed
+        for jj in 0..ncb {
+            for l in 0..kcb {
+                h.access(b0 + (((pc + l) * n + jc + jj) * elem) as u64, e, false, 10);
+                h.access(bp0 + ((jj * kcb + l) * elem) as u64, e, true, 11);
+                count += 2;
+            }
+        }
+        for_each_row_strip(&plan, |ic, mcb| {
+            if truncated {
+                return;
+            }
+            // pack A block
+            for ii in 0..mcb {
                 for l in 0..kcb {
-                    h.access(b0 + (((pc + l) * n + jc + jj) * elem) as u64, e, false, 10);
-                    h.access(bp0 + ((jj * kcb + l) * elem) as u64, e, true, 11);
+                    h.access(a0 + (((ic + ii) * k + pc + l) * elem) as u64, e, false, 12);
+                    h.access(ap0 + ((ii * kcb + l) * elem) as u64, e, true, 13);
                     count += 2;
                 }
             }
-            let mut ic = 0;
-            while ic < m {
-                let mcb = p.mc.min(m - ic);
-                // pack A block
-                for ii in 0..mcb {
+            // macro kernel: stream packed panels
+            let mut j = 0;
+            'strip: while j < ncb {
+                let mut i = 0;
+                while i < mcb {
                     for l in 0..kcb {
-                        h.access(a0 + (((ic + ii) * k + pc + l) * elem) as u64, e, false, 12);
-                        h.access(ap0 + ((ii * kcb + l) * elem) as u64, e, true, 13);
-                        count += 2;
-                    }
-                }
-                // macro kernel: stream packed panels
-                let mut j = 0;
-                while j < ncb {
-                    let mut i = 0;
-                    while i < mcb {
-                        for l in 0..kcb {
-                            for r in 0..p.mr.min(mcb - i) {
-                                h.access(ap0 + (((i + r) * kcb + l) * elem) as u64, e, false, 14);
-                                count += 1;
-                            }
-                            for cidx in 0..p.nr.min(ncb - j) {
-                                h.access(
-                                    bp0 + (((j + cidx) * kcb + l) * elem) as u64,
-                                    e,
-                                    false,
-                                    15,
-                                );
-                                count += 1;
-                            }
-                        }
-                        // C tile read-modify-write
                         for r in 0..p.mr.min(mcb - i) {
-                            for cidx in 0..p.nr.min(ncb - j) {
-                                let addr = c0 + (((ic + i + r) * n + jc + j + cidx) * elem) as u64;
-                                h.access(addr, e, false, 16);
-                                h.access(addr, e, true, 17);
-                                count += 2;
-                            }
+                            h.access(ap0 + (((i + r) * kcb + l) * elem) as u64, e, false, 14);
+                            count += 1;
                         }
-                        if count >= budget {
-                            return result(&h, true);
+                        for cidx in 0..p.nr.min(ncb - j) {
+                            h.access(bp0 + (((j + cidx) * kcb + l) * elem) as u64, e, false, 15);
+                            count += 1;
                         }
-                        i += p.mr;
                     }
-                    j += p.nr;
+                    // C tile read-modify-write
+                    for r in 0..p.mr.min(mcb - i) {
+                        for cidx in 0..p.nr.min(ncb - j) {
+                            let addr = c0 + (((ic + i + r) * n + jc + j + cidx) * elem) as u64;
+                            h.access(addr, e, false, 16);
+                            h.access(addr, e, true, 17);
+                            count += 2;
+                        }
+                    }
+                    if count >= budget {
+                        truncated = true;
+                        break 'strip;
+                    }
+                    i += p.mr;
                 }
-                ic += mcb;
+                j += p.nr;
             }
-            pc += kcb;
-        }
-        jc += ncb;
-    }
-    result(&h, false)
+        });
+    });
+    result(&h, truncated)
 }
 
 #[cfg(test)]

@@ -19,7 +19,27 @@
 //! and [`host_block_plan`] pins the blocking factors. The engine, the
 //! registry and the serving session all pack through these functions, so
 //! a pre-packed panel is bit-identical to what per-block packing would
-//! have produced and results cannot diverge.
+//! have produced and results cannot diverge:
+//!
+//! ```
+//! use camp_gemm::batch::packed_b_bytes;
+//! use camp_gemm::weights::{host_block_plan, prepack_b, DType, WeightRegistry};
+//!
+//! let (n, k) = (8, 40);
+//! let w: Vec<i8> = (0..k * n).map(|i| (i % 15) as i8 - 7).collect();
+//!
+//! let mut registry = WeightRegistry::new();
+//! let handle = registry.register(n, k, &w, DType::I8);
+//!
+//! // the registered panel is exactly a standalone prepack of the operand
+//! let plan = host_block_plan(1, n, k, DType::I8.k_step());
+//! let mut expect = vec![0i8; packed_b_bytes(&plan)];
+//! prepack_b(&mut expect, &w, n, k, &plan);
+//! assert_eq!(registry.panel(handle), &expect[..]);
+//! ```
+//!
+//! (`CampEngine::register_weights` / `gemm_with_handle` in `camp-core`
+//! wrap this registry behind the engine API — see their doctests.)
 
 use crate::batch::{packed_a_offset, packed_b_bytes, packed_b_offset};
 use crate::loops::{for_each_a_block, for_each_b_block, BlockPlan};

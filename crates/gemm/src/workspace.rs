@@ -2,6 +2,24 @@
 //! matrices in *simulated* machine memory ([`Workspace`]), and a
 //! reusable *host-side* pack-buffer pool ([`PackPool`]) for the
 //! host-speed engine's packed A/B panels.
+//!
+//! The pool's contract is that the steady state allocates nothing:
+//! buffers grow to their high-water mark once and are recycled from
+//! then on, which [`PackPool::allocations`] makes observable:
+//!
+//! ```
+//! use camp_gemm::PackPool;
+//!
+//! let mut pool = PackPool::new();
+//! pool.a_buffer(1024).fill(1);
+//! pool.b_buffer(4096).fill(2);
+//! let warm = pool.allocations();
+//! for _ in 0..100 {
+//!     pool.a_buffer(1024); // same-size requests reuse the buffers
+//!     pool.b_buffer(4096);
+//! }
+//! assert_eq!(pool.allocations(), warm, "steady state is allocation-free");
+//! ```
 
 /// Address-space planner for one simulated GeMM.
 #[derive(Debug, Clone)]

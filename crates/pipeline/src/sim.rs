@@ -72,6 +72,15 @@ enum StallCause {
 /// packing programs and macro-kernels back to back, the way the paper's
 /// blocked GeMM executes; statistics accumulate into [`stats`](Simulator::stats)
 /// (cycle spans add up).
+///
+/// A `Simulator` owns all of its state and shares nothing, which is the
+/// foundation of the parallel blocked driver: each independent
+/// (jc, pc) block unit instantiates its own simulator (own memory, own
+/// cold caches), runs deterministically on whatever thread a scheduler
+/// picks, and its [`SimStats`] are merged afterwards —
+/// [`SimStats::merge`] chains sequential phases, whereas
+/// [`SimStats::merge_parallel`] folds independent lanes (cycles max,
+/// work summed). See `docs/SIMULATOR.md` for the merge contract.
 pub struct Simulator {
     cfg: CoreConfig,
     machine: Machine,

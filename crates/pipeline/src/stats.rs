@@ -6,7 +6,28 @@ use camp_isa::inst::InstClass;
 
 /// Aggregated statistics of a simulated run (or several runs — the
 /// blocked-GeMM driver accumulates across program invocations).
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Two merge operators compose stats blocks (see `docs/SIMULATOR.md`
+/// for the full contract):
+///
+/// * [`SimStats::merge`] — **sequential** composition: everything adds,
+///   including `cycles`. Used when one machine runs two program phases
+///   back to back (packing then macro-kernels), and within one parallel
+///   *lane* of the blocked driver (the depth blocks of a column strip
+///   are serialized by the C read-modify-write dependency).
+/// * [`SimStats::merge_parallel`] — **parallel** composition: `cycles`
+///   is the max across lanes (independent column strips, or independent
+///   batch items, finish together at the slowest lane), every other
+///   field — instruction counts, stalls, FU busy cycles, cache
+///   accesses/misses, memory traffic — is *work* and still adds, so
+///   energy models that charge per event are unaffected by how the work
+///   was scheduled.
+///
+/// Both operators are associative, and commutative on the summed
+/// fields (`merge_parallel` is commutative outright), so a parallel
+/// driver may merge per-block stats in any grouping and report the same
+/// totals as a serial run over the same blocks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Total cycles (max completion time across all instructions).
     pub cycles: u64,
@@ -123,10 +144,29 @@ impl SimStats {
         }
     }
 
-    /// Fold another stats block into this one (cycles add — used when the
-    /// driver runs packing programs and macro-kernels back to back).
+    /// Fold another stats block into this one **sequentially**: every
+    /// field adds, cycles included — used when the driver runs packing
+    /// programs and macro-kernels back to back on one machine, and to
+    /// chain the depth blocks of one parallel lane (serialized by the C
+    /// read-modify-write dependency).
     pub fn merge(&mut self, other: &SimStats) {
         self.cycles += other.cycles;
+        self.work_merge(other);
+    }
+
+    /// Fold another stats block into this one as a **parallel lane**:
+    /// `cycles` becomes the max across lanes (independent lanes finish
+    /// together at the slowest one), every other field still adds — the
+    /// work performed does not change with the schedule. Associative and
+    /// commutative, so lanes may be merged in any grouping.
+    pub fn merge_parallel(&mut self, other: &SimStats) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.work_merge(other);
+    }
+
+    /// The shared work-summing half of both merge operators: everything
+    /// except `cycles`.
+    fn work_merge(&mut self, other: &SimStats) {
         self.insts += other.insts;
         for i in 0..self.class_counts.len() {
             self.class_counts[i] += other.class_counts[i];
@@ -218,5 +258,108 @@ mod tests {
         assert_eq!(a.cycles, 30);
         assert_eq!(a.insts, 12);
         assert_eq!(a.stall_read, 3);
+    }
+
+    #[test]
+    fn merge_parallel_maxes_cycles_and_sums_work() {
+        let mut a = SimStats { cycles: 10, insts: 5, mem_reads: 2, ..SimStats::default() };
+        let b =
+            SimStats { cycles: 20, insts: 7, stall_read: 3, mem_reads: 4, ..SimStats::default() };
+        a.merge_parallel(&b);
+        assert_eq!(a.cycles, 20, "parallel lanes finish at the slowest");
+        assert_eq!(a.insts, 12, "work still sums");
+        assert_eq!(a.stall_read, 3);
+        assert_eq!(a.mem_reads, 6);
+    }
+
+    /// A stats block with every field non-trivially populated, varied by
+    /// `seed` so merge-law tests cannot pass by symmetry.
+    fn dense(seed: u64) -> SimStats {
+        let mut s = SimStats {
+            cycles: 100 + seed * 37,
+            insts: 50 + seed * 11,
+            macs: seed * 1000 + 1,
+            stall_fu: seed + 2,
+            stall_read: seed * 2 + 3,
+            stall_write: seed * 5 + 1,
+            mispredicts: seed + 1,
+            camp_issues_i8: seed * 13,
+            camp_issues_i4: seed * 17,
+            l1d: CacheStats {
+                accesses: seed * 100 + 9,
+                misses: seed * 10 + 1,
+                ..CacheStats::default()
+            },
+            l2: CacheStats {
+                accesses: seed * 60 + 4,
+                misses: seed * 6 + 2,
+                ..CacheStats::default()
+            },
+            mem_reads: seed * 4,
+            mem_writes: seed * 3,
+            ..SimStats::default()
+        };
+        for (i, c) in s.class_counts.iter_mut().enumerate() {
+            *c = seed * 3 + i as u64;
+        }
+        for (i, f) in s.fu_busy.iter_mut().enumerate() {
+            *f = seed * 7 + i as u64;
+        }
+        s
+    }
+
+    #[test]
+    fn both_merges_are_associative() {
+        let (a, b, c) = (dense(1), dense(5), dense(9));
+        for op in [SimStats::merge, SimStats::merge_parallel] {
+            let mut left = a;
+            op(&mut left, &b);
+            op(&mut left, &c);
+            let mut bc = b;
+            op(&mut bc, &c);
+            let mut right = a;
+            op(&mut right, &bc);
+            assert_eq!(left, right, "(a·b)·c must equal a·(b·c)");
+        }
+    }
+
+    #[test]
+    fn both_merges_are_commutative() {
+        // merge is commutative outright (cycles add); merge_parallel is
+        // commutative because max commutes — so a parallel driver may
+        // collect lane results in completion order.
+        let (a, b) = (dense(2), dense(7));
+        for op in [SimStats::merge, SimStats::merge_parallel] {
+            let mut ab = a;
+            op(&mut ab, &b);
+            let mut ba = b;
+            op(&mut ba, &a);
+            assert_eq!(ab, ba, "a·b must equal b·a");
+        }
+    }
+
+    #[test]
+    fn lane_grouping_does_not_change_the_parallel_total() {
+        // four lanes merged as ((1·2)·(3·4)) and (((1·2)·3)·4) — the
+        // grouping a work-stealing scheduler might produce vs a serial
+        // fold — must agree field for field
+        let lanes = [dense(1), dense(2), dense(3), dense(4)];
+        let mut pairwise = {
+            let mut left = lanes[0];
+            left.merge_parallel(&lanes[1]);
+            let mut right = lanes[2];
+            right.merge_parallel(&lanes[3]);
+            left.merge_parallel(&right);
+            left
+        };
+        let mut folded = lanes[0];
+        for l in &lanes[1..] {
+            folded.merge_parallel(l);
+        }
+        assert_eq!(pairwise, folded);
+        // and the max-cycles model is what it claims
+        pairwise.cycles = 0;
+        folded.cycles = 0;
+        assert_eq!(pairwise, folded);
     }
 }

@@ -1,0 +1,185 @@
+//! Markdown link checker for the repo's prose docs (`README.md`,
+//! `ROADMAP.md` and everything under `docs/`): every relative link must
+//! point at a file that exists, and every `#anchor` into a Markdown
+//! file must match one of its headings (GitHub slug rules). CI runs
+//! this as part of the normal test suite, so a doc rename that strands
+//! a link fails the build instead of rotting silently.
+//!
+//! `rustdoc` intra-doc links are covered separately by the CI
+//! `cargo doc -D warnings` step; this test owns the `.md` layer.
+
+use std::collections::BTreeSet;
+use std::path::{Component, Path, PathBuf};
+
+/// The prose files under link check: the repo front door plus the
+/// architecture docs.
+fn files_to_check(root: &Path) -> Vec<PathBuf> {
+    let mut files = vec![root.join("README.md"), root.join("ROADMAP.md")];
+    let docs = root.join("docs");
+    if let Ok(entries) = std::fs::read_dir(&docs) {
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.extension().is_some_and(|x| x == "md") {
+                files.push(p);
+            }
+        }
+    }
+    files
+}
+
+/// Extract `[text](target)` link targets, skipping fenced code blocks
+/// and inline code spans (a `](` inside backticks is not a link).
+fn markdown_links(text: &str) -> Vec<String> {
+    let mut links = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        // strip inline code spans before scanning for links
+        let mut clean = String::new();
+        let mut in_code = false;
+        for ch in line.chars() {
+            if ch == '`' {
+                in_code = !in_code;
+            } else if !in_code {
+                clean.push(ch);
+            }
+        }
+        let bytes = clean.as_bytes();
+        let mut i = 0;
+        while i + 1 < bytes.len() {
+            if bytes[i] == b']' && bytes[i + 1] == b'(' {
+                let start = i + 2;
+                if let Some(rel_end) = clean[start..].find(')') {
+                    links.push(clean[start..start + rel_end].to_string());
+                    i = start + rel_end;
+                }
+            }
+            i += 1;
+        }
+    }
+    links
+}
+
+/// GitHub-style anchor slugs of every heading in a Markdown file.
+fn heading_anchors(text: &str) -> BTreeSet<String> {
+    let mut anchors = BTreeSet::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence || !line.starts_with('#') {
+            continue;
+        }
+        let title = line.trim_start_matches('#').trim();
+        let mut slug = String::new();
+        for ch in title.chars() {
+            // GitHub keeps alphanumerics AND underscores (snake_case
+            // API names slug verbatim), maps spaces/hyphens to '-',
+            // and drops all other punctuation
+            if ch.is_alphanumeric() || ch == '_' {
+                slug.extend(ch.to_lowercase());
+            } else if ch == ' ' || ch == '-' {
+                slug.push('-');
+            }
+        }
+        anchors.insert(slug);
+    }
+    anchors
+}
+
+/// Resolve `relative` against `base_dir` without touching the
+/// filesystem (so `../` links are normalized before the existence
+/// check, and escaping the repo is detectable).
+fn resolve(base_dir: &Path, relative: &str) -> PathBuf {
+    let mut out = base_dir.to_path_buf();
+    for comp in Path::new(relative).components() {
+        match comp {
+            Component::ParentDir => {
+                out.pop();
+            }
+            Component::CurDir => {}
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[test]
+fn relative_markdown_links_resolve() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut errors = Vec::new();
+    let files = files_to_check(&root);
+    assert!(files.len() >= 2, "link checker found no docs to check");
+    for file in &files {
+        let text = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", file.display()));
+        let own_anchors = heading_anchors(&text);
+        let dir = file.parent().expect("doc files live in a directory");
+        for link in markdown_links(&text) {
+            // external / protocol links are out of scope
+            if link.starts_with("http://")
+                || link.starts_with("https://")
+                || link.starts_with("mailto:")
+            {
+                continue;
+            }
+            let (path_part, anchor) = match link.split_once('#') {
+                Some((p, a)) => (p, Some(a.to_string())),
+                None => (link.as_str(), None),
+            };
+            // same-file anchor
+            if path_part.is_empty() {
+                let a = anchor.expect("split_once('#') produced an anchor");
+                if !own_anchors.contains(&a) {
+                    errors.push(format!(
+                        "{}: broken same-file anchor '#{a}' (have: {own_anchors:?})",
+                        file.display()
+                    ));
+                }
+                continue;
+            }
+            let target = resolve(dir, path_part);
+            if !target.exists() {
+                errors.push(format!(
+                    "{}: broken link '{link}' ({} does not exist)",
+                    file.display(),
+                    target.display()
+                ));
+                continue;
+            }
+            if let Some(a) = anchor {
+                if target.extension().is_some_and(|x| x == "md") {
+                    let ttext = std::fs::read_to_string(&target)
+                        .unwrap_or_else(|e| panic!("cannot read {}: {e}", target.display()));
+                    if !heading_anchors(&ttext).contains(&a) {
+                        errors.push(format!(
+                            "{}: link '{link}' points at a missing heading '#{a}' in {}",
+                            file.display(),
+                            target.display()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(errors.is_empty(), "broken doc links:\n{}", errors.join("\n"));
+}
+
+#[test]
+fn the_architecture_docs_exist_and_are_linked_from_the_readme() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    for doc in ["docs/ARCHITECTURE.md", "docs/SIMULATOR.md"] {
+        assert!(root.join(doc).exists(), "{doc} is missing");
+    }
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("README exists");
+    assert!(readme.contains("docs/ARCHITECTURE.md"), "README must link the architecture guide");
+    assert!(readme.contains("docs/SIMULATOR.md"), "README must link the simulator contract");
+}

@@ -1,0 +1,143 @@
+//! Cross-crate tests of the parallel simulated driver: scheduling the
+//! driver's independent (jc, pc) block units (and batch items) on
+//! `camp-core`'s persistent [`WorkerPool`] must be **bit-invisible** —
+//! identical output bits and identical merged [`SimStats`] at any
+//! thread count, across every §5.3 dispatch method, on ragged shapes.
+//!
+//! This is the acceptance contract of the parallel decomposition (see
+//! `docs/SIMULATOR.md`): the unit grid and the merge order — not the
+//! scheduler — define the result.
+
+use camp::core::WorkerPool;
+use camp::gemm::{
+    simulate_gemm_batch, simulate_gemm_batch_on, simulate_gemm_on, DType, GemmOptions, GemmProblem,
+    Method, SerialScheduler,
+};
+use camp::pipeline::{CoreConfig, SimStats};
+
+/// Blocking that splits modest problems into several column-strip
+/// lanes and several depth blocks for every kernel geometry.
+fn multi_unit_opts() -> GemmOptions {
+    GemmOptions { blocking: Some((16, 32, 128)), ..GemmOptions::default() }
+}
+
+#[test]
+fn one_sim_thread_is_bit_identical_to_many_across_all_methods() {
+    let pool = WorkerPool::new(4);
+    // ragged on purpose: no dimension is a multiple of any kernel's
+    // mr/nr/k-step, so padding and edge blocks are all exercised
+    let (m, n, k) = (20, 70, 260);
+    for method in Method::all() {
+        let opts = multi_unit_opts();
+        let serial =
+            simulate_gemm_on(CoreConfig::a64fx(), method, m, n, k, &opts, &SerialScheduler);
+        assert!(serial.correct, "{} wrong serially", method.name());
+        assert!(serial.lanes > 1, "{} must decompose into lanes", method.name());
+        let parallel = simulate_gemm_on(CoreConfig::a64fx(), method, m, n, k, &opts, &pool);
+        assert!(parallel.correct, "{} wrong on the pool", method.name());
+        assert_eq!(serial.c, parallel.c, "{} output bits diverged", method.name());
+        assert_eq!(serial.stats, parallel.stats, "{} stats diverged", method.name());
+        assert_eq!(serial.serial_cycles, parallel.serial_cycles, "{}", method.name());
+        assert_eq!(serial.lanes, parallel.lanes, "{}", method.name());
+        assert_eq!(serial.gops, parallel.gops, "{}", method.name());
+    }
+}
+
+#[test]
+fn thread_count_is_invisible_on_a_second_ragged_shape() {
+    // a second shape and a wider pool, for the two reference-extreme
+    // kernels (integer camp and the f32 baseline, whose C merge uses
+    // floating-point accumulation)
+    let pool = WorkerPool::new(8);
+    for method in [Method::Camp8, Method::OpenblasF32] {
+        let opts = multi_unit_opts();
+        let serial =
+            simulate_gemm_on(CoreConfig::a64fx(), method, 13, 37, 141, &opts, &SerialScheduler);
+        let parallel = simulate_gemm_on(CoreConfig::a64fx(), method, 13, 37, 141, &opts, &pool);
+        assert!(serial.correct && parallel.correct, "{}", method.name());
+        assert_eq!(serial.c, parallel.c, "{}", method.name());
+        assert_eq!(serial.stats, parallel.stats, "{}", method.name());
+    }
+}
+
+fn fill(len: usize, seed: i32) -> Vec<i8> {
+    (0..len).map(|i| ((i as i32 * seed) % 16 - 8) as i8).collect()
+}
+
+#[test]
+fn batch_on_the_pool_matches_the_serial_batch_and_solo_runs() {
+    // attention-style inventory: several small problems, three sharing
+    // one weight matrix (the dedup path), one i4 problem mixed in
+    let (n, k) = (12, 48);
+    let w_shared = fill(k * n, 5);
+    let w_other = fill(k * n, 9);
+    let acts: Vec<Vec<i8>> = (0..4).map(|i| fill(6 * k, 3 + 2 * i)).collect();
+    let problems = [
+        GemmProblem::new(6, n, k, &acts[0], &w_shared),
+        GemmProblem::new(6, n, k, &acts[1], &w_other),
+        GemmProblem::new(6, n, k, &acts[2], &w_shared), // dedup vs #0
+        GemmProblem::new(6, n, k, &acts[3], &w_shared).with_dtype(DType::I4), // i4: own layout
+    ];
+    let opts = GemmOptions::default();
+    let serial = simulate_gemm_batch(CoreConfig::a64fx(), &problems, &opts);
+    let pool = WorkerPool::new(4);
+    let parallel = simulate_gemm_batch_on(CoreConfig::a64fx(), &problems, &opts, &pool);
+    assert_eq!(serial.results.len(), problems.len());
+    assert_eq!(serial.stats, parallel.stats, "batch stats diverged");
+    for (i, (s, p)) in serial.results.iter().zip(&parallel.results).enumerate() {
+        assert!(s.correct, "problem {i} wrong serially");
+        assert_eq!(s.c, p.c, "problem {i} output bits diverged");
+        assert_eq!(s.stats, p.stats, "problem {i} stats diverged");
+    }
+    // every problem's output matches a solo run of the same descriptor
+    // (the dedup consumer pays less pack work but computes the same C)
+    for (i, p) in problems.iter().enumerate() {
+        let solo = simulate_gemm_batch(CoreConfig::a64fx(), &[*p], &opts);
+        assert_eq!(solo.results[0].c, serial.results[i].c, "problem {i} vs solo");
+    }
+    // the i4/i8 problems really ran under different kernels
+    assert!(serial.results[0].stats.camp_issues_i8 > 0);
+    assert_eq!(serial.results[0].stats.camp_issues_i4, 0);
+    assert!(serial.results[3].stats.camp_issues_i4 > 0);
+    // batch merge law: cycles = max across items, work sums
+    let expect_cycles = serial.results.iter().map(|r| r.stats.cycles).max().unwrap();
+    let expect_insts: u64 = serial.results.iter().map(|r| r.stats.insts).sum();
+    assert_eq!(serial.stats.cycles, expect_cycles);
+    assert_eq!(serial.stats.insts, expect_insts);
+}
+
+#[test]
+fn engine_pool_is_sharable_with_the_simulated_driver() {
+    // one thread budget for both halves: the engine's own pool
+    // schedules simulated block units with bit-identical results
+    let engine = camp::core::CampEngine::with_threads(3);
+    let pool = engine.worker_pool().expect("parallel engine has a pool");
+    let opts = multi_unit_opts();
+    let serial =
+        simulate_gemm_on(CoreConfig::a64fx(), Method::Camp8, 20, 40, 260, &opts, &SerialScheduler);
+    let on_engine_pool =
+        simulate_gemm_on(CoreConfig::a64fx(), Method::Camp8, 20, 40, 260, &opts, &*pool);
+    assert_eq!(serial.c, on_engine_pool.c);
+    assert_eq!(serial.stats, on_engine_pool.stats);
+    // the engine still works after serving as a sim scheduler
+    let mut engine = engine;
+    let a = fill(4 * 8, 3);
+    let b = fill(8 * 4, 5);
+    assert_eq!(engine.gemm_i8(4, 4, 8, &a, &b), camp::gemm::gemm_i32_ref(4, 4, 8, &a, &b));
+}
+
+#[test]
+fn merged_stats_follow_the_lane_model() {
+    let opts = multi_unit_opts();
+    let r =
+        simulate_gemm_on(CoreConfig::a64fx(), Method::Camp8, 20, 70, 260, &opts, &SerialScheduler);
+    assert!(r.lanes > 1);
+    // max-across-lanes wall-clock sits strictly between one lane's
+    // share and the full serial sum
+    assert!(r.stats.cycles < r.serial_cycles);
+    assert!(r.stats.cycles * r.lanes as u64 >= r.serial_cycles);
+    // and the defaults of SimStats merge to zero harmlessly
+    let mut z = SimStats::default();
+    z.merge_parallel(&r.stats);
+    assert_eq!(z, r.stats);
+}
