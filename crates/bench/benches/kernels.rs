@@ -1,9 +1,13 @@
 //! Criterion benches for the native (host-speed) CAMP GeMM engine —
 //! the library a downstream user calls — against the naive reference,
 //! plus a serial-vs-parallel comparison at an LLM-ish shape so the
-//! multi-core speedup is tracked in the perf trajectory.
+//! multi-core speedup is tracked in the perf trajectory. All engine
+//! calls go through the unified request surface: requests are built
+//! once outside the timed loop (the intended steady-state usage) and
+//! re-executed per iteration.
 
-use camp_core::{camp_gemm_i4, camp_gemm_i8, gemm_i32_ref, CampEngine};
+use camp_core::backend::CampBackend;
+use camp_core::{gemm_i32_ref, CampEngine, DType, GemmRequest};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
@@ -11,19 +15,36 @@ fn data(len: usize, seed: i32, lo: i32, hi: i32) -> Vec<i8> {
     (0..len).map(|i| ((i as i32 * seed) % (hi - lo + 1) + lo) as i8).collect()
 }
 
+fn square_request(s: usize, dtype: DType) -> GemmRequest {
+    let a = data(s * s, 31, -8, 7);
+    let b = data(s * s, 17, -8, 7);
+    GemmRequest::builder()
+        .m(s)
+        .n(s)
+        .k(s)
+        .activation(a)
+        .weights(camp_core::Operand::from_dense(b))
+        .dtype(dtype)
+        .build()
+        .expect("square shapes are coherent")
+}
+
 fn bench_gemm(c: &mut Criterion) {
     let mut g = c.benchmark_group("native_gemm");
     g.sample_size(10)
         .measurement_time(Duration::from_millis(800))
         .warm_up_time(Duration::from_millis(200));
+    let mut engine = CampEngine::new();
     for &s in &[64usize, 128, 256] {
         let a = data(s * s, 31, -8, 7);
         let b = data(s * s, 17, -8, 7);
-        g.bench_with_input(BenchmarkId::new("camp_i8", s), &s, |bch, &s| {
-            bch.iter(|| camp_gemm_i8(s, s, s, &a, &b))
+        let req_i8 = square_request(s, DType::I8);
+        let req_i4 = square_request(s, DType::I4);
+        g.bench_with_input(BenchmarkId::new("camp_i8", s), &s, |bch, _| {
+            bch.iter(|| engine.execute(&req_i8).expect("well-formed"))
         });
-        g.bench_with_input(BenchmarkId::new("camp_i4", s), &s, |bch, &s| {
-            bch.iter(|| camp_gemm_i4(s, s, s, &a, &b))
+        g.bench_with_input(BenchmarkId::new("camp_i4", s), &s, |bch, _| {
+            bch.iter(|| engine.execute(&req_i4).expect("well-formed"))
         });
         g.bench_with_input(BenchmarkId::new("naive_ref", s), &s, |bch, &s| {
             bch.iter(|| gemm_i32_ref(s, s, s, &a, &b))
@@ -33,28 +54,29 @@ fn bench_gemm(c: &mut Criterion) {
 }
 
 /// Serial vs parallel host engine at a BERT-base-like feed-forward
-/// shape (512×512×4096). Engines are reused across iterations so the
-/// pack pools stay warm — steady-state throughput, no allocator noise.
+/// shape (512×512×4096). Engines and the request are reused across
+/// iterations so the pack pools stay warm — steady-state throughput,
+/// no allocator noise.
 fn bench_host_parallel(c: &mut Criterion) {
     let mut g = c.benchmark_group("host_engine");
     g.sample_size(10)
         .measurement_time(Duration::from_secs(3))
         .warm_up_time(Duration::from_millis(500));
     let (m, n, k) = (512usize, 512usize, 4096usize);
-    let a = data(m * k, 31, -8, 7);
-    let b = data(k * n, 17, -8, 7);
+    let req = GemmRequest::dense(m, n, k, data(m * k, 31, -8, 7), data(k * n, 17, -8, 7))
+        .expect("shape is coherent");
 
     let mut serial = CampEngine::new();
     g.bench_function("camp_i8_512x512x4096_serial", |bch| {
-        bch.iter(|| serial.gemm_i8(m, n, k, &a, &b))
+        bch.iter(|| serial.execute(&req).expect("well-formed"))
     });
 
     let mut parallel = CampEngine::with_threads(0);
-    let threads = parallel.threads();
+    let threads = CampBackend::threads(&parallel);
     g.bench_with_input(
         BenchmarkId::new("camp_i8_512x512x4096_parallel", threads),
         &threads,
-        |bch, _| bch.iter(|| parallel.gemm_i8(m, n, k, &a, &b)),
+        |bch, _| bch.iter(|| parallel.execute(&req).expect("well-formed")),
     );
     g.finish();
 }

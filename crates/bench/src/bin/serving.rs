@@ -1,26 +1,29 @@
-//! Serving-path shootout on repeated BERT-base attention batches:
-//! per-call loop vs batched (PR 2) vs submit/poll session with
-//! registered weights.
+//! Serving-path shootout on repeated BERT-base attention batches,
+//! through the unified request API: per-call loop vs batched vs
+//! submit/poll session with registered weights.
 //!
 //! A serving workload answers the *same* model's attention inventory
 //! over and over — the weights never change, only the activations. The
 //! three contenders pay different per-batch overheads:
 //!
-//! * **per-call loop** — one `gemm_i8` per problem: thread fan-out and
-//!   B re-packing on every single GeMM;
-//! * **batched** — one `gemm_i8_batch` per batch: fan-out once per
-//!   batch, each unique B packed once *per batch* (re-packed every
-//!   repetition);
+//! * **per-call loop** — one `CampBackend::execute` per request:
+//!   thread fan-out and B re-packing on every single GeMM;
+//! * **batched** — one `CampBackend::execute_batch` per batch: fan-out
+//!   once per batch, each unique B packed once *per batch* (re-packed
+//!   every repetition);
 //! * **session** — weights registered once up front
-//!   (`register_weights`), batches streamed through `Session::submit`
-//!   with several in flight: zero B-packing per batch, and the staging
-//!   thread pre-packs batch N+1's activations while batch N computes.
+//!   (`register_weights`), request batches streamed through
+//!   `Session::submit` with several in flight: zero B-packing per
+//!   batch, and the staging thread pre-packs batch N+1's activations
+//!   while batch N computes.
 //!
 //! Results are checked bit-identical before timing; throughput is
-//! reported in requests (GeMMs) per second. Knobs: `CAMP_THREADS`,
-//! `CAMP_BENCH_REPS`, `CAMP_SERVING_BATCHES`, and `CAMP_SERVING_SMOKE=1`
-//! shrinks everything to a one-iteration CI smoke run.
+//! reported in requests (GeMMs) per second. Knobs: `CAMP_THREADS` (the
+//! unified thread story — see `camp_core::backend`), `CAMP_BENCH_REPS`,
+//! `CAMP_SERVING_BATCHES`, and `CAMP_SERVING_SMOKE=1` shrinks
+//! everything to a one-iteration CI smoke run.
 
+use camp_core::backend::CampBackend;
 use camp_core::{CampEngine, DType};
 use camp_models::LlmModel;
 use std::time::Instant;
@@ -46,10 +49,7 @@ fn req_per_sec(requests: usize, secs: f64) -> f64 {
 
 fn main() {
     let smoke = std::env::var("CAMP_SERVING_SMOKE").map(|v| v == "1").unwrap_or(false);
-    let threads = std::env::var("CAMP_THREADS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1));
+    let threads = camp_core::backend::host_threads_from_env();
     let reps = env_usize("CAMP_BENCH_REPS", if smoke { 1 } else { 5 });
     let batches = env_usize("CAMP_SERVING_BATCHES", if smoke { 2 } else { 8 });
 
@@ -59,8 +59,8 @@ fn main() {
         cfg.seq_len = 32;
     }
     let workload = cfg.attention_workload(0x5E12_71C3);
-    let problems = workload.problems();
-    let per_batch = problems.len();
+    let dense = workload.gemm_requests(DType::I8);
+    let per_batch = dense.len();
     let total_requests = per_batch * batches;
 
     println!("==============================================================");
@@ -84,60 +84,62 @@ fn main() {
     let mut eng_batch = CampEngine::with_threads(threads);
     let mut eng_session = CampEngine::with_threads(threads);
     let handles = workload.register(&mut eng_session, DType::I8);
+    let session_reqs = workload.gemm_requests_with_handles(&handles);
 
     // --- correctness + warm-up before any timing ---
-    let golden = eng_batch.gemm_i8_batch(&problems);
-    for (c, p) in golden.iter().zip(&problems) {
-        assert_eq!(
-            c,
-            &eng_loop.gemm_i8(p.m, p.n, p.k, p.a, p.b),
-            "batched diverged at {}x{}x{}",
-            p.m,
-            p.n,
-            p.k
-        );
+    let golden = eng_batch.execute_batch(&dense).expect("well-formed batch");
+    for (out, req) in golden.outputs.iter().zip(&dense) {
+        let per_call = eng_loop.execute(req).expect("well-formed request");
+        assert_eq!(out, &per_call.output, "batched diverged at {}x{:?}", req.m(), req.n());
     }
-    let (session_c, session_stats) = {
+    let session_out = {
         let mut session = eng_session.serve();
-        let t = session.submit(workload.requests(&handles));
-        let out = session.wait_with_stats(t);
-        eng_session = session.into_engine();
+        let t = session.submit(session_reqs.clone()).expect("valid requests");
+        let out = session.wait(t);
+        eng_session = session.into_backend();
         out
     };
-    assert_eq!(session_c, golden, "session results diverged from the batched path");
+    assert_eq!(
+        session_out.outputs, golden.outputs,
+        "session results diverged from the batched path"
+    );
+    let session_stats = session_out.stats.as_host().expect("host session");
     assert_eq!(session_stats.packed_b_bytes, 0, "session must not pack B");
 
     // --- per-call loop: every GeMM pays setup and B packing ---
     let t_loop = time_best(reps, || {
         for _ in 0..batches {
-            for p in &problems {
-                let _ = eng_loop.gemm_i8(p.m, p.n, p.k, p.a, p.b);
+            for req in &dense {
+                let _ = eng_loop.execute(req).expect("well-formed request");
             }
         }
     });
 
-    // --- batched (PR 2): B deduped within a batch, re-packed per batch ---
+    // --- batched: B deduped within a batch, re-packed per batch ---
     let t_batch = time_best(reps, || {
         for _ in 0..batches {
-            let _ = eng_batch.gemm_i8_batch(&problems);
+            let _ = eng_batch.execute_batch(&dense).expect("well-formed batch");
         }
     });
 
     // --- session: registered weights, all batches in flight ---
-    // Request batches are materialized (activations cloned) before the
+    // Request batches are materialized (cheap Arc clones) before the
     // clock starts: a real serving caller owns its activations, and the
-    // other two contenders borrow slices in their timed loops.
+    // other two contenders reuse prebuilt requests in their timed loops.
     let mut t_session = f64::INFINITY;
     for _ in 0..reps {
         let mut session = eng_session.serve();
-        let request_batches: Vec<_> = (0..batches).map(|_| workload.requests(&handles)).collect();
+        let request_batches: Vec<_> = (0..batches).map(|_| session_reqs.clone()).collect();
         let t = Instant::now();
-        let tickets: Vec<_> = request_batches.into_iter().map(|b| session.submit(b)).collect();
+        let tickets: Vec<_> = request_batches
+            .into_iter()
+            .map(|b| session.submit(b).expect("valid requests"))
+            .collect();
         for ticket in tickets {
             let _ = session.wait(ticket);
         }
         t_session = t_session.min(t.elapsed().as_secs_f64());
-        eng_session = session.into_engine();
+        eng_session = session.into_backend();
     }
 
     println!(

@@ -29,21 +29,22 @@ pub fn mac_budget() -> u64 {
 }
 
 /// Simulator scheduler threads for harness runs: `--sim-threads N` (or
-/// `--sim-threads=N`) on the command line, else the `CAMP_SIM_THREADS`
-/// environment variable, else 1 (serial). Results are bit-identical at
-/// any value; only wall-clock changes.
+/// `--sim-threads=N`) on the command line, else the unified
+/// `CAMP_SIM_THREADS` story ([`camp_core::backend::sim_threads_from_env`]:
+/// unset = 1/serial, `0` = all cores). Results are bit-identical at any
+/// value; only wall-clock changes.
 pub fn sim_threads() -> usize {
     let mut args = std::env::args();
     while let Some(a) = args.next() {
         if a == "--sim-threads" {
             if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
-                return v;
+                return camp_core::backend::resolve_threads(v);
             }
         } else if let Some(v) = a.strip_prefix("--sim-threads=").and_then(|v| v.parse().ok()) {
-            return v;
+            return camp_core::backend::resolve_threads(v);
         }
     }
-    std::env::var("CAMP_SIM_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+    camp_core::backend::sim_threads_from_env()
 }
 
 /// The harness-side simulated-GeMM runner: owns the worker pool the

@@ -1,0 +1,715 @@
+//! One GeMM API over interchangeable execution substrates.
+//!
+//! The workspace runs the same blocked CAMP GeMM on two substrates: the
+//! **host-speed engine** ([`CampEngine`], parallel, serving-grade) and
+//! the **cycle-accurate simulated driver** (`camp_gemm::driver`, the
+//! paper's measurement instrument). [`CampBackend`] is the single
+//! request/outcome surface over both: describe a problem once as a
+//! [`GemmRequest`], execute it on either backend, and get back an
+//! [`Outcome`] whose [`ExecStats`] says which substrate ran — callers
+//! branch on stats, never on API.
+//!
+//! ```
+//! use camp_core::backend::{CampBackend, ExecStats, SimBackend};
+//! use camp_core::{CampEngine, DType, GemmRequest};
+//! use camp_pipeline::CoreConfig;
+//!
+//! let (m, n, k) = (4, 8, 32);
+//! let a: Vec<i8> = (0..m * k).map(|i| (i % 13) as i8 - 6).collect();
+//! let w: Vec<i8> = (0..k * n).map(|i| (i % 15) as i8 - 7).collect();
+//!
+//! // one request, built once ...
+//! let req = GemmRequest::dense(m, n, k, a, w).expect("well-formed");
+//!
+//! // ... executes on host silicon ...
+//! let mut host = CampEngine::new();
+//! let fast = host.execute(&req).expect("host outcome");
+//!
+//! // ... and on the simulated CAMP core, bit-identically
+//! let mut sim = SimBackend::new(CoreConfig::a64fx());
+//! let slow = sim.execute(&req).expect("sim outcome");
+//! assert_eq!(fast.output.c, slow.output.c);
+//!
+//! // stats carry the substrate: instruction counts vs simulated cycles
+//! assert!(matches!(fast.stats, ExecStats::Host(_)));
+//! let ExecStats::Sim(stats) = slow.stats else { panic!() };
+//! assert!(stats.cycles > 0);
+//! ```
+//!
+//! Weight registration works on both substrates: a [`WeightHandle`]
+//! from [`CampBackend::register_weights`] resolves against the backend
+//! that issued it — the host pre-packs the panel (zero B-packing on
+//! later calls), the simulator keeps a raw mirror (batches simulate the
+//! pack once per unique weight and share the packed image). Evicted
+//! handles surface as [`RequestError::StaleHandle`] instead of
+//! panicking.
+//!
+//! # Thread configuration
+//!
+//! This is the one place the thread story lives:
+//!
+//! * **`CAMP_THREADS`** — host-engine worker count
+//!   ([`host_threads_from_env`]; unset or `0` means one worker per
+//!   available core). Workers are spawned once per engine.
+//! * **`CAMP_SIM_THREADS`** — simulated-driver scheduler width
+//!   ([`sim_threads_from_env`]; unset means `1` = serial, `0` means all
+//!   cores). Results are **bit-identical at any value** — the flag buys
+//!   wall-clock, never changes an answer.
+//!
+//! Both backends clamp through [`resolve_threads`]: `0` resolves to
+//! the available parallelism and the result is never below 1 (a zero
+//! worker count would divide the row partition by zero). Bench binaries
+//! accept `--sim-threads N` on top, which overrides the environment.
+
+use std::sync::Arc;
+
+use camp_gemm::driver::{simulate_gemm_batch_on, GemmOptions, SerialScheduler, SimScheduler};
+use camp_gemm::request::{GemmRequest, Operand, RequestError, ResolvedRequest};
+use camp_gemm::weights::{DType, WeightHandle, WeightMeta, WeightRegistry, WeightSnapshot};
+use camp_gemm::{CMatrix, GemmProblem};
+use camp_pipeline::{CoreConfig, SimStats};
+
+use crate::engine::{CampEngine, EngineStats, StagedRequest};
+use crate::pool::WorkerPool;
+use crate::session::Session;
+
+// ---- thread configuration (the single source of truth) --------------------
+
+/// Clamp a requested worker count the way every backend does: `0` means
+/// one worker per available core, and the result is never below 1.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        requested
+    }
+    .max(1)
+}
+
+/// Host-engine worker count from the environment: `CAMP_THREADS`,
+/// resolved through [`resolve_threads`] (unset or `0` = all cores).
+pub fn host_threads_from_env() -> usize {
+    resolve_threads(std::env::var("CAMP_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(0))
+}
+
+/// Simulated-driver scheduler width from the environment:
+/// `CAMP_SIM_THREADS`, resolved through [`resolve_threads`] except that
+/// *unset* means 1 (serial — simulation results are bit-identical at
+/// any width, so parallelism is strictly opt-in).
+pub fn sim_threads_from_env() -> usize {
+    match std::env::var("CAMP_SIM_THREADS").ok().and_then(|s| s.parse().ok()) {
+        Some(n) => resolve_threads(n),
+        None => 1,
+    }
+}
+
+// ---- outcomes -------------------------------------------------------------
+
+/// Which substrate executed a request, with that substrate's native
+/// statistics. Callers branch on this — not on which API they called.
+// Variant sizes differ (SimStats carries the full cache/stall census),
+// but an ExecStats lives next to a heap-allocated output matrix — the
+// inline size is noise, and boxing would tax every stats read.
+#[allow(clippy::large_enum_variant)]
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecStats {
+    /// Host-speed engine: instruction-stream accounting
+    /// (camp issues, vector loads/stores, pack traffic).
+    Host(EngineStats),
+    /// Cycle-accurate simulator: pipeline/cache statistics in the
+    /// **single-core view** (cycles are the serialized sum over every
+    /// block of every request — the paper's frame of reference).
+    Sim(SimStats),
+}
+
+impl ExecStats {
+    /// Multiply-accumulates represented, whichever substrate ran.
+    pub fn macs(&self) -> u64 {
+        match self {
+            ExecStats::Host(s) => s.macs,
+            ExecStats::Sim(s) => s.macs,
+        }
+    }
+
+    /// The host stats, if the host engine ran.
+    pub fn as_host(&self) -> Option<&EngineStats> {
+        match self {
+            ExecStats::Host(s) => Some(s),
+            ExecStats::Sim(_) => None,
+        }
+    }
+
+    /// The simulator stats, if the simulated driver ran.
+    pub fn as_sim(&self) -> Option<&SimStats> {
+        match self {
+            ExecStats::Sim(s) => Some(s),
+            ExecStats::Host(_) => None,
+        }
+    }
+}
+
+/// One computed C matrix.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Output {
+    /// Row-major `m × n` result (i32 accumulation, wrapping — identical
+    /// across substrates).
+    pub c: Vec<i32>,
+    /// Rows of `c`.
+    pub m: usize,
+    /// Columns of `c`.
+    pub n: usize,
+    /// True when a MAC-budgeted simulated backend clamped the problem:
+    /// `c` then holds the clamped (padded) measurement problem, not the
+    /// requested product. Always false on the host engine.
+    pub clamped: bool,
+}
+
+/// Result of one executed request: the output plus the substrate's
+/// statistics.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// The computed matrix.
+    pub output: Output,
+    /// Which substrate ran, and what it measured.
+    pub stats: ExecStats,
+}
+
+/// Result of one executed batch: per-request outputs (input order) plus
+/// the batch-merged statistics.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// One output per request, in input order.
+    pub outputs: Vec<Output>,
+    /// Merged statistics of the whole batch.
+    pub stats: ExecStats,
+}
+
+// ---- capability probes ----------------------------------------------------
+
+/// What a backend can promise, for callers that adapt instead of
+/// hard-coding a substrate.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Capability {
+    /// Wall-clock performance is meaningful (run it for answers, not
+    /// measurements).
+    HostSpeed,
+    /// [`ExecStats::Sim`] cycle/stall/cache accounting is available.
+    CycleAccurateStats,
+    /// Registered weights execute with zero B re-packing on the steady
+    /// state (the host registry pre-packs; the simulator re-simulates
+    /// one pack per unique weight per batch).
+    ZeroRepackWeights,
+    /// Problems above a MAC budget are clamped structure-preservingly
+    /// (a measurement feature: outputs then describe the clamped
+    /// problem).
+    MacClamping,
+}
+
+// ---- the trait ------------------------------------------------------------
+
+/// One GeMM backend: executes [`GemmRequest`]s, owns a weight registry,
+/// and can be wrapped by the serving [`Session`] (whose staging thread
+/// uses [`CampBackend::prepare`] to move work off the compute path).
+///
+/// Implementations must be **bit-identical** to each other for i32-
+/// accumulating camp kernels: the same request batch produces the same
+/// bytes on every backend (property-tested in `tests/backend_parity.rs`).
+pub trait CampBackend {
+    /// Staged form of a validated request, built off the compute path
+    /// by the serving session's staging thread.
+    type Prepared: Send + 'static;
+
+    /// Stable human-readable identity ("host-engine", "sim-a64fx", …).
+    fn name(&self) -> &'static str;
+
+    /// Resolved worker/scheduler thread count.
+    fn threads(&self) -> usize;
+
+    /// Capability probe; see [`Capability`].
+    fn supports(&self, cap: Capability) -> bool;
+
+    /// Register a row-major k×n weight matrix for `dtype`'s kernel;
+    /// the handle resolves only against this backend.
+    fn register_weights(&mut self, n: usize, k: usize, b: &[i8], dtype: DType) -> WeightHandle;
+
+    /// Drop one registration; later uses of the handle return
+    /// [`RequestError::StaleHandle`].
+    fn evict_weights(&mut self, h: WeightHandle) -> Result<WeightMeta, RequestError>;
+
+    /// Drop every registration.
+    fn clear_weights(&mut self);
+
+    /// Shape/dtype of a registration, or why the handle is invalid.
+    fn try_weight_meta(&self, h: WeightHandle) -> Result<WeightMeta, RequestError>;
+
+    /// Submit-time snapshot of the registry (what a [`Session`]
+    /// validates against).
+    fn weight_snapshot(&self) -> WeightSnapshot;
+
+    /// Execute a batch of requests; outputs come back in input order,
+    /// with dense B operands deduplicated by buffer identity and
+    /// handle operands resolved against this backend's registry.
+    fn execute_batch(&mut self, reqs: &[GemmRequest]) -> Result<BatchOutcome, RequestError>;
+
+    /// Execute one request.
+    fn execute(&mut self, req: &GemmRequest) -> Result<Outcome, RequestError> {
+        let mut batch = self.execute_batch(std::slice::from_ref(req))?;
+        let output = batch.outputs.pop().expect("one request in, one output out");
+        Ok(Outcome { output, stats: batch.stats })
+    }
+
+    /// Stage one *validated* request off the compute path (no `self`:
+    /// this runs on the session's staging thread while the backend
+    /// computes the previous batch). The host engine pre-packs operands
+    /// here; substrates with nothing to stage return the request as-is.
+    fn prepare(req: GemmRequest, weights: &WeightSnapshot) -> Self::Prepared;
+
+    /// Execute one staged batch on the session's driver thread.
+    /// Requests were validated at submit time, so this is infallible.
+    fn execute_prepared(&mut self, batch: Vec<Self::Prepared>) -> BatchOutcome;
+
+    /// Upgrade the backend into a submit/poll serving [`Session`]
+    /// (register weights first — submissions validate against the
+    /// registrations present now).
+    fn serve(self) -> Session<Self>
+    where
+        Self: Sized + Send + 'static,
+    {
+        Session::new(self)
+    }
+}
+
+// ---- the host engine as a backend -----------------------------------------
+
+impl CampBackend for CampEngine {
+    type Prepared = StagedRequest;
+
+    fn name(&self) -> &'static str {
+        "host-engine"
+    }
+
+    fn threads(&self) -> usize {
+        CampEngine::threads(self)
+    }
+
+    fn supports(&self, cap: Capability) -> bool {
+        matches!(cap, Capability::HostSpeed | Capability::ZeroRepackWeights)
+    }
+
+    fn register_weights(&mut self, n: usize, k: usize, b: &[i8], dtype: DType) -> WeightHandle {
+        CampEngine::register_weights(self, n, k, b, dtype)
+    }
+
+    fn evict_weights(&mut self, h: WeightHandle) -> Result<WeightMeta, RequestError> {
+        CampEngine::evict_weights(self, h)
+    }
+
+    fn clear_weights(&mut self) {
+        CampEngine::clear_weights(self)
+    }
+
+    fn try_weight_meta(&self, h: WeightHandle) -> Result<WeightMeta, RequestError> {
+        CampEngine::try_weight_meta(self, h)
+    }
+
+    fn weight_snapshot(&self) -> WeightSnapshot {
+        CampEngine::weight_snapshot(self)
+    }
+
+    fn execute_batch(&mut self, reqs: &[GemmRequest]) -> Result<BatchOutcome, RequestError> {
+        let snap = self.weight_snapshot();
+        let resolved: Vec<ResolvedRequest> =
+            reqs.iter().map(|r| r.resolve(&snap)).collect::<Result<_, _>>()?;
+        let problems: Vec<GemmProblem<'_>> = reqs
+            .iter()
+            .zip(&resolved)
+            .map(|(req, r)| match req.weights() {
+                Operand::Dense(b) => {
+                    GemmProblem::new(r.m, r.n, r.k, req.activation(), b).with_dtype(r.dtype)
+                }
+                Operand::Handle(h) => GemmProblem::with_handle(r.m, r.n, r.k, req.activation(), *h)
+                    .with_dtype(r.dtype),
+            })
+            .collect();
+        let (cs, stats) = self.gemm_batch_impl(&problems, None);
+        let outputs = cs
+            .into_iter()
+            .zip(&resolved)
+            .map(|(c, r)| Output { c, m: r.m, n: r.n, clamped: false })
+            .collect();
+        Ok(BatchOutcome { outputs, stats: ExecStats::Host(stats) })
+    }
+
+    fn prepare(req: GemmRequest, weights: &WeightSnapshot) -> StagedRequest {
+        StagedRequest::stage(req, weights)
+    }
+
+    fn execute_prepared(&mut self, batch: Vec<StagedRequest>) -> BatchOutcome {
+        let (cs, stats) = self.run_staged(&batch);
+        let outputs = cs
+            .into_iter()
+            .zip(&batch)
+            .map(|(c, r)| Output { c, m: r.m, n: r.n, clamped: false })
+            .collect();
+        BatchOutcome { outputs, stats: ExecStats::Host(stats) }
+    }
+}
+
+// ---- the simulated backend ------------------------------------------------
+
+/// The cycle-accurate substrate behind the unified API: requests run on
+/// the parallel simulated driver (`camp_gemm::driver`), one independent
+/// (jc, pc) block unit per `Simulator`, scheduled across
+/// [`SimBackend::with_threads`] workers with **bit-identical** results
+/// at any width. The dtype selects the camp kernel (`camp.s8` /
+/// `camp.s4`), exactly like the host engine.
+///
+/// Weights registered here live in a *simulated* registry: a raw
+/// mirror of the bytes with the same handle semantics (identity,
+/// generations, eviction) as the host registry, so the same
+/// [`GemmRequest`] — handle operands included — executes on both
+/// substrates. Within a batch, every problem sharing one weight
+/// simulates its packing once (the packed image is re-staged for the
+/// sharers).
+///
+/// By default problems are simulated at full size. For harness-style
+/// measurements, [`SimBackend::with_mac_budget`] enables the paper's
+/// structure-preserving clamp; clamped outputs are flagged
+/// ([`Output::clamped`]) because they describe the clamped measurement
+/// problem, not the requested product.
+#[derive(Debug)]
+pub struct SimBackend {
+    core: CoreConfig,
+    mac_budget: u64,
+    threads: usize,
+    pool: Option<WorkerPool>,
+    weights: WeightRegistry,
+}
+
+impl SimBackend {
+    /// Serial simulated backend for `core` (no clamping, no verify
+    /// overhead — correctness is the parity test suite's job).
+    pub fn new(core: CoreConfig) -> Self {
+        SimBackend {
+            core,
+            mac_budget: u64::MAX,
+            threads: 1,
+            pool: None,
+            weights: WeightRegistry::raw_mirror(),
+        }
+    }
+
+    /// Convenience: the paper's A64FX-like core.
+    pub fn a64fx() -> Self {
+        SimBackend::new(CoreConfig::a64fx())
+    }
+
+    /// Schedule block units across `threads` workers
+    /// ([`resolve_threads`] clamping: 0 = all cores). Results are
+    /// bit-identical at any width.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        let threads = resolve_threads(threads);
+        self.threads = threads;
+        self.pool = (threads > 1).then(|| WorkerPool::new(threads));
+        self
+    }
+
+    /// Clamp problems above `mac_budget` MACs structure-preservingly
+    /// (the figure harness rule); clamped outputs are flagged.
+    #[must_use]
+    pub fn with_mac_budget(mut self, mac_budget: u64) -> Self {
+        self.mac_budget = mac_budget;
+        self
+    }
+
+    /// The simulated core configuration.
+    pub fn core(&self) -> CoreConfig {
+        self.core
+    }
+
+    fn scheduler(&self) -> &dyn SimScheduler {
+        match &self.pool {
+            Some(pool) => pool,
+            None => &SerialScheduler,
+        }
+    }
+}
+
+impl CampBackend for SimBackend {
+    /// Nothing to stage: simulation stages operands into machine memory
+    /// per block unit anyway, so the session pipeline passes requests
+    /// through unchanged.
+    type Prepared = GemmRequest;
+
+    fn name(&self) -> &'static str {
+        "cycle-accurate-sim"
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn supports(&self, cap: Capability) -> bool {
+        match cap {
+            Capability::CycleAccurateStats => true,
+            Capability::MacClamping => self.mac_budget != u64::MAX,
+            Capability::HostSpeed | Capability::ZeroRepackWeights => false,
+        }
+    }
+
+    fn register_weights(&mut self, n: usize, k: usize, b: &[i8], dtype: DType) -> WeightHandle {
+        self.weights.register(n, k, b, dtype)
+    }
+
+    fn evict_weights(&mut self, h: WeightHandle) -> Result<WeightMeta, RequestError> {
+        self.weights.evict(h)
+    }
+
+    fn clear_weights(&mut self) {
+        self.weights.clear()
+    }
+
+    fn try_weight_meta(&self, h: WeightHandle) -> Result<WeightMeta, RequestError> {
+        self.weights.try_meta(h)
+    }
+
+    fn weight_snapshot(&self) -> WeightSnapshot {
+        self.weights.snapshot()
+    }
+
+    fn execute_batch(&mut self, reqs: &[GemmRequest]) -> Result<BatchOutcome, RequestError> {
+        let snap = self.weights.snapshot();
+        let resolved: Vec<ResolvedRequest> =
+            reqs.iter().map(|r| r.resolve(&snap)).collect::<Result<_, _>>()?;
+        // raw B bytes per handle request (kept alive across the batch so
+        // problems can borrow them; Arc clones, no copies)
+        let raws: Vec<Option<Arc<[i8]>>> = reqs
+            .iter()
+            .map(|req| match req.weights() {
+                Operand::Handle(h) => self.weights.raw(*h).map(Some),
+                Operand::Dense(_) => Ok(None),
+            })
+            .collect::<Result<_, _>>()?;
+
+        // simulate only the non-degenerate requests; degenerate ones get
+        // the host engine's rule (empty, or all-zero when only k is 0)
+        let mut problems: Vec<GemmProblem<'_>> = Vec::new();
+        let mut slots: Vec<usize> = Vec::new();
+        for (i, (req, r)) in reqs.iter().zip(&resolved).enumerate() {
+            if r.is_degenerate() {
+                continue;
+            }
+            let b: &[i8] = match req.weights() {
+                Operand::Dense(b) => b,
+                Operand::Handle(_) => raws[i].as_deref().expect("raw bytes resolved above"),
+            };
+            problems.push(GemmProblem::new(r.m, r.n, r.k, req.activation(), b).with_dtype(r.dtype));
+            slots.push(i);
+        }
+
+        let opts = GemmOptions { mac_budget: self.mac_budget, verify: false, ..Default::default() };
+        let batch = simulate_gemm_batch_on(self.core, &problems, &opts, self.scheduler());
+
+        let mut outputs: Vec<Output> = resolved
+            .iter()
+            .map(|r| Output { c: vec![0i32; r.m * r.n], m: r.m, n: r.n, clamped: false })
+            .collect();
+        let mut stats = SimStats::default();
+        for (&slot, result) in slots.iter().zip(&batch.results) {
+            let r = &resolved[slot];
+            // the single-core frame: every block of every request
+            // serialized on one core (the paper's view; lane-parallel
+            // stats stay available through camp_gemm::driver directly)
+            let mut single = result.stats;
+            single.cycles = result.serial_cycles;
+            stats.merge(&single);
+            let CMatrix::I32(padded) = &result.c else {
+                unreachable!("camp kernels accumulate i32");
+            };
+            outputs[slot] = if result.clamped {
+                // the clamped (padded) measurement problem, flagged
+                Output { c: padded.clone(), m: result.m, n: result.n, clamped: true }
+            } else {
+                // unpad the requested m×n region (np = result.n)
+                let mut c = vec![0i32; r.m * r.n];
+                for i in 0..r.m {
+                    c[i * r.n..(i + 1) * r.n]
+                        .copy_from_slice(&padded[i * result.n..i * result.n + r.n]);
+                }
+                Output { c, m: r.m, n: r.n, clamped: false }
+            };
+        }
+        Ok(BatchOutcome { outputs, stats: ExecStats::Sim(stats) })
+    }
+
+    fn prepare(req: GemmRequest, _weights: &WeightSnapshot) -> GemmRequest {
+        req
+    }
+
+    fn execute_prepared(&mut self, batch: Vec<GemmRequest>) -> BatchOutcome {
+        self.execute_batch(&batch).expect("session requests are validated at submit")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camp_gemm::gemm_i32_ref;
+
+    fn fill(len: usize, seed: i32) -> Vec<i8> {
+        (0..len).map(|i| ((i as i32 * seed) % 16 - 8) as i8).collect()
+    }
+
+    #[test]
+    fn thread_resolution_clamps_like_the_engines() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn one_request_runs_on_both_substrates_bit_identically() {
+        let (m, n, k) = (5, 7, 33);
+        let a = fill(m * k, 3);
+        let w = fill(k * n, 5);
+        let req = GemmRequest::dense(m, n, k, a.clone(), w.clone()).unwrap();
+        let reference = gemm_i32_ref(m, n, k, &a, &w);
+
+        let mut host = CampEngine::with_threads(2);
+        let fast = host.execute(&req).unwrap();
+        assert_eq!(fast.output.c, reference);
+        assert_eq!((fast.output.m, fast.output.n), (m, n));
+        assert!(!fast.output.clamped);
+        assert!(fast.stats.as_host().is_some());
+        assert_eq!(fast.stats.macs(), (m * n * k) as u64);
+
+        let mut sim = SimBackend::a64fx();
+        let slow = sim.execute(&req).unwrap();
+        assert_eq!(slow.output.c, reference);
+        assert!(slow.stats.as_sim().unwrap().cycles > 0);
+        assert!(slow.stats.as_host().is_none());
+    }
+
+    #[test]
+    fn handle_requests_execute_on_both_substrates() {
+        let (m, n, k) = (4, 8, 40);
+        let a = fill(m * k, 3);
+        let w = fill(k * n, 5);
+        let reference = gemm_i32_ref(m, n, k, &a, &w);
+
+        let mut host = CampEngine::new();
+        let mut sim = SimBackend::a64fx();
+        let hh = CampBackend::register_weights(&mut host, n, k, &w, DType::I4);
+        let sh = sim.register_weights(n, k, &w, DType::I4);
+
+        let host_req = GemmRequest::with_weights(m, a.clone(), hh).unwrap();
+        let sim_req = GemmRequest::with_weights(m, a.clone(), sh).unwrap();
+        let fast = host.execute(&host_req).unwrap();
+        let slow = sim.execute(&sim_req).unwrap();
+        assert_eq!(fast.output.c, reference);
+        assert_eq!(slow.output.c, reference);
+        // the i4 registration drives the kernel on both sides
+        assert_eq!(host.try_weight_meta(hh).unwrap().dtype, DType::I4);
+        assert_eq!(sim.try_weight_meta(sh).unwrap().dtype, DType::I4);
+
+        // handles do not cross substrates
+        let crossed = host.execute(&sim_req).unwrap_err();
+        assert_eq!(crossed, RequestError::ForeignHandle);
+    }
+
+    #[test]
+    fn stale_handles_err_instead_of_panicking() {
+        // same behavior on both substrates, via the trait
+        fn check<B: CampBackend>(mut backend: B, n: usize, k: usize, w: &[i8]) {
+            let h = backend.register_weights(n, k, w, DType::I8);
+            let evicted = backend.evict_weights(h).unwrap();
+            assert_eq!((evicted.n, evicted.k), (n, k));
+            let req = GemmRequest::with_weights(2, vec![0i8; 2 * k], h).unwrap();
+            assert_eq!(backend.execute(&req).unwrap_err(), RequestError::StaleHandle);
+            assert_eq!(backend.try_weight_meta(h).unwrap_err(), RequestError::StaleHandle);
+            assert_eq!(backend.evict_weights(h).unwrap_err(), RequestError::StaleHandle);
+        }
+        let (n, k) = (4, 16);
+        let w = fill(k * n, 5);
+        check(CampEngine::new(), n, k, &w);
+        check(SimBackend::a64fx(), n, k, &w);
+    }
+
+    #[test]
+    fn degenerate_requests_follow_the_host_rule_on_both_substrates() {
+        // k = 0 yields an all-zero m×n C; m or n = 0 yields empty
+        let zero_k = GemmRequest::dense(3, 4, 0, vec![], vec![]).unwrap();
+        let zero_m = GemmRequest::dense(0, 4, 4, vec![], vec![0i8; 16]).unwrap();
+        let mut host = CampEngine::new();
+        let mut sim = SimBackend::a64fx();
+        for req in [&zero_k, &zero_m] {
+            let fast = host.execute(req).unwrap();
+            let slow = sim.execute(req).unwrap();
+            assert_eq!(fast.output.c, slow.output.c);
+        }
+        assert_eq!(host.execute(&zero_k).unwrap().output.c, vec![0i32; 12]);
+        assert!(sim.execute(&zero_m).unwrap().output.c.is_empty());
+    }
+
+    #[test]
+    fn sim_batches_dedup_shared_weights() {
+        let (n, k) = (8, 32);
+        let w: Arc<[i8]> = fill(k * n, 5).into();
+        let a1 = fill(4 * k, 3);
+        let a2 = fill(4 * k, 9);
+        let shared = [
+            GemmRequest::dense(4, n, k, a1.clone(), Arc::clone(&w)).unwrap(),
+            GemmRequest::dense(4, n, k, a2, Arc::clone(&w)).unwrap(),
+        ];
+        let mut sim = SimBackend::a64fx();
+        let both = sim.execute_batch(&shared).unwrap();
+        let alone = sim.execute_batch(&shared[..1]).unwrap();
+        assert_eq!(both.outputs[0].c, alone.outputs[0].c);
+        // sharing one Arc means one simulated B-pack: the batch costs
+        // less than two standalone runs
+        let ExecStats::Sim(batch_stats) = &both.stats else { panic!() };
+        let ExecStats::Sim(solo_stats) = &alone.stats else { panic!() };
+        assert!(batch_stats.insts < 2 * solo_stats.insts, "B-pack must be deduplicated");
+    }
+
+    #[test]
+    fn mac_clamping_is_opt_in_and_flagged() {
+        let (m, n, k) = (64, 64, 64);
+        let req = GemmRequest::dense(m, n, k, fill(m * k, 3), fill(k * n, 5)).unwrap();
+        let mut sim = SimBackend::a64fx().with_mac_budget(10_000);
+        assert!(sim.supports(Capability::MacClamping));
+        let out = sim.execute(&req).unwrap();
+        assert!(out.output.clamped, "a 262 k-MAC problem must clamp under a 10 k budget");
+        assert!((out.output.m * out.output.n) <= m * n);
+        let unclamped = SimBackend::a64fx();
+        assert!(!unclamped.supports(Capability::MacClamping));
+    }
+
+    #[test]
+    fn capability_probes_separate_the_substrates() {
+        let host = CampEngine::new();
+        let sim = SimBackend::a64fx().with_threads(2);
+        assert!(host.supports(Capability::HostSpeed));
+        assert!(host.supports(Capability::ZeroRepackWeights));
+        assert!(!host.supports(Capability::CycleAccurateStats));
+        assert!(sim.supports(Capability::CycleAccurateStats));
+        assert!(!sim.supports(Capability::HostSpeed));
+        assert_eq!(CampBackend::threads(&sim), 2);
+        assert_ne!(CampBackend::name(&host), sim.name());
+    }
+
+    #[test]
+    fn sim_pool_width_is_bit_invisible() {
+        let (m, n, k) = (9, 11, 70);
+        let req = GemmRequest::dense(m, n, k, fill(m * k, 3), fill(k * n, 5)).unwrap();
+        let serial = SimBackend::a64fx().execute(&req).unwrap();
+        let pooled = SimBackend::a64fx().with_threads(4).execute(&req).unwrap();
+        assert_eq!(serial.output, pooled.output);
+        assert_eq!(serial.stats, pooled.stats);
+    }
+}

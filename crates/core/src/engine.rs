@@ -59,11 +59,18 @@
 //! [`crate::session::Session`] with a submit/poll API that overlaps the
 //! A-packing of one batch with the compute of the previous one.
 
-use camp_gemm::batch::{packed_a_offset, packed_b_bytes, packed_b_offset, BOperandKey};
+use camp_gemm::batch::{
+    packed_a_bytes, packed_a_offset, packed_b_bytes, packed_b_offset, BOperandKey,
+};
 use camp_gemm::loops::{run_blocked, BlockSink};
-use camp_gemm::weights::{host_block_plan, pack_a_block, pack_b_block, prepack_b, WeightRegistry};
+use camp_gemm::request::{GemmRequest, Operand, RequestError};
+use camp_gemm::weights::{
+    host_block_plan, pack_a_block, pack_b_block, prepack_a, prepack_b, WeightRegistry,
+    WeightSnapshot,
+};
 use camp_gemm::workspace::{PackPool, PanelId};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::pool::{Job, WorkerPool};
 
@@ -516,23 +523,85 @@ fn run_small_items(
     total
 }
 
-/// One staged request of a serving batch: the activation (optionally
-/// pre-packed by the session's staging thread) plus the registered
-/// weight it multiplies against. `packed_a_bytes` is the staging
-/// traffic, folded into the ticket's stats by
-/// [`CampEngine::run_staged`].
-pub(crate) struct StagedRequest {
-    pub m: usize,
-    pub n: usize,
-    pub k: usize,
-    pub dtype: DType,
-    pub a: Vec<i8>,
-    pub packed_a: Option<Vec<i8>>,
-    pub packed_a_bytes: u64,
-    pub handle: WeightHandle,
+/// The B side of a staged request.
+#[derive(Debug)]
+pub(crate) enum StagedB {
+    /// Registered weight: the pre-packed panel is consumed directly,
+    /// zero B-packing on the compute path.
+    Handle(WeightHandle),
+    /// Dense weights, fully pre-packed by the staging thread (off the
+    /// compute path, like staged A).
+    Packed(Vec<i8>),
+}
+
+/// One staged request of a serving batch: the activation and B operand
+/// (both optionally pre-packed by the session's staging thread).
+/// `packed_a_bytes`/`packed_b_bytes` are the staging traffic, folded
+/// into the ticket's stats when the staged batch runs. This is the
+/// host engine's `CampBackend::Prepared` form.
+#[derive(Debug)]
+pub struct StagedRequest {
+    pub(crate) m: usize,
+    pub(crate) n: usize,
+    pub(crate) k: usize,
+    pub(crate) dtype: DType,
+    pub(crate) a: Arc<[i8]>,
+    pub(crate) packed_a: Option<Vec<i8>>,
+    pub(crate) packed_a_bytes: u64,
+    pub(crate) packed_b_bytes: u64,
+    pub(crate) b: StagedB,
 }
 
 impl StagedRequest {
+    /// Stage one *validated* request off the compute path: resolve its
+    /// shape, pre-pack dense B into the shared-panel layout, and
+    /// pre-pack A for requests below the row-split threshold (row-split
+    /// requests are packed by the workers that own the rows). Runs on
+    /// the session's staging thread, overlapping the previous batch's
+    /// compute.
+    pub(crate) fn stage(req: GemmRequest, weights: &WeightSnapshot) -> StagedRequest {
+        let r = req.resolve(weights).expect("session requests are validated at submit");
+        let b = match req.weights() {
+            Operand::Handle(h) => StagedB::Handle(*h),
+            Operand::Dense(b) => {
+                if r.is_degenerate() {
+                    StagedB::Packed(Vec::new())
+                } else {
+                    // B-panel layout depends only on (n, k, k_step), so
+                    // this one panel serves the cross-item path and
+                    // every row-split worker alike
+                    let plan = host_block_plan(r.m, r.n, r.k, r.dtype.k_step());
+                    let mut buf = vec![0i8; packed_b_bytes(&plan)];
+                    prepack_b(&mut buf, b, r.n, r.k, &plan);
+                    StagedB::Packed(buf)
+                }
+            }
+        };
+        let packed_b = match &b {
+            StagedB::Packed(buf) => buf.len() as u64,
+            StagedB::Handle(_) => 0,
+        };
+        let mut staged = StagedRequest {
+            m: r.m,
+            n: r.n,
+            k: r.k,
+            dtype: r.dtype,
+            a: req.activation_arc(),
+            packed_a: None,
+            packed_a_bytes: 0,
+            packed_b_bytes: packed_b,
+            b,
+        };
+        if !staged.is_degenerate() && staged.macs() < BATCH_ROW_SPLIT_MACS {
+            let plan = host_block_plan(staged.m, staged.n, staged.k, staged.dtype.k_step());
+            let mut buf = vec![0i8; packed_a_bytes(&plan)];
+            prepack_a(&mut buf, &staged.a, staged.m, staged.k, &plan);
+            staged.packed_a_bytes = buf.len() as u64;
+            staged.packed_a = Some(buf);
+        }
+        staged
+    }
+
     pub(crate) fn is_degenerate(&self) -> bool {
         self.m == 0 || self.n == 0 || self.k == 0
     }
@@ -585,18 +654,14 @@ impl CampEngine {
     }
 
     /// Engine running up to `threads` workers over row partitions of
-    /// the Goto macro loop; `0` means one worker per available core.
-    /// The resolved count is validated to be at least 1 (a zero worker
-    /// count would divide by zero in the row partition), and the worker
-    /// threads are spawned **once** here — parallel calls only enqueue
-    /// jobs on the persistent pool.
+    /// the Goto macro loop; `0` means one worker per available core
+    /// (the shared [`crate::backend::resolve_threads`] clamp: the
+    /// resolved count is never below 1, since a zero worker count would
+    /// divide by zero in the row partition). The worker threads are
+    /// spawned **once** here — parallel calls only enqueue jobs on the
+    /// persistent pool.
     pub fn with_threads(threads: usize) -> Self {
-        let threads = if threads == 0 {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
-        } else {
-            threads
-        }
-        .max(1);
+        let threads = crate::backend::resolve_threads(threads);
         let workers = (threads > 1).then(|| std::sync::Arc::new(WorkerPool::new(threads)));
         CampEngine {
             threads,
@@ -605,6 +670,14 @@ impl CampEngine {
             weights: WeightRegistry::new(),
             workers,
         }
+    }
+
+    /// Engine honoring the `CAMP_THREADS` environment variable (see
+    /// [`crate::backend::host_threads_from_env`]; unset means one
+    /// worker per available core) — the one thread-configuration story
+    /// every harness shares.
+    pub fn from_env() -> Self {
+        CampEngine::with_threads(crate::backend::host_threads_from_env())
     }
 
     /// Configured worker count.
@@ -656,19 +729,57 @@ impl CampEngine {
     }
 
     /// Shape/dtype of a registered weight.
+    ///
+    /// # Panics
+    /// Panics on a foreign, unknown or evicted handle; use
+    /// [`CampEngine::try_weight_meta`] for a `Result`.
     pub fn weight_meta(&self, h: WeightHandle) -> WeightMeta {
         self.weights.meta(h)
     }
 
-    /// Number of registered weights.
+    /// Shape/dtype of a registered weight, or why the handle is invalid
+    /// ([`RequestError::StaleHandle`] after eviction).
+    pub fn try_weight_meta(&self, h: WeightHandle) -> Result<WeightMeta, RequestError> {
+        self.weights.try_meta(h)
+    }
+
+    /// Drop one registered weight: its packed panel is freed, and later
+    /// uses of the handle fail ([`RequestError::StaleHandle`] through
+    /// the request API) instead of multiplying stale or recycled
+    /// weights. Long-lived serving engines use this to drop stale
+    /// layers without restarting.
+    pub fn evict_weights(&mut self, h: WeightHandle) -> Result<WeightMeta, RequestError> {
+        self.weights.evict(h)
+    }
+
+    /// Drop every registered weight (e.g. before loading a new model
+    /// into a long-lived engine).
+    pub fn clear_weights(&mut self) {
+        self.weights.clear()
+    }
+
+    /// Submit-time snapshot of the weight registry — what a serving
+    /// [`crate::session::Session`] validates requests against.
+    pub fn weight_snapshot(&self) -> WeightSnapshot {
+        self.weights.snapshot()
+    }
+
+    /// Number of live registered weights.
     pub fn registered_weights(&self) -> usize {
         self.weights.len()
     }
 
     /// Total bytes packed at registration time (one-time; never paid on
-    /// the steady-state request path).
+    /// the steady-state request path, and not decreased by eviction —
+    /// see [`CampEngine::resident_weight_bytes`]).
     pub fn registered_weight_bytes(&self) -> u64 {
         self.weights.packed_bytes()
+    }
+
+    /// Bytes currently resident for live registrations; eviction
+    /// returns them.
+    pub fn resident_weight_bytes(&self) -> u64 {
+        self.weights.resident_bytes()
     }
 
     /// A [`GemmProblem`] over a registered weight, with shape and dtype
@@ -683,8 +794,11 @@ impl CampEngine {
     /// panel built at registration time is consumed directly, serially
     /// or by every pool worker.
     ///
+    /// The request form of the same call (zero B-packing either way):
+    ///
     /// ```
-    /// use camp_core::{CampEngine, DType};
+    /// use camp_core::backend::CampBackend;
+    /// use camp_core::{CampEngine, DType, GemmRequest};
     /// use camp_gemm::gemm_i32_ref;
     ///
     /// let (m, n, k) = (4, 8, 32);
@@ -693,25 +807,40 @@ impl CampEngine {
     ///
     /// let mut engine = CampEngine::new();
     /// let weights = engine.register_weights(n, k, &w, DType::I8);
-    /// let (c, stats) = engine.gemm_with_handle_with_stats(m, &a, weights);
-    /// assert_eq!(c, gemm_i32_ref(m, n, k, &a, &w));
+    /// let req = GemmRequest::with_weights(m, a.clone(), weights).unwrap();
+    /// let outcome = engine.execute(&req).unwrap();
+    /// assert_eq!(outcome.output.c, gemm_i32_ref(m, n, k, &a, &w));
+    /// let stats = outcome.stats.as_host().unwrap();
     /// assert_eq!(stats.packed_b_bytes, 0); // steady state packs no B
     /// ```
     ///
     /// # Panics
-    /// Panics if `a.len() != m * k` for the registered k.
+    /// Panics if `a.len() != m * k` for the registered k, or the handle
+    /// is stale/foreign (the request API returns `Err` instead).
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a GemmRequest with Operand::Handle and call CampBackend::execute"
+    )]
     pub fn gemm_with_handle(&mut self, m: usize, a: &[i8], h: WeightHandle) -> Vec<i32> {
-        self.gemm_with_handle_with_stats(m, a, h).0
+        self.handle_gemm(m, a, h).0
     }
 
     /// [`CampEngine::gemm_with_handle`] plus statistics;
     /// `packed_b_bytes` is always 0 here.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a GemmRequest with Operand::Handle and call CampBackend::execute"
+    )]
     pub fn gemm_with_handle_with_stats(
         &mut self,
         m: usize,
         a: &[i8],
         h: WeightHandle,
     ) -> (Vec<i32>, EngineStats) {
+        self.handle_gemm(m, a, h)
+    }
+
+    fn handle_gemm(&mut self, m: usize, a: &[i8], h: WeightHandle) -> (Vec<i32>, EngineStats) {
         let meta = self.weights.meta(h);
         assert_eq!(a.len(), m * meta.k, "A must be m×k");
         let mut c = vec![0i32; m * meta.n];
@@ -737,31 +866,23 @@ impl CampEngine {
     }
 
     /// Upgrade the engine into a serving [`crate::session::Session`]
-    /// (submit/poll API, staged A-packing overlapping compute).
+    /// (submit/poll API, staged A- and B-packing overlapping compute).
     /// Register weights first: the session validates submissions
     /// against the registrations present at this call.
-    pub fn serve(self) -> crate::session::Session {
+    pub fn serve(self) -> crate::session::Session<CampEngine> {
         crate::session::Session::new(self)
     }
 
-    /// Registration metadata snapshot for the serving session.
-    pub(crate) fn weight_metas(&self) -> Vec<WeightMeta> {
-        self.weights.metas()
-    }
-
-    /// Identity of this engine's registry (stamped into its handles).
-    pub(crate) fn weight_registry_id(&self) -> u64 {
-        self.weights.id()
-    }
-
-    // ---- single-call API ----
+    // ---- single-call API (legacy shims over the request surface) ----
 
     /// Blocked GeMM with the `camp.s8` micro-kernel; see [`camp_gemm_i8`].
+    #[deprecated(since = "0.2.0", note = "build a GemmRequest and call CampBackend::execute")]
     pub fn gemm_i8(&mut self, m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
         self.gemm(m, n, k, a, b, DType::I8).0
     }
 
     /// [`CampEngine::gemm_i8`] plus instruction-level statistics.
+    #[deprecated(since = "0.2.0", note = "build a GemmRequest and call CampBackend::execute")]
     pub fn gemm_i8_with_stats(
         &mut self,
         m: usize,
@@ -774,11 +895,13 @@ impl CampEngine {
     }
 
     /// Blocked GeMM with the `camp.s4` micro-kernel; see [`camp_gemm_i4`].
+    #[deprecated(since = "0.2.0", note = "build a GemmRequest and call CampBackend::execute")]
     pub fn gemm_i4(&mut self, m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
         self.gemm(m, n, k, a, b, DType::I4).0
     }
 
     /// [`CampEngine::gemm_i4`] plus instruction-level statistics.
+    #[deprecated(since = "0.2.0", note = "build a GemmRequest and call CampBackend::execute")]
     pub fn gemm_i4_with_stats(
         &mut self,
         m: usize,
@@ -805,6 +928,7 @@ impl CampEngine {
     /// Panics if any problem's slice lengths do not match its
     /// dimensions, or a handle's registration disagrees with the
     /// problem's shape or the forced dtype.
+    #[deprecated(since = "0.2.0", note = "build GemmRequests and call CampBackend::execute_batch")]
     pub fn gemm_i8_batch(&mut self, problems: &[GemmProblem<'_>]) -> Vec<Vec<i32>> {
         self.gemm_batch_impl(problems, Some(DType::I8)).0
     }
@@ -812,6 +936,7 @@ impl CampEngine {
     /// [`CampEngine::gemm_i8_batch`] plus merged statistics.
     /// `packed_b_bytes` counts each unique slice-B operand once and
     /// handle operands never.
+    #[deprecated(since = "0.2.0", note = "build GemmRequests and call CampBackend::execute_batch")]
     pub fn gemm_i8_batch_with_stats(
         &mut self,
         problems: &[GemmProblem<'_>],
@@ -821,11 +946,13 @@ impl CampEngine {
 
     /// Batched [`CampEngine::gemm_i4`]; see [`CampEngine::gemm_i8_batch`].
     /// Operand values must lie in [-8, 7] (checked in debug builds).
+    #[deprecated(since = "0.2.0", note = "build GemmRequests and call CampBackend::execute_batch")]
     pub fn gemm_i4_batch(&mut self, problems: &[GemmProblem<'_>]) -> Vec<Vec<i32>> {
         self.gemm_batch_impl(problems, Some(DType::I4)).0
     }
 
     /// [`CampEngine::gemm_i4_batch`] plus merged statistics.
+    #[deprecated(since = "0.2.0", note = "build GemmRequests and call CampBackend::execute_batch")]
     pub fn gemm_i4_batch_with_stats(
         &mut self,
         problems: &[GemmProblem<'_>],
@@ -839,11 +966,13 @@ impl CampEngine {
     /// their weight was registered for. Everything else matches
     /// [`CampEngine::gemm_i8_batch`]: results are bit-identical to
     /// per-call loops of the matching kernel, in input order.
+    #[deprecated(since = "0.2.0", note = "build GemmRequests and call CampBackend::execute_batch")]
     pub fn gemm_batch(&mut self, problems: &[GemmProblem<'_>]) -> Vec<Vec<i32>> {
         self.gemm_batch_impl(problems, None).0
     }
 
     /// [`CampEngine::gemm_batch`] plus merged statistics.
+    #[deprecated(since = "0.2.0", note = "build GemmRequests and call CampBackend::execute_batch")]
     pub fn gemm_batch_with_stats(
         &mut self,
         problems: &[GemmProblem<'_>],
@@ -901,7 +1030,7 @@ impl CampEngine {
         (c, total)
     }
 
-    fn gemm_batch_impl(
+    pub(crate) fn gemm_batch_impl(
         &mut self,
         problems: &[GemmProblem<'_>],
         forced: Option<DType>,
@@ -1006,14 +1135,15 @@ impl CampEngine {
     }
 
     /// Compute one staged serving batch (see [`crate::session`]):
-    /// registered B panels everywhere, pre-packed A where the stager
-    /// provided it, row-partitioning for oversized requests. Returns
-    /// one row-major C per request plus the batch's merged stats
-    /// (staging traffic included).
+    /// registered B panels (or stager-packed dense panels) everywhere,
+    /// pre-packed A where the stager provided it, row-partitioning for
+    /// oversized requests. Returns one row-major C per request plus the
+    /// batch's merged stats (staging traffic included).
     pub(crate) fn run_staged(&mut self, reqs: &[StagedRequest]) -> (Vec<Vec<i32>>, EngineStats) {
         let mut total = EngineStats::default();
         for r in reqs {
             total.packed_a_bytes += r.packed_a_bytes;
+            total.packed_b_bytes += r.packed_b_bytes;
         }
         let mut results: Vec<Vec<i32>> = reqs
             .iter()
@@ -1039,7 +1169,10 @@ impl CampEngine {
                     issue,
                     a: &r.a,
                     shared_a: r.packed_a.as_deref(),
-                    shared_b: weights.panel(r.handle),
+                    shared_b: match &r.b {
+                        StagedB::Handle(h) => weights.panel(*h),
+                        StagedB::Packed(buf) => buf,
+                    },
                 }
             })
             .collect();
@@ -1057,11 +1190,13 @@ impl CampEngine {
 ///
 /// # Panics
 /// Panics if slice lengths do not match the dimensions.
+#[deprecated(since = "0.2.0", note = "build a GemmRequest and call CampBackend::execute")]
 pub fn camp_gemm_i8(m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
-    CampEngine::new().gemm_i8(m, n, k, a, b)
+    CampEngine::new().gemm(m, n, k, a, b, DType::I8).0
 }
 
 /// Like [`camp_gemm_i8`] but also returns instruction-level statistics.
+#[deprecated(since = "0.2.0", note = "build a GemmRequest and call CampBackend::execute")]
 pub fn camp_gemm_i8_with_stats(
     m: usize,
     n: usize,
@@ -1069,7 +1204,7 @@ pub fn camp_gemm_i8_with_stats(
     a: &[i8],
     b: &[i8],
 ) -> (Vec<i32>, EngineStats) {
-    CampEngine::new().gemm_i8_with_stats(m, n, k, a, b)
+    CampEngine::new().gemm(m, n, k, a, b, DType::I8)
 }
 
 /// Blocked GeMM with the `camp.s4` micro-kernel. Operand values must lie
@@ -1077,11 +1212,13 @@ pub fn camp_gemm_i8_with_stats(
 ///
 /// # Panics
 /// Panics if slice lengths do not match the dimensions.
+#[deprecated(since = "0.2.0", note = "build a GemmRequest and call CampBackend::execute")]
 pub fn camp_gemm_i4(m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
-    CampEngine::new().gemm_i4(m, n, k, a, b)
+    CampEngine::new().gemm(m, n, k, a, b, DType::I4).0
 }
 
 /// Like [`camp_gemm_i4`] but also returns instruction-level statistics.
+#[deprecated(since = "0.2.0", note = "build a GemmRequest and call CampBackend::execute")]
 pub fn camp_gemm_i4_with_stats(
     m: usize,
     n: usize,
@@ -1089,12 +1226,13 @@ pub fn camp_gemm_i4_with_stats(
     a: &[i8],
     b: &[i8],
 ) -> (Vec<i32>, EngineStats) {
-    CampEngine::new().gemm_i4_with_stats(m, n, k, a, b)
+    CampEngine::new().gemm(m, n, k, a, b, DType::I4)
 }
 
 /// [`camp_gemm_i8`] across `threads` host cores (`0` = all cores).
 /// Bit-identical to the serial result. (Convenience wrapper: spawns an
 /// engine — and its pool — per call; reuse a [`CampEngine`] to amortize.)
+#[deprecated(since = "0.2.0", note = "build a GemmRequest and call CampBackend::execute")]
 pub fn camp_gemm_i8_parallel(
     m: usize,
     n: usize,
@@ -1103,12 +1241,13 @@ pub fn camp_gemm_i8_parallel(
     b: &[i8],
     threads: usize,
 ) -> Vec<i32> {
-    CampEngine::with_threads(threads).gemm_i8(m, n, k, a, b)
+    CampEngine::with_threads(threads).gemm(m, n, k, a, b, DType::I8).0
 }
 
 /// [`camp_gemm_i4`] across `threads` host cores (`0` = all cores).
 /// Bit-identical to the serial result. (Convenience wrapper: spawns an
 /// engine — and its pool — per call; reuse a [`CampEngine`] to amortize.)
+#[deprecated(since = "0.2.0", note = "build a GemmRequest and call CampBackend::execute")]
 pub fn camp_gemm_i4_parallel(
     m: usize,
     n: usize,
@@ -1117,10 +1256,13 @@ pub fn camp_gemm_i4_parallel(
     b: &[i8],
     threads: usize,
 ) -> Vec<i32> {
-    CampEngine::with_threads(threads).gemm_i4(m, n, k, a, b)
+    CampEngine::with_threads(threads).gemm(m, n, k, a, b, DType::I4).0
 }
 
+// The deprecated shims stay covered until they are removed: this module
+// is their test suite, so it exercises them deliberately.
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use camp_gemm::weights::HOST_BLOCKING;

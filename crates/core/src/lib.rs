@@ -29,19 +29,28 @@
 //!   one batch with the compute of the previous one. The steady state
 //!   spawns no threads and packs zero B bytes per request.
 //!
+//! * [`backend`] — **one GeMM API** over interchangeable substrates:
+//!   the [`backend::CampBackend`] trait, implemented by the host-speed
+//!   [`CampEngine`] and the cycle-accurate [`backend::SimBackend`].
+//!   Describe a problem once as a [`GemmRequest`], execute it on either
+//!   substrate (bit-identically), branch on [`backend::ExecStats`] —
+//!   and serve either one through the generic [`session::Session`].
+//!
 //! # Quickstart
 //!
 //! ```
-//! use camp_core::engine::{camp_gemm_i8, gemm_i32_ref};
+//! use camp_core::backend::CampBackend;
+//! use camp_core::{gemm_i32_ref, CampEngine, GemmRequest};
 //!
 //! let (m, n, k) = (5, 7, 33);
 //! let a: Vec<i8> = (0..m * k).map(|i| (i % 17) as i8 - 8).collect();
 //! let b: Vec<i8> = (0..k * n).map(|i| (i % 13) as i8 - 6).collect();
-//! let fast = camp_gemm_i8(m, n, k, &a, &b);
-//! let slow = gemm_i32_ref(m, n, k, &a, &b);
-//! assert_eq!(fast, slow);
+//! let req = GemmRequest::dense(m, n, k, a.clone(), b.clone()).unwrap();
+//! let fast = CampEngine::new().execute(&req).unwrap();
+//! assert_eq!(fast.output.c, gemm_i32_ref(m, n, k, &a, &b));
 //! ```
 
+pub mod backend;
 pub mod engine;
 pub mod hybrid;
 pub mod pool;
@@ -49,12 +58,21 @@ pub mod session;
 pub mod structure;
 pub mod unit;
 
+pub use backend::{BatchOutcome, CampBackend, Capability, ExecStats, Outcome, Output, SimBackend};
 pub use engine::{
-    camp_gemm_i4, camp_gemm_i4_parallel, camp_gemm_i8, camp_gemm_i8_parallel, gemm_i32_ref,
-    CampEngine, DType, EngineStats, GemmProblem, WeightHandle, WeightMeta,
+    gemm_i32_ref, CampEngine, DType, EngineStats, GemmProblem, WeightHandle, WeightMeta,
 };
+// The dtype-suffixed shims stay re-exported until removal so old import
+// paths keep resolving (with their deprecation note).
+#[allow(deprecated)]
+pub use engine::{camp_gemm_i4, camp_gemm_i4_parallel, camp_gemm_i8, camp_gemm_i8_parallel};
 pub use hybrid::HybridMultiplier;
 pub use pool::WorkerPool;
-pub use session::{Request, Session, TicketId};
+#[allow(deprecated)]
+pub use session::Request;
+pub use session::{Session, TicketId};
 pub use structure::CampStructure;
 pub use unit::{CampActivity, CampUnit};
+
+pub use camp_gemm::request::{GemmRequest, GemmRequestBuilder, Operand, RequestError};
+pub use camp_gemm::weights::WeightSnapshot;

@@ -1,32 +1,38 @@
-//! Submit/poll serving sessions over a [`CampEngine`].
+//! Submit/poll serving sessions over any [`CampBackend`].
 //!
 //! A serving deployment does not call a blocking GeMM API: it enqueues
 //! request batches and collects results when they are ready, keeping
 //! several batches in flight so the machine never idles between them.
-//! [`Session`] is that front end, built as a three-stage pipeline:
+//! [`Session`] is that front end, generic over the execution substrate
+//! — `Session<CampEngine>` serves at host speed, `Session<SimBackend>`
+//! streams batches through the cycle-accurate simulated CAMP core —
+//! built as a three-stage pipeline:
 //!
 //! 1. **submit** ([`Session::submit`]) — the caller hands over a batch
-//!    of owned [`Request`]s (activation + registered [`WeightHandle`])
-//!    and immediately gets a [`TicketId`] back;
-//! 2. **stage** — a dedicated staging thread pre-packs each request's A
-//!    operand into the panel layout the macro-kernel consumes
-//!    ([`camp_gemm::weights::prepack_a`]), so the A-packing of batch
-//!    N+1 overlaps the compute of batch N;
-//! 3. **compute** — a driver thread owning the engine runs each staged
-//!    batch on the persistent worker pool: registered B panels
-//!    everywhere, pre-packed A panels for everything below the
-//!    row-split threshold — the steady state packs **zero** B bytes and
+//!    of owned [`GemmRequest`]s and immediately gets a [`TicketId`]
+//!    back; requests are validated here ([`RequestError`] instead of a
+//!    panic deep in the pipeline);
+//! 2. **stage** — a dedicated staging thread runs
+//!    [`CampBackend::prepare`] on each request: the host engine
+//!    pre-packs A (and dense B) into the panel layout the macro-kernel
+//!    consumes, so the packing of batch N+1 overlaps the compute of
+//!    batch N; substrates with nothing to stage pass requests through;
+//! 3. **compute** — a driver thread owning the backend runs each staged
+//!    batch ([`CampBackend::execute_prepared`]); on the host engine the
+//!    steady state packs **zero** B bytes for registered weights and
 //!    does no A-packing on the compute path.
 //!
 //! Results come back through [`Session::poll`] (non-blocking) or
-//! [`Session::wait`] (blocking), in any order, each exactly once.
-//! Batches complete in submission order; results are bit-identical to
-//! looping [`CampEngine::gemm_with_handle`] over the same requests
-//! (property-tested). [`Session::into_engine`] drains the pipeline and
-//! hands the engine back.
+//! [`Session::wait`] (blocking) as [`BatchOutcome`]s, in any order,
+//! each exactly once. Batches complete in submission order; outputs are
+//! bit-identical to calling [`CampBackend::execute_batch`] on the same
+//! requests (property-tested, on both substrates).
+//! [`Session::into_backend`] drains the pipeline and hands the backend
+//! back.
 //!
 //! ```
-//! use camp_core::{CampEngine, DType, Request};
+//! use camp_core::backend::CampBackend;
+//! use camp_core::{CampEngine, DType, GemmRequest};
 //!
 //! let (n, k) = (8, 32);
 //! let w: Vec<i8> = (0..k * n).map(|i| (i % 15) as i8 - 7).collect();
@@ -34,27 +40,30 @@
 //!
 //! let mut engine = CampEngine::with_threads(2);
 //! let weights = engine.register_weights(n, k, &w, DType::I8);
-//! let expected = engine.gemm_with_handle(4, &a, weights);
+//! let req = GemmRequest::with_weights(4, a, weights).unwrap();
+//! let expected = engine.execute(&req).unwrap();
 //!
 //! let mut session = engine.serve();
-//! let ticket = session.submit(vec![Request { m: 4, a, weights }]);
-//! let results = session.wait(ticket);
-//! assert_eq!(results[0], expected);
+//! let ticket = session.submit(vec![req]).unwrap();
+//! let outcome = session.wait(ticket);
+//! assert_eq!(outcome.outputs[0], expected.output);
 //! ```
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
-use camp_gemm::batch::packed_a_bytes;
-use camp_gemm::weights::{host_block_plan, prepack_a, WeightHandle, WeightMeta};
+use camp_gemm::request::{GemmRequest, RequestError};
+use camp_gemm::weights::{WeightHandle, WeightSnapshot};
 
-use crate::engine::{CampEngine, EngineStats, StagedRequest, BATCH_ROW_SPLIT_MACS};
+use crate::backend::{BatchOutcome, CampBackend};
 
-/// One GeMM of a serving batch: an owned m×k activation multiplied
-/// against a weight matrix registered with the engine before the
-/// session started ([`CampEngine::register_weights`]). The kernel (i8
-/// vs i4) is the one the weight was registered for.
+/// One GeMM of a serving batch, legacy form: an owned m×k activation
+/// multiplied against a registered weight.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a GemmRequest (Operand::Handle) and submit that; From<Request> converts"
+)]
 #[derive(Debug, Clone)]
 pub struct Request {
     /// Rows of the activation / result.
@@ -63,6 +72,14 @@ pub struct Request {
     pub a: Vec<i8>,
     /// The registered weight to multiply against.
     pub weights: WeightHandle,
+}
+
+#[allow(deprecated)]
+impl From<Request> for GemmRequest {
+    fn from(r: Request) -> GemmRequest {
+        GemmRequest::with_weights(r.m, r.a, r.weights)
+            .expect("legacy requests carry no build-time-checkable shape")
+    }
 }
 
 /// Identifier of one submitted batch; redeem it with [`Session::poll`]
@@ -81,16 +98,17 @@ pub struct TicketId {
 /// the whole backlog into memory.
 const MAX_STAGED: usize = 2;
 
-/// Pipeline state shared by the submitter, the stager and the driver.
-#[derive(Default)]
-struct State {
+/// Pipeline state shared by the submitter, the stager and the driver,
+/// generic over the backend's staged request form.
+struct State<P> {
     /// Submitted, not yet staged.
-    submitted: VecDeque<(u64, Vec<Request>)>,
-    /// Staged (A pre-packed), not yet computed; at most [`MAX_STAGED`].
-    staged: VecDeque<(u64, Vec<StagedRequest>)>,
+    submitted: VecDeque<(u64, Vec<GemmRequest>)>,
+    /// Staged (operands pre-packed), not yet computed; at most
+    /// [`MAX_STAGED`].
+    staged: VecDeque<(u64, Vec<P>)>,
     /// Computed, not yet collected (results are retained until
     /// redeemed or the session drops).
-    done: HashMap<u64, (Vec<Vec<i32>>, EngineStats)>,
+    done: HashMap<u64, BatchOutcome>,
     /// Collected-ticket tracking (poll and wait are one-shot; waiting
     /// again is a caller bug, not a hang), compacted so a long-lived
     /// session stays O(out-of-orderness): every ticket below
@@ -104,7 +122,22 @@ struct State {
     dead: Option<&'static str>,
 }
 
-impl State {
+impl<P> Default for State<P> {
+    fn default() -> Self {
+        State {
+            submitted: VecDeque::new(),
+            staged: VecDeque::new(),
+            done: HashMap::new(),
+            collected_floor: 0,
+            collected: HashSet::new(),
+            shutdown: false,
+            stager_exited: false,
+            dead: None,
+        }
+    }
+}
+
+impl<P> State<P> {
     fn is_collected(&self, ticket: u64) -> bool {
         ticket < self.collected_floor || self.collected.contains(&ticket)
     }
@@ -121,8 +154,8 @@ impl State {
     }
 }
 
-struct Shared {
-    state: Mutex<State>,
+struct Shared<P> {
+    state: Mutex<State<P>>,
     /// Wakes the stager (new submission, or shutdown).
     submitted_cv: Condvar,
     /// Wakes the driver (new staged batch, or stager exit).
@@ -133,7 +166,7 @@ struct Shared {
     done_cv: Condvar,
 }
 
-impl Shared {
+impl<P> Shared<P> {
     fn new() -> Self {
         Shared {
             state: Mutex::new(State::default()),
@@ -148,12 +181,12 @@ impl Shared {
     /// is atomic under the lock (queues stay consistent even if a
     /// caller panicked mid-`wait`), and shutdown must still work after
     /// a panic so `Drop` can join the pipeline threads.
-    fn lock(&self) -> MutexGuard<'_, State> {
+    fn lock(&self) -> MutexGuard<'_, State<P>> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Wait on `cv`, ignoring poisoning like [`Shared::lock`].
-    fn wait<'a>(&self, cv: &Condvar, st: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+    fn wait<'a>(&self, cv: &Condvar, st: MutexGuard<'a, State<P>>) -> MutexGuard<'a, State<P>> {
         cv.wait(st).unwrap_or_else(|e| e.into_inner())
     }
 
@@ -170,13 +203,13 @@ impl Shared {
 
 /// Notifies the session if a pipeline thread unwinds, so callers
 /// blocked in [`Session::wait`] fail fast instead of hanging.
-struct DeathWatch<'a> {
-    shared: &'a Shared,
+struct DeathWatch<'a, P> {
+    shared: &'a Shared<P>,
     who: &'static str,
     armed: bool,
 }
 
-impl Drop for DeathWatch<'_> {
+impl<P> Drop for DeathWatch<'_, P> {
     fn drop(&mut self) {
         if self.armed {
             self.shared.mark_dead(self.who);
@@ -184,56 +217,55 @@ impl Drop for DeathWatch<'_> {
     }
 }
 
-/// Streaming serving front end over a [`CampEngine`]; see the
+/// Streaming serving front end over any [`CampBackend`]; see the
 /// [module docs](self).
-#[derive(Debug)]
-pub struct Session {
-    shared: Arc<Shared>,
-    /// Registration snapshot for submit-side validation.
-    metas: Vec<WeightMeta>,
-    /// Identity of the engine's registry: handles from another engine
-    /// are rejected at submit time even when indices/shapes coincide.
-    registry_id: u64,
+pub struct Session<B: CampBackend + Send + 'static> {
+    shared: Arc<Shared<B::Prepared>>,
+    /// Registration snapshot for submit-side validation (handles from
+    /// another backend, stale handles and malformed shapes are rejected
+    /// at submit, not deep in the pipeline).
+    weights: WeightSnapshot,
     /// Process-unique identity stamped into this session's tickets.
     session_id: u64,
     next_ticket: u64,
     stager: Option<JoinHandle<()>>,
-    driver: Option<JoinHandle<CampEngine>>,
+    driver: Option<JoinHandle<B>>,
 }
 
-impl std::fmt::Debug for Shared {
+impl<B: CampBackend + Send + 'static> std::fmt::Debug for Session<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Shared").finish_non_exhaustive()
+        f.debug_struct("Session")
+            .field("session_id", &self.session_id)
+            .field("next_ticket", &self.next_ticket)
+            .finish_non_exhaustive()
     }
 }
 
-impl Session {
-    /// Start serving on `engine`. Weights must already be registered:
+impl<B: CampBackend + Send + 'static> Session<B> {
+    /// Start serving on `backend`. Weights must already be registered:
     /// submissions are validated against this moment's registry.
-    pub fn new(engine: CampEngine) -> Self {
-        let metas = engine.weight_metas();
-        let registry_id = engine.weight_registry_id();
-        let shared = Arc::new(Shared::new());
+    pub fn new(backend: B) -> Self {
+        let weights = backend.weight_snapshot();
+        let shared: Arc<Shared<B::Prepared>> = Arc::new(Shared::new());
 
         let stager_shared = Arc::clone(&shared);
-        let stager_metas = metas.clone();
+        let stager_weights = weights.clone();
         let stager = std::thread::Builder::new()
             .name("camp-stager".into())
-            .spawn(move || stager_loop(&stager_shared, &stager_metas))
+            .spawn(move || stager_loop::<B>(&stager_shared, &stager_weights))
             .expect("failed to spawn session stager");
 
         let driver_shared = Arc::clone(&shared);
         let driver = std::thread::Builder::new()
             .name("camp-driver".into())
-            .spawn(move || driver_loop(&driver_shared, engine))
+            .spawn(move || driver_loop::<B>(&driver_shared, backend))
             .expect("failed to spawn session driver");
 
         use std::sync::atomic::{AtomicU64, Ordering};
         static NEXT_SESSION_ID: AtomicU64 = AtomicU64::new(0);
         Session {
             shared,
-            metas,
-            registry_id,
+            weights,
             session_id: NEXT_SESSION_ID.fetch_add(1, Ordering::Relaxed),
             next_ticket: 0,
             stager: Some(stager),
@@ -243,29 +275,20 @@ impl Session {
 
     /// Enqueue one batch; returns immediately with the ticket that will
     /// redeem its results. Batches complete in submission order, with
-    /// the A-packing of this batch overlapping the compute of earlier
-    /// ones.
+    /// the operand staging of this batch overlapping the compute of
+    /// earlier ones.
+    ///
+    /// Every request is validated against the registration snapshot
+    /// taken when the session started: stale or foreign handles and
+    /// malformed shapes are rejected here as [`RequestError`]s (the
+    /// batch is returned to the caller untouched in spirit — nothing
+    /// was enqueued).
     ///
     /// # Panics
-    /// Panics if a request's handle was not registered before the
-    /// session started, or its activation length is not m×k for the
-    /// registered k.
-    pub fn submit(&mut self, batch: Vec<Request>) -> TicketId {
-        for (i, r) in batch.iter().enumerate() {
-            assert_eq!(
-                r.weights.registry(),
-                self.registry_id,
-                "request {i}: WeightHandle from a different engine's registry"
-            );
-            let meta = self
-                .metas
-                .get(r.weights.index())
-                .unwrap_or_else(|| panic!("request {i}: unknown WeightHandle"));
-            assert_eq!(
-                r.a.len(),
-                r.m * meta.k,
-                "request {i}: activation must be m×k for the registered weight"
-            );
+    /// Panics if a pipeline thread has already died.
+    pub fn submit(&mut self, batch: Vec<GemmRequest>) -> Result<TicketId, RequestError> {
+        for r in &batch {
+            r.resolve(&self.weights)?;
         }
         let seq = self.next_ticket;
         self.next_ticket += 1;
@@ -275,7 +298,7 @@ impl Session {
         }
         st.submitted.push_back((seq, batch));
         self.shared.submitted_cv.notify_one();
-        TicketId { session: self.session_id, seq }
+        Ok(TicketId { session: self.session_id, seq })
     }
 
     /// A ticket's queue key, after verifying it belongs to this session.
@@ -288,14 +311,7 @@ impl Session {
     /// Non-blocking result check: `None` while the batch is still in
     /// the pipeline. The result is handed out exactly once — a second
     /// poll of the same ticket returns `None` again.
-    pub fn poll(&mut self, ticket: TicketId) -> Option<Vec<Vec<i32>>> {
-        self.poll_with_stats(ticket).map(|(c, _)| c)
-    }
-
-    /// [`Session::poll`] plus the batch's merged [`EngineStats`]
-    /// (staging traffic included; `packed_b_bytes` is always 0 since
-    /// every request multiplies a registered weight).
-    pub fn poll_with_stats(&mut self, ticket: TicketId) -> Option<(Vec<Vec<i32>>, EngineStats)> {
+    pub fn poll(&mut self, ticket: TicketId) -> Option<BatchOutcome> {
         let seq = self.check_ticket(ticket);
         let mut st = self.shared.lock();
         // completed results stay retrievable even after a pipeline
@@ -310,19 +326,15 @@ impl Session {
         None
     }
 
-    /// Block until the batch is computed; returns one row-major C per
-    /// request, in request order. Each ticket can be waited on exactly
-    /// once.
+    /// Block until the batch is computed; returns one [`BatchOutcome`]
+    /// with per-request outputs in request order (stats merged across
+    /// the batch, staging traffic included). Each ticket can be waited
+    /// on exactly once.
     ///
     /// # Panics
     /// Panics if a pipeline thread died, or the ticket's result was
     /// already collected.
-    pub fn wait(&mut self, ticket: TicketId) -> Vec<Vec<i32>> {
-        self.wait_with_stats(ticket).0
-    }
-
-    /// [`Session::wait`] plus the batch's merged [`EngineStats`].
-    pub fn wait_with_stats(&mut self, ticket: TicketId) -> (Vec<Vec<i32>>, EngineStats) {
+    pub fn wait(&mut self, ticket: TicketId) -> BatchOutcome {
         let seq = self.check_ticket(ticket);
         let mut st = self.shared.lock();
         loop {
@@ -346,15 +358,21 @@ impl Session {
     }
 
     /// Drain the pipeline (every submitted batch finishes; uncollected
-    /// results are dropped) and return the engine, weights and warm
+    /// results are dropped) and return the backend, weights and warm
     /// pools intact.
-    pub fn into_engine(mut self) -> CampEngine {
+    pub fn into_backend(mut self) -> B {
         self.begin_shutdown();
         if let Some(h) = self.stager.take() {
             let _ = h.join();
         }
         let driver = self.driver.take().expect("driver already joined");
         driver.join().expect("session driver panicked")
+    }
+
+    /// Legacy name for [`Session::into_backend`].
+    #[deprecated(since = "0.2.0", note = "renamed to into_backend")]
+    pub fn into_engine(self) -> B {
+        self.into_backend()
     }
 
     fn begin_shutdown(&self) {
@@ -366,7 +384,7 @@ impl Session {
     }
 }
 
-impl Drop for Session {
+impl<B: CampBackend + Send + 'static> Drop for Session<B> {
     fn drop(&mut self) {
         self.begin_shutdown();
         if let Some(h) = self.stager.take() {
@@ -378,32 +396,7 @@ impl Drop for Session {
     }
 }
 
-/// Stage one request: resolve its shape from the registration and
-/// pre-pack A (small requests only — row-split requests are packed by
-/// the workers that own the rows).
-fn stage_request(r: Request, metas: &[WeightMeta]) -> StagedRequest {
-    let meta = metas[r.weights.index()];
-    let mut staged = StagedRequest {
-        m: r.m,
-        n: meta.n,
-        k: meta.k,
-        dtype: meta.dtype,
-        a: r.a,
-        packed_a: None,
-        packed_a_bytes: 0,
-        handle: r.weights,
-    };
-    if !staged.is_degenerate() && staged.macs() < BATCH_ROW_SPLIT_MACS {
-        let plan = host_block_plan(staged.m, staged.n, staged.k, staged.dtype.k_step());
-        let mut buf = vec![0i8; packed_a_bytes(&plan)];
-        prepack_a(&mut buf, &staged.a, staged.m, staged.k, &plan);
-        staged.packed_a_bytes = buf.len() as u64;
-        staged.packed_a = Some(buf);
-    }
-    staged
-}
-
-fn stager_loop(shared: &Shared, metas: &[WeightMeta]) {
+fn stager_loop<B: CampBackend>(shared: &Shared<B::Prepared>, weights: &WeightSnapshot) {
     let mut watch = DeathWatch { shared, who: "stager", armed: true };
     loop {
         let next = {
@@ -426,14 +419,13 @@ fn stager_loop(shared: &Shared, metas: &[WeightMeta]) {
             watch.armed = false;
             return;
         };
-        // the pipeline overlap: this packing runs while the driver
+        // the pipeline overlap: this staging runs while the driver
         // computes the previous batch on the worker pool
-        let staged: Vec<StagedRequest> =
-            batch.into_iter().map(|r| stage_request(r, metas)).collect();
+        let staged: Vec<B::Prepared> = batch.into_iter().map(|r| B::prepare(r, weights)).collect();
         let mut st = shared.lock();
         // backpressure: hold at most MAX_STAGED pre-packed batches (the
         // one in hand counts once pushed) so a deep submission backlog
-        // does not stage its packed-A copies all at once; the driver
+        // does not stage its packed copies all at once; the driver
         // signals room as it consumes (skip waiting if it died)
         while st.staged.len() >= MAX_STAGED && st.dead.is_none() {
             st = shared.wait(&shared.stage_room_cv, st);
@@ -443,7 +435,7 @@ fn stager_loop(shared: &Shared, metas: &[WeightMeta]) {
     }
 }
 
-fn driver_loop(shared: &Shared, mut engine: CampEngine) -> CampEngine {
+fn driver_loop<B: CampBackend>(shared: &Shared<B::Prepared>, mut backend: B) -> B {
     let mut watch = DeathWatch { shared, who: "driver", armed: true };
     loop {
         let next = {
@@ -457,7 +449,7 @@ fn driver_loop(shared: &Shared, mut engine: CampEngine) -> CampEngine {
                     break None;
                 }
                 // a dead stager will never stage again nor set
-                // stager_exited — exit so Drop/into_engine can join
+                // stager_exited — exit so Drop/into_backend can join
                 // instead of deadlocking
                 if st.dead.is_some() {
                     break None;
@@ -467,9 +459,9 @@ fn driver_loop(shared: &Shared, mut engine: CampEngine) -> CampEngine {
         };
         let Some((ticket, staged)) = next else {
             watch.armed = false;
-            return engine;
+            return backend;
         };
-        let result = engine.run_staged(&staged);
+        let result = backend.execute_prepared(staged);
         let mut st = shared.lock();
         st.done.insert(ticket, result);
         shared.done_cv.notify_all();
@@ -479,7 +471,9 @@ fn driver_loop(shared: &Shared, mut engine: CampEngine) -> CampEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{camp_gemm_i4, camp_gemm_i8, DType};
+    use crate::backend::{ExecStats, SimBackend};
+    use crate::engine::{CampEngine, DType};
+    use camp_gemm::gemm_i32_ref;
 
     fn fill(len: usize, seed: i32) -> Vec<i8> {
         (0..len).map(|i| ((i as i32 * seed) % 16 - 8) as i8).collect()
@@ -493,21 +487,29 @@ mod tests {
         (eng, h, w, n, k)
     }
 
+    fn handle_req(m: usize, a: Vec<i8>, h: WeightHandle) -> GemmRequest {
+        GemmRequest::with_weights(m, a, h).expect("well-formed request")
+    }
+
+    fn host_packed_b(stats: &ExecStats) -> u64 {
+        stats.as_host().expect("host stats").packed_b_bytes
+    }
+
     #[test]
-    fn submit_wait_matches_the_blocking_engine() {
+    fn submit_wait_matches_the_blocking_backend() {
         for threads in [1, 2, 4] {
             let (eng, h, w, n, k) = serving_setup(threads);
             let a1 = fill(7 * k, 3);
             let a2 = fill(4 * k, 11);
             let mut session = eng.serve();
-            let t = session.submit(vec![
-                Request { m: 7, a: a1.clone(), weights: h },
-                Request { m: 4, a: a2.clone(), weights: h },
-            ]);
-            let (cs, stats) = session.wait_with_stats(t);
-            assert_eq!(cs[0], camp_gemm_i8(7, n, k, &a1, &w), "threads={threads}");
-            assert_eq!(cs[1], camp_gemm_i8(4, n, k, &a2, &w), "threads={threads}");
-            assert_eq!(stats.packed_b_bytes, 0, "sessions never pack B");
+            let t = session
+                .submit(vec![handle_req(7, a1.clone(), h), handle_req(4, a2.clone(), h)])
+                .unwrap();
+            let outcome = session.wait(t);
+            assert_eq!(outcome.outputs[0].c, gemm_i32_ref(7, n, k, &a1, &w), "threads={threads}");
+            assert_eq!(outcome.outputs[1].c, gemm_i32_ref(4, n, k, &a2, &w), "threads={threads}");
+            let stats = outcome.stats.as_host().expect("host session");
+            assert_eq!(stats.packed_b_bytes, 0, "registered weights never pack B");
             assert!(stats.packed_a_bytes > 0, "staging traffic is accounted");
         }
     }
@@ -519,12 +521,12 @@ mod tests {
         let activations: Vec<Vec<i8>> = (0..6).map(|i| fill(3 * k, 3 + 2 * i)).collect();
         let tickets: Vec<TicketId> = activations
             .iter()
-            .map(|a| session.submit(vec![Request { m: 3, a: a.clone(), weights: h }]))
+            .map(|a| session.submit(vec![handle_req(3, a.clone(), h)]).unwrap())
             .collect();
         // redeem newest-first: out-of-order collection must work
         for (a, t) in activations.iter().zip(&tickets).rev() {
-            let cs = session.wait(*t);
-            assert_eq!(cs[0], camp_gemm_i8(3, n, k, a, &w));
+            let outcome = session.wait(*t);
+            assert_eq!(outcome.outputs[0].c, gemm_i32_ref(3, n, k, a, &w));
         }
     }
 
@@ -533,19 +535,19 @@ mod tests {
         let (eng, h, w, n, k) = serving_setup(2);
         let a = fill(5 * k, 7);
         let mut session = eng.serve();
-        let t = session.submit(vec![Request { m: 5, a: a.clone(), weights: h }]);
+        let t = session.submit(vec![handle_req(5, a.clone(), h)]).unwrap();
         // poll until ready (bounded busy loop, the batch is tiny)
         let mut got = None;
         for _ in 0..10_000 {
-            if let Some(cs) = session.poll(t) {
-                got = Some(cs);
+            if let Some(outcome) = session.poll(t) {
+                got = Some(outcome);
                 break;
             }
             std::thread::yield_now();
         }
-        let cs = got.expect("batch never completed");
-        assert_eq!(cs[0], camp_gemm_i8(5, n, k, &a, &w));
-        assert_eq!(session.poll(t), None, "results are handed out exactly once");
+        let outcome = got.expect("batch never completed");
+        assert_eq!(outcome.outputs[0].c, gemm_i32_ref(5, n, k, &a, &w));
+        assert!(session.poll(t).is_none(), "results are handed out exactly once");
     }
 
     #[test]
@@ -556,8 +558,23 @@ mod tests {
         let h = eng.register_weights(n, k, &w, DType::I4);
         let a = fill(6 * k, 3);
         let mut session = eng.serve();
-        let t = session.submit(vec![Request { m: 6, a: a.clone(), weights: h }]);
-        assert_eq!(session.wait(t)[0], camp_gemm_i4(6, n, k, &a, &w));
+        let t = session.submit(vec![handle_req(6, a.clone(), h)]).unwrap();
+        assert_eq!(session.wait(t).outputs[0].c, gemm_i32_ref(6, n, k, &a, &w));
+    }
+
+    #[test]
+    fn dense_requests_serve_with_b_staged_off_the_compute_path() {
+        // sessions are no longer handle-only: dense operands are
+        // pre-packed by the stager, bit-identically
+        let (m, n, k) = (6, 10, 33);
+        let w = fill(k * n, 5);
+        let a = fill(m * k, 3);
+        let req = GemmRequest::dense(m, n, k, a.clone(), w.clone()).unwrap();
+        let mut session = CampEngine::with_threads(2).serve();
+        let t = session.submit(vec![req]).unwrap();
+        let outcome = session.wait(t);
+        assert_eq!(outcome.outputs[0].c, gemm_i32_ref(m, n, k, &a, &w));
+        assert!(host_packed_b(&outcome.stats) > 0, "dense B staging is accounted");
     }
 
     #[test]
@@ -568,26 +585,26 @@ mod tests {
         let h = eng.register_weights(n, k, &w, DType::I8);
         let h0 = eng.register_weights(4, 0, &[], DType::I8);
         let mut session = eng.serve();
-        let t = session.submit(vec![
-            Request { m: 0, a: Vec::new(), weights: h },
-            Request { m: 3, a: Vec::new(), weights: h0 }, // k = 0
-        ]);
-        let cs = session.wait(t);
-        assert!(cs[0].is_empty());
-        assert_eq!(cs[1], vec![0; 12]);
+        let t = session
+            .submit(vec![handle_req(0, Vec::new(), h), handle_req(3, Vec::new(), h0)])
+            .unwrap();
+        let outcome = session.wait(t);
+        assert!(outcome.outputs[0].c.is_empty());
+        assert_eq!(outcome.outputs[1].c, vec![0; 12]);
     }
 
     #[test]
-    fn into_engine_drains_and_returns_a_warm_engine() {
+    fn into_backend_drains_and_returns_a_warm_engine() {
         let (eng, h, w, n, k) = serving_setup(2);
         let a = fill(4 * k, 9);
+        let req = handle_req(4, a.clone(), h);
         let mut session = eng.serve();
-        let t = session.submit(vec![Request { m: 4, a: a.clone(), weights: h }]);
-        let cs = session.wait(t);
-        let mut eng = session.into_engine();
+        let t = session.submit(vec![req.clone()]).unwrap();
+        let outcome = session.wait(t);
+        let mut eng = session.into_backend();
         // registry and pools survive the round trip
-        assert_eq!(eng.gemm_with_handle(4, &a, h), cs[0]);
-        assert_eq!(eng.gemm_with_handle(4, &a, h), camp_gemm_i8(4, n, k, &a, &w));
+        assert_eq!(eng.execute(&req).unwrap().output, outcome.outputs[0]);
+        assert_eq!(eng.execute(&req).unwrap().output.c, gemm_i32_ref(4, n, k, &a, &w));
     }
 
     #[test]
@@ -596,22 +613,34 @@ mod tests {
         // row-partitioned across the pool — still bit-identical
         let (n, k) = (160, 512);
         let m = 160; // 13.1 M MACs
-        assert!((m * n * k) as u64 >= BATCH_ROW_SPLIT_MACS);
+        assert!((m * n * k) as u64 >= crate::engine::BATCH_ROW_SPLIT_MACS);
         let w = fill(k * n, 5);
         let a = fill(m * k, 3);
         let mut eng = CampEngine::with_threads(4);
         let h = eng.register_weights(n, k, &w, DType::I8);
         let mut session = eng.serve();
-        let t = session.submit(vec![Request { m, a: a.clone(), weights: h }]);
-        assert_eq!(session.wait(t)[0], camp_gemm_i8(m, n, k, &a, &w));
+        let t = session.submit(vec![handle_req(m, a.clone(), h)]).unwrap();
+        assert_eq!(session.wait(t).outputs[0].c, gemm_i32_ref(m, n, k, &a, &w));
     }
 
     #[test]
-    #[should_panic(expected = "request 0: activation must be m×k")]
-    fn submit_rejects_malformed_activations() {
+    fn submit_rejects_malformed_activations_without_panicking() {
         let (eng, h, _, _, _) = serving_setup(1);
         let mut session = eng.serve();
-        let _ = session.submit(vec![Request { m: 3, a: vec![0; 5], weights: h }]);
+        let err = session.submit(vec![handle_req(3, vec![0; 5], h)]).unwrap_err();
+        assert!(matches!(err, RequestError::ShapeMismatch { operand: "A", .. }));
+        // the session survives a rejected submission
+        let t = session.submit(Vec::new()).unwrap();
+        assert!(session.wait(t).outputs.is_empty());
+    }
+
+    #[test]
+    fn submit_rejects_stale_handles() {
+        let (mut eng, h, _, _, k) = serving_setup(1);
+        eng.evict_weights(h).unwrap();
+        let mut session = eng.serve();
+        let err = session.submit(vec![handle_req(2, fill(2 * k, 3), h)]).unwrap_err();
+        assert_eq!(err, RequestError::StaleHandle);
     }
 
     #[test]
@@ -620,7 +649,7 @@ mod tests {
         let (eng, h, _, _, k) = serving_setup(1);
         let a = fill(2 * k, 3);
         let mut session = eng.serve();
-        let t = session.submit(vec![Request { m: 2, a, weights: h }]);
+        let t = session.submit(vec![handle_req(2, a, h)]).unwrap();
         let _ = session.wait(t);
         let _ = session.wait(t);
     }
@@ -631,21 +660,21 @@ mod tests {
         let a = fill(8 * k, 3);
         let mut session = eng.serve();
         // warm-up round, then steady state
-        let warm = session.submit(vec![Request { m: 8, a: a.clone(), weights: h }]);
+        let warm = session.submit(vec![handle_req(8, a.clone(), h)]).unwrap();
         let _ = session.wait(warm);
-        let eng = session.into_engine();
+        let eng = session.into_backend();
         let warm_allocs = eng.pack_allocations();
         let mut session = eng.serve();
         for _ in 0..4 {
-            let t = session.submit(vec![Request { m: 8, a: a.clone(), weights: h }]);
-            let (cs, stats) = session.wait_with_stats(t);
-            assert_eq!(cs[0], camp_gemm_i8(8, n, k, &a, &w));
-            assert_eq!(stats.packed_b_bytes, 0, "steady-state serving must not pack B");
+            let t = session.submit(vec![handle_req(8, a.clone(), h)]).unwrap();
+            let outcome = session.wait(t);
+            assert_eq!(outcome.outputs[0].c, gemm_i32_ref(8, n, k, &a, &w));
+            assert_eq!(host_packed_b(&outcome.stats), 0, "steady-state serving must not pack B");
         }
         // pack pools are warm: steady-state batches grow nothing (the
-        // per-request result and staged-A vectors are the caller-visible
+        // per-request result and staged vectors are the caller-visible
         // allocations, not pool churn)
-        assert_eq!(session.into_engine().pack_allocations(), warm_allocs);
+        assert_eq!(session.into_backend().pack_allocations(), warm_allocs);
     }
 
     #[test]
@@ -657,11 +686,11 @@ mod tests {
         let activations: Vec<Vec<i8>> = (0..12).map(|i| fill(2 * k, 3 + 2 * i)).collect();
         let tickets: Vec<TicketId> = activations
             .iter()
-            .map(|a| session.submit(vec![Request { m: 2, a: a.clone(), weights: h }]))
+            .map(|a| session.submit(vec![handle_req(2, a.clone(), h)]).unwrap())
             .collect();
         assert_eq!(session.in_flight(), 12);
         for (a, t) in activations.iter().zip(&tickets) {
-            assert_eq!(session.wait(*t)[0], camp_gemm_i8(2, n, k, a, &w));
+            assert_eq!(session.wait(*t).outputs[0].c, gemm_i32_ref(2, n, k, a, &w));
         }
         assert_eq!(session.in_flight(), 0);
     }
@@ -678,21 +707,21 @@ mod tests {
         let mut eng = CampEngine::new();
         let h = eng.register_weights(n, k, &w, DType::I4);
         let mut session = eng.serve();
-        let a = vec![100i8; 2 * k]; // not 4-bit
-        let t = session.submit(vec![Request { m: 2, a, weights: h }]);
+        let a = vec![100i8; 2 * k]; // not 4-bit (handle requests defer the range check)
+        let t = session.submit(vec![handle_req(2, a, h)]).unwrap();
         let _ = session.wait(t);
     }
 
     #[test]
-    #[should_panic(expected = "WeightHandle from a different engine's registry")]
-    fn handles_from_another_engine_are_rejected_at_submit() {
+    fn handles_from_another_backend_are_rejected_at_submit() {
         // same index, same shape, different engine: without the
         // registry stamp this would silently use the wrong weights
         let (eng, _, _, n, k) = serving_setup(1);
         let mut other = CampEngine::new();
         let foreign = other.register_weights(n, k, &fill(k * n, 9), DType::I8);
         let mut session = eng.serve();
-        let _ = session.submit(vec![Request { m: 2, a: fill(2 * k, 3), weights: foreign }]);
+        let err = session.submit(vec![handle_req(2, fill(2 * k, 3), foreign)]).unwrap_err();
+        assert_eq!(err, RequestError::ForeignHandle);
     }
 
     #[test]
@@ -703,12 +732,41 @@ mod tests {
         // would silently redeem s2's unrelated batch
         let (eng, h, _, _, k) = serving_setup(1);
         let mut s1 = eng.serve();
-        let t = s1.submit(vec![Request { m: 2, a: fill(2 * k, 3), weights: h }]);
+        let t = s1.submit(vec![handle_req(2, fill(2 * k, 3), h)]).unwrap();
         let _ = s1.wait(t);
         let (eng2, h2, _, _, k2) = serving_setup(1);
         let mut s2 = eng2.serve();
-        let _ = s2.submit(vec![Request { m: 2, a: fill(2 * k2, 5), weights: h2 }]);
+        let _ = s2.submit(vec![handle_req(2, fill(2 * k2, 5), h2)]).unwrap();
         // a ticket s2 never issued must panic, not spin or mis-redeem
         let _ = s2.poll(t);
+    }
+
+    #[test]
+    fn legacy_requests_convert_into_the_new_form() {
+        #[allow(deprecated)]
+        let legacy = Request { m: 3, a: fill(3 * 33, 7), weights: serving_setup(1).1 };
+        let req: GemmRequest = legacy.into();
+        assert_eq!(req.m(), 3);
+    }
+
+    #[test]
+    fn simulated_sessions_serve_batches_too() {
+        // the ROADMAP next step that falls out of the generic session:
+        // submit/poll serving of *simulated* batches
+        let (n, k) = (8, 32);
+        let w = fill(k * n, 5);
+        let a = fill(4 * k, 3);
+        let mut sim = SimBackend::a64fx();
+        let h = crate::backend::CampBackend::register_weights(&mut sim, n, k, &w, DType::I8);
+        let mut session = sim.serve();
+        let t = session.submit(vec![handle_req(4, a.clone(), h)]).unwrap();
+        let outcome = session.wait(t);
+        assert_eq!(outcome.outputs[0].c, gemm_i32_ref(4, n, k, &a, &w));
+        let stats = outcome.stats.as_sim().expect("simulated session");
+        assert!(stats.cycles > 0, "simulated serving must report cycles");
+        // the backend comes back usable
+        let mut sim = session.into_backend();
+        let req = handle_req(4, a.clone(), h);
+        assert_eq!(sim.execute(&req).unwrap().output.c, gemm_i32_ref(4, n, k, &a, &w));
     }
 }

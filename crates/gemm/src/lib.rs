@@ -53,6 +53,7 @@ pub mod kernels;
 pub mod loops;
 pub mod pack;
 pub mod reference;
+pub mod request;
 pub mod trace;
 pub mod weights;
 pub mod workspace;
@@ -64,5 +65,6 @@ pub use driver::{
     GemmOptions, GemmResult, Method, SerialScheduler, SimBatchResult, SimJob, SimScheduler,
 };
 pub use reference::{gemm_f32_ref, gemm_i32_ref, gemm_i8_wrapping_ref, SplitMix64};
-pub use weights::{DType, WeightHandle, WeightMeta, WeightRegistry};
+pub use request::{GemmRequest, GemmRequestBuilder, Operand, RequestError, ResolvedRequest};
+pub use weights::{DType, WeightHandle, WeightMeta, WeightRegistry, WeightSnapshot};
 pub use workspace::{PackPool, PanelId, PersistentId};

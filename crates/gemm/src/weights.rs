@@ -41,8 +41,11 @@
 //! (`CampEngine::register_weights` / `gemm_with_handle` in `camp-core`
 //! wrap this registry behind the engine API — see their doctests.)
 
+use std::sync::Arc;
+
 use crate::batch::{packed_a_offset, packed_b_bytes, packed_b_offset};
 use crate::loops::{for_each_a_block, for_each_b_block, BlockPlan};
+use crate::request::RequestError;
 use crate::workspace::{PackPool, PersistentId};
 
 /// Host-engine cache blocking: (mc, nc, kc), multiples of the 4×4
@@ -86,19 +89,23 @@ impl DType {
     }
 }
 
-/// Copyable handle to one registered weight matrix. Valid for the
-/// lifetime of the registry (registrations are never evicted). Handles
-/// are stamped with their registry's identity, so using one against a
-/// different engine's registry panics instead of silently multiplying
-/// the wrong weights when shapes happen to coincide.
+/// Copyable handle to one registered weight matrix, valid until that
+/// registration is evicted ([`WeightRegistry::evict`] /
+/// [`WeightRegistry::clear`]). Handles are stamped with their
+/// registry's identity *and* their slot's generation: using one against
+/// a different engine's registry, or after its registration was
+/// evicted, fails loudly (the legacy lookups panic; the request API
+/// returns [`RequestError::StaleHandle`]) instead of silently
+/// multiplying the wrong weights when shapes happen to coincide.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WeightHandle {
     registry: u64,
     index: usize,
+    generation: u64,
 }
 
 impl WeightHandle {
-    /// Index of this handle in registration order.
+    /// Slot index of this handle in its registry.
     pub fn index(self) -> usize {
         self.index
     }
@@ -107,6 +114,55 @@ impl WeightHandle {
     /// [`WeightRegistry::id`]).
     pub fn registry(self) -> u64 {
         self.registry
+    }
+
+    /// Generation of the slot when this handle was issued; a slot
+    /// re-used after eviction carries a higher generation, which is how
+    /// stale handles are detected.
+    pub fn generation(self) -> u64 {
+        self.generation
+    }
+}
+
+/// Submit-time view of a registry: registry identity plus the
+/// generation and metadata of every live slot. A serving session
+/// validates submissions against this snapshot without holding the
+/// backend, and [`crate::request::GemmRequest::resolve`] reads handle
+/// shapes out of it.
+#[derive(Debug, Clone)]
+pub struct WeightSnapshot {
+    registry: u64,
+    entries: Vec<Option<(u64, WeightMeta)>>,
+}
+
+impl WeightSnapshot {
+    /// An empty snapshot tied to no registry (every handle is foreign).
+    pub fn empty() -> Self {
+        WeightSnapshot { registry: u64::MAX, entries: Vec::new() }
+    }
+
+    /// Shape/dtype of a handle's registration at snapshot time, or why
+    /// the handle is invalid.
+    pub fn meta(&self, h: WeightHandle) -> Result<WeightMeta, RequestError> {
+        if h.registry != self.registry {
+            return Err(RequestError::ForeignHandle);
+        }
+        match self.entries.get(h.index) {
+            None => Err(RequestError::UnknownHandle),
+            Some(None) => Err(RequestError::StaleHandle),
+            Some(Some((generation, meta))) => {
+                if *generation == h.generation {
+                    Ok(*meta)
+                } else {
+                    Err(RequestError::StaleHandle)
+                }
+            }
+        }
+    }
+
+    /// Live registrations in the snapshot.
+    pub fn live(&self) -> usize {
+        self.entries.iter().flatten().count()
     }
 }
 
@@ -128,14 +184,50 @@ impl WeightMeta {
     }
 }
 
+/// One live registration.
+#[derive(Debug)]
+struct Entry {
+    meta: WeightMeta,
+    panel: PersistentId,
+    /// Raw row-major k×n bytes; kept only in raw-mirror mode (the
+    /// simulated backend stages these into machine memory).
+    raw: Option<Arc<[i8]>>,
+    /// Resident bytes of this registration (packed panel or raw copy).
+    bytes: u64,
+}
+
+/// One registry slot: its current generation plus the live entry, if
+/// any. Evicting clears the entry; re-registering into the slot bumps
+/// the generation, which is what invalidates outstanding handles.
+#[derive(Debug)]
+struct Slot {
+    generation: u64,
+    entry: Option<Entry>,
+}
+
 /// Registry of pre-packed B operands: each registration packs the
 /// weight once into a persistent pool panel; lookups are index reads.
+/// Long-lived serving engines can drop stale layers with
+/// [`WeightRegistry::evict`] / [`WeightRegistry::clear`] — evicted
+/// storage is freed and the slot is recycled under a new generation, so
+/// outstanding handles to the old registration fail loudly instead of
+/// reading the new occupant.
+///
+/// [`WeightRegistry::raw_mirror`] builds the *simulated* flavor of the
+/// registry: identical handle semantics (identity, generations,
+/// eviction), but registrations keep the raw weight bytes (for staging
+/// into simulated machine memory) instead of a host-packed panel.
 #[derive(Debug)]
 pub struct WeightRegistry {
     id: u64,
     pool: PackPool,
-    entries: Vec<(WeightMeta, PersistentId)>,
+    slots: Vec<Slot>,
+    /// Evicted slot indices awaiting re-use.
+    free: Vec<usize>,
     packed_bytes: u64,
+    resident_bytes: u64,
+    /// Raw-mirror mode: keep raw bytes, skip host packing.
+    raw_mode: bool,
 }
 
 impl Default for WeightRegistry {
@@ -145,15 +237,31 @@ impl Default for WeightRegistry {
 }
 
 impl WeightRegistry {
-    /// Empty registry with a process-unique identity.
+    /// Empty host registry (packed panels) with a process-unique
+    /// identity.
     pub fn new() -> Self {
+        WeightRegistry::with_mode(false)
+    }
+
+    /// Empty **raw-mirror** registry: registrations keep the raw
+    /// row-major weight bytes (readable via [`WeightRegistry::raw`])
+    /// and pack no host panels — the storage mode of the simulated
+    /// backend's weight registry.
+    pub fn raw_mirror() -> Self {
+        WeightRegistry::with_mode(true)
+    }
+
+    fn with_mode(raw_mode: bool) -> Self {
         use std::sync::atomic::{AtomicU64, Ordering};
         static NEXT_REGISTRY_ID: AtomicU64 = AtomicU64::new(0);
         WeightRegistry {
             id: NEXT_REGISTRY_ID.fetch_add(1, Ordering::Relaxed),
             pool: PackPool::new(),
-            entries: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             packed_bytes: 0,
+            resident_bytes: 0,
+            raw_mode,
         }
     }
 
@@ -164,64 +272,167 @@ impl WeightRegistry {
     }
 
     /// Pack the row-major k×n weight matrix `b` for `dtype`'s kernel and
-    /// keep the panel alive for the registry's lifetime. Zero-dimension
-    /// weights register an empty panel (their GeMMs are degenerate).
+    /// keep the panel alive until the registration is evicted.
+    /// Zero-dimension weights register an empty panel (their GeMMs are
+    /// degenerate). In raw-mirror mode the raw bytes are kept instead of
+    /// a packed panel.
     ///
     /// # Panics
     /// Panics if `b.len() != k * n`.
     pub fn register(&mut self, n: usize, k: usize, b: &[i8], dtype: DType) -> WeightHandle {
         assert_eq!(b.len(), k * n, "weights must be k×n");
-        let plan = host_block_plan(4, n, k, dtype.k_step());
-        let bytes = if n == 0 || k == 0 { 0 } else { packed_b_bytes(&plan) };
-        let id = self.pool.alloc_persistent(bytes);
-        prepack_b(self.pool.persistent_mut(id), b, n, k, &plan);
-        self.packed_bytes += bytes as u64;
-        self.entries.push((WeightMeta { n, k, dtype }, id));
-        WeightHandle { registry: self.id, index: self.entries.len() - 1 }
+        let (panel, raw, bytes) = if self.raw_mode {
+            let raw: Arc<[i8]> = Arc::from(b);
+            let bytes = raw.len() as u64;
+            (self.pool.alloc_persistent(0), Some(raw), bytes)
+        } else {
+            let plan = host_block_plan(4, n, k, dtype.k_step());
+            let bytes = if n == 0 || k == 0 { 0 } else { packed_b_bytes(&plan) };
+            let id = self.pool.alloc_persistent(bytes);
+            prepack_b(self.pool.persistent_mut(id), b, n, k, &plan);
+            self.packed_bytes += bytes as u64;
+            (id, None, bytes as u64)
+        };
+        self.resident_bytes += bytes;
+        let entry = Entry { meta: WeightMeta { n, k, dtype }, panel, raw, bytes };
+        let index = match self.free.pop() {
+            Some(index) => {
+                // re-use the evicted slot under a fresh generation, so
+                // handles to the old occupant read as stale
+                let slot = &mut self.slots[index];
+                slot.generation += 1;
+                slot.entry = Some(entry);
+                index
+            }
+            None => {
+                self.slots.push(Slot { generation: 0, entry: Some(entry) });
+                self.slots.len() - 1
+            }
+        };
+        WeightHandle { registry: self.id, index, generation: self.slots[index].generation }
     }
 
-    fn entry(&self, h: WeightHandle) -> &(WeightMeta, PersistentId) {
-        assert_eq!(h.registry, self.id, "WeightHandle from a different registry");
-        self.entries.get(h.index).expect("unknown WeightHandle")
+    /// Fallible lookup: the entry behind a handle, or why the handle is
+    /// invalid.
+    fn try_entry(&self, h: WeightHandle) -> Result<&Entry, RequestError> {
+        if h.registry != self.id {
+            return Err(RequestError::ForeignHandle);
+        }
+        let slot = self.slots.get(h.index).ok_or(RequestError::UnknownHandle)?;
+        if slot.generation != h.generation {
+            return Err(RequestError::StaleHandle);
+        }
+        slot.entry.as_ref().ok_or(RequestError::StaleHandle)
+    }
+
+    fn entry(&self, h: WeightHandle) -> &Entry {
+        match self.try_entry(h) {
+            Ok(e) => e,
+            Err(RequestError::ForeignHandle) => {
+                panic!("WeightHandle from a different registry")
+            }
+            Err(RequestError::StaleHandle) => panic!("stale WeightHandle (evicted registration)"),
+            Err(_) => panic!("unknown WeightHandle"),
+        }
     }
 
     /// Shape/dtype of a registered weight.
     ///
     /// # Panics
-    /// Panics on a handle from a different registry.
+    /// Panics on a foreign, unknown or evicted handle (the legacy
+    /// surface; use [`WeightRegistry::try_meta`] for a `Result`).
     pub fn meta(&self, h: WeightHandle) -> WeightMeta {
-        self.entry(h).0
+        self.entry(h).meta
+    }
+
+    /// Shape/dtype of a registered weight, or why the handle is
+    /// invalid ([`RequestError::StaleHandle`] after eviction).
+    pub fn try_meta(&self, h: WeightHandle) -> Result<WeightMeta, RequestError> {
+        Ok(self.try_entry(h)?.meta)
     }
 
     /// The packed panel of a registered weight, ready for any worker to
     /// consume at [`packed_b_offset`] offsets.
     ///
     /// # Panics
-    /// Panics on a handle from a different registry.
+    /// Panics on a foreign, unknown or evicted handle, and in
+    /// raw-mirror mode (no packed panels exist there).
     pub fn panel(&self, h: WeightHandle) -> &[i8] {
-        self.pool.persistent(self.entry(h).1)
+        assert!(!self.raw_mode, "raw-mirror registries hold no packed panels");
+        self.pool.persistent(self.entry(h).panel)
     }
 
-    /// Number of registered weights.
+    /// The raw row-major k×n bytes of a registration (raw-mirror mode
+    /// only; host registries keep only the packed form).
+    pub fn raw(&self, h: WeightHandle) -> Result<Arc<[i8]>, RequestError> {
+        let entry = self.try_entry(h)?;
+        entry
+            .raw
+            .clone()
+            .ok_or(RequestError::Unsupported("registry does not retain raw weight bytes"))
+    }
+
+    /// Drop one registration: its storage is freed, later uses of the
+    /// handle are stale, and the slot is recycled by a future
+    /// [`WeightRegistry::register`] under a new generation.
+    pub fn evict(&mut self, h: WeightHandle) -> Result<WeightMeta, RequestError> {
+        // validate first so a bad handle cannot free anything
+        self.try_entry(h)?;
+        let slot = &mut self.slots[h.index];
+        let entry = slot.entry.take().expect("validated live entry");
+        self.pool.free_persistent(entry.panel);
+        self.resident_bytes -= entry.bytes;
+        self.free.push(h.index);
+        Ok(entry.meta)
+    }
+
+    /// Evict every live registration (a serving engine dropping a whole
+    /// stale model). Outstanding handles all become stale.
+    pub fn clear(&mut self) {
+        for (index, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(entry) = slot.entry.take() {
+                self.pool.free_persistent(entry.panel);
+                self.resident_bytes -= entry.bytes;
+                self.free.push(index);
+            }
+        }
+    }
+
+    /// Number of live registrations.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.slots.iter().filter(|s| s.entry.is_some()).count()
     }
 
-    /// True when nothing has been registered.
+    /// True when nothing is registered (or everything was evicted).
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
-    /// Total bytes packed at registration time (one-time cost the
-    /// steady state never pays again).
+    /// Total bytes packed at registration time, cumulatively (one-time
+    /// cost the steady state never pays again; not decreased by
+    /// eviction — see [`WeightRegistry::resident_bytes`]).
     pub fn packed_bytes(&self) -> u64 {
         self.packed_bytes
     }
 
-    /// Metadata of every registration, in handle order — the snapshot a
-    /// serving session validates submissions against.
-    pub fn metas(&self) -> Vec<WeightMeta> {
-        self.entries.iter().map(|(m, _)| *m).collect()
+    /// Bytes currently resident for live registrations; eviction
+    /// returns them, which is the point of registry hygiene on
+    /// long-lived serving engines.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// Submit-time snapshot of every slot (identity, generations,
+    /// metadata) — what a serving session validates requests against.
+    pub fn snapshot(&self) -> WeightSnapshot {
+        WeightSnapshot {
+            registry: self.id,
+            entries: self
+                .slots
+                .iter()
+                .map(|s| s.entry.as_ref().map(|e| (s.generation, e.meta)))
+                .collect(),
+        }
     }
 }
 
@@ -348,8 +559,8 @@ mod tests {
         let h4 = reg.register(n, k, &b, DType::I4);
         assert_eq!(reg.panel(h8).len(), 4 * 32); // kp = 32 under k-step 16
         assert_eq!(reg.panel(h4).len(), 4 * 32); // kp = 32 under k-step 32
-        assert_eq!(reg.metas().len(), 2);
-        assert_eq!(reg.metas()[1].dtype, DType::I4);
+        assert_eq!(reg.snapshot().live(), 2);
+        assert_eq!(reg.snapshot().meta(h4).unwrap().dtype, DType::I4);
     }
 
     #[test]
@@ -373,6 +584,97 @@ mod tests {
         let mut other = WeightRegistry::new();
         let _ = other.register(4, 4, &fill(16, 7), DType::I8);
         let _ = other.meta(h);
+    }
+
+    #[test]
+    fn evicted_handles_go_stale_and_free_storage() {
+        let (n, k) = (8, 40);
+        let mut reg = WeightRegistry::new();
+        let h1 = reg.register(n, k, &fill(k * n, 3), DType::I8);
+        let h2 = reg.register(n, k, &fill(k * n, 7), DType::I8);
+        assert_eq!(reg.len(), 2);
+        let resident = reg.resident_bytes();
+        assert!(resident > 0);
+
+        let meta = reg.evict(h1).expect("live handle evicts");
+        assert_eq!((meta.n, meta.k), (n, k));
+        assert_eq!(reg.len(), 1);
+        assert!(reg.resident_bytes() < resident, "eviction must return bytes");
+        // the stale handle errs through the fallible surface ...
+        assert_eq!(reg.try_meta(h1).unwrap_err(), RequestError::StaleHandle);
+        assert_eq!(reg.evict(h1).unwrap_err(), RequestError::StaleHandle);
+        // ... while the survivor stays valid
+        assert!(reg.try_meta(h2).is_ok());
+        assert!(!reg.panel(h2).is_empty());
+    }
+
+    #[test]
+    fn recycled_slots_change_generation() {
+        // the dangerous case: a new registration re-uses the evicted
+        // slot, so without generations the stale handle would silently
+        // read the *new* weights
+        let mut reg = WeightRegistry::new();
+        let old = reg.register(4, 16, &fill(64, 3), DType::I8);
+        reg.evict(old).unwrap();
+        let new = reg.register(4, 16, &fill(64, 9), DType::I8);
+        assert_eq!(old.index(), new.index(), "slot must be recycled");
+        assert_ne!(old.generation(), new.generation());
+        assert_eq!(reg.try_meta(old).unwrap_err(), RequestError::StaleHandle);
+        assert!(reg.try_meta(new).is_ok());
+    }
+
+    #[test]
+    fn clear_evicts_everything() {
+        let mut reg = WeightRegistry::new();
+        let hs: Vec<_> = (0..3).map(|i| reg.register(4, 16, &fill(64, 3 + i), DType::I8)).collect();
+        reg.clear();
+        assert!(reg.is_empty());
+        assert_eq!(reg.resident_bytes(), 0);
+        for h in hs {
+            assert_eq!(reg.try_meta(h).unwrap_err(), RequestError::StaleHandle);
+        }
+        // the registry keeps working after a clear
+        let h = reg.register(4, 16, &fill(64, 11), DType::I8);
+        assert!(reg.try_meta(h).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "stale WeightHandle")]
+    fn legacy_lookups_panic_on_stale_handles() {
+        let mut reg = WeightRegistry::new();
+        let h = reg.register(4, 16, &fill(64, 3), DType::I8);
+        reg.evict(h).unwrap();
+        let _ = reg.meta(h);
+    }
+
+    #[test]
+    fn raw_mirror_registries_keep_the_bytes_not_panels() {
+        let (n, k) = (6, 24);
+        let b = fill(k * n, 5);
+        let mut reg = WeightRegistry::raw_mirror();
+        let h = reg.register(n, k, &b, DType::I4);
+        assert_eq!(&reg.raw(h).unwrap()[..], &b[..]);
+        assert_eq!(reg.packed_bytes(), 0, "raw mirrors pack nothing");
+        assert_eq!(reg.resident_bytes(), (k * n) as u64);
+        // the host registry, conversely, has no raw bytes to give
+        let mut host = WeightRegistry::new();
+        let hh = host.register(n, k, &b, DType::I8);
+        assert!(host.raw(hh).is_err());
+    }
+
+    #[test]
+    fn snapshots_resolve_handles_like_the_registry() {
+        let mut reg = WeightRegistry::new();
+        let h1 = reg.register(4, 16, &fill(64, 3), DType::I8);
+        let h2 = reg.register(8, 32, &fill(256, 5), DType::I4);
+        reg.evict(h1).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.live(), 1);
+        assert_eq!(snap.meta(h1).unwrap_err(), RequestError::StaleHandle);
+        assert_eq!(snap.meta(h2).unwrap(), reg.meta(h2));
+        let foreign = WeightRegistry::new().snapshot();
+        assert_eq!(foreign.meta(h2).unwrap_err(), RequestError::ForeignHandle);
+        assert!(WeightSnapshot::empty().meta(h2).is_err());
     }
 
     #[test]

@@ -87,9 +87,12 @@ pub struct PackPool {
     live_panels: usize,
     /// Persistent panels ([`PackPool::alloc_persistent`]): never
     /// recycled by [`PackPool::reset_panels`], exactly sized. The weight
-    /// registry keeps pre-packed B operands here for the pool's
-    /// lifetime.
+    /// registry keeps pre-packed B operands here until eviction.
     persistent: Vec<Vec<i8>>,
+    /// Freed persistent slots awaiting re-use, so an evict/re-register
+    /// churn loop on a long-lived registry does not grow the slot table
+    /// without bound.
+    persistent_free: Vec<usize>,
     allocations: u64,
 }
 
@@ -191,17 +194,37 @@ impl PackPool {
     /// storage for operands with registration lifetime (pre-packed
     /// weights), not per-call scratch. Zero-filled, exactly sized; each
     /// call allocates fresh storage (registration is a one-time cost,
-    /// so the growth counter is bumped for honesty, not reuse).
+    /// so the growth counter is bumped for honesty, not reuse), but a
+    /// slot freed by [`PackPool::free_persistent`] is recycled instead
+    /// of growing the slot table.
     pub fn alloc_persistent(&mut self, bytes: usize) -> PersistentId {
-        self.persistent.push(vec![0; bytes]);
         self.allocations += 1;
-        PersistentId(self.persistent.len() - 1)
+        match self.persistent_free.pop() {
+            Some(slot) => {
+                self.persistent[slot] = vec![0; bytes];
+                PersistentId(slot)
+            }
+            None => {
+                self.persistent.push(vec![0; bytes]);
+                PersistentId(self.persistent.len() - 1)
+            }
+        }
     }
 
     /// Mutable access to a persistent panel (for packing at
     /// registration time).
     pub fn persistent_mut(&mut self, id: PersistentId) -> &mut [i8] {
         &mut self.persistent[id.0]
+    }
+
+    /// Free a persistent panel's storage (weight eviction): the bytes
+    /// are returned to the allocator immediately and the slot is
+    /// recycled by the next [`PackPool::alloc_persistent`]. The caller
+    /// must drop the id — the weight registry does, since eviction
+    /// removes the only entry holding it.
+    pub fn free_persistent(&mut self, id: PersistentId) {
+        self.persistent[id.0] = Vec::new();
+        self.persistent_free.push(id.0);
     }
 
     /// Read-only access to a persistent panel (for the macro-kernel).
@@ -290,6 +313,23 @@ mod tests {
         assert_eq!(p.panel(one2).len(), 16);
         assert_eq!(p.panel(two2).len(), 32);
         assert_eq!(p.allocations(), grown, "panel reuse must not allocate");
+    }
+
+    #[test]
+    fn freed_persistent_slots_are_recycled() {
+        // the evict/re-register churn of a long-lived registry must not
+        // grow the slot table without bound
+        let mut p = PackPool::new();
+        let first = p.alloc_persistent(32);
+        p.persistent_mut(first).fill(1);
+        p.free_persistent(first);
+        let second = p.alloc_persistent(16);
+        assert_eq!(first, second, "freed slot must be recycled");
+        assert_eq!(p.persistent(second).len(), 16);
+        assert!(p.persistent(second).iter().all(|&v| v == 0), "recycled slots are zeroed");
+        // a third allocation (no free slots left) grows the table
+        let third = p.alloc_persistent(8);
+        assert_ne!(second, third);
     }
 
     #[test]

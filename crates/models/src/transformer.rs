@@ -17,9 +17,11 @@
 //! the feed-forward (FF) layers are (s × d) · (d × 4d) and
 //! (s × 4d) · (4d × d).
 
+use std::sync::Arc;
+
 use crate::cnn::GemmShape;
-use camp_core::session::Request;
-use camp_core::{CampEngine, DType, WeightHandle};
+use camp_core::backend::CampBackend;
+use camp_core::{DType, GemmRequest, Operand, WeightHandle};
 use camp_gemm::batch::GemmProblem;
 use camp_gemm::reference::SplitMix64;
 
@@ -173,23 +175,25 @@ impl AttentionWorkload {
         self.problems().iter().map(GemmProblem::macs).sum()
     }
 
-    /// Register every unique B operand of this workload with `engine`'s
-    /// weight registry — the four projection weights, and each head's
-    /// Kᵀ and V blocks — packing each exactly **once per model** instead
-    /// of once per call. The returned handle set drives
-    /// [`AttentionWorkload::problems_with_handles`] (batched API) and
-    /// [`AttentionWorkload::requests`] (serving session).
-    pub fn register(&self, engine: &mut CampEngine, dtype: DType) -> AttentionHandles {
+    /// Register every unique B operand of this workload with a
+    /// backend's weight registry — the four projection weights, and
+    /// each head's Kᵀ and V blocks — packing each exactly **once per
+    /// model** instead of once per call. Works on any
+    /// [`CampBackend`] (the host engine pre-packs; the simulated
+    /// backend keeps a raw mirror). The returned handle set drives
+    /// [`AttentionWorkload::gemm_requests_with_handles`] and the
+    /// legacy [`AttentionWorkload::problems_with_handles`].
+    pub fn register<B: CampBackend>(&self, backend: &mut B, dtype: DType) -> AttentionHandles {
         let (s, d, dh) = (self.cfg.seq_len, self.cfg.hidden, self.cfg.hidden / self.cfg.heads);
         AttentionHandles {
             // projection weights: k=d rows, n=d columns
             weights: std::array::from_fn(|i| {
-                engine.register_weights(d, d, &self.weights[i], dtype)
+                backend.register_weights(d, d, &self.weights[i], dtype)
             }),
             // score product B = Kᵀ (dh×s): k=dh, n=s
-            kt: self.kt.iter().map(|t| engine.register_weights(s, dh, t, dtype)).collect(),
+            kt: self.kt.iter().map(|t| backend.register_weights(s, dh, t, dtype)).collect(),
             // context product B = V (s×dh): k=s, n=dh
-            v: self.v.iter().map(|t| engine.register_weights(dh, s, t, dtype)).collect(),
+            v: self.v.iter().map(|t| backend.register_weights(dh, s, t, dtype)).collect(),
             dtype,
         }
     }
@@ -219,12 +223,79 @@ impl AttentionWorkload {
         out
     }
 
-    /// The same inventory as owned serving [`Request`]s, ready for
-    /// `Session::submit` — one full per-layer/per-head batch whose
-    /// activations are cloned out of the workload (a serving caller
-    /// owns its activations; the weights live in the engine).
-    pub fn requests(&self, h: &AttentionHandles) -> Vec<Request> {
-        let (s, _, _) = (self.cfg.seq_len, self.cfg.hidden, self.cfg.hidden / self.cfg.heads);
+    /// The full inventory as typed [`GemmRequest`]s over **dense**
+    /// operands, ready for any backend's `execute_batch`: unique
+    /// tensors are converted to shared buffers once, so requests across
+    /// layers/heads keep the operand identity the batch B-dedup keys on
+    /// (exactly like [`AttentionWorkload::problems`]).
+    pub fn gemm_requests(&self, dtype: DType) -> Vec<GemmRequest> {
+        let (s, d, dh) = (self.cfg.seq_len, self.cfg.hidden, self.cfg.hidden / self.cfg.heads);
+        let arc = |t: &Vec<i8>| -> Arc<[i8]> { Arc::from(&t[..]) };
+        let x = arc(&self.x);
+        let weights: Vec<Arc<[i8]>> = self.weights.iter().map(arc).collect();
+        let q: Vec<Arc<[i8]>> = self.q.iter().map(arc).collect();
+        let kt: Vec<Arc<[i8]>> = self.kt.iter().map(arc).collect();
+        let probs: Vec<Arc<[i8]>> = self.probs.iter().map(arc).collect();
+        let v: Vec<Arc<[i8]>> = self.v.iter().map(arc).collect();
+        let dense = |m: usize, n: usize, k: usize, a: &Arc<[i8]>, b: &Arc<[i8]>| -> GemmRequest {
+            GemmRequest::builder()
+                .m(m)
+                .n(n)
+                .k(k)
+                .activation(Arc::clone(a))
+                .weights(Operand::Dense(Arc::clone(b)))
+                .dtype(dtype)
+                .build()
+                .expect("attention workload shapes are coherent")
+        };
+        let mut out = Vec::with_capacity(self.len());
+        for _layer in 0..self.cfg.layers {
+            for w in &weights {
+                out.push(dense(s, d, d, &x, w));
+            }
+            for head in 0..self.cfg.heads {
+                out.push(dense(s, s, dh, &q[head], &kt[head]));
+                out.push(dense(s, dh, s, &probs[head], &v[head]));
+            }
+        }
+        out
+    }
+
+    /// The same inventory with every B operand referenced through its
+    /// registered handle ([`AttentionWorkload::register`]): the host
+    /// engine packs **zero** B bytes running it, per call, forever; a
+    /// serving session submits these directly.
+    pub fn gemm_requests_with_handles(&self, h: &AttentionHandles) -> Vec<GemmRequest> {
+        let s = self.cfg.seq_len;
+        let arc = |t: &Vec<i8>| -> Arc<[i8]> { Arc::from(&t[..]) };
+        let x = arc(&self.x);
+        let q: Vec<Arc<[i8]>> = self.q.iter().map(arc).collect();
+        let probs: Vec<Arc<[i8]>> = self.probs.iter().map(arc).collect();
+        let with = |m: usize, a: Arc<[i8]>, handle: WeightHandle| -> GemmRequest {
+            GemmRequest::with_weights(m, a, handle).expect("attention workload shapes are coherent")
+        };
+        let mut out = Vec::with_capacity(self.len());
+        for _layer in 0..self.cfg.layers {
+            for w in &h.weights {
+                out.push(with(s, Arc::clone(&x), *w));
+            }
+            for head in 0..self.cfg.heads {
+                out.push(with(s, Arc::clone(&q[head]), h.kt[head]));
+                out.push(with(s, Arc::clone(&probs[head]), h.v[head]));
+            }
+        }
+        out
+    }
+
+    /// The same inventory as owned legacy serving requests.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use gemm_requests_with_handles and submit the GemmRequests"
+    )]
+    #[allow(deprecated)]
+    pub fn requests(&self, h: &AttentionHandles) -> Vec<camp_core::session::Request> {
+        use camp_core::session::Request;
+        let s = self.cfg.seq_len;
         let mut out = Vec::with_capacity(self.len());
         for _layer in 0..self.cfg.layers {
             for w in &h.weights {
@@ -298,6 +369,7 @@ impl LlmModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use camp_core::CampEngine;
 
     #[test]
     fn configs_match_public_models() {
@@ -404,13 +476,28 @@ mod tests {
             let meta = eng.weight_meta(h.handle.unwrap());
             assert_eq!((meta.n, meta.k), (h.n, h.k), "registration shape must match");
         }
-        // serving requests carry the same inventory
-        let reqs = w.requests(&handles);
+        // typed requests carry the same inventory (handle and dense)
+        let reqs = w.gemm_requests_with_handles(&handles);
         assert_eq!(reqs.len(), by_slice.len());
         for (r, s) in reqs.iter().zip(&by_slice) {
-            assert_eq!(r.m, s.m);
-            assert_eq!(&r.a[..], s.a);
+            assert_eq!(r.m(), s.m);
+            assert_eq!(r.activation(), s.a);
         }
+        let dense = w.gemm_requests(DType::I8);
+        assert_eq!(dense.len(), by_slice.len());
+        for (r, s) in dense.iter().zip(&by_slice) {
+            assert_eq!(r.activation(), s.a);
+            assert_eq!((r.n(), r.k()), (Some(s.n), Some(s.k)));
+        }
+        // dense requests preserve the cross-layer operand sharing the
+        // batch dedup keys on (same Arc across layers)
+        let per_layer = 4 + 2 * cfg.heads;
+        let (camp_core::Operand::Dense(b0), camp_core::Operand::Dense(b1)) =
+            (dense[0].weights(), dense[per_layer].weights())
+        else {
+            panic!("dense operands expected");
+        };
+        assert_eq!(b0.as_ptr(), b1.as_ptr(), "layers must share one weight buffer");
     }
 
     #[test]

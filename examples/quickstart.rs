@@ -5,7 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use camp::core::engine::camp_gemm_i8_with_stats;
+use camp::core::backend::CampBackend;
+use camp::core::{CampEngine, GemmRequest};
 use camp::quant::{sqnr_db, SymmetricQuantizer};
 
 fn main() {
@@ -23,8 +24,12 @@ fn main() {
     let b_q = qb.quantize_all(&b_f);
 
     // 2. Integer GeMM with the CAMP micro-kernel semantics
-    //    (4×16 · 16×4 outer-product tiles, i32 accumulation).
-    let (c_q, stats) = camp_gemm_i8_with_stats(m, n, k, &a_q, &b_q);
+    //    (4×16 · 16×4 outer-product tiles, i32 accumulation), through
+    //    the unified request API.
+    let req = GemmRequest::dense(m, n, k, a_q, b_q).expect("well-formed request");
+    let outcome = CampEngine::new().execute(&req).expect("host execution");
+    let c_q = outcome.output.c;
+    let stats = *outcome.stats.as_host().expect("host stats");
 
     // 3. Dequantize and compare with the float product.
     let scale = qa.scale * qb.scale;

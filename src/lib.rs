@@ -19,12 +19,15 @@
 //! # Quickstart
 //!
 //! ```
-//! use camp::core::engine::{camp_gemm_i8, gemm_i32_ref};
+//! use camp::core::backend::CampBackend;
+//! use camp::core::{gemm_i32_ref, CampEngine, GemmRequest};
 //!
 //! let (m, n, k) = (8, 8, 32);
 //! let a: Vec<i8> = (0..m * k).map(|i| (i % 15) as i8 - 7).collect();
 //! let b: Vec<i8> = (0..k * n).map(|i| (i % 13) as i8 - 6).collect();
-//! assert_eq!(camp_gemm_i8(m, n, k, &a, &b), gemm_i32_ref(m, n, k, &a, &b));
+//! let req = GemmRequest::dense(m, n, k, a.clone(), b.clone()).unwrap();
+//! let c = CampEngine::new().execute(&req).unwrap();
+//! assert_eq!(c.output.c, gemm_i32_ref(m, n, k, &a, &b));
 //! ```
 
 pub use camp_cache as cache;

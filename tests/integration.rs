@@ -1,9 +1,9 @@
 //! Cross-crate integration tests: the full stack from workload models
-//! through quantization, kernels, simulation and energy.
+//! through quantization, kernels, simulation and energy — engine paths
+//! exercised through the unified `CampBackend` request surface.
 
-use camp::core::engine::{camp_gemm_i4, camp_gemm_i8, CampEngine, DType};
-use camp::core::gemm_i32_ref;
-use camp::core::session::Request;
+use camp::core::backend::CampBackend;
+use camp::core::{gemm_i32_ref, CampEngine, DType, GemmRequest};
 use camp::energy::{AreaModel, EnergyModel, TechNode};
 use camp::gemm::{simulate_gemm, GemmOptions, Method};
 use camp::models::conv::{im2col, weights_to_b, Conv2d, Tensor3};
@@ -15,6 +15,20 @@ fn small_opts() -> GemmOptions {
     GemmOptions { mac_budget: 3_000_000, ..GemmOptions::default() }
 }
 
+/// One dense request through the host engine.
+fn host_gemm(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], dtype: DType) -> Vec<i32> {
+    let req = GemmRequest::builder()
+        .m(m)
+        .n(n)
+        .k(k)
+        .activation(a.to_vec())
+        .weights(camp::core::Operand::from_dense(b.to_vec()))
+        .dtype(dtype)
+        .build()
+        .expect("well-formed request");
+    CampEngine::new().execute(&req).expect("host execution").output.c
+}
+
 #[test]
 fn quantize_then_camp_gemm_tracks_float() {
     let (m, n, k) = (16, 16, 64);
@@ -22,7 +36,7 @@ fn quantize_then_camp_gemm_tracks_float() {
     let b_f: Vec<f32> = (0..k * n).map(|i| ((i as f32) * 0.07).cos()).collect();
     let qa = SymmetricQuantizer::fit(&a_f, 8);
     let qb = SymmetricQuantizer::fit(&b_f, 8);
-    let c = camp_gemm_i8(m, n, k, &qa.quantize_all(&a_f), &qb.quantize_all(&b_f));
+    let c = host_gemm(m, n, k, &qa.quantize_all(&a_f), &qb.quantize_all(&b_f), DType::I8);
     // spot-check one element against the float product
     let mut want = 0.0f32;
     for l in 0..k {
@@ -43,7 +57,7 @@ fn conv_layer_through_camp_engine() {
     let a = im2col(&conv, &input);
     let b = weights_to_b(&conv, &weights);
     let s = conv.gemm_shape(6, 6);
-    let via_camp = camp_gemm_i8(s.m, s.n, s.k, &a, &b);
+    let via_camp = host_gemm(s.m, s.n, s.k, &a, &b, DType::I8);
     assert_eq!(via_camp, gemm_i32_ref(s.m, s.n, s.k, &a, &b));
 }
 
@@ -52,7 +66,7 @@ fn camp4_engine_matches_reference_on_4bit_data() {
     let (m, n, k) = (12, 20, 64);
     let a: Vec<i8> = (0..m * k).map(|i| (i % 16) as i8 - 8).collect();
     let b: Vec<i8> = (0..k * n).map(|i| (i % 15) as i8 - 7).collect();
-    assert_eq!(camp_gemm_i4(m, n, k, &a, &b), gemm_i32_ref(m, n, k, &a, &b));
+    assert_eq!(host_gemm(m, n, k, &a, &b, DType::I4), gemm_i32_ref(m, n, k, &a, &b));
 }
 
 #[test]
@@ -82,24 +96,27 @@ fn llm_shape_simulates_and_wins() {
 #[test]
 fn attention_batch_cross_validates_for_all_llms() {
     // the per-head Fig. 14 attention inventory for every paper model,
-    // run as one batch and checked element-for-element against the
-    // golden reference and the per-call engine; scaled to test runtime
-    // (one layer, short sequence) with the real hidden size and head
-    // count so the projection/score/context structure is intact
+    // built as typed requests, run as one batch and checked
+    // element-for-element against the golden reference and the
+    // per-request path; scaled to test runtime (one layer, short
+    // sequence) with the real hidden size and head count so the
+    // projection/score/context structure is intact
     for (i, model) in LlmModel::all().into_iter().enumerate() {
         let mut cfg = model.config();
         cfg.layers = 1;
         cfg.seq_len = 8;
         let workload = cfg.attention_workload(0xFEED + i as u64);
-        let problems = workload.problems();
-        assert_eq!(problems.len(), 4 + 2 * cfg.heads, "{}", model.name());
+        let slices = workload.problems();
+        let requests = workload.gemm_requests(DType::I8);
+        assert_eq!(requests.len(), 4 + 2 * cfg.heads, "{}", model.name());
         let mut eng = CampEngine::with_threads(3);
-        let batch = eng.gemm_i8_batch(&problems);
+        let batch = eng.execute_batch(&requests).expect("well-formed batch");
         let mut per_call = CampEngine::new();
-        for (c, p) in batch.iter().zip(&problems) {
+        for ((out, req), p) in batch.outputs.iter().zip(&requests).zip(&slices) {
             let shape = format!("{} {}x{}x{}", model.name(), p.m, p.n, p.k);
-            assert_eq!(c, &gemm_i32_ref(p.m, p.n, p.k, p.a, p.b), "{shape} vs reference");
-            assert_eq!(c, &per_call.gemm_i8(p.m, p.n, p.k, p.a, p.b), "{shape} vs per-call");
+            assert_eq!(out.c, gemm_i32_ref(p.m, p.n, p.k, p.a, p.b), "{shape} vs reference");
+            let solo = per_call.execute(req).expect("well-formed request");
+            assert_eq!(out, &solo.output, "{shape} vs per-request");
         }
     }
 }
@@ -112,10 +129,11 @@ fn attention_batch_runs_under_the_i4_kernel() {
     cfg.layers = 1;
     cfg.seq_len = 8;
     let workload = cfg.attention_workload(0xBEEF);
-    let problems = workload.problems();
-    let batch = CampEngine::with_threads(2).gemm_i4_batch(&problems);
-    for (c, p) in batch.iter().zip(&problems) {
-        assert_eq!(c, &gemm_i32_ref(p.m, p.n, p.k, p.a, p.b), "{}x{}x{}", p.m, p.n, p.k);
+    let slices = workload.problems();
+    let requests = workload.gemm_requests(DType::I4);
+    let batch = CampEngine::with_threads(2).execute_batch(&requests).expect("well-formed batch");
+    for (out, p) in batch.outputs.iter().zip(&slices) {
+        assert_eq!(out.c, gemm_i32_ref(p.m, p.n, p.k, p.a, p.b), "{}x{}x{}", p.m, p.n, p.k);
     }
 }
 
@@ -131,18 +149,20 @@ fn registered_attention_weights_skip_all_b_packing() {
     let workload = cfg.attention_workload(0xCAFE);
     let mut eng = CampEngine::with_threads(3);
     let handles = workload.register(&mut eng, DType::I8);
-    let by_handle = workload.problems_with_handles(&handles);
+    let by_handle = workload.gemm_requests_with_handles(&handles);
     let slices = workload.problems();
 
-    let (first, s1) = eng.gemm_batch_with_stats(&by_handle);
+    let first = eng.execute_batch(&by_handle).expect("well-formed batch");
+    let s1 = first.stats.as_host().expect("host stats");
     assert_eq!(s1.packed_b_bytes, 0, "registered weights must never pack B");
-    for (c, p) in first.iter().zip(&slices) {
-        assert_eq!(c, &gemm_i32_ref(p.m, p.n, p.k, p.a, p.b), "{}x{}x{}", p.m, p.n, p.k);
+    for (out, p) in first.outputs.iter().zip(&slices) {
+        assert_eq!(out.c, gemm_i32_ref(p.m, p.n, p.k, p.a, p.b), "{}x{}x{}", p.m, p.n, p.k);
     }
     let warm_allocs = eng.pack_allocations();
     for _ in 0..3 {
-        let (again, s) = eng.gemm_batch_with_stats(&by_handle);
-        assert_eq!(again, first);
+        let again = eng.execute_batch(&by_handle).expect("well-formed batch");
+        assert_eq!(again.outputs, first.outputs);
+        let s = again.stats.as_host().expect("host stats");
         assert_eq!(s.packed_b_bytes, 0, "steady state must not pack B");
     }
     assert_eq!(eng.pack_allocations(), warm_allocs, "steady state must not allocate");
@@ -159,25 +179,29 @@ fn serving_session_streams_attention_batches_bit_identically() {
     let slices = workload.problems();
     let mut eng = CampEngine::with_threads(2);
     let handles = workload.register(&mut eng, DType::I8);
+    let requests = workload.gemm_requests_with_handles(&handles);
     let mut session = eng.serve();
-    let tickets: Vec<_> = (0..3).map(|_| session.submit(workload.requests(&handles))).collect();
+    let tickets: Vec<_> =
+        (0..3).map(|_| session.submit(requests.clone()).expect("validated")).collect();
     for ticket in tickets {
-        let (cs, stats) = session.wait_with_stats(ticket);
-        assert_eq!(stats.packed_b_bytes, 0, "sessions never pack B");
-        for (c, p) in cs.iter().zip(&slices) {
-            assert_eq!(c, &gemm_i32_ref(p.m, p.n, p.k, p.a, p.b), "{}x{}x{}", p.m, p.n, p.k);
+        let outcome = session.wait(ticket);
+        let stats = outcome.stats.as_host().expect("host session");
+        assert_eq!(stats.packed_b_bytes, 0, "sessions never pack B for handles");
+        for (out, p) in outcome.outputs.iter().zip(&slices) {
+            assert_eq!(out.c, gemm_i32_ref(p.m, p.n, p.k, p.a, p.b), "{}x{}x{}", p.m, p.n, p.k);
         }
     }
     // the engine comes back warm and usable
-    let mut eng = session.into_engine();
+    let mut eng = session.into_backend();
     let p = &slices[0];
-    assert_eq!(eng.gemm_i8(p.m, p.n, p.k, p.a, p.b), gemm_i32_ref(p.m, p.n, p.k, p.a, p.b));
+    let req = GemmRequest::dense(p.m, p.n, p.k, p.a.to_vec(), p.b.to_vec()).unwrap();
+    assert_eq!(eng.execute(&req).unwrap().output.c, gemm_i32_ref(p.m, p.n, p.k, p.a, p.b));
 }
 
 #[test]
 fn mixed_dtype_attention_batch_cross_validates() {
     // one batch carrying both kernels: the i4-registered half and the
-    // i8 slice half must each match the golden reference (workload
+    // i8 dense half must each match the golden reference (workload
     // data is 4-bit, so both kernels are exact)
     let mut cfg = LlmModel::Gpt3Small.config();
     cfg.layers = 1;
@@ -185,17 +209,18 @@ fn mixed_dtype_attention_batch_cross_validates() {
     let workload = cfg.attention_workload(0x7A1D);
     let mut eng = CampEngine::with_threads(2);
     let handles = workload.register(&mut eng, DType::I4);
-    let by_handle = workload.problems_with_handles(&handles);
+    let by_handle = workload.gemm_requests_with_handles(&handles);
+    let dense = workload.gemm_requests(DType::I8);
     let slices = workload.problems();
-    let mixed: Vec<_> = by_handle
+    let mixed: Vec<GemmRequest> = by_handle
         .iter()
-        .zip(&slices)
+        .zip(&dense)
         .enumerate()
-        .map(|(i, (h, s))| if i % 2 == 0 { *h } else { *s })
+        .map(|(i, (h, d))| if i % 2 == 0 { h.clone() } else { d.clone() })
         .collect();
-    let cs = eng.gemm_batch(&mixed);
-    for (c, p) in cs.iter().zip(&slices) {
-        assert_eq!(c, &gemm_i32_ref(p.m, p.n, p.k, p.a, p.b), "{}x{}x{}", p.m, p.n, p.k);
+    let batch = eng.execute_batch(&mixed).expect("well-formed batch");
+    for (out, p) in batch.outputs.iter().zip(&slices) {
+        assert_eq!(out.c, gemm_i32_ref(p.m, p.n, p.k, p.a, p.b), "{}x{}x{}", p.m, p.n, p.k);
     }
 }
 
@@ -209,8 +234,9 @@ fn session_requests_flow_through_the_facade() {
     let mut eng = CampEngine::with_threads(2);
     let h = eng.register_weights(n, k, &w, DType::I8);
     let mut session = eng.serve();
-    let t = session.submit(vec![Request { m, a: a.clone(), weights: h }]);
-    assert_eq!(session.wait(t)[0], gemm_i32_ref(m, n, k, &a, &w));
+    let req = GemmRequest::with_weights(m, a.clone(), h).unwrap();
+    let t = session.submit(vec![req]).unwrap();
+    assert_eq!(session.wait(t).outputs[0].c, gemm_i32_ref(m, n, k, &a, &w));
 }
 
 #[test]

@@ -2,19 +2,17 @@
 //! invariants.
 
 use camp::cache::{Cache, CacheConfig};
-use camp::core::engine::{
-    camp_gemm_i4, camp_gemm_i4_parallel, camp_gemm_i8, camp_gemm_i8_parallel, CampEngine, DType,
-    GemmProblem,
-};
+use camp::core::backend::CampBackend;
 use camp::core::gemm_i32_ref;
 use camp::core::hybrid::HybridMultiplier;
-use camp::core::session::Request;
 use camp::core::unit::{CampUnit, Mode};
+use camp::core::{CampEngine, DType, GemmRequest, Operand};
 use camp::isa::encode::{decode, encode};
 use camp::isa::inst::{CampMode, Inst};
 use camp::isa::machine::camp_outer_product;
 use camp::quant::SymmetricQuantizer;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -60,8 +58,16 @@ proptest! {
         };
         let a = gen(m * k, seed | 1);
         let b = gen(k * n, seed.rotate_left(7) | 1);
-        prop_assert_eq!(camp_gemm_i8(m, n, k, &a, &b), gemm_i32_ref(m, n, k, &a, &b));
-        prop_assert_eq!(camp_gemm_i4(m, n, k, &a, &b), gemm_i32_ref(m, n, k, &a, &b));
+        let mut eng = CampEngine::new();
+        for dtype in [DType::I8, DType::I4] {
+            let req = GemmRequest::builder()
+                .m(m).n(n).k(k)
+                .activation(a.clone())
+                .weights(Operand::from_dense(b.clone()))
+                .dtype(dtype)
+                .build().expect("coherent");
+            prop_assert_eq!(eng.execute(&req).unwrap().output.c, gemm_i32_ref(m, n, k, &a, &b));
+        }
     }
 
     #[test]
@@ -73,17 +79,27 @@ proptest! {
         };
         let a = gen(m * k, seed | 1);
         let b = gen(k * n, seed.rotate_left(11) | 1);
-        prop_assert_eq!(camp_gemm_i8_parallel(m, n, k, &a, &b, threads), camp_gemm_i8(m, n, k, &a, &b));
-        prop_assert_eq!(camp_gemm_i4_parallel(m, n, k, &a, &b, threads), camp_gemm_i4(m, n, k, &a, &b));
+        for dtype in [DType::I8, DType::I4] {
+            let req = GemmRequest::builder()
+                .m(m).n(n).k(k)
+                .activation(a.clone())
+                .weights(Operand::from_dense(b.clone()))
+                .dtype(dtype)
+                .build().expect("coherent");
+            prop_assert_eq!(
+                CampEngine::with_threads(threads).execute(&req).unwrap().output,
+                CampEngine::new().execute(&req).unwrap().output
+            );
+        }
     }
 
     #[test]
-    fn batched_gemm_is_bit_identical_to_per_call_loop(
+    fn batched_gemm_is_bit_identical_to_per_request_loop(
         m1 in 0usize..13, n1 in 0usize..13, k1 in 0usize..40,
         m2 in 1usize..13, n2 in 1usize..13, k2 in 1usize..40,
         threads in 1usize..65, seed in any::<u32>())
     {
-        // mixed ragged shapes (zero dims included), one problem sharing
+        // mixed ragged shapes (zero dims included), one request sharing
         // its B operand with another, across 1–64 worker threads; data
         // is 4-bit so the same batch exercises both kernels
         let gen = |len: usize, s: u32| -> Vec<i8> {
@@ -91,24 +107,30 @@ proptest! {
                 .collect()
         };
         let a1 = gen(m1 * k1, seed | 1);
-        let b1 = gen(k1 * n1, seed.rotate_left(5) | 1);
+        let b1: Arc<[i8]> = gen(k1 * n1, seed.rotate_left(5) | 1).into();
         let a2 = gen(m2 * k2, seed.rotate_left(9) | 1);
-        let b2 = gen(k2 * n2, seed.rotate_left(13) | 1);
+        let b2: Arc<[i8]> = gen(k2 * n2, seed.rotate_left(13) | 1).into();
         let a3 = gen(m2 * k1, seed.rotate_left(17) | 1);
-        let problems = vec![
-            GemmProblem::new(m1, n1, k1, &a1, &b1),
-            GemmProblem::new(m2, n2, k2, &a2, &b2),
-            GemmProblem::new(m2, n1, k1, &a3, &b1), // shares B with problem 0
-        ];
-        let mut eng = CampEngine::with_threads(threads);
-        let batch8 = eng.gemm_i8_batch(&problems);
-        let batch4 = eng.gemm_i4_batch(&problems);
-        let mut per_call = CampEngine::with_threads(threads);
-        for (c, p) in batch8.iter().zip(&problems) {
-            prop_assert_eq!(c, &per_call.gemm_i8(p.m, p.n, p.k, p.a, p.b));
-        }
-        for (c, p) in batch4.iter().zip(&problems) {
-            prop_assert_eq!(c, &per_call.gemm_i4(p.m, p.n, p.k, p.a, p.b));
+        for dtype in [DType::I8, DType::I4] {
+            let dense = |m: usize, n: usize, k: usize, a: &Vec<i8>, b: &Arc<[i8]>| {
+                GemmRequest::builder()
+                    .m(m).n(n).k(k)
+                    .activation(a.clone())
+                    .weights(Operand::Dense(Arc::clone(b)))
+                    .dtype(dtype)
+                    .build().expect("coherent")
+            };
+            let reqs = vec![
+                dense(m1, n1, k1, &a1, &b1),
+                dense(m2, n2, k2, &a2, &b2),
+                dense(m2, n1, k1, &a3, &b1), // shares B with request 0
+            ];
+            let mut eng = CampEngine::with_threads(threads);
+            let batch = eng.execute_batch(&reqs).unwrap();
+            let mut per_call = CampEngine::with_threads(threads);
+            for (out, req) in batch.outputs.iter().zip(&reqs) {
+                prop_assert_eq!(out, &per_call.execute(req).unwrap().output);
+            }
         }
     }
 
@@ -135,42 +157,56 @@ proptest! {
         let mut eng = CampEngine::with_threads(threads);
         let h1 = eng.register_weights(n1, k1, &b1, DType::I8);
         let h2 = eng.register_weights(n2, k2, &b2, DType::I4);
+        let handle_req = |m: usize, a: &Vec<i8>, h| GemmRequest::with_weights(m, a.clone(), h)
+            .expect("coherent");
 
-        // handle calls == slice calls (persistent pool + registry)
-        prop_assert_eq!(eng.gemm_with_handle(m1, &a1, h1), camp_gemm_i8(m1, n1, k1, &a1, &b1));
-        prop_assert_eq!(eng.gemm_with_handle(m2, &a2, h2), camp_gemm_i4(m2, n2, k2, &a2, &b2));
+        // handle requests == reference (persistent pool + registry)
+        prop_assert_eq!(
+            eng.execute(&handle_req(m1, &a1, h1)).unwrap().output.c,
+            gemm_i32_ref(m1, n1, k1, &a1, &b1)
+        );
+        prop_assert_eq!(
+            eng.execute(&handle_req(m2, &a2, h2)).unwrap().output.c,
+            gemm_i32_ref(m2, n2, k2, &a2, &b2)
+        );
 
-        // mixed batch: two problems sharing handle h1, one i4 handle,
-        // one plain slice problem running under i4
-        let problems = vec![
-            GemmProblem::with_handle(m1, n1, k1, &a1, h1),
-            GemmProblem::with_handle(m2, n2, k2, &a2, h2),
-            GemmProblem::with_handle(m2, n1, k1, &a3, h1), // shares h1
-            GemmProblem::new(m2, n2, k2, &a2, &b2).with_dtype(DType::I4),
+        // mixed batch: two requests sharing handle h1, one i4 handle,
+        // one plain dense request running under i4
+        let reqs = vec![
+            handle_req(m1, &a1, h1),
+            handle_req(m2, &a2, h2),
+            handle_req(m2, &a3, h1), // shares h1
+            GemmRequest::builder()
+                .m(m2).n(n2).k(k2)
+                .activation(a2.clone())
+                .weights(Operand::from_dense(b2.clone()))
+                .dtype(DType::I4)
+                .build().expect("coherent"),
         ];
-        let (batch, stats) = eng.gemm_batch_with_stats(&problems);
-        prop_assert_eq!(&batch[0], &camp_gemm_i8(m1, n1, k1, &a1, &b1));
-        prop_assert_eq!(&batch[1], &camp_gemm_i4(m2, n2, k2, &a2, &b2));
-        prop_assert_eq!(&batch[2], &camp_gemm_i8(m2, n1, k1, &a3, &b1));
-        prop_assert_eq!(&batch[3], &camp_gemm_i4(m2, n2, k2, &a2, &b2));
-        // only the slice problem may pack B
+        let batch = eng.execute_batch(&reqs).unwrap();
+        prop_assert_eq!(&batch.outputs[0].c, &gemm_i32_ref(m1, n1, k1, &a1, &b1));
+        prop_assert_eq!(&batch.outputs[1].c, &gemm_i32_ref(m2, n2, k2, &a2, &b2));
+        prop_assert_eq!(&batch.outputs[2].c, &gemm_i32_ref(m2, n1, k1, &a3, &b1));
+        prop_assert_eq!(&batch.outputs[3].c, &gemm_i32_ref(m2, n2, k2, &a2, &b2));
+        // only the dense request may pack B
+        let stats = batch.stats.as_host().expect("host stats");
         let i4_pack = (n2.div_ceil(4) * 4 * k2.div_ceil(32) * 32) as u64;
         prop_assert_eq!(stats.packed_b_bytes, i4_pack);
 
         // session: two batches in flight, collected out of order
         let mut session = eng.serve();
         let t1 = session.submit(vec![
-            Request { m: m1, a: a1.clone(), weights: h1 },
-            Request { m: m2, a: a3.clone(), weights: h1 }, // shared handle
-        ]);
-        let t2 = session.submit(vec![Request { m: m2, a: a2.clone(), weights: h2 }]);
-        let (cs2, s2) = session.wait_with_stats(t2);
-        let (cs1, s1) = session.wait_with_stats(t1);
-        prop_assert_eq!(&cs1[0], &batch[0]);
-        prop_assert_eq!(&cs1[1], &batch[2]);
-        prop_assert_eq!(&cs2[0], &batch[1]);
-        prop_assert_eq!(s1.packed_b_bytes, 0);
-        prop_assert_eq!(s2.packed_b_bytes, 0);
+            handle_req(m1, &a1, h1),
+            handle_req(m2, &a3, h1), // shared handle
+        ]).unwrap();
+        let t2 = session.submit(vec![handle_req(m2, &a2, h2)]).unwrap();
+        let out2 = session.wait(t2);
+        let out1 = session.wait(t1);
+        prop_assert_eq!(&out1.outputs[0], &batch.outputs[0]);
+        prop_assert_eq!(&out1.outputs[1], &batch.outputs[2]);
+        prop_assert_eq!(&out2.outputs[0], &batch.outputs[1]);
+        prop_assert_eq!(out1.stats.as_host().expect("host").packed_b_bytes, 0);
+        prop_assert_eq!(out2.stats.as_host().expect("host").packed_b_bytes, 0);
     }
 
     #[test]
@@ -228,10 +264,14 @@ proptest! {
         let a_f = gen(seed | 3);
         let b_f = gen(seed.rotate_left(9) | 5);
         let mut err = Vec::new();
+        let mut eng = CampEngine::new();
         for bits in [2u32, 4, 8] {
             let qa = SymmetricQuantizer::fit(&a_f, bits);
             let qb = SymmetricQuantizer::fit(&b_f, bits);
-            let c = camp_gemm_i8(n, n, n, &qa.quantize_all(&a_f), &qb.quantize_all(&b_f));
+            let req = GemmRequest::dense(
+                n, n, n, qa.quantize_all(&a_f), qb.quantize_all(&b_f),
+            ).expect("coherent");
+            let c = eng.execute(&req).unwrap().output.c;
             let mut e = 0f64;
             for i in 0..n {
                 for j in 0..n {

@@ -120,10 +120,12 @@ fn engine_pool_is_sharable_with_the_simulated_driver() {
     assert_eq!(serial.c, on_engine_pool.c);
     assert_eq!(serial.stats, on_engine_pool.stats);
     // the engine still works after serving as a sim scheduler
+    use camp::core::backend::CampBackend;
     let mut engine = engine;
     let a = fill(4 * 8, 3);
     let b = fill(8 * 4, 5);
-    assert_eq!(engine.gemm_i8(4, 4, 8, &a, &b), camp::gemm::gemm_i32_ref(4, 4, 8, &a, &b));
+    let req = camp::core::GemmRequest::dense(4, 4, 8, a.clone(), b.clone()).unwrap();
+    assert_eq!(engine.execute(&req).unwrap().output.c, camp::gemm::gemm_i32_ref(4, 4, 8, &a, &b));
 }
 
 #[test]
