@@ -1,0 +1,266 @@
+//! Host micro-kernel shootout: scalar vs the dispatched SIMD tier,
+//! emitted as `BENCH_host_gemm.json`.
+//!
+//! This is the harness for the host-silicon half of the codebase (the
+//! serving engine), not the simulated CAMP core: it times the same
+//! blocked GeMM once on the scalar reference tier and once on the tier
+//! `HostKernel::detect()` picked (AVX2 / NEON when the CPU has them),
+//! and reports GOPS (`2·m·n·k / seconds / 1e9`) plus the speedup per
+//! shape. Results are bit-identical across tiers by construction
+//! (property-tested in `tests/host_kernels.rs`), so only throughput is
+//! interesting here.
+//!
+//! Covered paths:
+//!
+//! * **i8 → i32** (and **i4**) through the engine's request API with
+//!   registered weights — the serving steady state, B pre-packed,
+//!   blocked tile path;
+//! * **skinny** shapes (m ≤ 8 / n ≤ 8) — the Pire-style fast paths;
+//! * **f32** through [`HostGemmF32`] — the FMA-chain subsystem.
+//!
+//! Knobs: `CAMP_BENCH_SMOKE=1` shrinks shapes/reps to a CI smoke run,
+//! `CAMP_BENCH_REPS` overrides best-of repetitions, `CAMP_THREADS`
+//! widens the engine's worker pool (the thread sweep always includes 1
+//! and the machine's core count). `CAMP_FORCE_SCALAR=1` collapses the
+//! comparison (both columns scalar) — useful only to sanity-check the
+//! fallback, and called out in the output when active.
+
+use camp_core::backend::CampBackend;
+use camp_core::{CampEngine, DType, GemmRequest};
+use camp_gemm::host::{force_scalar, HostGemmF32, HostKernel};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// Best-of-`reps` wall time in seconds for one invocation of `f`.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f(); // warm-up: pools grown, pages faulted in
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn gops(m: usize, n: usize, k: usize, secs: f64) -> f64 {
+    (2.0 * (m as f64) * (n as f64) * (k as f64)) / secs / 1e9
+}
+
+struct Row {
+    dtype: &'static str,
+    path: &'static str,
+    m: usize,
+    n: usize,
+    k: usize,
+    threads: usize,
+    scalar_gops: f64,
+    simd_gops: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.simd_gops / self.scalar_gops
+    }
+}
+
+/// Deterministic operand bytes (same generator family as the tests).
+fn gen_i8(len: usize, s: u32, lo: i32, hi: i32) -> Vec<i8> {
+    let span = (hi - lo + 1) as u32;
+    (0..len)
+        .map(|i| ((i as u32).wrapping_mul(s).wrapping_add(s ^ 0x9e37) % span) as i32 + lo)
+        .map(|v| v as i8)
+        .collect()
+}
+
+fn gen_f32(len: usize, s: u32) -> Vec<f32> {
+    (0..len)
+        .map(|i| ((i as u32).wrapping_mul(s).wrapping_add(s) % 2001) as f32 / 1000.0 - 1.0)
+        .collect()
+}
+
+/// Time one integer shape on one engine (steady state: weights
+/// registered up front, so B-packing is off the timed path).
+fn int_secs(
+    kernel: &'static HostKernel,
+    threads: usize,
+    reps: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    dtype: DType,
+) -> f64 {
+    let (lo, hi) = if dtype == DType::I4 { (-8, 7) } else { (-128, 127) };
+    let a = gen_i8(m * k, 0x1234_5679, lo, hi);
+    let b = gen_i8(k * n, 0x0BAD_F00D | 1, lo, hi);
+    let mut eng = CampEngine::with_threads_and_kernel(threads, kernel);
+    let h = CampBackend::register_weights(&mut eng, n, k, &b, dtype);
+    let req = GemmRequest::with_weights(m, a, h).expect("coherent");
+    time_best(reps, || {
+        let out = eng.execute(&req).expect("registered handle");
+        assert_eq!(out.output.c.len(), m * n);
+    })
+}
+
+fn f32_secs(kernel: &'static HostKernel, reps: usize, m: usize, n: usize, k: usize) -> f64 {
+    let a = gen_f32(m * k, 0x5151_5151);
+    let b = gen_f32(k * n, 0x2E2E_2E2F);
+    let mut ctx = HostGemmF32::with_kernel(kernel);
+    let mut c = vec![0f32; m * n];
+    time_best(reps, || ctx.gemm_into(m, n, k, &a, &b, &mut c))
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let smoke = std::env::var("CAMP_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let reps = env_usize("CAMP_BENCH_REPS", if smoke { 1 } else { 5 });
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let mut thread_counts = vec![1usize];
+    if cores > 1 {
+        thread_counts.push(cores);
+    }
+
+    let scalar = HostKernel::scalar();
+    let simd = HostKernel::detect();
+    let info = simd.info();
+
+    println!("==============================================================");
+    println!("host_gemm: scalar vs dispatched SIMD micro-kernels");
+    println!("dispatched: {info}");
+    if force_scalar() {
+        println!("NOTE: CAMP_FORCE_SCALAR is set — both columns run the scalar tier");
+    }
+    println!(
+        "threads swept: {thread_counts:?}; best of {reps}{}",
+        if smoke { " [smoke]" } else { "" }
+    );
+    println!("==============================================================");
+
+    // (dtype, path, m, n, k): the blocked tile path at paper-ish sizes,
+    // both skinny fast paths, and the f32 subsystem.
+    let int_shapes: &[(&str, DType, &str, usize, usize, usize)] = if smoke {
+        &[
+            ("i8", DType::I8, "blocked", 32, 32, 64),
+            ("i4", DType::I4, "blocked", 32, 32, 64),
+            ("i8", DType::I8, "small_m", 2, 64, 64),
+            ("i8", DType::I8, "small_n", 64, 2, 64),
+        ]
+    } else {
+        &[
+            ("i8", DType::I8, "blocked", 256, 256, 256),
+            ("i8", DType::I8, "blocked", 512, 512, 512),
+            ("i4", DType::I4, "blocked", 256, 256, 256),
+            ("i8", DType::I8, "small_m", 2, 2048, 2048),
+            ("i8", DType::I8, "small_m", 8, 4096, 1024),
+            ("i8", DType::I8, "small_n", 2048, 4, 2048),
+        ]
+    };
+    let f32_shapes: &[(&str, usize, usize, usize)] = if smoke {
+        &[("blocked", 32, 32, 64), ("small_m", 2, 64, 64)]
+    } else {
+        &[("blocked", 256, 256, 256), ("blocked", 384, 384, 384), ("small_m", 2, 2048, 2048)]
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &(dtype_name, dtype, path, m, n, k) in int_shapes {
+        for &threads in &thread_counts {
+            rows.push(Row {
+                dtype: dtype_name,
+                path,
+                m,
+                n,
+                k,
+                threads,
+                scalar_gops: gops(m, n, k, int_secs(scalar, threads, reps, m, n, k, dtype)),
+                simd_gops: gops(m, n, k, int_secs(simd, threads, reps, m, n, k, dtype)),
+            });
+        }
+    }
+    for &(path, m, n, k) in f32_shapes {
+        rows.push(Row {
+            dtype: "f32",
+            path,
+            m,
+            n,
+            k,
+            threads: 1,
+            scalar_gops: gops(m, n, k, f32_secs(scalar, reps, m, n, k)),
+            simd_gops: gops(m, n, k, f32_secs(simd, reps, m, n, k)),
+        });
+    }
+
+    println!(
+        "{:<5} {:<8} {:>5} {:>5} {:>5} {:>3}  {:>12} {:>12} {:>8}",
+        "dtype", "path", "m", "n", "k", "t", "scalar GOPS", "simd GOPS", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<5} {:<8} {:>5} {:>5} {:>5} {:>3}  {:>12.3} {:>12.3} {:>7.2}x",
+            r.dtype,
+            r.path,
+            r.m,
+            r.n,
+            r.k,
+            r.threads,
+            r.scalar_gops,
+            r.simd_gops,
+            r.speedup()
+        );
+    }
+
+    // ---- BENCH_host_gemm.json (hand-rolled: no serde in the image) ----
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"bench\": \"host_gemm\",");
+    let _ = writeln!(j, "  \"smoke\": {smoke},");
+    let _ = writeln!(j, "  \"reps\": {reps},");
+    let _ = writeln!(j, "  \"kernel\": {{");
+    let _ = writeln!(j, "    \"tier\": \"{}\",", json_escape(&info.tier));
+    let _ = writeln!(j, "    \"simd\": {},", info.simd);
+    let _ = writeln!(j, "    \"features\": \"{}\",", json_escape(&info.features.summary()));
+    let _ = writeln!(j, "    \"int_tile\": [{}, {}],", info.int_tile.0, info.int_tile.1);
+    let _ = writeln!(j, "    \"f32_tile\": [{}, {}],", info.f32_tile.0, info.f32_tile.1);
+    let _ = writeln!(
+        j,
+        "    \"int_blocking\": [{}, {}, {}],",
+        info.int_blocking.0, info.int_blocking.1, info.int_blocking.2
+    );
+    let _ = writeln!(
+        j,
+        "    \"f32_blocking\": [{}, {}, {}]",
+        info.f32_blocking.0, info.f32_blocking.1, info.f32_blocking.2
+    );
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"thread_counts\": {thread_counts:?},");
+    let _ = writeln!(j, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"dtype\": \"{}\", \"path\": \"{}\", \"m\": {}, \"n\": {}, \"k\": {}, \
+             \"threads\": {}, \"scalar_gops\": {:.4}, \"simd_gops\": {:.4}, \
+             \"speedup\": {:.3}}}",
+            r.dtype,
+            r.path,
+            r.m,
+            r.n,
+            r.k,
+            r.threads,
+            r.scalar_gops,
+            r.simd_gops,
+            r.speedup()
+        );
+        j.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ]\n}\n");
+
+    let out = "BENCH_host_gemm.json";
+    std::fs::write(out, &j).expect("write BENCH_host_gemm.json");
+    println!("\nwrote {out}");
+}

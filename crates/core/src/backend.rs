@@ -64,6 +64,7 @@
 use std::sync::Arc;
 
 use camp_gemm::driver::{simulate_gemm_batch_on, GemmOptions, SerialScheduler, SimScheduler};
+use camp_gemm::host::{int_blocking, CpuFeatures, KernelInfo};
 use camp_gemm::request::{GemmRequest, Operand, RequestError, ResolvedRequest};
 use camp_gemm::weights::{DType, WeightHandle, WeightMeta, WeightRegistry, WeightSnapshot};
 use camp_gemm::{CMatrix, GemmProblem};
@@ -233,6 +234,13 @@ pub trait CampBackend {
     /// Capability probe; see [`Capability`].
     fn supports(&self, cap: Capability) -> bool;
 
+    /// Which micro-kernel tier this backend computes with: the host
+    /// engine reports its dispatched [`camp_gemm::host::HostKernel`]
+    /// (scalar / AVX2 / NEON plus the probed [`CpuFeatures`] and active
+    /// blocking); the simulator reports its synthetic camp tier (the
+    /// simulated VVA kernel is the same regardless of host silicon).
+    fn kernel_info(&self) -> KernelInfo;
+
     /// Register a row-major k×n weight matrix for `dtype`'s kernel;
     /// the handle resolves only against this backend.
     fn register_weights(&mut self, n: usize, k: usize, b: &[i8], dtype: DType) -> WeightHandle;
@@ -299,6 +307,10 @@ impl CampBackend for CampEngine {
 
     fn supports(&self, cap: Capability) -> bool {
         matches!(cap, Capability::HostSpeed | Capability::ZeroRepackWeights)
+    }
+
+    fn kernel_info(&self) -> KernelInfo {
+        CampEngine::kernel_info(self)
     }
 
     fn register_weights(&mut self, n: usize, k: usize, b: &[i8], dtype: DType) -> WeightHandle {
@@ -460,6 +472,20 @@ impl CampBackend for SimBackend {
             Capability::CycleAccurateStats => true,
             Capability::MacClamping => self.mac_budget != u64::MAX,
             Capability::HostSpeed | Capability::ZeroRepackWeights => false,
+        }
+    }
+
+    fn kernel_info(&self) -> KernelInfo {
+        // The simulated camp kernel is the same VVA program on any host;
+        // the probe is reported for context, not dispatch.
+        KernelInfo {
+            tier: "sim-camp".to_string(),
+            simd: false,
+            features: CpuFeatures::detect(),
+            int_tile: (4, 4),
+            f32_tile: (0, 0),
+            int_blocking: int_blocking(),
+            f32_blocking: (0, 0, 0),
         }
     }
 
@@ -701,6 +727,23 @@ mod tests {
         assert!(!sim.supports(Capability::HostSpeed));
         assert_eq!(CampBackend::threads(&sim), 2);
         assert_ne!(CampBackend::name(&host), sim.name());
+    }
+
+    #[test]
+    fn kernel_info_identifies_each_substrate() {
+        let host = CampEngine::new();
+        let info = CampBackend::kernel_info(&host);
+        assert!(["scalar", "avx2", "neon"].contains(&info.tier.as_str()));
+        assert_eq!(info.int_tile, (4, 4));
+        assert!(info.int_blocking.0 > 0);
+        // the Display form is what serving logs print
+        assert!(info.to_string().contains(&info.tier));
+
+        let sim = SimBackend::a64fx();
+        let sinfo = sim.kernel_info();
+        assert_eq!(sinfo.tier, "sim-camp");
+        assert!(!sinfo.simd);
+        assert_eq!(sinfo.int_tile, (4, 4));
     }
 
     #[test]

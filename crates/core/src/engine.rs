@@ -62,7 +62,10 @@
 use camp_gemm::batch::{
     packed_a_bytes, packed_a_offset, packed_b_bytes, packed_b_offset, BOperandKey,
 };
-use camp_gemm::loops::{run_blocked, BlockSink};
+use camp_gemm::host::{HostKernel, KernelInfo, SmallB};
+use camp_gemm::loops::{
+    for_each_b_block, for_each_row_strip, run_blocked, small_path, BlockPlan, BlockSink, SmallPath,
+};
 use camp_gemm::request::{GemmRequest, Operand, RequestError};
 use camp_gemm::weights::{
     host_block_plan, pack_a_block, pack_b_block, prepack_a, prepack_b, WeightRegistry,
@@ -127,44 +130,56 @@ impl EngineStats {
     }
 }
 
-/// One micro-kernel step: consume `k_step` k-values of a packed 4-row A
-/// panel and 4-column B panel into the 4×4 accumulator tile.
-pub(crate) type IssueFn = fn(&[i8], &[i8], &mut [[i32; 4]; 4]);
-
-fn camp_issue_i8(a: &[i8], b: &[i8], acc: &mut [[i32; 4]; 4]) {
-    // One `camp.s8`: 16 k-steps of the 4×4 tile.
-    for l in 0..16 {
-        for i in 0..4 {
-            let av = a[l * 4 + i] as i32;
-            for j in 0..4 {
-                acc[i][j] = acc[i][j].wrapping_add(av.wrapping_mul(b[l * 4 + j] as i32));
-            }
+/// Debug-build guard for the `camp.s4` kernel's operand contract:
+/// values must fit 4 bits. The host tiers run i4 through the same
+/// widening i8 arithmetic (the math is identical on 4-bit-safe
+/// operands), so the range check lives at the engine entry points
+/// instead of inside the micro-kernel.
+fn debug_check_i4(dtype: DType, what: &str, vals: &[i8]) {
+    if cfg!(debug_assertions) && dtype == DType::I4 {
+        if let Some(v) = vals.iter().find(|v| !(-8..8).contains(*v)) {
+            panic!("i4 {what} operand {v} out of range");
         }
     }
 }
 
-fn camp_issue_i4(a: &[i8], b: &[i8], acc: &mut [[i32; 4]; 4]) {
-    // One `camp.s4`: 32 k-steps. Operand values must fit 4 bits.
-    for l in 0..32 {
-        for i in 0..4 {
-            let av = a[l * 4 + i] as i32;
-            debug_assert!((-8..8).contains(&av), "i4 operand {av} out of range");
-            for j in 0..4 {
-                let bv = b[l * 4 + j] as i32;
-                debug_assert!((-8..8).contains(&bv), "i4 operand {bv} out of range");
-                acc[i][j] = acc[i][j].wrapping_add(av.wrapping_mul(bv));
-            }
+/// The [`EngineStats`] of running a problem through the blocked tile
+/// path, computed arithmetically from the plan. This *is* the tile
+/// path's accounting — same block traversal, same per-tile issue,
+/// load and store counts — kept as one closed form so the skinny fast
+/// paths ([`camp_gemm::host`]'s `run_small_m`/`run_small_n`) report
+/// the canonical camp instruction stream for their problem even though
+/// they execute a cheaper host schedule. Stats stay a property of the
+/// *problem* (shape, dtype, operand placement), not of which host
+/// schedule computed it, so counters remain comparable across paths
+/// and stable under dispatch changes. A unit test pins this helper to
+/// the instrumented blocked path.
+fn tile_path_stats(
+    m: usize,
+    n: usize,
+    k: usize,
+    k_step: usize,
+    plan: &BlockPlan,
+    shared_b: bool,
+    shared_a: bool,
+) -> EngineStats {
+    let mut s = EngineStats { macs: (m * n * k) as u64, ..EngineStats::default() };
+    for_each_b_block(plan, |_jc, ncb, pc, kcb| {
+        if !shared_b {
+            s.packed_b_bytes += (ncb * kcb) as u64;
         }
-    }
-}
-
-/// The kernel a dtype selects: k-values per camp issue plus the issue
-/// function itself.
-pub(crate) fn kernel_of(dtype: DType) -> (usize, IssueFn) {
-    match dtype {
-        DType::I8 => (16, camp_issue_i8 as IssueFn),
-        DType::I4 => (32, camp_issue_i4 as IssueFn),
-    }
+        for_each_row_strip(plan, |_ic, mcb| {
+            if !shared_a {
+                s.packed_a_bytes += (mcb * kcb) as u64;
+            }
+            let tiles = ((mcb / 4) * (ncb / 4)) as u64;
+            let steps = (kcb / k_step) as u64;
+            s.camp_issues += tiles * steps;
+            s.vector_loads += tiles * (2 * steps + u64::from(pc > 0));
+            s.vector_stores += tiles;
+        });
+    });
+    s
 }
 
 /// Host backend of the shared blocked-loop skeleton: packs blocks into
@@ -183,7 +198,7 @@ struct HostBackend<'a> {
     /// Padded depth of the plan (for shared-panel block offsets).
     kp: usize,
     k_step: usize,
-    issue: IssueFn,
+    hk: &'static HostKernel,
     pool: &'a mut PackPool,
     shared_b: Option<&'a [i8]>,
     shared_a: Option<&'a [i8]>,
@@ -244,15 +259,14 @@ impl BlockSink for HostBackend<'_> {
             for p in 0..mcb / 4 {
                 let pa = &abuf[p * panel..(p + 1) * panel];
                 let mut acc = [[0i32; 4]; 4];
-                for l0 in (0..kcb).step_by(self.k_step) {
-                    (self.issue)(
-                        &pa[l0 * 4..(l0 + self.k_step) * 4],
-                        &pb[l0 * 4..(l0 + self.k_step) * 4],
-                        &mut acc,
-                    );
-                    self.stats.camp_issues += 1;
-                    self.stats.vector_loads += 2;
-                }
+                // One whole-depth tile-kernel call (the dispatched
+                // host tier holds its accumulators in registers across
+                // the k loop); the stats still describe the camp
+                // stream: one issue per k-step, two operand loads each.
+                self.hk.tile_i8(pa, pb, &mut acc);
+                let steps = (kcb / self.k_step) as u64;
+                self.stats.camp_issues += steps;
+                self.stats.vector_loads += 2 * steps;
                 // k blocks after the first read C back before storing
                 // (read-modify-write); the first visit stores into a
                 // zeroed C, so the stream has no load there.
@@ -280,9 +294,10 @@ impl BlockSink for HostBackend<'_> {
     }
 }
 
-/// Run the blocked loops for one worker's row range. With `shared_b` /
-/// `shared_a`, the operand is consumed from the caller's pre-packed
-/// panel instead of being packed per block.
+/// Run one worker's row range: the skinny fast paths for GEMV-shaped
+/// problems ([`small_path`]), the blocked loops otherwise. With
+/// `shared_b` / `shared_a`, the operand is consumed from the caller's
+/// pre-packed panel instead of being packed per block.
 #[allow(clippy::too_many_arguments)]
 fn gemm_range(
     m: usize,
@@ -293,11 +308,40 @@ fn gemm_range(
     c: &mut [i32],
     pool: &mut PackPool,
     k_step: usize,
-    issue: IssueFn,
+    hk: &'static HostKernel,
     shared_b: Option<&[i8]>,
     shared_a: Option<&[i8]>,
 ) -> EngineStats {
     let plan = host_block_plan(m, n, k, k_step);
+    if let Some(path) = small_path(m, n) {
+        // Skinny problems skip the Goto nest: raw A rows feed the
+        // tier's small kernels directly (no A packing, no padded
+        // register tile). Bit-identity with the blocked path is
+        // structural — exact products, wrapping i32 accumulation —
+        // and a staged A is simply ignored (the raw activation is
+        // always present). Stats report the canonical camp stream for
+        // the problem (see [`tile_path_stats`]).
+        match path {
+            SmallPath::SmallM => {
+                let bsrc = match shared_b {
+                    Some(panel) => SmallB::Panel(panel),
+                    None => SmallB::Dense(b),
+                };
+                hk.run_small_m(m, n, k, &plan, a, bsrc, c);
+            }
+            SmallPath::SmallN => match shared_b {
+                Some(panel) => hk.run_small_n(m, n, k, &plan, a, panel, c),
+                None => {
+                    // Same total bytes the blocked path would have
+                    // packed block-by-block, in the same layout.
+                    let buf = pool.b_buffer(packed_b_bytes(&plan));
+                    prepack_b(buf, b, n, k, &plan);
+                    hk.run_small_n(m, n, k, &plan, a, buf, c);
+                }
+            },
+        }
+        return tile_path_stats(m, n, k, k_step, &plan, shared_b.is_some(), shared_a.is_some());
+    }
     let mut backend = HostBackend {
         a,
         b,
@@ -307,7 +351,7 @@ fn gemm_range(
         k,
         kp: plan.kp,
         k_step,
-        issue,
+        hk,
         pool,
         shared_b,
         shared_a,
@@ -358,7 +402,7 @@ fn gemm_partitioned(
     wp: Option<&WorkerPool>,
     threads: usize,
     k_step: usize,
-    issue: IssueFn,
+    hk: &'static HostKernel,
     shared_b: Option<&[i8]>,
 ) -> EngineStats {
     let (rows_per, workers) = row_partition(m, threads);
@@ -367,7 +411,7 @@ fn gemm_partitioned(
     }
     let mut total = EngineStats::default();
     if workers == 1 {
-        total.merge(&gemm_range(m, n, k, a, b, c, &mut pools[0], k_step, issue, shared_b, None));
+        total.merge(&gemm_range(m, n, k, a, b, c, &mut pools[0], k_step, hk, shared_b, None));
         return total;
     }
     let mut slots: Vec<Option<EngineStats>> = vec![None; workers];
@@ -380,7 +424,7 @@ fn gemm_partitioned(
             Box::new(move || {
                 let m_local = c_chunk.len() / n;
                 *slot = Some(gemm_range(
-                    m_local, n, k, a_chunk, b, c_chunk, pool, k_step, issue, shared_b, None,
+                    m_local, n, k, a_chunk, b, c_chunk, pool, k_step, hk, shared_b, None,
                 ));
             })
         })
@@ -404,7 +448,6 @@ struct WorkItem<'a> {
     n: usize,
     k: usize,
     k_step: usize,
-    issue: IssueFn,
     a: &'a [i8],
     /// Fully pre-packed A; consumed only on the cross-item path (the
     /// row-split path partitions rows, whose per-worker plans index A
@@ -429,6 +472,7 @@ fn run_work_items(
     pools: &mut Vec<PackPool>,
     wp: Option<&WorkerPool>,
     threads: usize,
+    hk: &'static HostKernel,
 ) -> EngineStats {
     let mut total = EngineStats::default();
     let mut small = Vec::with_capacity(items.len());
@@ -449,12 +493,12 @@ fn run_work_items(
             wp,
             threads,
             it.k_step,
-            it.issue,
+            hk,
             Some(it.shared_b),
         ));
         results[it.slot] = c;
     }
-    total.merge(&run_small_items(small, results, pools, wp, threads));
+    total.merge(&run_small_items(small, results, pools, wp, threads, hk));
     total
 }
 
@@ -467,6 +511,7 @@ fn run_small_items(
     pools: &mut Vec<PackPool>,
     wp: Option<&WorkerPool>,
     threads: usize,
+    hk: &'static HostKernel,
 ) -> EngineStats {
     let mut total = EngineStats::default();
     if items.is_empty() {
@@ -505,7 +550,7 @@ fn run_small_items(
                         &mut c,
                         pool,
                         it.k_step,
-                        it.issue,
+                        hk,
                         Some(it.shared_b),
                         it.shared_a,
                     );
@@ -628,6 +673,12 @@ enum PanelSrc {
 #[derive(Debug)]
 pub struct CampEngine {
     threads: usize,
+    /// Host micro-kernel tier, dispatched once at construction from
+    /// the [`camp_gemm::host::CpuFeatures`] probe (or pinned by
+    /// [`CampEngine::with_threads_and_kernel`] /
+    /// `CAMP_FORCE_SCALAR=1`). Every integer kernel call in this
+    /// engine goes through this table.
+    host: &'static HostKernel,
     pools: Vec<PackPool>,
     /// Arena for B panels shared read-only across workers: the parallel
     /// path's single packed B, and the batch path's deduplicated B set.
@@ -661,10 +712,20 @@ impl CampEngine {
     /// spawned **once** here — parallel calls only enqueue jobs on the
     /// persistent pool.
     pub fn with_threads(threads: usize) -> Self {
+        CampEngine::with_threads_and_kernel(threads, HostKernel::detect())
+    }
+
+    /// [`CampEngine::with_threads`] pinned to a specific host-kernel
+    /// tier instead of the detected best one. This is how the parity
+    /// test-suite runs every available tier against the scalar
+    /// reference *within one process*; production code should let
+    /// [`HostKernel::detect`] choose (it honors `CAMP_FORCE_SCALAR`).
+    pub fn with_threads_and_kernel(threads: usize, kernel: &'static HostKernel) -> Self {
         let threads = crate::backend::resolve_threads(threads);
         let workers = (threads > 1).then(|| std::sync::Arc::new(WorkerPool::new(threads)));
         CampEngine {
             threads,
+            host: kernel,
             pools: Vec::new(),
             shared: PackPool::new(),
             weights: WeightRegistry::new(),
@@ -683,6 +744,27 @@ impl CampEngine {
     /// Configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Which host-kernel tier this engine dispatches to, with the
+    /// probed CPU features, register-tile geometry and active cache
+    /// blocking — so serving logs and benches can record which kernel
+    /// produced a number.
+    ///
+    /// ```
+    /// let engine = camp_core::CampEngine::new();
+    /// let info = engine.kernel_info();
+    /// assert!(["scalar", "avx2", "neon"].contains(&info.tier.as_str()));
+    /// println!("{info}"); // e.g. "avx2 kernel (features: avx2 fma; ...)"
+    /// ```
+    pub fn kernel_info(&self) -> KernelInfo {
+        self.host.info()
+    }
+
+    /// The dispatched host-kernel table itself (the f32 subsystem
+    /// [`camp_gemm::host::HostGemmF32`] takes it directly).
+    pub fn host_kernel(&self) -> &'static HostKernel {
+        self.host
     }
 
     /// A sharable handle to the engine's persistent worker pool, or
@@ -847,7 +929,7 @@ impl CampEngine {
         if m == 0 || meta.n == 0 || meta.k == 0 {
             return (c, EngineStats::default());
         }
-        let (k_step, issue) = kernel_of(meta.dtype);
+        debug_check_i4(meta.dtype, "activation", a);
         let stats = gemm_partitioned(
             m,
             meta.n,
@@ -858,8 +940,8 @@ impl CampEngine {
             &mut self.pools,
             self.workers.as_deref(),
             self.threads,
-            k_step,
-            issue,
+            meta.dtype.k_step(),
+            self.host,
             Some(self.weights.panel(h)),
         );
         (c, stats)
@@ -995,7 +1077,9 @@ impl CampEngine {
         if m == 0 || n == 0 || k == 0 {
             return (c, EngineStats::default());
         }
-        let (k_step, issue) = kernel_of(dtype);
+        debug_check_i4(dtype, "A", a);
+        debug_check_i4(dtype, "B", b);
+        let k_step = dtype.k_step();
 
         let mut total = EngineStats::default();
         let (_, workers) = row_partition(m, self.threads);
@@ -1024,7 +1108,7 @@ impl CampEngine {
             self.workers.as_deref(),
             self.threads,
             k_step,
-            issue,
+            self.host,
             shared_b,
         ));
         (c, total)
@@ -1103,6 +1187,7 @@ impl CampEngine {
         let weights = &self.weights;
         let wp = self.workers.as_deref();
         let threads = self.threads;
+        let hk = self.host;
         let pools = &mut self.pools;
         let panel = |src: &PanelSrc| -> &[i8] {
             match src {
@@ -1116,21 +1201,23 @@ impl CampEngine {
             .enumerate()
             .filter(|(_, p)| !p.is_degenerate())
             .map(|(i, p)| {
-                let (k_step, issue) = kernel_of(dtypes[i]);
+                debug_check_i4(dtypes[i], "batch A", p.a);
+                if p.handle.is_none() {
+                    debug_check_i4(dtypes[i], "batch B", p.b);
+                }
                 WorkItem {
                     slot: i,
                     m: p.m,
                     n: p.n,
                     k: p.k,
-                    k_step,
-                    issue,
+                    k_step: dtypes[i].k_step(),
                     a: p.a,
                     shared_a: None,
                     shared_b: panel(srcs[i].as_ref().expect("non-degenerate")),
                 }
             })
             .collect();
-        total.merge(&run_work_items(items, &mut results, pools, wp, threads));
+        total.merge(&run_work_items(items, &mut results, pools, wp, threads, hk));
         (results, total)
     }
 
@@ -1152,6 +1239,7 @@ impl CampEngine {
         let weights = &self.weights;
         let wp = self.workers.as_deref();
         let threads = self.threads;
+        let hk = self.host;
         let pools = &mut self.pools;
 
         let items: Vec<WorkItem<'_>> = reqs
@@ -1159,14 +1247,13 @@ impl CampEngine {
             .enumerate()
             .filter(|(_, r)| !r.is_degenerate())
             .map(|(i, r)| {
-                let (k_step, issue) = kernel_of(r.dtype);
+                debug_check_i4(r.dtype, "staged activation", &r.a);
                 WorkItem {
                     slot: i,
                     m: r.m,
                     n: r.n,
                     k: r.k,
-                    k_step,
-                    issue,
+                    k_step: r.dtype.k_step(),
                     a: &r.a,
                     shared_a: r.packed_a.as_deref(),
                     shared_b: match &r.b {
@@ -1176,7 +1263,7 @@ impl CampEngine {
                 }
             })
             .collect();
-        total.merge(&run_work_items(items, &mut results, pools, wp, threads));
+        total.merge(&run_work_items(items, &mut results, pools, wp, threads, hk));
         (results, total)
     }
 }

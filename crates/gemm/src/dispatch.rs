@@ -10,6 +10,18 @@
 //! verification, staging and blocking logic pick the new kernel up
 //! unchanged. See the README's "kernel dispatch layer" section for a
 //! walkthrough.
+//!
+//! The host-speed engine has the same seam one layer down: a
+//! [`HostKernel`] is the native-silicon analogue of a [`MicroKernel`]
+//! descriptor — a table of micro-kernel function pointers per tier
+//! (scalar / AVX2 / NEON), selected once at engine construction from a
+//! [`CpuFeatures`] runtime probe instead of a `Method` flag. Both
+//! descriptors feed the same blocked-loop skeleton in
+//! [`crate::loops`]; see `docs/HOST_KERNELS.md` for the dispatch
+//! story. The types are re-exported here so the two kernel seams read
+//! side by side.
+
+pub use crate::host::{CpuFeatures, HostKernel, HostTier};
 
 use crate::kernels;
 use crate::pack;

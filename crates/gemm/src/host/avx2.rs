@@ -1,0 +1,354 @@
+//! x86_64 AVX2 tier.
+//!
+//! Integer kernels widen i8→i16 with `vpshufb`-interleaved panels and
+//! accumulate through `vpmaddwd` (exact: every i8×i8 product fits i16
+//! headroom, every pairwise sum fits i32) into wrapping `vpaddd`
+//! accumulators — so the tier is bit-identical to the scalar reference
+//! by construction. f32 kernels use `vfmadd` with one accumulator
+//! register per output chunk, realizing the same per-element fma chain
+//! (`l` ascending) as [`super::scalar`], hence the same bits.
+//!
+//! Every `_impl` below is an `unsafe fn` with
+//! `#[target_feature(enable = ...)]` and **no inner unsafe blocks**;
+//! the public wrappers hold the single `unsafe` call, guarded by a
+//! debug assertion that dispatch only routed here on a capable CPU.
+
+#![cfg(target_arch = "x86_64")]
+
+use std::arch::x86_64::*;
+
+/// Per-128-lane `vpshufb` mask turning a packed B chunk of 8 k-values
+/// (`b[l*4+j]`, 32 bytes) into (l, l+1) pair-interleaved bytes, ready
+/// for i16 widening and `vpmaddwd`: lane 0 becomes pairs (l0,l1) then
+/// (l2,l3) for j=0..3, lane 1 pairs (l4,l5) then (l6,l7).
+const B_PAIR_SHUF: [i8; 32] = [
+    0, 4, 1, 5, 2, 6, 3, 7, 8, 12, 9, 13, 10, 14, 11, 15, //
+    0, 4, 1, 5, 2, 6, 3, 7, 8, 12, 9, 13, 10, 14, 11, 15,
+];
+
+/// Per-row `vpshufb` masks broadcasting row `i` of a packed A chunk as
+/// (l, l+1) pairs aligned with [`B_PAIR_SHUF`]'s B layout.
+const fn a_row_shuf(i: i8) -> [i8; 32] {
+    let mut m = [0i8; 32];
+    let mut lane = 0;
+    while lane < 2 {
+        let base = lane * 16;
+        let mut t = 0;
+        while t < 4 {
+            m[base + 2 * t] = i;
+            m[base + 2 * t + 1] = 4 + i;
+            m[base + 8 + 2 * t] = 8 + i;
+            m[base + 8 + 2 * t + 1] = 12 + i;
+            t += 1;
+        }
+        lane += 1;
+    }
+    m
+}
+
+const A_ROW_SHUF: [[i8; 32]; 4] = [a_row_shuf(0), a_row_shuf(1), a_row_shuf(2), a_row_shuf(3)];
+
+/// 8-byte `vpshufb` mask pairing two consecutive panel k-values per
+/// column for [`panel_mav`]; high half zeroed (indices with the sign
+/// bit set produce 0).
+const PANEL_PAIR_SHUF: [i8; 16] = [
+    0, 4, 1, 5, 2, 6, 3, 7, //
+    -128, -128, -128, -128, -128, -128, -128, -128,
+];
+
+#[target_feature(enable = "avx2")]
+unsafe fn tile_i8_impl(pa: &[i8], pb: &[i8], acc: &mut [[i32; 4]; 4]) {
+    let bshuf = _mm256_loadu_si256(B_PAIR_SHUF.as_ptr() as *const __m256i);
+    let ashuf = [
+        _mm256_loadu_si256(A_ROW_SHUF[0].as_ptr() as *const __m256i),
+        _mm256_loadu_si256(A_ROW_SHUF[1].as_ptr() as *const __m256i),
+        _mm256_loadu_si256(A_ROW_SHUF[2].as_ptr() as *const __m256i),
+        _mm256_loadu_si256(A_ROW_SHUF[3].as_ptr() as *const __m256i),
+    ];
+    let mut vacc = [_mm256_setzero_si256(); 4];
+    // 8 k-values (32 packed bytes) per iteration; panel depth is a
+    // multiple of 8 k-values (dispatch asserts it)
+    let iters = pa.len() / 32;
+    for t in 0..iters {
+        let ap = _mm256_loadu_si256(pa.as_ptr().add(t * 32) as *const __m256i);
+        let bp = _mm256_loadu_si256(pb.as_ptr().add(t * 32) as *const __m256i);
+        let bs = _mm256_shuffle_epi8(bp, bshuf);
+        let b_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(bs));
+        let b_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256::<1>(bs));
+        for i in 0..4 {
+            let asel = _mm256_shuffle_epi8(ap, ashuf[i]);
+            let a_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(asel));
+            let a_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256::<1>(asel));
+            // vpmaddwd: exact pairwise i16 dot products in i32 lanes
+            let prod =
+                _mm256_add_epi32(_mm256_madd_epi16(a_lo, b_lo), _mm256_madd_epi16(a_hi, b_hi));
+            vacc[i] = _mm256_add_epi32(vacc[i], prod);
+        }
+    }
+    for (row, v) in acc.iter_mut().zip(vacc) {
+        // lane t<4 holds j_t over (l0,l1,l4,l5); lane t+4 over
+        // (l2,l3,l6,l7) — fold halves, then fold into the caller tile
+        let folded = _mm_add_epi32(_mm256_castsi256_si128(v), _mm256_extracti128_si256::<1>(v));
+        let mut out = [0i32; 4];
+        _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, folded);
+        for (c, o) in row.iter_mut().zip(out) {
+            *c = c.wrapping_add(o);
+        }
+    }
+}
+
+/// See [`super::scalar::tile_i8`]; bit-identical, AVX2-accelerated.
+pub fn tile_i8(pa: &[i8], pb: &[i8], acc: &mut [[i32; 4]; 4]) {
+    debug_assert!(is_x86_feature_detected!("avx2"), "avx2 kernel dispatched without avx2");
+    unsafe { tile_i8_impl(pa, pb, acc) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn small_m_dense_impl(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let mut j = 0;
+        // 16 output columns per step, i32 accumulators held across the
+        // whole k loop (B rows stream through cache once per A row)
+        while j + 16 <= n {
+            let cptr = c.as_mut_ptr().add(i * n + j);
+            let mut acc0 = _mm256_loadu_si256(cptr as *const __m256i);
+            let mut acc1 = _mm256_loadu_si256(cptr.add(8) as *const __m256i);
+            for (l, &av) in arow.iter().enumerate() {
+                let a16 = _mm256_set1_epi16(av as i16);
+                let b8 = _mm_loadu_si128(b.as_ptr().add(l * n + j) as *const __m128i);
+                let b16 = _mm256_cvtepi8_epi16(b8);
+                // i8×i8 products fit i16 exactly (|p| ≤ 16384)
+                let p16 = _mm256_mullo_epi16(a16, b16);
+                let lo = _mm256_cvtepi16_epi32(_mm256_castsi256_si128(p16));
+                let hi = _mm256_cvtepi16_epi32(_mm256_extracti128_si256::<1>(p16));
+                acc0 = _mm256_add_epi32(acc0, lo);
+                acc1 = _mm256_add_epi32(acc1, hi);
+            }
+            _mm256_storeu_si256(cptr as *mut __m256i, acc0);
+            _mm256_storeu_si256(cptr.add(8) as *mut __m256i, acc1);
+            j += 16;
+        }
+        for j in j..n {
+            let mut acc = c[i * n + j];
+            for (l, &av) in arow.iter().enumerate() {
+                acc = acc.wrapping_add((av as i32).wrapping_mul(b[l * n + j] as i32));
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// See [`super::scalar::small_m_dense`]; bit-identical.
+pub fn small_m_dense(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    debug_assert!(is_x86_feature_detected!("avx2"), "avx2 kernel dispatched without avx2");
+    unsafe { small_m_dense_impl(m, n, k, a, b, c) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn panel_mav_impl(acc: &mut [i32; 4], a_row: &[i8], panel: &[i8]) {
+    let shuf = _mm_loadu_si128(PANEL_PAIR_SHUF.as_ptr() as *const __m128i);
+    let mut vacc = _mm_loadu_si128(acc.as_ptr() as *const __m128i);
+    let kreal = a_row.len();
+    let mut l = 0;
+    while l + 2 <= kreal {
+        // 2 k-values × 4 columns = 8 panel bytes
+        let b8 = _mm_loadl_epi64(panel.as_ptr().add(l * 4) as *const __m128i);
+        let b16 = _mm_cvtepi8_epi16(_mm_shuffle_epi8(b8, shuf));
+        let a0 = a_row[l] as i16;
+        let a1 = a_row[l + 1] as i16;
+        let apair = _mm_set1_epi32(((a1 as i32) << 16) | (a0 as u16 as i32));
+        vacc = _mm_add_epi32(vacc, _mm_madd_epi16(b16, apair));
+        l += 2;
+    }
+    _mm_storeu_si128(acc.as_mut_ptr() as *mut __m128i, vacc);
+    if l < kreal {
+        let a = a_row[l] as i32;
+        for (j, v) in acc.iter_mut().enumerate() {
+            *v = v.wrapping_add(a.wrapping_mul(panel[l * 4 + j] as i32));
+        }
+    }
+}
+
+/// See [`super::scalar::panel_mav`]; bit-identical.
+pub fn panel_mav(acc: &mut [i32; 4], a_row: &[i8], panel: &[i8]) {
+    debug_assert!(is_x86_feature_detected!("avx2"), "avx2 kernel dispatched without avx2");
+    unsafe { panel_mav_impl(acc, a_row, panel) }
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn f32_tile_impl(pa: &[f32], pb: &[f32], kcb: usize, acc: &mut [f32]) {
+    // 4×16 register tile: two 8-wide accumulators per row, held in
+    // registers across the whole depth block
+    let mut lo = [_mm256_setzero_ps(); 4];
+    let mut hi = [_mm256_setzero_ps(); 4];
+    for i in 0..4 {
+        lo[i] = _mm256_loadu_ps(acc.as_ptr().add(i * 16));
+        hi[i] = _mm256_loadu_ps(acc.as_ptr().add(i * 16 + 8));
+    }
+    for l in 0..kcb {
+        let b_lo = _mm256_loadu_ps(pb.as_ptr().add(l * 16));
+        let b_hi = _mm256_loadu_ps(pb.as_ptr().add(l * 16 + 8));
+        for i in 0..4 {
+            let a = _mm256_set1_ps(pa[l * 4 + i]);
+            lo[i] = _mm256_fmadd_ps(a, b_lo, lo[i]);
+            hi[i] = _mm256_fmadd_ps(a, b_hi, hi[i]);
+        }
+    }
+    for i in 0..4 {
+        _mm256_storeu_ps(acc.as_mut_ptr().add(i * 16), lo[i]);
+        _mm256_storeu_ps(acc.as_mut_ptr().add(i * 16 + 8), hi[i]);
+    }
+}
+
+/// 4×16 f32 fma register tile; same per-element fma chain as scalar.
+pub fn f32_tile(pa: &[f32], pb: &[f32], kcb: usize, acc: &mut [f32]) {
+    debug_assert!(pa.len() >= kcb * 4 && pb.len() >= kcb * 16 && acc.len() >= 64);
+    debug_assert!(
+        is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"),
+        "avx2+fma kernel dispatched without avx2+fma"
+    );
+    unsafe { f32_tile_impl(pa, pb, kcb, acc) }
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn f32_small_m_impl(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let mut j = 0;
+        while j + 8 <= n {
+            let cptr = c.as_mut_ptr().add(i * n + j);
+            let mut acc = _mm256_loadu_ps(cptr);
+            for (l, &av) in arow.iter().enumerate() {
+                let bv = _mm256_loadu_ps(b.as_ptr().add(l * n + j));
+                acc = _mm256_fmadd_ps(_mm256_set1_ps(av), bv, acc);
+            }
+            _mm256_storeu_ps(cptr, acc);
+            j += 8;
+        }
+        for j in j..n {
+            let mut acc = c[i * n + j];
+            for (l, &av) in arow.iter().enumerate() {
+                acc = av.mul_add(b[l * n + j], acc);
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// See [`super::scalar::f32_small_m`]; bit-identical (fma chain).
+pub fn f32_small_m(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert!(
+        is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"),
+        "avx2+fma kernel dispatched without avx2+fma"
+    );
+    unsafe { f32_small_m_impl(m, n, k, a, b, c) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::scalar;
+    use super::*;
+    use crate::reference::SplitMix64;
+
+    fn have_avx2() -> bool {
+        is_x86_feature_detected!("avx2")
+    }
+
+    fn have_fma() -> bool {
+        have_avx2() && is_x86_feature_detected!("fma")
+    }
+
+    #[test]
+    fn tile_is_bit_identical_to_scalar() {
+        if !have_avx2() {
+            return;
+        }
+        let mut r = SplitMix64::new(10);
+        for kcb in [8, 16, 48, 160] {
+            let pa = r.i8_vec(kcb * 4, -128, 127);
+            let pb = r.i8_vec(kcb * 4, -128, 127);
+            let mut want = [[1i32, -2, 3, -4]; 4];
+            let mut got = want;
+            scalar::tile_i8(&pa, &pb, &mut want);
+            tile_i8(&pa, &pb, &mut got);
+            assert_eq!(got, want, "kcb={kcb}");
+        }
+    }
+
+    #[test]
+    fn small_m_dense_is_bit_identical_to_scalar() {
+        if !have_avx2() {
+            return;
+        }
+        let mut r = SplitMix64::new(11);
+        for (m, n, k) in [(1, 1, 1), (2, 16, 5), (3, 33, 7), (8, 100, 13), (4, 15, 64)] {
+            let a = r.i8_vec(m * k, -128, 127);
+            let b = r.i8_vec(k * n, -128, 127);
+            let mut want = vec![7i32; m * n];
+            let mut got = want.clone();
+            scalar::small_m_dense(m, n, k, &a, &b, &mut want);
+            small_m_dense(m, n, k, &a, &b, &mut got);
+            assert_eq!(got, want, "{m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn panel_mav_is_bit_identical_to_scalar() {
+        if !have_avx2() {
+            return;
+        }
+        let mut r = SplitMix64::new(12);
+        for kreal in [0, 1, 2, 7, 16, 33] {
+            let a_row = r.i8_vec(kreal, -128, 127);
+            let panel = r.i8_vec(kreal.max(1) * 4, -128, 127);
+            let mut want = [5i32, -6, 7, -8];
+            let mut got = want;
+            scalar::panel_mav(&mut want, &a_row, &panel);
+            panel_mav(&mut got, &a_row, &panel);
+            assert_eq!(got, want, "kreal={kreal}");
+        }
+    }
+
+    #[test]
+    fn f32_tile_matches_scalar_chain_bitwise() {
+        if !have_fma() {
+            return;
+        }
+        // the AVX2 tile is 4×16 = four scalar 4×4 tiles side by side;
+        // check each element continues the same fma chain
+        let mut r = SplitMix64::new(13);
+        let kcb = 37;
+        let pa: Vec<f32> = (0..kcb * 4).map(|_| r.next_i8(-50, 50) as f32 * 0.125).collect();
+        let pb: Vec<f32> = (0..kcb * 16).map(|_| r.next_i8(-50, 50) as f32 * 0.125).collect();
+        let mut got = [0.5f32; 64];
+        let want = got;
+        f32_tile(&pa, &pb, kcb, &mut got);
+        for (i, row) in want.chunks(16).enumerate() {
+            for (j, &seed) in row.iter().enumerate() {
+                let mut acc = seed;
+                for l in 0..kcb {
+                    acc = pa[l * 4 + i].mul_add(pb[l * 16 + j], acc);
+                }
+                assert_eq!(got[i * 16 + j].to_bits(), acc.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_small_m_is_bit_identical_to_scalar() {
+        if !have_fma() {
+            return;
+        }
+        let mut r = SplitMix64::new(14);
+        for (m, n, k) in [(1, 9, 3), (2, 8, 16), (4, 31, 11)] {
+            let a: Vec<f32> = (0..m * k).map(|_| r.next_i8(-64, 64) as f32 * 0.25).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| r.next_i8(-64, 64) as f32 * 0.25).collect();
+            let mut want = vec![0.25f32; m * n];
+            let mut got = want.clone();
+            scalar::f32_small_m(m, n, k, &a, &b, &mut want);
+            f32_small_m(m, n, k, &a, &b, &mut got);
+            assert!(got.iter().zip(&want).all(|(x, y)| x.to_bits() == y.to_bits()), "{m}x{n}x{k}");
+        }
+    }
+}

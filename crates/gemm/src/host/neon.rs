@@ -1,0 +1,278 @@
+//! aarch64 NEON tier.
+//!
+//! Integer kernels widen i8→i16 with `sxtl` (`vmovl_s8`) and
+//! accumulate through the widening multiply-accumulates `smlal`
+//! (`vmlal_lane_s16` / `vmlal_n_s16`) — every product is exact and
+//! every add wraps in i32, so the tier is bit-identical to the scalar
+//! reference by construction. f32 kernels use `vfma` with the same
+//! per-element fma chain (`l` ascending) as [`super::scalar`], hence
+//! bit-identical f32 results too.
+//!
+//! Same structure as [`super::avx2`]: `_impl` functions are
+//! `unsafe fn` with `#[target_feature(enable = "neon")]` and no inner
+//! unsafe blocks; the public wrappers hold the single `unsafe` call.
+
+#![cfg(target_arch = "aarch64")]
+
+use std::arch::aarch64::*;
+use std::arch::is_aarch64_feature_detected;
+
+#[target_feature(enable = "neon")]
+unsafe fn tile_i8_impl(pa: &[i8], pb: &[i8], acc: &mut [[i32; 4]; 4]) {
+    let mut vacc = [vdupq_n_s32(0); 4];
+    // 4 k-values (16 packed bytes) per iteration; panel depth is a
+    // multiple of 8 k-values so 16-byte chunks divide evenly
+    let iters = pa.len() / 16;
+    for t in 0..iters {
+        let a8 = vld1q_s8(pa.as_ptr().add(t * 16));
+        let b8 = vld1q_s8(pb.as_ptr().add(t * 16));
+        let a16_lo = vmovl_s8(vget_low_s8(a8)); // rows of l0 | l1
+        let a16_hi = vmovl_s8(vget_high_s8(a8)); // rows of l2 | l3
+        let b16_lo = vmovl_s8(vget_low_s8(b8));
+        let b16_hi = vmovl_s8(vget_high_s8(b8));
+        let a_l0 = vget_low_s16(a16_lo);
+        let a_l1 = vget_high_s16(a16_lo);
+        let a_l2 = vget_low_s16(a16_hi);
+        let a_l3 = vget_high_s16(a16_hi);
+        let b_l0 = vget_low_s16(b16_lo);
+        let b_l1 = vget_high_s16(b16_lo);
+        let b_l2 = vget_low_s16(b16_hi);
+        let b_l3 = vget_high_s16(b16_hi);
+        // smlal: vacc[i][j] += a(l, i) · b(l, j), exact and wrapping
+        vacc[0] = vmlal_lane_s16::<0>(vacc[0], b_l0, a_l0);
+        vacc[1] = vmlal_lane_s16::<1>(vacc[1], b_l0, a_l0);
+        vacc[2] = vmlal_lane_s16::<2>(vacc[2], b_l0, a_l0);
+        vacc[3] = vmlal_lane_s16::<3>(vacc[3], b_l0, a_l0);
+        vacc[0] = vmlal_lane_s16::<0>(vacc[0], b_l1, a_l1);
+        vacc[1] = vmlal_lane_s16::<1>(vacc[1], b_l1, a_l1);
+        vacc[2] = vmlal_lane_s16::<2>(vacc[2], b_l1, a_l1);
+        vacc[3] = vmlal_lane_s16::<3>(vacc[3], b_l1, a_l1);
+        vacc[0] = vmlal_lane_s16::<0>(vacc[0], b_l2, a_l2);
+        vacc[1] = vmlal_lane_s16::<1>(vacc[1], b_l2, a_l2);
+        vacc[2] = vmlal_lane_s16::<2>(vacc[2], b_l2, a_l2);
+        vacc[3] = vmlal_lane_s16::<3>(vacc[3], b_l2, a_l2);
+        vacc[0] = vmlal_lane_s16::<0>(vacc[0], b_l3, a_l3);
+        vacc[1] = vmlal_lane_s16::<1>(vacc[1], b_l3, a_l3);
+        vacc[2] = vmlal_lane_s16::<2>(vacc[2], b_l3, a_l3);
+        vacc[3] = vmlal_lane_s16::<3>(vacc[3], b_l3, a_l3);
+    }
+    for (row, v) in acc.iter_mut().zip(vacc) {
+        let mut out = [0i32; 4];
+        vst1q_s32(out.as_mut_ptr(), v);
+        for (c, o) in row.iter_mut().zip(out) {
+            *c = c.wrapping_add(o);
+        }
+    }
+}
+
+/// See [`super::scalar::tile_i8`]; bit-identical, NEON-accelerated.
+pub fn tile_i8(pa: &[i8], pb: &[i8], acc: &mut [[i32; 4]; 4]) {
+    debug_assert!(is_aarch64_feature_detected!("neon"), "neon kernel dispatched without neon");
+    unsafe { tile_i8_impl(pa, pb, acc) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn small_m_dense_impl(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let mut j = 0;
+        // 8 output columns per step, accumulators held across k
+        while j + 8 <= n {
+            let cptr = c.as_mut_ptr().add(i * n + j);
+            let mut acc_lo = vld1q_s32(cptr);
+            let mut acc_hi = vld1q_s32(cptr.add(4));
+            for (l, &av) in arow.iter().enumerate() {
+                let b16 = vmovl_s8(vld1_s8(b.as_ptr().add(l * n + j)));
+                acc_lo = vmlal_n_s16(acc_lo, vget_low_s16(b16), av as i16);
+                acc_hi = vmlal_n_s16(acc_hi, vget_high_s16(b16), av as i16);
+            }
+            vst1q_s32(cptr, acc_lo);
+            vst1q_s32(cptr.add(4), acc_hi);
+            j += 8;
+        }
+        for j in j..n {
+            let mut acc = c[i * n + j];
+            for (l, &av) in arow.iter().enumerate() {
+                acc = acc.wrapping_add((av as i32).wrapping_mul(b[l * n + j] as i32));
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// See [`super::scalar::small_m_dense`]; bit-identical.
+pub fn small_m_dense(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    debug_assert!(is_aarch64_feature_detected!("neon"), "neon kernel dispatched without neon");
+    unsafe { small_m_dense_impl(m, n, k, a, b, c) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn panel_mav_impl(acc: &mut [i32; 4], a_row: &[i8], panel: &[i8]) {
+    let mut vacc = vld1q_s32(acc.as_ptr());
+    let kreal = a_row.len();
+    let mut l = 0;
+    while l + 2 <= kreal {
+        // 2 k-values × 4 columns = 8 panel bytes
+        let b16 = vmovl_s8(vld1_s8(panel.as_ptr().add(l * 4)));
+        vacc = vmlal_n_s16(vacc, vget_low_s16(b16), a_row[l] as i16);
+        vacc = vmlal_n_s16(vacc, vget_high_s16(b16), a_row[l + 1] as i16);
+        l += 2;
+    }
+    vst1q_s32(acc.as_mut_ptr(), vacc);
+    if l < kreal {
+        let a = a_row[l] as i32;
+        for (j, v) in acc.iter_mut().enumerate() {
+            *v = v.wrapping_add(a.wrapping_mul(panel[l * 4 + j] as i32));
+        }
+    }
+}
+
+/// See [`super::scalar::panel_mav`]; bit-identical.
+pub fn panel_mav(acc: &mut [i32; 4], a_row: &[i8], panel: &[i8]) {
+    debug_assert!(is_aarch64_feature_detected!("neon"), "neon kernel dispatched without neon");
+    unsafe { panel_mav_impl(acc, a_row, panel) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn f32_tile_impl(pa: &[f32], pb: &[f32], kcb: usize, acc: &mut [f32]) {
+    // 4×8 register tile: two 4-wide accumulators per row
+    let mut lo = [vdupq_n_f32(0.0); 4];
+    let mut hi = [vdupq_n_f32(0.0); 4];
+    for i in 0..4 {
+        lo[i] = vld1q_f32(acc.as_ptr().add(i * 8));
+        hi[i] = vld1q_f32(acc.as_ptr().add(i * 8 + 4));
+    }
+    for l in 0..kcb {
+        let b_lo = vld1q_f32(pb.as_ptr().add(l * 8));
+        let b_hi = vld1q_f32(pb.as_ptr().add(l * 8 + 4));
+        for i in 0..4 {
+            let a = pa[l * 4 + i];
+            lo[i] = vfmaq_n_f32(lo[i], b_lo, a);
+            hi[i] = vfmaq_n_f32(hi[i], b_hi, a);
+        }
+    }
+    for i in 0..4 {
+        vst1q_f32(acc.as_mut_ptr().add(i * 8), lo[i]);
+        vst1q_f32(acc.as_mut_ptr().add(i * 8 + 4), hi[i]);
+    }
+}
+
+/// 4×8 f32 fma register tile; same per-element fma chain as scalar.
+pub fn f32_tile(pa: &[f32], pb: &[f32], kcb: usize, acc: &mut [f32]) {
+    debug_assert!(pa.len() >= kcb * 4 && pb.len() >= kcb * 8 && acc.len() >= 32);
+    debug_assert!(is_aarch64_feature_detected!("neon"), "neon kernel dispatched without neon");
+    unsafe { f32_tile_impl(pa, pb, kcb, acc) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn f32_small_m_impl(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let mut j = 0;
+        while j + 4 <= n {
+            let cptr = c.as_mut_ptr().add(i * n + j);
+            let mut acc = vld1q_f32(cptr);
+            for (l, &av) in arow.iter().enumerate() {
+                acc = vfmaq_n_f32(acc, vld1q_f32(b.as_ptr().add(l * n + j)), av);
+            }
+            vst1q_f32(cptr, acc);
+            j += 4;
+        }
+        for j in j..n {
+            let mut acc = c[i * n + j];
+            for (l, &av) in arow.iter().enumerate() {
+                acc = av.mul_add(b[l * n + j], acc);
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// See [`super::scalar::f32_small_m`]; bit-identical (fma chain).
+pub fn f32_small_m(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert!(is_aarch64_feature_detected!("neon"), "neon kernel dispatched without neon");
+    unsafe { f32_small_m_impl(m, n, k, a, b, c) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::scalar;
+    use super::*;
+    use crate::reference::SplitMix64;
+
+    #[test]
+    fn tile_is_bit_identical_to_scalar() {
+        let mut r = SplitMix64::new(20);
+        for kcb in [8, 16, 48, 160] {
+            let pa = r.i8_vec(kcb * 4, -128, 127);
+            let pb = r.i8_vec(kcb * 4, -128, 127);
+            let mut want = [[1i32, -2, 3, -4]; 4];
+            let mut got = want;
+            scalar::tile_i8(&pa, &pb, &mut want);
+            tile_i8(&pa, &pb, &mut got);
+            assert_eq!(got, want, "kcb={kcb}");
+        }
+    }
+
+    #[test]
+    fn small_m_dense_is_bit_identical_to_scalar() {
+        let mut r = SplitMix64::new(21);
+        for (m, n, k) in [(1, 1, 1), (2, 8, 5), (3, 33, 7), (8, 100, 13)] {
+            let a = r.i8_vec(m * k, -128, 127);
+            let b = r.i8_vec(k * n, -128, 127);
+            let mut want = vec![7i32; m * n];
+            let mut got = want.clone();
+            scalar::small_m_dense(m, n, k, &a, &b, &mut want);
+            small_m_dense(m, n, k, &a, &b, &mut got);
+            assert_eq!(got, want, "{m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn panel_mav_is_bit_identical_to_scalar() {
+        let mut r = SplitMix64::new(22);
+        for kreal in [0, 1, 2, 7, 16, 33] {
+            let a_row = r.i8_vec(kreal, -128, 127);
+            let panel = r.i8_vec(kreal.max(1) * 4, -128, 127);
+            let mut want = [5i32, -6, 7, -8];
+            let mut got = want;
+            scalar::panel_mav(&mut want, &a_row, &panel);
+            panel_mav(&mut got, &a_row, &panel);
+            assert_eq!(got, want, "kreal={kreal}");
+        }
+    }
+
+    #[test]
+    fn f32_tile_matches_scalar_chain_bitwise() {
+        let mut r = SplitMix64::new(23);
+        let kcb = 37;
+        let pa: Vec<f32> = (0..kcb * 4).map(|_| r.next_i8(-50, 50) as f32 * 0.125).collect();
+        let pb: Vec<f32> = (0..kcb * 8).map(|_| r.next_i8(-50, 50) as f32 * 0.125).collect();
+        let mut got = [0.5f32; 32];
+        let want = got;
+        f32_tile(&pa, &pb, kcb, &mut got);
+        for (i, row) in want.chunks(8).enumerate() {
+            for (j, &seed) in row.iter().enumerate() {
+                let mut acc = seed;
+                for l in 0..kcb {
+                    acc = pa[l * 4 + i].mul_add(pb[l * 8 + j], acc);
+                }
+                assert_eq!(got[i * 8 + j].to_bits(), acc.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_small_m_is_bit_identical_to_scalar() {
+        let mut r = SplitMix64::new(24);
+        for (m, n, k) in [(1, 9, 3), (2, 8, 16), (4, 31, 11)] {
+            let a: Vec<f32> = (0..m * k).map(|_| r.next_i8(-64, 64) as f32 * 0.25).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| r.next_i8(-64, 64) as f32 * 0.25).collect();
+            let mut want = vec![0.25f32; m * n];
+            let mut got = want.clone();
+            scalar::f32_small_m(m, n, k, &a, &b, &mut want);
+            f32_small_m(m, n, k, &a, &b, &mut got);
+            assert!(got.iter().zip(&want).all(|(x, y)| x.to_bits() == y.to_bits()), "{m}x{n}x{k}");
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Portable scalar tier: the always-available fallback and the
+//! bit-identity reference every SIMD tier is property-tested against.
+//!
+//! The integer kernels carry the exact arithmetic of the `camp`
+//! instruction (wrapping i32 accumulation of exact i8×i8 products)
+//! over the shared 4×4 packed-panel layout; the f32 kernels realize
+//! the per-element fma chain contract with [`f32::mul_add`].
+
+/// Whole-depth 4×4 widening integer tile: for each of the `kcb`
+/// k-values in the packed panels, `acc[i][j] += pa[l*4+i]·pb[l*4+j]`
+/// (wrapping). One call per register tile per (jc, pc, ic) block —
+/// the camp `tile` path of the host engine.
+pub fn tile_i8(pa: &[i8], pb: &[i8], acc: &mut [[i32; 4]; 4]) {
+    for (av, bv) in pa.chunks_exact(4).zip(pb.chunks_exact(4)) {
+        for i in 0..4 {
+            let a = av[i] as i32;
+            let row = &mut acc[i];
+            for j in 0..4 {
+                row[j] = row[j].wrapping_add(a.wrapping_mul(bv[j] as i32));
+            }
+        }
+    }
+}
+
+/// Skinny-m kernel over raw row-major operands: accumulate
+/// `c[i*n+j] += Σ_l a[i*k+l]·b[l*n+j]` (wrapping) with no packing at
+/// all — for decode-shaped GeMMs the pack traffic would dominate.
+pub fn small_m_dense(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (l, &av) in arow.iter().enumerate() {
+            let av = av as i32;
+            let brow = &b[l * n..(l + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv = cv.wrapping_add(av.wrapping_mul(bv as i32));
+            }
+        }
+    }
+}
+
+/// Panel matrix-vector primitive: one raw A row against one 4-column
+/// packed B panel, `acc[j] += Σ_l a_row[l]·panel[l*4+j]` (wrapping).
+/// The skinny paths build whole GeMMs out of this.
+pub fn panel_mav(acc: &mut [i32; 4], a_row: &[i8], panel: &[i8]) {
+    for (&av, bv) in a_row.iter().zip(panel.chunks_exact(4)) {
+        let a = av as i32;
+        for j in 0..4 {
+            acc[j] = acc[j].wrapping_add(a.wrapping_mul(bv[j] as i32));
+        }
+    }
+}
+
+/// f32 4×4 register tile over packed panels (`pa` mr-interleaved, `pb`
+/// nr-interleaved, depth `kcb`): continues each `acc` element's fma
+/// chain with `mul_add` over `l` ascending.
+pub fn f32_tile(pa: &[f32], pb: &[f32], kcb: usize, acc: &mut [f32]) {
+    debug_assert!(pa.len() >= kcb * 4 && pb.len() >= kcb * 4 && acc.len() >= 16);
+    for l in 0..kcb {
+        let av = &pa[l * 4..l * 4 + 4];
+        let bv = &pb[l * 4..l * 4 + 4];
+        for i in 0..4 {
+            let a = av[i];
+            for j in 0..4 {
+                acc[i * 4 + j] = a.mul_add(bv[j], acc[i * 4 + j]);
+            }
+        }
+    }
+}
+
+/// Skinny-m f32 kernel over raw operands; same per-element fma chain
+/// (`l` ascending) as the blocked path, so results are bit-identical.
+pub fn f32_small_m(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (l, &av) in arow.iter().enumerate() {
+            let brow = &b[l * n..(l + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv = av.mul_add(bv, *cv);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{gemm_f32_fma_ref, gemm_i32_ref, SplitMix64};
+
+    #[test]
+    fn tile_matches_reference_4x4() {
+        let mut r = SplitMix64::new(1);
+        let kcb = 48;
+        let pa = r.i8_vec(kcb * 4, -128, 127);
+        let pb = r.i8_vec(kcb * 4, -128, 127);
+        let mut acc = [[0i32; 4]; 4];
+        tile_i8(&pa, &pb, &mut acc);
+        // unpack to row-major and compare
+        let mut a = vec![0i8; 4 * kcb];
+        let mut b = vec![0i8; kcb * 4];
+        for l in 0..kcb {
+            for t in 0..4 {
+                a[t * kcb + l] = pa[l * 4 + t];
+                b[l * 4 + t] = pb[l * 4 + t];
+            }
+        }
+        let want = gemm_i32_ref(4, 4, kcb, &a, &b);
+        let flat: Vec<i32> = acc.iter().flatten().copied().collect();
+        assert_eq!(flat, want);
+    }
+
+    #[test]
+    fn tile_accumulates_across_calls() {
+        let mut r = SplitMix64::new(2);
+        let pa = r.i8_vec(16 * 4, -16, 16);
+        let pb = r.i8_vec(16 * 4, -16, 16);
+        let mut once = [[0i32; 4]; 4];
+        tile_i8(&pa, &pb, &mut once);
+        let mut twice = [[0i32; 4]; 4];
+        tile_i8(&pa[..8 * 4], &pb[..8 * 4], &mut twice);
+        tile_i8(&pa[8 * 4..], &pb[8 * 4..], &mut twice);
+        assert_eq!(once, twice, "split-depth calls must fold identically");
+    }
+
+    #[test]
+    fn small_m_dense_matches_reference() {
+        let mut r = SplitMix64::new(3);
+        for (m, n, k) in [(1, 17, 9), (2, 64, 33), (8, 5, 3)] {
+            let a = r.i8_vec(m * k, -128, 127);
+            let b = r.i8_vec(k * n, -128, 127);
+            let mut c = vec![0i32; m * n];
+            small_m_dense(m, n, k, &a, &b, &mut c);
+            assert_eq!(c, gemm_i32_ref(m, n, k, &a, &b), "{m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn panel_mav_matches_reference_column() {
+        let mut r = SplitMix64::new(4);
+        let k = 37;
+        let a_row = r.i8_vec(k, -128, 127);
+        let bcols = r.i8_vec(k * 4, -128, 127);
+        let mut acc = [0i32; 4];
+        panel_mav(&mut acc, &a_row, &bcols);
+        let want = gemm_i32_ref(1, 4, k, &a_row, &bcols);
+        assert_eq!(acc.to_vec(), want);
+    }
+
+    #[test]
+    fn f32_small_m_matches_fma_reference_bitwise() {
+        let mut r = SplitMix64::new(5);
+        let (m, n, k) = (3, 29, 17);
+        let a: Vec<f32> = (0..m * k).map(|_| r.next_i8(-64, 64) as f32 * 0.5).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| r.next_i8(-64, 64) as f32 * 0.5).collect();
+        let mut c = vec![0f32; m * n];
+        f32_small_m(m, n, k, &a, &b, &mut c);
+        let want = gemm_f32_fma_ref(m, n, k, &a, &b);
+        assert!(c.iter().zip(&want).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+}

@@ -1,0 +1,185 @@
+//! Pire-style skinny-GEMM fast paths (`run_small_m` / `run_small_n`).
+//!
+//! Serving batches are dominated by GEMV-shaped problems — decode
+//! steps with a handful of rows, narrow projection heads with a
+//! handful of columns. For those, the full Goto nest is mostly
+//! overhead: A-packing traffic and a padded 4×4 register tile for at
+//! most a couple of live rows. These paths consume raw A directly
+//! (no A packing at all) and reduce the kernel to either a dense
+//! row-sweep ([`super::HostKernel`]'s `small_m_dense`) or the
+//! 4-column panel matrix-vector primitive (`panel_mav`) over a packed
+//! B image.
+//!
+//! Bit-identity with the blocked tile path is structural: every
+//! product is exact and every accumulation wraps in i32, so summation
+//! order cannot change the result. The selection predicate lives in
+//! [`crate::loops::small_path`] so the direct, batched and session
+//! paths all pick identically.
+
+use crate::batch::packed_b_offset;
+use crate::loops::{for_each_b_block, BlockPlan};
+
+use super::HostKernel;
+
+/// How B arrives at a skinny-m call site.
+#[derive(Debug, Clone, Copy)]
+pub enum SmallB<'a> {
+    /// Raw row-major k×n operand.
+    Dense(&'a [i8]),
+    /// Fully pre-packed B image (weight-registry handle or a batch's
+    /// shared panel), laid out by [`crate::weights::prepack_b`] /
+    /// [`packed_b_offset`].
+    Panel(&'a [i8]),
+}
+
+/// Skinny-m dispatch: a raw-B problem takes the dense row-sweep kernel
+/// (B streams through cache once, no packing anywhere); a pre-packed B
+/// reuses the existing panel image via the panel walk.
+pub(super) fn run_small_m(
+    hk: &HostKernel,
+    m: usize,
+    n: usize,
+    k: usize,
+    plan: &BlockPlan,
+    a: &[i8],
+    b: SmallB<'_>,
+    c: &mut [i32],
+) {
+    match b {
+        SmallB::Dense(b) => (hk.small_m_dense)(m, n, k, a, b, c),
+        SmallB::Panel(bpanel) => run_panel(hk, m, n, k, plan, a, bpanel, c),
+    }
+}
+
+/// Skinny-n path: raw A rows against a fully pre-packed B image. The
+/// whole C row block stays register/L1-resident, so the nest collapses
+/// to a panel walk.
+pub(super) fn run_small_n(
+    hk: &HostKernel,
+    m: usize,
+    n: usize,
+    k: usize,
+    plan: &BlockPlan,
+    a: &[i8],
+    bpanel: &[i8],
+    c: &mut [i32],
+) {
+    run_panel(hk, m, n, k, plan, a, bpanel, c)
+}
+
+/// Shared engine of both skinny paths: walk the canonical B-block
+/// traversal ([`for_each_b_block`] — the same order `prepack_b` laid
+/// the image out in), and for every 4-column panel run each raw A row
+/// through the tier's `panel_mav`, folding the 4 wrapping sums into C.
+fn run_panel(
+    hk: &HostKernel,
+    m: usize,
+    n: usize,
+    k: usize,
+    plan: &BlockPlan,
+    a: &[i8],
+    bpanel: &[i8],
+    c: &mut [i32],
+) {
+    for_each_b_block(plan, |jc, ncb, pc, kcb| {
+        let off = packed_b_offset(plan.kp, jc, ncb, pc);
+        // pc < k always: kp < k + k_step and every block is at least
+        // one k-step deep, so the raw A row slice is never empty
+        let kreal = kcb.min(k - pc);
+        for q in 0..ncb / 4 {
+            let j0 = jc + q * 4;
+            if j0 >= n {
+                break; // rest of this block is column padding
+            }
+            let width = 4.min(n - j0);
+            let panel = &bpanel[off + q * kcb * 4..off + (q + 1) * kcb * 4];
+            for i in 0..m {
+                let a_row = &a[i * k + pc..i * k + pc + kreal];
+                let mut acc = [0i32; 4];
+                (hk.panel_mav)(&mut acc, a_row, panel);
+                let crow = &mut c[i * n + j0..i * n + j0 + width];
+                for (cv, &v) in crow.iter_mut().zip(&acc) {
+                    *cv = cv.wrapping_add(v);
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loops::{small_path, SmallPath};
+    use crate::reference::{gemm_i32_ref, SplitMix64};
+    use crate::weights::{host_block_plan, prepack_b};
+
+    fn packed_b(n: usize, k: usize, k_step: usize, b: &[i8]) -> (BlockPlan, Vec<i8>) {
+        let plan = host_block_plan(4, n, k, k_step);
+        let mut buf = vec![0i8; plan.np * plan.kp];
+        prepack_b(&mut buf, b, n, k, &plan);
+        (plan, buf)
+    }
+
+    #[test]
+    fn small_m_dense_and_panel_agree_with_reference() {
+        let mut r = SplitMix64::new(40);
+        let hk = HostKernel::detect();
+        for (m, n, k) in [(1, 64, 33), (2, 7, 16), (5, 100, 70), (8, 3, 5)] {
+            let a = r.i8_vec(m * k, -128, 127);
+            let b = r.i8_vec(k * n, -128, 127);
+            let want = gemm_i32_ref(m, n, k, &a, &b);
+            let (plan, bimg) = packed_b(n, k, 16, &b);
+            let mut dense = vec![0i32; m * n];
+            run_small_m(hk, m, n, k, &plan, &a, SmallB::Dense(&b), &mut dense);
+            assert_eq!(dense, want, "dense {m}x{n}x{k}");
+            let mut panel = vec![0i32; m * n];
+            run_small_m(hk, m, n, k, &plan, &a, SmallB::Panel(&bimg), &mut panel);
+            assert_eq!(panel, want, "panel {m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn small_n_agrees_with_reference() {
+        let mut r = SplitMix64::new(41);
+        let hk = HostKernel::detect();
+        for (m, n, k) in [(64, 1, 33), (17, 4, 16), (100, 7, 70), (33, 8, 200)] {
+            let a = r.i8_vec(m * k, -128, 127);
+            let b = r.i8_vec(k * n, -128, 127);
+            let want = gemm_i32_ref(m, n, k, &a, &b);
+            let (plan, bimg) = packed_b(n, k, 16, &b);
+            let mut c = vec![0i32; m * n];
+            run_small_n(hk, m, n, k, &plan, &a, &bimg, &mut c);
+            assert_eq!(c, want, "{m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn small_paths_accumulate_into_existing_c() {
+        // same contract as the blocked tile path: C += A·B
+        let mut r = SplitMix64::new(42);
+        let hk = HostKernel::detect();
+        let (m, n, k) = (3, 9, 24);
+        let a = r.i8_vec(m * k, -16, 16);
+        let b = r.i8_vec(k * n, -16, 16);
+        let want: Vec<i32> = gemm_i32_ref(m, n, k, &a, &b).iter().map(|v| v + 100).collect();
+        let (plan, bimg) = packed_b(n, k, 16, &b);
+        let mut c = vec![100i32; m * n];
+        run_small_m(hk, m, n, k, &plan, &a, SmallB::Panel(&bimg), &mut c);
+        assert_eq!(c, want);
+    }
+
+    #[test]
+    fn chooser_and_paths_cover_i4_k_step_too() {
+        let mut r = SplitMix64::new(43);
+        let hk = HostKernel::detect();
+        let (m, n, k) = (2, 50, 40);
+        assert_eq!(small_path(m, n), Some(SmallPath::SmallM));
+        let a = r.i8_vec(m * k, -8, 7);
+        let b = r.i8_vec(k * n, -8, 7);
+        let want = gemm_i32_ref(m, n, k, &a, &b);
+        let (plan, bimg) = packed_b(n, k, 32, &b);
+        let mut c = vec![0i32; m * n];
+        run_small_m(hk, m, n, k, &plan, &a, SmallB::Panel(&bimg), &mut c);
+        assert_eq!(c, want);
+    }
+}

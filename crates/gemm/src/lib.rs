@@ -29,7 +29,10 @@
 //! generic skeleton and a new kernel plugs in without touching it (see
 //! the README's "kernel dispatch layer" section). The same skeleton and
 //! the [`workspace::PackPool`] buffer arena also back `camp-core`'s
-//! host-speed engine.
+//! host-speed engine, whose native micro-kernels live in [`host`]: a
+//! [`HostKernel`] tier (scalar / AVX2 / NEON) selected once from a
+//! [`CpuFeatures`] runtime probe — the host-silicon mirror of the
+//! simulator's [`dispatch::MicroKernel`] seam.
 //!
 //! For the Fig. 1 cache-miss-rate experiment the [`trace`] module
 //! generates naive and blocked GeMM address streams analytically and
@@ -49,6 +52,7 @@
 pub mod batch;
 pub mod dispatch;
 pub mod driver;
+pub mod host;
 pub mod kernels;
 pub mod loops;
 pub mod pack;
@@ -64,7 +68,10 @@ pub use driver::{
     simulate_gemm, simulate_gemm_batch, simulate_gemm_batch_on, simulate_gemm_on, CMatrix,
     GemmOptions, GemmResult, Method, SerialScheduler, SimBatchResult, SimJob, SimScheduler,
 };
-pub use reference::{gemm_f32_ref, gemm_i32_ref, gemm_i8_wrapping_ref, SplitMix64};
+pub use host::{gemm_f32, CpuFeatures, HostGemmF32, HostKernel, HostTier, KernelInfo};
+pub use reference::{
+    gemm_f32_fma_ref, gemm_f32_ref, gemm_i32_ref, gemm_i8_wrapping_ref, SplitMix64,
+};
 pub use request::{GemmRequest, GemmRequestBuilder, Operand, RequestError, ResolvedRequest};
 pub use weights::{DType, WeightHandle, WeightMeta, WeightRegistry, WeightSnapshot};
 pub use workspace::{PackPool, PanelId, PersistentId};

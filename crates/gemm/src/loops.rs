@@ -71,6 +71,42 @@ impl BlockPlan {
     }
 }
 
+/// Largest m the host engine routes to the skinny-m fast path
+/// (`camp_gemm::host`'s `run_small_m`): two 4-row register tiles.
+/// Decode-shaped serving GeMMs sit well under this.
+pub const SMALL_M_MAX: usize = 8;
+
+/// Largest n the host engine routes to the skinny-n fast path
+/// (`run_small_n`): two 4-column packed panels.
+pub const SMALL_N_MAX: usize = 8;
+
+/// Which skinny fast path a problem shape takes, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmallPath {
+    /// m ≤ [`SMALL_M_MAX`]: GEMV-shaped decode step.
+    SmallM,
+    /// n ≤ [`SMALL_N_MAX`]: narrow projection.
+    SmallN,
+}
+
+/// The single source of truth for skinny-path selection, shared by the
+/// direct, batched and session entry points so they all route
+/// identically. Zero-dimension problems return `None` (the engine
+/// short-circuits those before any kernel runs); a problem that is
+/// skinny both ways takes the m path (raw-B problems then need no
+/// packing at all).
+pub fn small_path(m: usize, n: usize) -> Option<SmallPath> {
+    if m == 0 || n == 0 {
+        None
+    } else if m <= SMALL_M_MAX {
+        Some(SmallPath::SmallM)
+    } else if n <= SMALL_N_MAX {
+        Some(SmallPath::SmallN)
+    } else {
+        None
+    }
+}
+
 /// Backend hooks invoked by [`run_blocked`] at each stage of the
 /// five-loop nest. Coordinates are in (padded) element space; every
 /// block is tile-aligned by construction of [`BlockPlan`].
@@ -248,6 +284,20 @@ mod tests {
             covered += mcb;
         });
         assert_eq!(covered, plan.mp);
+    }
+
+    #[test]
+    fn small_path_chooser_routes_by_shape() {
+        assert_eq!(small_path(1, 4096), Some(SmallPath::SmallM));
+        assert_eq!(small_path(SMALL_M_MAX, 4096), Some(SmallPath::SmallM));
+        assert_eq!(small_path(4096, SMALL_N_MAX), Some(SmallPath::SmallN));
+        assert_eq!(small_path(4096, 1), Some(SmallPath::SmallN));
+        // skinny both ways prefers the m path
+        assert_eq!(small_path(2, 2), Some(SmallPath::SmallM));
+        // full-size and zero-dimension problems take the blocked nest
+        assert_eq!(small_path(SMALL_M_MAX + 1, SMALL_N_MAX + 1), None);
+        assert_eq!(small_path(0, 4), None);
+        assert_eq!(small_path(4, 0), None);
     }
 
     #[test]

@@ -48,16 +48,20 @@ use crate::loops::{for_each_a_block, for_each_b_block, BlockPlan};
 use crate::request::RequestError;
 use crate::workspace::{PackPool, PersistentId};
 
-/// Host-engine cache blocking: (mc, nc, kc), multiples of the 4×4
-/// register tile and both camp k-steps. Shared by every host-side
-/// packer so pre-packed panels and per-block packing agree on layout.
+/// Default host-engine cache blocking: (mc, nc, kc), multiples of the
+/// 4×4 register tile and both camp k-steps. The *active* blocking is
+/// [`crate::host::int_blocking`], which applies the validated
+/// `CAMP_MC`/`CAMP_NC`/`CAMP_KC` environment overrides over these
+/// defaults; every host-side packer goes through [`host_block_plan`],
+/// so pre-packed panels and per-block packing always agree on layout.
 pub const HOST_BLOCKING: (usize, usize, usize) = (128, 256, 2048);
 
 /// The [`BlockPlan`] every host-side GeMM over a 4×4 camp tile uses.
-/// B-panel layout depends only on `n`, `k` and `k_step` (never `m`), so
+/// B-panel layout depends only on `n`, `k`, `k_step` and the blocking
+/// (never `m` or the dispatched [`crate::host::HostKernel`] tier), so
 /// a plan built here for any `m` indexes the same packed B image.
 pub fn host_block_plan(m: usize, n: usize, k: usize, k_step: usize) -> BlockPlan {
-    BlockPlan::new(m, n, k, 4, 4, k_step, HOST_BLOCKING)
+    BlockPlan::new(m, n, k, 4, 4, k_step, crate::host::int_blocking())
 }
 
 /// Element type a problem runs under — selects the camp kernel

@@ -176,7 +176,7 @@ fn relative_markdown_links_resolve() {
 #[test]
 fn the_architecture_docs_exist_and_are_linked_from_the_readme() {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    for doc in ["docs/ARCHITECTURE.md", "docs/SIMULATOR.md"] {
+    for doc in ["docs/ARCHITECTURE.md", "docs/SIMULATOR.md", "docs/HOST_KERNELS.md"] {
         assert!(root.join(doc).exists(), "{doc} is missing");
     }
     let readme = std::fs::read_to_string(root.join("README.md")).expect("README exists");

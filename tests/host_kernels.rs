@@ -1,0 +1,163 @@
+//! Property tests for the host SIMD micro-kernel tiers.
+//!
+//! The dispatch contract is **bit-identity**: every tier
+//! ([`HostKernel::available`] — scalar always, plus AVX2 and/or NEON
+//! when the CPU has them) must produce byte-for-byte the same results
+//! as the scalar reference on every path — blocked tiles, skinny-m and
+//! skinny-n fast paths, both integer dtypes, and the f32 subsystem.
+//! Integer identity is structural (exact products, wrapping i32
+//! accumulation); f32 identity holds because every tier realizes the
+//! same per-element fused-multiply-add chain over ascending k.
+//!
+//! These tests run whatever tiers the build machine supports, so the CI
+//! scalar-fallback job (`CAMP_FORCE_SCALAR=1`) and the regular job
+//! together cover dispatch both ways.
+
+use camp::core::backend::CampBackend;
+use camp::core::{CampEngine, DType, GemmRequest, Operand};
+use camp::gemm::host::{HostGemmF32, HostKernel, HostTier};
+use camp::gemm::{gemm_f32_fma_ref, gemm_i32_ref};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn gen_i8(len: usize, s: u32, lo: i32, hi: i32) -> Vec<i8> {
+    let span = (hi - lo + 1) as u32;
+    (0..len)
+        .map(|i| ((i as u32).wrapping_mul(s).wrapping_add(s ^ 0x9e37) % span) as i32 + lo)
+        .map(|v| v as i8)
+        .collect()
+}
+
+fn gen_f32(len: usize, s: u32) -> Vec<f32> {
+    (0..len)
+        .map(|i| ((i as u32).wrapping_mul(s).wrapping_add(s) % 2001) as f32 / 1000.0 - 1.0)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every available tier computes the same bytes as the scalar tier
+    /// through the full engine (blocked and skinny paths both land here:
+    /// m and n each range across the small-path threshold).
+    #[test]
+    fn every_tier_matches_scalar_through_the_engine(
+        m in 1usize..20, n in 1usize..20, k in 1usize..80, seed in any::<u32>())
+    {
+        for dtype in [DType::I8, DType::I4] {
+            let (lo, hi) = if dtype == DType::I4 { (-8, 7) } else { (-128, 127) };
+            let a = gen_i8(m * k, seed | 1, lo, hi);
+            let b = gen_i8(k * n, seed.rotate_left(7) | 1, lo, hi);
+            let req = GemmRequest::builder()
+                .m(m).n(n).k(k)
+                .activation(a.clone())
+                .weights(Operand::from_dense(b.clone()))
+                .dtype(dtype)
+                .build().expect("coherent");
+            let want = gemm_i32_ref(m, n, k, &a, &b);
+            for hk in HostKernel::available() {
+                let mut eng = CampEngine::with_threads_and_kernel(1, hk);
+                let got = eng.execute(&req).unwrap();
+                prop_assert_eq!(&got.output.c, &want,
+                    "tier {} wrong at {}x{}x{} {:?}", hk.tier().name(), m, n, k, dtype);
+            }
+        }
+    }
+
+    /// Skinny shapes specifically: the small-m dense path, the small-m
+    /// panel path (registered weights) and the small-n path must agree
+    /// across tiers, including under row-partitioned parallelism.
+    #[test]
+    fn skinny_fast_paths_are_tier_invariant(
+        small in 1usize..9, big in 9usize..80, k in 1usize..100,
+        threads in 1usize..5, seed in any::<u32>())
+    {
+        for (m, n) in [(small, big), (big, small), (small, small)] {
+            let a = gen_i8(m * k, seed | 1, -128, 127);
+            let b = gen_i8(k * n, seed.rotate_left(9) | 1, -128, 127);
+            let want = gemm_i32_ref(m, n, k, &a, &b);
+            for hk in HostKernel::available() {
+                let mut eng = CampEngine::with_threads_and_kernel(threads, hk);
+                // dense B: small-m problems take the raw-B row sweep
+                let dense = GemmRequest::dense(m, n, k, a.clone(), b.clone()).unwrap();
+                let got = eng.execute(&dense).unwrap();
+                prop_assert_eq!(&got.output.c, &want,
+                    "dense tier {} {}x{}x{}", hk.tier().name(), m, n, k);
+                // registered B: the same problem walks the packed panel
+                let h = CampBackend::register_weights(&mut eng, n, k, &b, DType::I8);
+                let req = GemmRequest::with_weights(m, a.clone(), h).unwrap();
+                let got = eng.execute(&req).unwrap();
+                prop_assert_eq!(&got.output.c, &want,
+                    "handle tier {} {}x{}x{}", hk.tier().name(), m, n, k);
+                let stats = got.stats.as_host().expect("host ran");
+                prop_assert_eq!(stats.packed_b_bytes, 0, "handles never re-pack B");
+            }
+        }
+    }
+
+    /// Batches with shared operands are tier-invariant too (the batch
+    /// path routes through the same WorkItem machinery but dedups B).
+    #[test]
+    fn batches_are_tier_invariant(
+        m1 in 1usize..12, m2 in 1usize..12, n in 1usize..24, k in 1usize..60,
+        seed in any::<u32>())
+    {
+        let a1 = gen_i8(m1 * k, seed | 1, -8, 7);
+        let a2 = gen_i8(m2 * k, seed.rotate_left(5) | 1, -8, 7);
+        let b: Arc<[i8]> = gen_i8(k * n, seed.rotate_left(11) | 1, -8, 7).into();
+        let reqs: Vec<GemmRequest> = [(m1, &a1), (m2, &a2)]
+            .into_iter()
+            .map(|(m, a)| GemmRequest::builder()
+                .m(m).n(n).k(k)
+                .activation(a.clone())
+                .weights(Operand::Dense(Arc::clone(&b)))
+                .dtype(DType::I4)
+                .build().expect("coherent"))
+            .collect();
+        let mut scalar = CampEngine::with_threads_and_kernel(1, HostKernel::scalar());
+        let want = scalar.execute_batch(&reqs).unwrap();
+        for hk in HostKernel::available() {
+            let mut eng = CampEngine::with_threads_and_kernel(1, hk);
+            let got = eng.execute_batch(&reqs).unwrap();
+            prop_assert_eq!(&got.outputs, &want.outputs, "tier {}", hk.tier().name());
+            // stats are a property of the problem, not the tier
+            prop_assert_eq!(&got.stats, &want.stats, "tier {}", hk.tier().name());
+        }
+    }
+
+    /// f32: every tier reproduces the reference fused-multiply-add
+    /// chain bit-for-bit, across odd shapes and the skinny-m fast path.
+    #[test]
+    fn f32_tiers_match_the_fma_reference_bitwise(
+        m in 1usize..24, n in 1usize..24, k in 1usize..80, seed in any::<u32>())
+    {
+        let a = gen_f32(m * k, seed | 1);
+        let b = gen_f32(k * n, seed.rotate_left(7) | 1);
+        let want = gemm_f32_fma_ref(m, n, k, &a, &b);
+        for hk in HostKernel::available() {
+            let mut ctx = HostGemmF32::with_kernel(hk);
+            let got = ctx.gemm(m, n, k, &a, &b);
+            let same = got.iter().zip(&want).all(|(x, y)| x.to_bits() == y.to_bits());
+            prop_assert!(same, "tier {} diverges at {}x{}x{}", hk.tier().name(), m, n, k);
+        }
+    }
+}
+
+#[test]
+fn available_always_includes_scalar_and_the_detected_tier() {
+    let tiers: Vec<HostTier> = HostKernel::available().iter().map(|h| h.tier()).collect();
+    assert!(tiers.contains(&HostTier::Scalar));
+    assert!(tiers.contains(&HostKernel::detect().tier()));
+}
+
+#[test]
+fn engine_reports_its_dispatched_tier() {
+    let eng = CampEngine::new();
+    let info = eng.kernel_info();
+    assert_eq!(info.tier, HostKernel::detect().tier().name());
+    assert_eq!(info.int_tile, (4, 4));
+    for hk in HostKernel::available() {
+        let pinned = CampEngine::with_threads_and_kernel(2, hk);
+        assert_eq!(CampBackend::kernel_info(&pinned).tier, hk.tier().name());
+    }
+}
