@@ -1,0 +1,7 @@
+//! camp-analysis: lexical/structural lint passes over the workspace.
+//!
+//! The single entry point is [`lint::run_all`] over a loaded
+//! [`lint::Workspace`]; the `camp-lint` binary wraps it for CI and the
+//! command line. See `docs/ANALYSIS.md` for the rule catalogue and
+//! `tests/lint_fixtures/` for known-bad trees each rule must flag.
+pub mod lint;

@@ -1,0 +1,22 @@
+//! Known-bad fixture: an integer micro-kernel accumulating with bare
+//! `+=` / `*` instead of `wrapping_*` exact-product arithmetic.
+
+pub fn tile_i8(a: &[i8], b: &[i8], acc: &mut [i32], k: usize) {
+    for l in 0..k {
+        let prod = (a[l] as i32).wrapping_mul(b[l] as i32);
+        acc[0] += prod; // the violation: bare add on the accumulator
+    }
+}
+
+pub fn tile_i8_fixed(a: &[i8], b: &[i8], acc: &mut [i32], k: usize) {
+    for l in 0..k {
+        let prod = (a[l] as i32).wrapping_mul(b[l] as i32);
+        acc[0] = acc[0].wrapping_add(prod);
+    }
+}
+
+pub fn tile_f32(a: &[f32], b: &[f32], acc: &mut [f32], k: usize) {
+    for l in 0..k {
+        acc[0] += a[l] * b[l]; // fine: float path is exempt
+    }
+}

@@ -1,0 +1,13 @@
+//! Known-bad fixture: a deprecated shim whose removal milestone has
+//! passed (the package is v0.3.0), and one with no milestone at all.
+
+#[deprecated(since = "0.1.0", note = "use new_api; remove: v0.3")]
+pub fn old_api() {}
+
+#[deprecated(since = "0.2.0", note = "use new_api")]
+pub fn undated_shim() {}
+
+#[deprecated(since = "0.2.0", note = "use new_api; remove: v0.9")]
+pub fn still_in_cycle() {}
+
+pub fn new_api() {}

@@ -1,0 +1,15 @@
+//! Known-bad fixture: three `unsafe` sites, only one justified.
+
+pub fn read_first(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}
+
+pub unsafe fn no_docs_at_all(p: *const u8) -> u8 {
+    *p
+}
+
+pub fn justified_is_fine(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *v.get_unchecked(0) }
+}

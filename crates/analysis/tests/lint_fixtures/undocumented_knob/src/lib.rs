@@ -1,0 +1,10 @@
+//! Known-bad fixture: reads an env knob missing from docs/KNOBS.md,
+//! while the registry documents a knob nothing reads.
+
+pub fn threads() -> usize {
+    std::env::var("CAMP_BOGUS_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+}
+
+pub fn documented_and_used() -> bool {
+    std::env::var("CAMP_REAL_KNOB").is_ok()
+}

@@ -1,0 +1,6 @@
+//! Known-bad fixture: a `#[target_feature]` function declared safe.
+
+#[target_feature(enable = "avx2")]
+pub fn tile_i8(_a: &[i8], _b: &[i8], _acc: &mut [i32]) {
+    // body irrelevant — the signature is the violation
+}

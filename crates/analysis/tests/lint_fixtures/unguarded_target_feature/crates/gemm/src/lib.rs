@@ -1,0 +1,8 @@
+//! Known-bad fixture: calls a SIMD tier module directly instead of
+//! going through the HostKernel dispatch table in host/mod.rs.
+
+pub mod host;
+
+pub fn fast_path(a: &[i8], b: &[i8], acc: &mut [i32]) {
+    host::avx2::tile_i8(a, b, acc);
+}

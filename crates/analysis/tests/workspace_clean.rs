@@ -1,0 +1,25 @@
+//! The real workspace must lint clean: this is the same gate CI runs
+//! via `cargo run -p camp-analysis --bin camp-lint`, expressed as a
+//! test so `cargo test` alone catches regressions.
+
+use std::path::PathBuf;
+
+use camp_analysis::lint::{run_all, Workspace};
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/analysis sits two levels below the workspace root")
+        .to_path_buf();
+    let ws = Workspace::load(&root).expect("workspace loads");
+    assert!(ws.files.len() > 50, "walker found the tree ({} files)", ws.files.len());
+    let diags = run_all(&ws);
+    assert!(
+        diags.is_empty(),
+        "camp-lint found {} issue(s):\n{}",
+        diags.len(),
+        diags.iter().map(|d| format!("  {d}")).collect::<Vec<_>>().join("\n")
+    );
+}

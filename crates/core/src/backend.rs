@@ -167,6 +167,15 @@ pub struct Output {
     pub clamped: bool,
 }
 
+impl Output {
+    /// Build an (unclamped) output. The struct is `#[non_exhaustive]`,
+    /// so out-of-crate [`CampBackend`] implementations — adapters, the
+    /// model-test mocks — construct through here.
+    pub fn new(c: Vec<i32>, m: usize, n: usize) -> Self {
+        Output { c, m, n, clamped: false }
+    }
+}
+
 /// Result of one executed request: the output plus the substrate's
 /// statistics.
 #[non_exhaustive]
@@ -178,6 +187,13 @@ pub struct Outcome {
     pub stats: ExecStats,
 }
 
+impl Outcome {
+    /// Build an outcome (see [`Output::new`] for why this exists).
+    pub fn new(output: Output, stats: ExecStats) -> Self {
+        Outcome { output, stats }
+    }
+}
+
 /// Result of one executed batch: per-request outputs (input order) plus
 /// the batch-merged statistics.
 #[non_exhaustive]
@@ -187,6 +203,13 @@ pub struct BatchOutcome {
     pub outputs: Vec<Output>,
     /// Merged statistics of the whole batch.
     pub stats: ExecStats,
+}
+
+impl BatchOutcome {
+    /// Build a batch outcome (see [`Output::new`] for why this exists).
+    pub fn new(outputs: Vec<Output>, stats: ExecStats) -> Self {
+        BatchOutcome { outputs, stats }
+    }
 }
 
 // ---- capability probes ----------------------------------------------------

@@ -29,7 +29,7 @@
 //! A serving workload multiplies the same quantized weights against
 //! millions of activations. [`CampEngine::register_weights`] packs a
 //! weight matrix once into the engine's [`WeightRegistry`] and returns
-//! a copyable [`WeightHandle`]; [`CampEngine::gemm_with_handle`] (and
+//! a copyable [`WeightHandle`]; handle-operand [`GemmRequest`]s (and
 //! [`GemmProblem::with_handle`] batch items) then run with **zero
 //! B-packing** — [`EngineStats::packed_b_bytes`] stays 0 on the steady
 //! state, which the test-suite asserts.
@@ -39,9 +39,9 @@
 //! Transformer attention is dominated by *many small* GeMMs per step —
 //! per-head (s×dₕ)·(dₕ×s) score and (s×s)·(s×dₕ) context products,
 //! 12–20 heads per layer (§5.2, Fig. 14) — shapes where per-call setup
-//! and operand re-packing swamp compute. [`CampEngine::gemm_i8_batch`] /
-//! [`CampEngine::gemm_i4_batch`] take a slice of [`GemmProblem`]
-//! descriptors and amortize all of it:
+//! and operand re-packing swamp compute.
+//! [`CampBackend::execute_batch`](crate::backend::CampBackend::execute_batch)
+//! takes a slice of requests and amortizes all of it:
 //!
 //! * **B deduplication** — problems sharing one weight matrix (the QKV
 //!   projections across heads and layers) pack B once into a pool-owned
@@ -53,8 +53,8 @@
 //! * **bit-identity** — batch results equal looping the per-call API
 //!   over the same problems, element for element.
 //!
-//! [`CampEngine::gemm_batch`] additionally respects each problem's own
-//! [`DType`], so one batch can mix i4 and i8 problems. For streaming
+//! Each request's own [`DType`] wins, so one batch can mix i4 and i8
+//! problems. For streaming
 //! many batches, [`CampEngine::serve`] upgrades the engine into a
 //! [`crate::session::Session`] with a submit/poll API that overlaps the
 //! A-packing of one batch with the compute of the previous one.
@@ -866,17 +866,10 @@ impl CampEngine {
 
     /// A [`GemmProblem`] over a registered weight, with shape and dtype
     /// filled in from the registration.
-    pub fn handle_problem<'a>(&self, m: usize, a: &'a [i8], h: WeightHandle) -> GemmProblem<'a> {
-        let meta = self.weights.meta(h);
-        GemmProblem::with_handle(m, meta.n, meta.k, a, h).with_dtype(meta.dtype)
-    }
-
-    /// GeMM of an m-row activation against a registered weight, under
-    /// the kernel the weight was registered for. No B is packed — the
-    /// panel built at registration time is consumed directly, serially
-    /// or by every pool worker.
     ///
-    /// The request form of the same call (zero B-packing either way):
+    /// To run one registered-weight GeMM, build a request instead — no
+    /// B is packed; the panel built at registration is consumed
+    /// directly, serially or by every pool worker:
     ///
     /// ```
     /// use camp_core::backend::CampBackend;
@@ -895,33 +888,15 @@ impl CampEngine {
     /// let stats = outcome.stats.as_host().unwrap();
     /// assert_eq!(stats.packed_b_bytes, 0); // steady state packs no B
     /// ```
-    ///
-    /// # Panics
-    /// Panics if `a.len() != m * k` for the registered k, or the handle
-    /// is stale/foreign (the request API returns `Err` instead).
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a GemmRequest with Operand::Handle and call CampBackend::execute"
-    )]
-    pub fn gemm_with_handle(&mut self, m: usize, a: &[i8], h: WeightHandle) -> Vec<i32> {
-        self.handle_gemm(m, a, h).0
+    pub fn handle_problem<'a>(&self, m: usize, a: &'a [i8], h: WeightHandle) -> GemmProblem<'a> {
+        let meta = self.weights.meta(h);
+        GemmProblem::with_handle(m, meta.n, meta.k, a, h).with_dtype(meta.dtype)
     }
 
-    /// [`CampEngine::gemm_with_handle`] plus statistics;
-    /// `packed_b_bytes` is always 0 here.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a GemmRequest with Operand::Handle and call CampBackend::execute"
-    )]
-    pub fn gemm_with_handle_with_stats(
-        &mut self,
-        m: usize,
-        a: &[i8],
-        h: WeightHandle,
-    ) -> (Vec<i32>, EngineStats) {
-        self.handle_gemm(m, a, h)
-    }
-
+    /// Single registered-weight GeMM, bypassing the batch machinery:
+    /// the reference path the test suite pins the request/batch
+    /// surfaces against (stats included — `packed_b_bytes` must be 0).
+    #[cfg(test)]
     fn handle_gemm(&mut self, m: usize, a: &[i8], h: WeightHandle) -> (Vec<i32>, EngineStats) {
         let meta = self.weights.meta(h);
         assert_eq!(a.len(), m * meta.k, "A must be m×k");
@@ -955,113 +930,10 @@ impl CampEngine {
         crate::session::Session::new(self)
     }
 
-    // ---- single-call API (legacy shims over the request surface) ----
-
-    /// Blocked GeMM with the `camp.s8` micro-kernel; see [`camp_gemm_i8`].
-    #[deprecated(since = "0.2.0", note = "build a GemmRequest and call CampBackend::execute")]
-    pub fn gemm_i8(&mut self, m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
-        self.gemm(m, n, k, a, b, DType::I8).0
-    }
-
-    /// [`CampEngine::gemm_i8`] plus instruction-level statistics.
-    #[deprecated(since = "0.2.0", note = "build a GemmRequest and call CampBackend::execute")]
-    pub fn gemm_i8_with_stats(
-        &mut self,
-        m: usize,
-        n: usize,
-        k: usize,
-        a: &[i8],
-        b: &[i8],
-    ) -> (Vec<i32>, EngineStats) {
-        self.gemm(m, n, k, a, b, DType::I8)
-    }
-
-    /// Blocked GeMM with the `camp.s4` micro-kernel; see [`camp_gemm_i4`].
-    #[deprecated(since = "0.2.0", note = "build a GemmRequest and call CampBackend::execute")]
-    pub fn gemm_i4(&mut self, m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
-        self.gemm(m, n, k, a, b, DType::I4).0
-    }
-
-    /// [`CampEngine::gemm_i4`] plus instruction-level statistics.
-    #[deprecated(since = "0.2.0", note = "build a GemmRequest and call CampBackend::execute")]
-    pub fn gemm_i4_with_stats(
-        &mut self,
-        m: usize,
-        n: usize,
-        k: usize,
-        a: &[i8],
-        b: &[i8],
-    ) -> (Vec<i32>, EngineStats) {
-        self.gemm(m, n, k, a, b, DType::I4)
-    }
-
-    // ---- batched API ----
-
-    /// Run a batch of independent `camp.s8` GeMMs in one call; see the
-    /// [module docs](self) for what the batch amortizes. Returns one
-    /// row-major C per problem, in input order, bit-identical to calling
-    /// [`CampEngine::gemm_i8`] per problem. Zero-dimension problems
-    /// yield their natural degenerate result (empty, or all-zero when
-    /// only k is 0). Per-problem dtypes are overridden (every problem
-    /// runs under `camp.s8`); handle problems must have been registered
-    /// as [`DType::I8`].
-    ///
-    /// # Panics
-    /// Panics if any problem's slice lengths do not match its
-    /// dimensions, or a handle's registration disagrees with the
-    /// problem's shape or the forced dtype.
-    #[deprecated(since = "0.2.0", note = "build GemmRequests and call CampBackend::execute_batch")]
-    pub fn gemm_i8_batch(&mut self, problems: &[GemmProblem<'_>]) -> Vec<Vec<i32>> {
-        self.gemm_batch_impl(problems, Some(DType::I8)).0
-    }
-
-    /// [`CampEngine::gemm_i8_batch`] plus merged statistics.
-    /// `packed_b_bytes` counts each unique slice-B operand once and
-    /// handle operands never.
-    #[deprecated(since = "0.2.0", note = "build GemmRequests and call CampBackend::execute_batch")]
-    pub fn gemm_i8_batch_with_stats(
-        &mut self,
-        problems: &[GemmProblem<'_>],
-    ) -> (Vec<Vec<i32>>, EngineStats) {
-        self.gemm_batch_impl(problems, Some(DType::I8))
-    }
-
-    /// Batched [`CampEngine::gemm_i4`]; see [`CampEngine::gemm_i8_batch`].
-    /// Operand values must lie in [-8, 7] (checked in debug builds).
-    #[deprecated(since = "0.2.0", note = "build GemmRequests and call CampBackend::execute_batch")]
-    pub fn gemm_i4_batch(&mut self, problems: &[GemmProblem<'_>]) -> Vec<Vec<i32>> {
-        self.gemm_batch_impl(problems, Some(DType::I4)).0
-    }
-
-    /// [`CampEngine::gemm_i4_batch`] plus merged statistics.
-    #[deprecated(since = "0.2.0", note = "build GemmRequests and call CampBackend::execute_batch")]
-    pub fn gemm_i4_batch_with_stats(
-        &mut self,
-        problems: &[GemmProblem<'_>],
-    ) -> (Vec<Vec<i32>>, EngineStats) {
-        self.gemm_batch_impl(problems, Some(DType::I4))
-    }
-
-    /// Mixed-dtype batch: each problem runs under its **own** kernel —
-    /// slice problems under [`GemmProblem::dtype`] (see
-    /// [`GemmProblem::with_dtype`]), handle problems under the dtype
-    /// their weight was registered for. Everything else matches
-    /// [`CampEngine::gemm_i8_batch`]: results are bit-identical to
-    /// per-call loops of the matching kernel, in input order.
-    #[deprecated(since = "0.2.0", note = "build GemmRequests and call CampBackend::execute_batch")]
-    pub fn gemm_batch(&mut self, problems: &[GemmProblem<'_>]) -> Vec<Vec<i32>> {
-        self.gemm_batch_impl(problems, None).0
-    }
-
-    /// [`CampEngine::gemm_batch`] plus merged statistics.
-    #[deprecated(since = "0.2.0", note = "build GemmRequests and call CampBackend::execute_batch")]
-    pub fn gemm_batch_with_stats(
-        &mut self,
-        problems: &[GemmProblem<'_>],
-    ) -> (Vec<Vec<i32>>, EngineStats) {
-        self.gemm_batch_impl(problems, None)
-    }
-
+    /// Single dense GeMM, bypassing the batch machinery: the reference
+    /// path the test suite pins the request/batch surfaces against
+    /// (bit-identical results, comparable stats).
+    #[cfg(test)]
     fn gemm(
         &mut self,
         m: usize,
@@ -1268,88 +1140,7 @@ impl CampEngine {
     }
 }
 
-/// Blocked GeMM with the `camp.s8` micro-kernel.
-///
-/// `a` is row-major m×k, `b` row-major k×n; returns row-major m×n i32.
-/// Accumulation wraps, matching the hardware and [`gemm_i32_ref`].
-/// Zero-dimension problems return their degenerate result (empty, or
-/// all-zero when only k is 0) instead of panicking.
-///
-/// # Panics
-/// Panics if slice lengths do not match the dimensions.
-#[deprecated(since = "0.2.0", note = "build a GemmRequest and call CampBackend::execute")]
-pub fn camp_gemm_i8(m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
-    CampEngine::new().gemm(m, n, k, a, b, DType::I8).0
-}
-
-/// Like [`camp_gemm_i8`] but also returns instruction-level statistics.
-#[deprecated(since = "0.2.0", note = "build a GemmRequest and call CampBackend::execute")]
-pub fn camp_gemm_i8_with_stats(
-    m: usize,
-    n: usize,
-    k: usize,
-    a: &[i8],
-    b: &[i8],
-) -> (Vec<i32>, EngineStats) {
-    CampEngine::new().gemm(m, n, k, a, b, DType::I8)
-}
-
-/// Blocked GeMM with the `camp.s4` micro-kernel. Operand values must lie
-/// in [-8, 7] (4-bit signed); this is checked in debug builds.
-///
-/// # Panics
-/// Panics if slice lengths do not match the dimensions.
-#[deprecated(since = "0.2.0", note = "build a GemmRequest and call CampBackend::execute")]
-pub fn camp_gemm_i4(m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
-    CampEngine::new().gemm(m, n, k, a, b, DType::I4).0
-}
-
-/// Like [`camp_gemm_i4`] but also returns instruction-level statistics.
-#[deprecated(since = "0.2.0", note = "build a GemmRequest and call CampBackend::execute")]
-pub fn camp_gemm_i4_with_stats(
-    m: usize,
-    n: usize,
-    k: usize,
-    a: &[i8],
-    b: &[i8],
-) -> (Vec<i32>, EngineStats) {
-    CampEngine::new().gemm(m, n, k, a, b, DType::I4)
-}
-
-/// [`camp_gemm_i8`] across `threads` host cores (`0` = all cores).
-/// Bit-identical to the serial result. (Convenience wrapper: spawns an
-/// engine — and its pool — per call; reuse a [`CampEngine`] to amortize.)
-#[deprecated(since = "0.2.0", note = "build a GemmRequest and call CampBackend::execute")]
-pub fn camp_gemm_i8_parallel(
-    m: usize,
-    n: usize,
-    k: usize,
-    a: &[i8],
-    b: &[i8],
-    threads: usize,
-) -> Vec<i32> {
-    CampEngine::with_threads(threads).gemm(m, n, k, a, b, DType::I8).0
-}
-
-/// [`camp_gemm_i4`] across `threads` host cores (`0` = all cores).
-/// Bit-identical to the serial result. (Convenience wrapper: spawns an
-/// engine — and its pool — per call; reuse a [`CampEngine`] to amortize.)
-#[deprecated(since = "0.2.0", note = "build a GemmRequest and call CampBackend::execute")]
-pub fn camp_gemm_i4_parallel(
-    m: usize,
-    n: usize,
-    k: usize,
-    a: &[i8],
-    b: &[i8],
-    threads: usize,
-) -> Vec<i32> {
-    CampEngine::with_threads(threads).gemm(m, n, k, a, b, DType::I4).0
-}
-
-// The deprecated shims stay covered until they are removed: this module
-// is their test suite, so it exercises them deliberately.
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use camp_gemm::weights::HOST_BLOCKING;
@@ -1357,6 +1148,143 @@ mod tests {
     const MC: usize = HOST_BLOCKING.0;
     const NC: usize = HOST_BLOCKING.1;
     const KC: usize = HOST_BLOCKING.2;
+
+    // ---- single-call helpers over the test-only reference path ----
+    //
+    // These carry the shapes of the removed dtype-suffixed shims so the
+    // suite keeps pinning the batch/request surfaces against a direct
+    // single-problem run of the engine.
+
+    fn camp_gemm_i8(m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
+        CampEngine::new().gemm(m, n, k, a, b, DType::I8).0
+    }
+
+    fn camp_gemm_i8_with_stats(
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[i8],
+        b: &[i8],
+    ) -> (Vec<i32>, EngineStats) {
+        CampEngine::new().gemm(m, n, k, a, b, DType::I8)
+    }
+
+    fn camp_gemm_i4(m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
+        CampEngine::new().gemm(m, n, k, a, b, DType::I4).0
+    }
+
+    fn camp_gemm_i4_with_stats(
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[i8],
+        b: &[i8],
+    ) -> (Vec<i32>, EngineStats) {
+        CampEngine::new().gemm(m, n, k, a, b, DType::I4)
+    }
+
+    fn camp_gemm_i8_parallel(
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[i8],
+        b: &[i8],
+        threads: usize,
+    ) -> Vec<i32> {
+        CampEngine::with_threads(threads).gemm(m, n, k, a, b, DType::I8).0
+    }
+
+    fn camp_gemm_i4_parallel(
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[i8],
+        b: &[i8],
+        threads: usize,
+    ) -> Vec<i32> {
+        CampEngine::with_threads(threads).gemm(m, n, k, a, b, DType::I4).0
+    }
+
+    /// Method shapes of the removed shims, over the same internals the
+    /// request surface drives (`gemm_batch_impl`) or the test-only
+    /// single-call path.
+    trait EngineTestExt {
+        fn gemm_i8(&mut self, m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32>;
+        fn gemm_i8_with_stats(
+            &mut self,
+            m: usize,
+            n: usize,
+            k: usize,
+            a: &[i8],
+            b: &[i8],
+        ) -> (Vec<i32>, EngineStats);
+        fn gemm_i4(&mut self, m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32>;
+        fn gemm_with_handle(&mut self, m: usize, a: &[i8], h: WeightHandle) -> Vec<i32>;
+        fn gemm_with_handle_with_stats(
+            &mut self,
+            m: usize,
+            a: &[i8],
+            h: WeightHandle,
+        ) -> (Vec<i32>, EngineStats);
+        fn gemm_i8_batch(&mut self, problems: &[GemmProblem<'_>]) -> Vec<Vec<i32>>;
+        fn gemm_i8_batch_with_stats(
+            &mut self,
+            problems: &[GemmProblem<'_>],
+        ) -> (Vec<Vec<i32>>, EngineStats);
+        fn gemm_i4_batch(&mut self, problems: &[GemmProblem<'_>]) -> Vec<Vec<i32>>;
+        fn gemm_batch_with_stats(
+            &mut self,
+            problems: &[GemmProblem<'_>],
+        ) -> (Vec<Vec<i32>>, EngineStats);
+    }
+
+    impl EngineTestExt for CampEngine {
+        fn gemm_i8(&mut self, m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
+            self.gemm(m, n, k, a, b, DType::I8).0
+        }
+        fn gemm_i8_with_stats(
+            &mut self,
+            m: usize,
+            n: usize,
+            k: usize,
+            a: &[i8],
+            b: &[i8],
+        ) -> (Vec<i32>, EngineStats) {
+            self.gemm(m, n, k, a, b, DType::I8)
+        }
+        fn gemm_i4(&mut self, m: usize, n: usize, k: usize, a: &[i8], b: &[i8]) -> Vec<i32> {
+            self.gemm(m, n, k, a, b, DType::I4).0
+        }
+        fn gemm_with_handle(&mut self, m: usize, a: &[i8], h: WeightHandle) -> Vec<i32> {
+            self.handle_gemm(m, a, h).0
+        }
+        fn gemm_with_handle_with_stats(
+            &mut self,
+            m: usize,
+            a: &[i8],
+            h: WeightHandle,
+        ) -> (Vec<i32>, EngineStats) {
+            self.handle_gemm(m, a, h)
+        }
+        fn gemm_i8_batch(&mut self, problems: &[GemmProblem<'_>]) -> Vec<Vec<i32>> {
+            self.gemm_batch_impl(problems, Some(DType::I8)).0
+        }
+        fn gemm_i8_batch_with_stats(
+            &mut self,
+            problems: &[GemmProblem<'_>],
+        ) -> (Vec<Vec<i32>>, EngineStats) {
+            self.gemm_batch_impl(problems, Some(DType::I8))
+        }
+        fn gemm_i4_batch(&mut self, problems: &[GemmProblem<'_>]) -> Vec<Vec<i32>> {
+            self.gemm_batch_impl(problems, Some(DType::I4)).0
+        }
+        fn gemm_batch_with_stats(
+            &mut self,
+            problems: &[GemmProblem<'_>],
+        ) -> (Vec<Vec<i32>>, EngineStats) {
+            self.gemm_batch_impl(problems, None)
+        }
+    }
 
     fn fill(len: usize, seed: i32, modulus: i32, offset: i32) -> Vec<i8> {
         (0..len).map(|i| ((i as i32 * seed) % modulus + offset) as i8).collect()

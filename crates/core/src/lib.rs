@@ -19,9 +19,9 @@
 //!   [`engine::CampEngine`] optionally runs the macro loop across a
 //!   **persistent worker pool** ([`pool`]) with bit-identical results.
 //!   For attention-style workloads of many small GeMMs,
-//!   [`engine::CampEngine::gemm_i8_batch`] runs a whole
-//!   [`engine::GemmProblem`] batch per call, deduplicating shared weight
-//!   matrices and parallelizing across batch items.
+//!   [`backend::CampBackend::execute_batch`] runs a whole batch of
+//!   [`GemmRequest`]s per call, deduplicating shared weight matrices
+//!   and parallelizing across batch items.
 //! * [`session`] — the **serving layer**: register weights once
 //!   ([`engine::CampEngine::register_weights`] packs B into a
 //!   persistent panel), then stream request batches through a
@@ -56,16 +56,13 @@ pub mod hybrid;
 pub mod pool;
 pub mod session;
 pub mod structure;
+pub mod sync;
 pub mod unit;
 
 pub use backend::{BatchOutcome, CampBackend, Capability, ExecStats, Outcome, Output, SimBackend};
 pub use engine::{
     gemm_i32_ref, CampEngine, DType, EngineStats, GemmProblem, WeightHandle, WeightMeta,
 };
-// The dtype-suffixed shims stay re-exported until removal so old import
-// paths keep resolving (with their deprecation note).
-#[allow(deprecated)]
-pub use engine::{camp_gemm_i4, camp_gemm_i4_parallel, camp_gemm_i8, camp_gemm_i8_parallel};
 pub use hybrid::HybridMultiplier;
 pub use pool::WorkerPool;
 #[allow(deprecated)]

@@ -23,8 +23,11 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+
+// the sync seam: std primitives normally, the camp-loom model checker
+// under `--cfg loom` (see crate::sync and tests/model/)
+use crate::sync::thread::JoinHandle;
+use crate::sync::{Arc, Condvar, Mutex};
 
 /// A borrowed job: a closure the submitting call owns for `'env`.
 /// [`WorkerPool::run`] guarantees it finishes before returning, so the
@@ -101,7 +104,7 @@ impl WorkerPool {
         let handles = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                crate::sync::thread::Builder::new()
                     .name(format!("camp-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
                     .expect("failed to spawn engine worker")

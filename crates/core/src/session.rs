@@ -50,8 +50,11 @@
 //! ```
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::thread::JoinHandle;
+
+// the sync seam: std primitives normally, the camp-loom model checker
+// under `--cfg loom` (see crate::sync and tests/model/)
+use crate::sync::thread::JoinHandle;
+use crate::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use camp_gemm::request::{GemmRequest, RequestError};
 use camp_gemm::weights::{WeightHandle, WeightSnapshot};
@@ -62,7 +65,8 @@ use crate::backend::{BatchOutcome, CampBackend};
 /// multiplied against a registered weight.
 #[deprecated(
     since = "0.2.0",
-    note = "build a GemmRequest (Operand::Handle) and submit that; From<Request> converts"
+    note = "build a GemmRequest (Operand::Handle) and submit that; From<Request> converts; \
+            remove: v0.3"
 )]
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -250,13 +254,13 @@ impl<B: CampBackend + Send + 'static> Session<B> {
 
         let stager_shared = Arc::clone(&shared);
         let stager_weights = weights.clone();
-        let stager = std::thread::Builder::new()
+        let stager = crate::sync::thread::Builder::new()
             .name("camp-stager".into())
             .spawn(move || stager_loop::<B>(&stager_shared, &stager_weights))
             .expect("failed to spawn session stager");
 
         let driver_shared = Arc::clone(&shared);
-        let driver = std::thread::Builder::new()
+        let driver = crate::sync::thread::Builder::new()
             .name("camp-driver".into())
             .spawn(move || driver_loop::<B>(&driver_shared, backend))
             .expect("failed to spawn session driver");
@@ -370,7 +374,7 @@ impl<B: CampBackend + Send + 'static> Session<B> {
     }
 
     /// Legacy name for [`Session::into_backend`].
-    #[deprecated(since = "0.2.0", note = "renamed to into_backend")]
+    #[deprecated(since = "0.2.0", note = "renamed to into_backend; remove: v0.3")]
     pub fn into_engine(self) -> B {
         self.into_backend()
     }

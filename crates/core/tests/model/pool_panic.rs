@@ -1,0 +1,29 @@
+//! Model of the pool's panic-isolation path: a panicking job must be
+//! counted by the latch like any other (no hang), re-raised on the
+//! submitting thread, and must leave the pool serving later runs —
+//! in every interleaving.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use camp_core::pool::{Job, WorkerPool};
+
+#[test]
+fn panicking_job_completes_the_latch_and_spares_the_pool() {
+    let report =
+        loom::model::Builder { preemption_bound: 2, max_iterations: 500_000 }.check(|| {
+            let pool = WorkerPool::new(1);
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                pool.run(vec![
+                    Box::new(|| panic!("poisoned request")) as Job<'_>,
+                    Box::new(|| ()) as Job<'_>,
+                ]);
+            }));
+            assert!(r.is_err(), "the job panic must re-raise on the submitter");
+            // the worker survived the unwind: the pool still executes
+            let mut ok = false;
+            pool.run(vec![Box::new(|| ok = true) as Job<'_>]);
+            assert!(ok, "pool must keep serving after an isolated panic");
+        });
+    assert!(report.iterations > 1, "expected >1 interleaving, got {report:?}");
+    eprintln!("pool panic isolation: {} interleavings", report.iterations);
+}

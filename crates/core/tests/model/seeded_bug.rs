@@ -1,0 +1,90 @@
+//! Negative control for the model checker itself: a deliberately
+//! buggy re-implementation of the pool's completion latch, asserted to
+//! be *caught*. If the explorer ever stops finding this lost wakeup,
+//! the `analysis` CI gate is vacuous and this test fails first.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Condvar, Mutex};
+
+/// The bug class the real `Latch` avoids: the pending count lives
+/// *outside* the mutex the condvar pairs with, so the worker's
+/// decrement+notify can slip between the submitter's count check and
+/// its `wait` — a classic lost wakeup, i.e. `WorkerPool::run` would
+/// park forever while the job is already done.
+struct BuggyLatch {
+    pending: AtomicUsize,
+    gate: Mutex<()>,
+    done: Condvar,
+}
+
+impl BuggyLatch {
+    fn job_finished(&self) {
+        // decrement and notify WITHOUT holding `gate`
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        // check-then-wait race: not re-checked under the mutex
+        while self.pending.load(Ordering::SeqCst) > 0 {
+            let g = self.gate.lock().unwrap();
+            drop(self.done.wait(g).unwrap());
+        }
+    }
+}
+
+#[test]
+fn lost_wakeup_in_a_buggy_latch_is_caught() {
+    let verdict = catch_unwind(AssertUnwindSafe(|| {
+        loom::model::Builder { preemption_bound: 2, max_iterations: 500_000 }.check(|| {
+            let latch = Arc::new(BuggyLatch {
+                pending: AtomicUsize::new(1),
+                gate: Mutex::new(()),
+                done: Condvar::new(),
+            });
+            let worker = Arc::clone(&latch);
+            let h = loom::thread::spawn(move || worker.job_finished());
+            latch.wait();
+            let _ = h.join();
+        });
+    }));
+    let msg = match verdict {
+        Err(payload) => *payload.downcast::<String>().expect("model failure carries a message"),
+        Ok(report) => {
+            panic!("the seeded lost-wakeup bug was NOT caught ({report:?}) — checker is broken")
+        }
+    };
+    assert!(msg.contains("deadlock"), "failure must identify the hang: {msg}");
+    assert!(msg.contains("condvar"), "failure must point at the lost wakeup: {msg}");
+    eprintln!("seeded bug caught as expected:\n{msg}");
+}
+
+/// The corrected protocol — the count guarded by the condvar's mutex,
+/// exactly like `pool::Latch` — passes the very same exploration.
+#[test]
+fn the_fixed_latch_protocol_survives_the_same_schedules() {
+    let report =
+        loom::model::Builder { preemption_bound: 2, max_iterations: 500_000 }.check(|| {
+            let latch = Arc::new((Mutex::new(1usize), Condvar::new()));
+            let worker = Arc::clone(&latch);
+            let h = loom::thread::spawn(move || {
+                let (count, done) = &*worker;
+                let mut g = count.lock().unwrap();
+                *g -= 1;
+                if *g == 0 {
+                    done.notify_all();
+                }
+            });
+            let (count, done) = &*latch;
+            let mut g = count.lock().unwrap();
+            while *g > 0 {
+                g = done.wait(g).unwrap();
+            }
+            drop(g);
+            h.join().unwrap();
+        });
+    assert!(report.iterations > 1, "expected >1 interleaving, got {report:?}");
+}

@@ -1,0 +1,124 @@
+//! Model of the `Session` submit → stage → compute → poll ticket
+//! lifecycle: the three-thread pipeline (submitter, stager, driver)
+//! with its four condvars and MAX_STAGED backpressure, driven through
+//! every bounded schedule over a minimal backend.
+//!
+//! The backend is a mock on purpose: the model explores the pipeline's
+//! synchronization, not the GeMM math (covered by the parity suites).
+//! `prepare` and `execute_prepared` are pure, so any lost batch,
+//! dropped wakeup or shutdown hang is the session's fault.
+
+use camp_core::backend::{BatchOutcome, CampBackend, Capability, ExecStats, Output};
+use camp_core::engine::EngineStats;
+use camp_core::{DType, GemmRequest, RequestError, WeightHandle, WeightMeta, WeightSnapshot};
+use camp_gemm::KernelInfo;
+
+/// Minimal pass-through backend: stages requests unchanged, "computes"
+/// a zero matrix per request.
+struct NullBackend;
+
+impl CampBackend for NullBackend {
+    type Prepared = GemmRequest;
+
+    fn name(&self) -> &'static str {
+        "model-null"
+    }
+
+    fn threads(&self) -> usize {
+        1
+    }
+
+    fn supports(&self, _cap: Capability) -> bool {
+        false
+    }
+
+    fn kernel_info(&self) -> KernelInfo {
+        unimplemented!("not part of the modeled pipeline")
+    }
+
+    fn register_weights(&mut self, _n: usize, _k: usize, _b: &[i8], _dtype: DType) -> WeightHandle {
+        unimplemented!("models submit dense requests only")
+    }
+
+    fn evict_weights(&mut self, _h: WeightHandle) -> Result<WeightMeta, RequestError> {
+        unimplemented!("models submit dense requests only")
+    }
+
+    fn clear_weights(&mut self) {}
+
+    fn try_weight_meta(&self, _h: WeightHandle) -> Result<WeightMeta, RequestError> {
+        unimplemented!("models submit dense requests only")
+    }
+
+    fn weight_snapshot(&self) -> WeightSnapshot {
+        WeightSnapshot::empty()
+    }
+
+    fn execute_batch(&mut self, _reqs: &[GemmRequest]) -> Result<BatchOutcome, RequestError> {
+        unimplemented!("sessions drive execute_prepared")
+    }
+
+    fn prepare(req: GemmRequest, _weights: &WeightSnapshot) -> GemmRequest {
+        req
+    }
+
+    fn execute_prepared(&mut self, batch: Vec<GemmRequest>) -> BatchOutcome {
+        let outputs =
+            batch.iter().map(|r| Output::new(vec![0; r.m()], r.m(), 1)).collect::<Vec<_>>();
+        BatchOutcome::new(outputs, ExecStats::Host(EngineStats::default()))
+    }
+}
+
+fn tiny_request() -> GemmRequest {
+    GemmRequest::dense(1, 1, 1, vec![1i8], vec![1i8]).expect("well-formed request")
+}
+
+/// One batch through the full lifecycle: submit hands the ticket out,
+/// the stager and driver pipeline it, wait redeems exactly one result,
+/// and drop shuts all three threads down — in every schedule.
+#[test]
+fn submit_wait_shutdown_lifecycle() {
+    let report =
+        loom::model::Builder { preemption_bound: 2, max_iterations: 500_000 }.check(|| {
+            let mut session = NullBackend.serve();
+            let t = session.submit(vec![tiny_request()]).expect("valid submission");
+            let outcome = session.wait(t);
+            assert_eq!(outcome.outputs.len(), 1, "one request in, one output out");
+            assert_eq!(outcome.outputs[0].m, 1);
+            drop(session); // stager + driver must join in every schedule
+        });
+    assert!(report.iterations > 1, "expected >1 interleaving, got {report:?}");
+    eprintln!("session lifecycle: {} interleavings", report.iterations);
+}
+
+/// Two tickets redeemed in reverse order: completion is
+/// submission-ordered, collection is not — the done-map/condvar side
+/// of the protocol must hand each result out exactly once anyway.
+#[test]
+fn out_of_order_collection() {
+    let report =
+        loom::model::Builder { preemption_bound: 2, max_iterations: 500_000 }.check(|| {
+            let mut session = NullBackend.serve();
+            let t1 = session.submit(vec![tiny_request()]).expect("valid submission");
+            let t2 =
+                session.submit(vec![tiny_request(), tiny_request()]).expect("valid submission");
+            assert_eq!(session.wait(t2).outputs.len(), 2);
+            assert_eq!(session.wait(t1).outputs.len(), 1);
+        });
+    assert!(report.iterations > 1, "expected >1 interleaving, got {report:?}");
+    eprintln!("session out-of-order: {} interleavings", report.iterations);
+}
+
+/// into_backend drains the pipeline: every submitted batch computes
+/// before the backend comes back, in every schedule.
+#[test]
+fn into_backend_drains_in_every_schedule() {
+    let report =
+        loom::model::Builder { preemption_bound: 2, max_iterations: 500_000 }.check(|| {
+            let mut session = NullBackend.serve();
+            let _t = session.submit(vec![tiny_request()]).expect("valid submission");
+            // drain without collecting: the uncollected result is dropped
+            let _backend = session.into_backend();
+        });
+    assert!(report.iterations > 1, "expected >1 interleaving, got {report:?}");
+}

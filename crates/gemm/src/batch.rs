@@ -16,8 +16,9 @@
 //! packed panel serve any number of batch items and workers.
 //!
 //! The same descriptors drive both execution substrates: the host
-//! engine (`CampEngine::gemm_batch` in `camp-core`) and the simulated
-//! driver ([`crate::driver::simulate_gemm_batch`]), which applies the
+//! engine (`CampBackend::execute_batch` in `camp-core`) and the
+//! simulated driver ([`crate::driver::simulate_gemm_batch`]), which
+//! applies the
 //! identical B-dedup rule to the *simulated* packing work:
 //!
 //! ```
@@ -48,9 +49,8 @@ use crate::weights::{DType, WeightHandle};
 /// engine per batch call) or a [`WeightHandle`] into the engine's
 /// registry ([`GemmProblem::with_handle`]), in which case the batch
 /// performs **zero** B-packing for this problem. `dtype` selects the
-/// kernel in dtype-respecting batch calls (`CampEngine::gemm_batch`);
-/// the forced-kernel entry points (`gemm_i8_batch` / `gemm_i4_batch`)
-/// override it.
+/// kernel the problem runs under (`CampBackend::execute_batch` maps
+/// each request's dtype the same way).
 #[derive(Debug, Clone, Copy)]
 pub struct GemmProblem<'a> {
     /// Rows of A / C.

@@ -618,8 +618,8 @@ impl Method {
     }
 
     /// The camp method a host-engine [`crate::weights::DType`] runs
-    /// under — the mapping `CampEngine::gemm_batch` applies per problem,
-    /// mirrored by the simulated batch driver.
+    /// under — the mapping `CampBackend::execute_batch` applies per
+    /// request, mirrored by the simulated batch driver.
     pub fn for_dtype(dtype: crate::weights::DType) -> Method {
         match dtype {
             crate::weights::DType::I8 => Method::Camp8,

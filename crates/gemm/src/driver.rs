@@ -1009,7 +1009,7 @@ pub fn simulate_gemm_batch(
 
 /// Simulate a batch of GeMMs over their **own** operands (not the
 /// seeded RNG workload): each problem runs under the camp kernel its
-/// [`DType`] selects (mirroring `CampEngine::gemm_batch`), every
+/// [`DType`] selects (mirroring `CampBackend::execute_batch`), every
 /// problem — and every (jc, pc) block within it — is an independent
 /// unit on `sched`, and problems sharing one B operand
 /// ([`GemmProblem::b_key`] identity, post-clamp) simulate its packing

@@ -56,6 +56,10 @@ const PANEL_PAIR_SHUF: [i8; 16] = [
     -128, -128, -128, -128, -128, -128, -128, -128,
 ];
 
+// SAFETY: requires AVX2 (the `target_feature` precondition). The
+// unaligned loads stay in bounds because `iters` is derived from
+// `pa.len()` and the packing contract gives `pb` the same whole-32-byte
+// chunk count; stores land in the stack-local `out` array.
 #[target_feature(enable = "avx2")]
 unsafe fn tile_i8_impl(pa: &[i8], pb: &[i8], acc: &mut [[i32; 4]; 4]) {
     let bshuf = _mm256_loadu_si256(B_PAIR_SHUF.as_ptr() as *const __m256i);
@@ -100,9 +104,17 @@ unsafe fn tile_i8_impl(pa: &[i8], pb: &[i8], acc: &mut [[i32; 4]; 4]) {
 /// See [`super::scalar::tile_i8`]; bit-identical, AVX2-accelerated.
 pub fn tile_i8(pa: &[i8], pb: &[i8], acc: &mut [[i32; 4]; 4]) {
     debug_assert!(is_x86_feature_detected!("avx2"), "avx2 kernel dispatched without avx2");
+    // SAFETY: the HostKernel dispatch table only routes here after
+    // runtime AVX2 detection (debug-asserted above), and the packer
+    // emits `pa`/`pb` as whole 32-byte chunks — tile_i8_impl's two
+    // preconditions.
     unsafe { tile_i8_impl(pa, pb, acc) }
 }
 
+// SAFETY: requires AVX2. Every pointer offset is guarded by the loop
+// bounds: C rows via `j + 16 <= n`, B rows via the same guard (for
+// `l < k`, `l*n + j + 16 <= k*n` follows from `j + 16 <= n`); the
+// scalar remainder uses safe indexing.
 #[target_feature(enable = "avx2")]
 unsafe fn small_m_dense_impl(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
     for i in 0..m {
@@ -142,9 +154,15 @@ unsafe fn small_m_dense_impl(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c
 /// See [`super::scalar::small_m_dense`]; bit-identical.
 pub fn small_m_dense(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
     debug_assert!(is_x86_feature_detected!("avx2"), "avx2 kernel dispatched without avx2");
+    // SAFETY: AVX2 is runtime-detected before dispatch reaches this
+    // tier (debug-asserted above); slice shapes are the m×k / k×n / m×n
+    // engine contract the impl's bounds reasoning relies on.
     unsafe { small_m_dense_impl(m, n, k, a, b, c) }
 }
 
+// SAFETY: requires AVX2, and `panel` must hold 4 columns per k-value
+// of `a_row` (the weight-panel layout): the 8-byte load at `l*4` needs
+// `l + 2 <= a_row.len()`, which the loop guard enforces.
 #[target_feature(enable = "avx2")]
 unsafe fn panel_mav_impl(acc: &mut [i32; 4], a_row: &[i8], panel: &[i8]) {
     let shuf = _mm_loadu_si128(PANEL_PAIR_SHUF.as_ptr() as *const __m128i);
@@ -173,9 +191,15 @@ unsafe fn panel_mav_impl(acc: &mut [i32; 4], a_row: &[i8], panel: &[i8]) {
 /// See [`super::scalar::panel_mav`]; bit-identical.
 pub fn panel_mav(acc: &mut [i32; 4], a_row: &[i8], panel: &[i8]) {
     debug_assert!(is_x86_feature_detected!("avx2"), "avx2 kernel dispatched without avx2");
+    // SAFETY: AVX2 detection gates dispatch (debug-asserted above);
+    // the registered-weight panel stores 4 columns per k-value, the
+    // impl's only layout precondition.
     unsafe { panel_mav_impl(acc, a_row, panel) }
 }
 
+// SAFETY: requires AVX2+FMA, `pa.len() >= kcb*4`, `pb.len() >= kcb*16`
+// and `acc.len() >= 64` — every load/store offset below is bounded by
+// those three lengths (the wrapper debug-asserts them).
 #[target_feature(enable = "avx2,fma")]
 unsafe fn f32_tile_impl(pa: &[f32], pb: &[f32], kcb: usize, acc: &mut [f32]) {
     // 4×16 register tile: two 8-wide accumulators per row, held in
@@ -208,9 +232,16 @@ pub fn f32_tile(pa: &[f32], pb: &[f32], kcb: usize, acc: &mut [f32]) {
         is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"),
         "avx2+fma kernel dispatched without avx2+fma"
     );
+    // SAFETY: AVX2+FMA are runtime-detected before dispatch (asserted
+    // above), and the length preconditions are debug-asserted; release
+    // callers are the dispatch table, which packs to exactly these
+    // shapes.
     unsafe { f32_tile_impl(pa, pb, kcb, acc) }
 }
 
+// SAFETY: requires AVX2+FMA. Pointer offsets are bounded the same way
+// as [`small_m_dense_impl`]: `j + 8 <= n` covers both the C-row store
+// and the B-row loads; the remainder path is safe indexing.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn f32_small_m_impl(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     for i in 0..m {
@@ -242,6 +273,8 @@ pub fn f32_small_m(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [
         is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"),
         "avx2+fma kernel dispatched without avx2+fma"
     );
+    // SAFETY: AVX2+FMA gate dispatch to this tier (debug-asserted
+    // above); slice shapes are the m×k / k×n / m×n engine contract.
     unsafe { f32_small_m_impl(m, n, k, a, b, c) }
 }
 

@@ -492,6 +492,38 @@ pub const SMALL_M_F32: usize = 4;
 /// scratch).
 const MAX_F32_TILE: usize = 64;
 
+/// Debug-build scratch-audit sentinel: a quiet-NaN bit pattern with an
+/// improbable payload. Reused scratch (the context's `pa`/`pb` pack
+/// buffers, the `MAX_F32_TILE` tile accumulator) is poured full of
+/// this before each refill; the asserts downstream then prove the
+/// packers overwrite every element of their exactly-sized block (no
+/// stale panel from a previous, larger shape survives into a read) and
+/// the unsafe tile kernels never touch scratch outside their `mr×nr`
+/// window. Release builds compile all of it out.
+const SCRATCH_SENTINEL: u32 = 0xFFC0_1DEA;
+
+/// Fill with the sentinel (debug builds only — no-op in release).
+#[inline]
+fn poison_scratch(buf: &mut [f32]) {
+    if cfg!(debug_assertions) {
+        buf.fill(f32::from_bits(SCRATCH_SENTINEL));
+    }
+}
+
+/// True when no sentinel survives, i.e. the packer wrote every element
+/// of the exactly-sized block it was handed.
+#[inline]
+fn scratch_fully_written(buf: &[f32]) -> bool {
+    buf.iter().all(|v| v.to_bits() != SCRATCH_SENTINEL)
+}
+
+/// True when every element still holds the sentinel — the tile kernel
+/// stayed inside its window.
+#[inline]
+fn scratch_untouched(buf: &[f32]) -> bool {
+    buf.iter().all(|v| v.to_bits() == SCRATCH_SENTINEL)
+}
+
 fn pack_a_f32(
     buf: &mut [f32],
     a: &[f32],
@@ -609,10 +641,21 @@ impl HostGemmF32 {
         }
         let HostGemmF32 { kernel, pa, pb } = self;
         let mut acc = [0f32; MAX_F32_TILE];
+        poison_scratch(&mut acc);
         for_each_b_block(&plan, |jc, ncb, pc, kcb| {
+            poison_scratch(&mut pb[..ncb * kcb]);
             pack_b_f32(&mut pb[..ncb * kcb], b, n, k, jc, pc, kcb, nr);
+            debug_assert!(
+                scratch_fully_written(&pb[..ncb * kcb]),
+                "pack_b_f32 left stale scratch inside its exactly-sized {ncb}x{kcb} block"
+            );
             for_each_row_strip(&plan, |ic, mcb| {
+                poison_scratch(&mut pa[..mcb * kcb]);
                 pack_a_f32(&mut pa[..mcb * kcb], a, m, k, ic, pc, kcb, mr);
+                debug_assert!(
+                    scratch_fully_written(&pa[..mcb * kcb]),
+                    "pack_a_f32 left stale scratch inside its exactly-sized {mcb}x{kcb} block"
+                );
                 for q in 0..ncb / nr {
                     let pbp = &pb[q * kcb * nr..(q + 1) * kcb * nr];
                     for p in 0..mcb / mr {
@@ -630,6 +673,10 @@ impl HostGemmF32 {
                             }
                         }
                         (kernel.f32_tile)(pap, pbp, kcb, &mut acc[..mr * nr]);
+                        debug_assert!(
+                            scratch_untouched(&acc[mr * nr..]),
+                            "f32 tile kernel wrote outside its {mr}x{nr} scratch window"
+                        );
                         for r in 0..mr {
                             let i = i0 + r;
                             if i >= m {
@@ -760,6 +807,34 @@ mod tests {
         let second = ctx.gemm(m, n, k, &a, &b);
         assert_eq!(first, second);
         assert_eq!((ctx.pa.capacity(), ctx.pb.capacity()), (cap_a, cap_b));
+    }
+
+    #[test]
+    fn warm_scratch_never_leaks_into_a_smaller_problem() {
+        // A big blocked shape grows `pa`/`pb` to their high-water mark
+        // and fills them with nonzero panels. Every later, smaller
+        // problem on the warm context — one blocked, one skinny-m —
+        // must be bit-identical to a fresh context (and the fma
+        // reference): the packers own exactly-sized sub-slices, so no
+        // stale panel tail from the big shape can reach a read. The
+        // debug-build sentinel audit in `gemm_into` checks the same
+        // property per block; this pins it end-to-end in any build.
+        for hk in HostKernel::available() {
+            let mut r = SplitMix64::new(0x5C4A_7C11);
+            let mut warm = HostGemmF32::with_kernel(hk);
+            let (bm, bn, bk) = (96, 80, 70);
+            let big_a = f32_vec(&mut r, bm * bk);
+            let big_b = f32_vec(&mut r, bk * bn);
+            warm.gemm(bm, bn, bk, &big_a, &big_b);
+            for (m, n, k) in [(12, 9, 5), (2, 17, 7)] {
+                let a = f32_vec(&mut r, m * k);
+                let b = f32_vec(&mut r, k * n);
+                let from_warm = warm.gemm(m, n, k, &a, &b);
+                let from_fresh = HostGemmF32::with_kernel(hk).gemm(m, n, k, &a, &b);
+                assert_eq!(from_warm, from_fresh, "{m}x{n}x{k} on {}", hk.tier().name());
+                assert_eq!(from_warm, gemm_f32_fma_ref(m, n, k, &a, &b));
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,10 @@
 use std::arch::aarch64::*;
 use std::arch::is_aarch64_feature_detected;
 
+// SAFETY: requires NEON (the `target_feature` precondition). The
+// `vld1q` loads stay in bounds because `iters` is derived from
+// `pa.len()` and the packing contract gives `pb` the same whole-16-byte
+// chunk count; the store lands in the stack-local `out` array.
 #[target_feature(enable = "neon")]
 unsafe fn tile_i8_impl(pa: &[i8], pb: &[i8], acc: &mut [[i32; 4]; 4]) {
     let mut vacc = [vdupq_n_s32(0); 4];
@@ -68,9 +72,17 @@ unsafe fn tile_i8_impl(pa: &[i8], pb: &[i8], acc: &mut [[i32; 4]; 4]) {
 /// See [`super::scalar::tile_i8`]; bit-identical, NEON-accelerated.
 pub fn tile_i8(pa: &[i8], pb: &[i8], acc: &mut [[i32; 4]; 4]) {
     debug_assert!(is_aarch64_feature_detected!("neon"), "neon kernel dispatched without neon");
+    // SAFETY: the HostKernel dispatch table only routes here after
+    // runtime NEON detection (debug-asserted above), and the packer
+    // emits `pa`/`pb` as whole 16-byte chunks — tile_i8_impl's two
+    // preconditions.
     unsafe { tile_i8_impl(pa, pb, acc) }
 }
 
+// SAFETY: requires NEON. Every pointer offset is guarded by the loop
+// bounds: C rows via `j + 8 <= n`, B rows via the same guard (for
+// `l < k`, `l*n + j + 8 <= k*n` follows from `j + 8 <= n`); the scalar
+// remainder uses safe indexing.
 #[target_feature(enable = "neon")]
 unsafe fn small_m_dense_impl(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
     for i in 0..m {
@@ -103,9 +115,15 @@ unsafe fn small_m_dense_impl(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c
 /// See [`super::scalar::small_m_dense`]; bit-identical.
 pub fn small_m_dense(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
     debug_assert!(is_aarch64_feature_detected!("neon"), "neon kernel dispatched without neon");
+    // SAFETY: NEON is runtime-detected before dispatch reaches this
+    // tier (debug-asserted above); slice shapes are the m×k / k×n / m×n
+    // engine contract the impl's bounds reasoning relies on.
     unsafe { small_m_dense_impl(m, n, k, a, b, c) }
 }
 
+// SAFETY: requires NEON, and `panel` must hold 4 columns per k-value
+// of `a_row` (the weight-panel layout): the 8-byte load at `l*4` needs
+// `l + 2 <= a_row.len()`, which the loop guard enforces.
 #[target_feature(enable = "neon")]
 unsafe fn panel_mav_impl(acc: &mut [i32; 4], a_row: &[i8], panel: &[i8]) {
     let mut vacc = vld1q_s32(acc.as_ptr());
@@ -130,9 +148,15 @@ unsafe fn panel_mav_impl(acc: &mut [i32; 4], a_row: &[i8], panel: &[i8]) {
 /// See [`super::scalar::panel_mav`]; bit-identical.
 pub fn panel_mav(acc: &mut [i32; 4], a_row: &[i8], panel: &[i8]) {
     debug_assert!(is_aarch64_feature_detected!("neon"), "neon kernel dispatched without neon");
+    // SAFETY: NEON detection gates dispatch (debug-asserted above);
+    // the registered-weight panel stores 4 columns per k-value, the
+    // impl's only layout precondition.
     unsafe { panel_mav_impl(acc, a_row, panel) }
 }
 
+// SAFETY: requires NEON, `pa.len() >= kcb*4`, `pb.len() >= kcb*8` and
+// `acc.len() >= 32` — every load/store offset below is bounded by
+// those three lengths (the wrapper debug-asserts them).
 #[target_feature(enable = "neon")]
 unsafe fn f32_tile_impl(pa: &[f32], pb: &[f32], kcb: usize, acc: &mut [f32]) {
     // 4×8 register tile: two 4-wide accumulators per row
@@ -161,9 +185,16 @@ unsafe fn f32_tile_impl(pa: &[f32], pb: &[f32], kcb: usize, acc: &mut [f32]) {
 pub fn f32_tile(pa: &[f32], pb: &[f32], kcb: usize, acc: &mut [f32]) {
     debug_assert!(pa.len() >= kcb * 4 && pb.len() >= kcb * 8 && acc.len() >= 32);
     debug_assert!(is_aarch64_feature_detected!("neon"), "neon kernel dispatched without neon");
+    // SAFETY: NEON is runtime-detected before dispatch (asserted
+    // above), and the length preconditions are debug-asserted; release
+    // callers are the dispatch table, which packs to exactly these
+    // shapes.
     unsafe { f32_tile_impl(pa, pb, kcb, acc) }
 }
 
+// SAFETY: requires NEON. Pointer offsets are bounded the same way as
+// [`small_m_dense_impl`]: `j + 4 <= n` covers both the C-row store and
+// the B-row loads; the remainder path is safe indexing.
 #[target_feature(enable = "neon")]
 unsafe fn f32_small_m_impl(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     for i in 0..m {
@@ -191,6 +222,8 @@ unsafe fn f32_small_m_impl(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c
 /// See [`super::scalar::f32_small_m`]; bit-identical (fma chain).
 pub fn f32_small_m(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     debug_assert!(is_aarch64_feature_detected!("neon"), "neon kernel dispatched without neon");
+    // SAFETY: NEON gates dispatch to this tier (debug-asserted above);
+    // slice shapes are the m×k / k×n / m×n engine contract.
     unsafe { f32_small_m_impl(m, n, k, a, b, c) }
 }
 

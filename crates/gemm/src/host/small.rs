@@ -81,6 +81,11 @@ fn run_panel(
     bpanel: &[i8],
     c: &mut [i32],
 ) {
+    // One 4-lane tile scratch reused for the entire walk. `panel_mav`
+    // *accumulates* into it, so the fold below must re-zero it after
+    // every use — the debug assert pins that discipline (a stale lane
+    // would silently corrupt the next row's sums).
+    let mut acc = [0i32; 4];
     for_each_b_block(plan, |jc, ncb, pc, kcb| {
         let off = packed_b_offset(plan.kp, jc, ncb, pc);
         // pc < k always: kp < k + k_step and every block is at least
@@ -95,12 +100,16 @@ fn run_panel(
             let panel = &bpanel[off + q * kcb * 4..off + (q + 1) * kcb * 4];
             for i in 0..m {
                 let a_row = &a[i * k + pc..i * k + pc + kreal];
-                let mut acc = [0i32; 4];
+                debug_assert!(
+                    acc == [0i32; 4],
+                    "skinny-path tile scratch must be zeroed between reuses"
+                );
                 (hk.panel_mav)(&mut acc, a_row, panel);
                 let crow = &mut c[i * n + j0..i * n + j0 + width];
                 for (cv, &v) in crow.iter_mut().zip(&acc) {
                     *cv = cv.wrapping_add(v);
                 }
+                acc = [0i32; 4];
             }
         }
     });
@@ -166,6 +175,35 @@ mod tests {
         let mut c = vec![100i32; m * n];
         run_small_m(hk, m, n, k, &plan, &a, SmallB::Panel(&bimg), &mut c);
         assert_eq!(c, want);
+    }
+
+    #[test]
+    fn reused_tile_scratch_is_zeroed_between_panel_walks() {
+        // `run_panel` reuses one 4-lane tile scratch across every
+        // (block, panel, row) visit of the walk; a single stale lane
+        // would shift every later sum by a deterministic garbage
+        // term. Deep-k shapes that span several k-blocks and dozens
+        // of panels, on every available tier, pin the re-zero
+        // discipline end to end (debug builds also assert it before
+        // each `panel_mav` call).
+        let mut r = SplitMix64::new(44);
+        for hk in HostKernel::available() {
+            for (m, n, k) in [(3, 37, 300), (70, 6, 250)] {
+                let a = r.i8_vec(m * k, -128, 127);
+                let b = r.i8_vec(k * n, -128, 127);
+                let want = gemm_i32_ref(m, n, k, &a, &b);
+                let (plan, bimg) = packed_b(n, k, 16, &b);
+                let mut c = vec![0i32; m * n];
+                match small_path(m, n) {
+                    Some(SmallPath::SmallM) => {
+                        run_small_m(hk, m, n, k, &plan, &a, SmallB::Panel(&bimg), &mut c)
+                    }
+                    Some(SmallPath::SmallN) => run_small_n(hk, m, n, k, &plan, &a, &bimg, &mut c),
+                    None => unreachable!("shapes above are skinny by construction"),
+                }
+                assert_eq!(c, want, "{m}x{n}x{k} on {}", hk.tier().name());
+            }
+        }
     }
 
     #[test]

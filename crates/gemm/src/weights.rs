@@ -38,8 +38,9 @@
 //! assert_eq!(registry.panel(handle), &expect[..]);
 //! ```
 //!
-//! (`CampEngine::register_weights` / `gemm_with_handle` in `camp-core`
-//! wrap this registry behind the engine API — see their doctests.)
+//! (`CampEngine::register_weights` and handle-operand `GemmRequest`s in
+//! `camp-core` wrap this registry behind the engine API — see their
+//! doctests.)
 
 use std::sync::Arc;
 

@@ -290,7 +290,7 @@ impl AttentionWorkload {
     /// The same inventory as owned legacy serving requests.
     #[deprecated(
         since = "0.2.0",
-        note = "use gemm_requests_with_handles and submit the GemmRequests"
+        note = "use gemm_requests_with_handles and submit the GemmRequests; remove: v0.3"
     )]
     #[allow(deprecated)]
     pub fn requests(&self, h: &AttentionHandles) -> Vec<camp_core::session::Request> {

@@ -1,0 +1,1061 @@
+//! Offline stand-in for [loom](https://docs.rs/loom): an exhaustive
+//! interleaving model checker for the workspace's concurrency core.
+//!
+//! The build environment has no crates.io access, so this shim
+//! implements the minimal loom API subset `camp-core`'s models use —
+//! [`model()`], [`thread::spawn`], [`sync::Mutex`], [`sync::Condvar`]
+//! and [`sync::atomic`] — backed by a depth-first schedule explorer:
+//!
+//! * Every synchronization operation (lock, unlock, condvar
+//!   wait/notify, atomic access, spawn, join, yield) is a **schedule
+//!   point**. A central per-execution scheduler grants the run token
+//!   to exactly one "loom thread" (a real OS thread, suspended between
+//!   grants) at a time, so an execution is one deterministic
+//!   interleaving of the model's threads.
+//! * At each schedule point the scheduler records which other threads
+//!   *could* have run. After an execution finishes, the explorer
+//!   backtracks to the deepest decision with an untried alternative
+//!   and replays the prefix, diverging there — classic DFS over the
+//!   schedule tree, the same exploration loom performs.
+//! * **Preemption bounding** keeps the tree tractable: switching away
+//!   from a thread that could have continued costs one preemption,
+//!   and schedules beyond [`model::Builder::preemption_bound`] are
+//!   pruned. Forced switches (the running thread blocked or finished)
+//!   are free. Bounded search is sound for a bound of b context
+//!   switches: every bug reachable with ≤ b preemptions is found.
+//! * **Deadlocks** (every unfinished thread blocked) and **lost
+//!   wakeups** (a condvar wait nobody will ever notify) surface as a
+//!   model failure naming the blocked threads, with the decision trace
+//!   that led there.
+//!
+//! What this shim does *not* model (and the real loom does): weak
+//! memory orderings (every atomic here is explored with sequentially
+//! consistent semantics — `Ordering` arguments are accepted and
+//! ignored) and spurious condvar wakeups. The models in
+//! `crates/core/tests/model/` only rely on interleaving exploration,
+//! so the subset is sufficient for the happens-before arguments they
+//! check.
+//!
+//! ```
+//! use std::sync::atomic::Ordering;
+//!
+//! let report = loom::model::Builder::new().check(|| {
+//!     let flag = std::sync::Arc::new(loom::sync::atomic::AtomicUsize::new(0));
+//!     let f2 = std::sync::Arc::clone(&flag);
+//!     let h = loom::thread::spawn(move || f2.fetch_add(1, Ordering::SeqCst));
+//!     flag.fetch_add(1, Ordering::SeqCst);
+//!     h.join().unwrap();
+//!     assert_eq!(flag.load(Ordering::SeqCst), 2);
+//! });
+//! assert!(report.iterations >= 2, "both orders of the two increments explored");
+//! ```
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex};
+
+// ---- execution state ------------------------------------------------------
+
+/// Why a loom thread is not currently runnable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Run {
+    /// Eligible to be granted the token.
+    Runnable,
+    /// Wants mutex `m`; runnable once `m` is free.
+    BlockedMutex(usize),
+    /// Parked in `Condvar::wait` on cv, holding nothing; must be
+    /// notified, then reacquire `mutex`.
+    WaitingCv {
+        cv: usize,
+        mutex: usize,
+        notified: bool,
+    },
+    /// Waiting for thread `t` to finish.
+    Joining(usize),
+    Finished,
+}
+
+/// One schedule decision: the thread granted the token and the
+/// alternatives not yet explored from this point.
+#[derive(Debug, Clone)]
+struct Decision {
+    chosen: usize,
+    pending: Vec<usize>,
+}
+
+#[derive(Debug, Default)]
+struct MutexState {
+    locked: bool,
+}
+
+#[derive(Debug, Default)]
+struct CvState {
+    /// FIFO queue of waiting tids (notify_one wakes the head).
+    waiters: VecDeque<usize>,
+}
+
+struct ExecState {
+    threads: Vec<Run>,
+    /// Thread currently holding the run token (None while the
+    /// scheduler is deciding or the execution is winding down).
+    active: Option<usize>,
+    mutexes: Vec<MutexState>,
+    condvars: Vec<CvState>,
+    /// Decisions of this execution: replayed prefix + fresh suffix.
+    trace: Vec<Decision>,
+    /// How many leading decisions replay the previous execution.
+    replay_len: usize,
+    step: usize,
+    preemptions: usize,
+    preemption_bound: usize,
+    failure: Option<String>,
+    aborting: bool,
+}
+
+struct Execution {
+    state: OsMutex<ExecState>,
+    /// Woken whenever `active` changes or the execution aborts.
+    grant: OsCondvar,
+}
+
+impl Execution {
+    fn lock(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        // the explorer's own lock is never poisoned on purpose: a
+        // panicking model thread releases it before unwinding user code
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Per-OS-thread identity inside a model execution.
+#[derive(Clone)]
+struct Ctx {
+    exec: Arc<Execution>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+fn current() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn require_ctx(op: &str) -> Ctx {
+    current().unwrap_or_else(|| {
+        panic!("loom::{op} used outside loom::model — wrap the test body in loom::model(|| ...)")
+    })
+}
+
+/// Marker payload unwinding threads out of a dead execution; never
+/// surfaces to the user (the model reports the original failure).
+struct Abort;
+
+impl ExecState {
+    fn runnable(&self, tid: usize) -> bool {
+        match self.threads[tid] {
+            Run::Runnable => true,
+            Run::BlockedMutex(m) => !self.mutexes[m].locked,
+            Run::WaitingCv { mutex, notified, .. } => notified && !self.mutexes[mutex].locked,
+            Run::Joining(t) => self.threads[t] == Run::Finished,
+            Run::Finished => false,
+        }
+    }
+
+    fn runnable_set(&self) -> Vec<usize> {
+        (0..self.threads.len()).filter(|&t| self.runnable(t)).collect()
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| *t == Run::Finished)
+    }
+
+    fn describe_blocked(&self) -> String {
+        let mut out = Vec::new();
+        for (t, st) in self.threads.iter().enumerate() {
+            let what = match st {
+                Run::Runnable => continue,
+                Run::Finished => continue,
+                Run::BlockedMutex(m) => format!("thread {t} blocked on mutex {m}"),
+                Run::WaitingCv { cv, notified: false, .. } => {
+                    format!("thread {t} waiting on condvar {cv} (never notified)")
+                }
+                Run::WaitingCv { cv, mutex, .. } => {
+                    format!("thread {t} notified on condvar {cv} but mutex {mutex} never freed")
+                }
+                Run::Joining(v) => format!("thread {t} joining thread {v}"),
+            };
+            out.push(what);
+        }
+        out.join("; ")
+    }
+}
+
+/// Mark the execution failed and wake every suspended thread so it can
+/// unwind out of the model.
+fn fail(exec: &Execution, st: &mut ExecState, msg: String) {
+    if st.failure.is_none() {
+        let trace: Vec<usize> = st.trace.iter().map(|d| d.chosen).collect();
+        st.failure = Some(format!("{msg}\n  schedule trace (chosen tids): {trace:?}"));
+    }
+    st.aborting = true;
+    st.active = None;
+    exec.grant.notify_all();
+}
+
+/// The heart of the explorer: a schedule point. Called with the
+/// execution lock held and the current thread's `Run` state already
+/// updated for whatever it is about to do; picks the next thread to
+/// run (replaying or extending the decision trace), then suspends the
+/// caller until it is granted the token again.
+fn schedule(ctx: &Ctx, mut st: std::sync::MutexGuard<'_, ExecState>) {
+    let exec = &ctx.exec;
+    let me = ctx.tid;
+    if st.aborting {
+        drop(st);
+        // a sync op reached from a Drop while this thread is already
+        // unwinding (e.g. a pool joining its workers during an abort)
+        // must not panic again — that would escalate to a process
+        // abort and eat the model's failure report
+        if std::thread::panicking() {
+            return;
+        }
+        std::panic::panic_any(Abort);
+    }
+
+    let runnable = st.runnable_set();
+    if runnable.is_empty() {
+        if st.all_finished() {
+            // nothing left to schedule; the model loop notices
+            st.active = None;
+            exec.grant.notify_all();
+            return;
+        }
+        let blocked = st.describe_blocked();
+        fail(exec, &mut st, format!("deadlock: no runnable thread ({blocked})"));
+        drop(st);
+        std::panic::panic_any(Abort);
+    }
+
+    let me_runnable = runnable.contains(&me);
+    let step = st.step;
+    let chosen = if step < st.replay_len {
+        // replaying the prefix of the previous execution (with the
+        // backtracked decision substituted at its end)
+        let c = st.trace[step].chosen;
+        assert!(
+            st.runnable(c),
+            "non-deterministic model: replayed thread {c} not runnable at step {step}"
+        );
+        c
+    } else {
+        // fresh decision: default to continuing the current thread
+        // (free); every other runnable thread is an alternative, but
+        // switching away from a still-runnable thread costs a
+        // preemption and is pruned beyond the bound
+        let default = if me_runnable { me } else { runnable[0] };
+        let pending: Vec<usize> = runnable
+            .iter()
+            .copied()
+            .filter(|&t| t != default)
+            .filter(|&_t| !me_runnable || st.preemptions < st.preemption_bound)
+            .collect();
+        st.trace.push(Decision { chosen: default, pending });
+        default
+    };
+    if me_runnable && chosen != me {
+        st.preemptions += 1;
+    }
+    st.step += 1;
+    st.active = Some(chosen);
+    exec.grant.notify_all();
+
+    while st.active != Some(me) {
+        if st.aborting {
+            drop(st);
+            if std::thread::panicking() {
+                return;
+            }
+            std::panic::panic_any(Abort);
+        }
+        st = exec.grant.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+    // granted: resolve whatever this thread was blocked on
+    match st.threads[me] {
+        Run::BlockedMutex(m) => {
+            debug_assert!(!st.mutexes[m].locked, "scheduler granted a held mutex");
+            st.mutexes[m].locked = true;
+            st.threads[me] = Run::Runnable;
+        }
+        Run::WaitingCv { mutex, notified, .. } => {
+            debug_assert!(notified && !st.mutexes[mutex].locked);
+            st.mutexes[mutex].locked = true;
+            st.threads[me] = Run::Runnable;
+        }
+        Run::Joining(_) | Run::Runnable | Run::Finished => {}
+    }
+}
+
+/// Schedule-point wrapper for threads whose state was just set to a
+/// blocked variant (hand the token away, come back when resolvable).
+fn yield_point(ctx: &Ctx) {
+    let st = ctx.exec.lock();
+    schedule(ctx, st);
+}
+
+/// A thread is done (returned or unwound): mark finished and hand the
+/// token to whoever can run.
+fn finish_thread(ctx: &Ctx, panicked_outside_abort: bool) {
+    let exec = &ctx.exec;
+    let mut st = exec.lock();
+    st.threads[ctx.tid] = Run::Finished;
+    if panicked_outside_abort {
+        fail(
+            exec,
+            &mut st,
+            format!("thread {} panicked inside the model (see payload above)", ctx.tid),
+        );
+        return;
+    }
+    if st.aborting {
+        return;
+    }
+    let runnable = st.runnable_set();
+    if let Some(&next) = runnable.first() {
+        st.active = Some(next);
+        exec.grant.notify_all();
+    } else if st.all_finished() {
+        st.active = None;
+        exec.grant.notify_all();
+    } else {
+        let blocked = st.describe_blocked();
+        fail(exec, &mut st, format!("deadlock: no runnable thread ({blocked})"));
+    }
+}
+
+// ---- public: model() ------------------------------------------------------
+
+/// Exploration outcome of a completed (non-failing) model run.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Number of distinct interleavings executed. The acceptance gate
+    /// for a model is usually `iterations > 1`: the schedule tree was
+    /// genuinely branched, not a single forced path.
+    pub iterations: usize,
+}
+
+pub mod model {
+    //! [`Builder`] for configured model runs (mirrors `loom::model::Builder`).
+
+    use super::*;
+
+    /// Configured model check; [`super::model()`] is `Builder::new().check(f)`.
+    #[derive(Debug, Clone)]
+    pub struct Builder {
+        /// Maximum context switches away from a still-runnable thread
+        /// per execution. 2 catches every bug two forced reorderings
+        /// can expose and keeps 3–4-thread protocol models tractable.
+        pub preemption_bound: usize,
+        /// Hard cap on executions: exceeding it fails the model run
+        /// loudly (a model-checking gate must not silently truncate).
+        pub max_iterations: usize,
+    }
+
+    impl Default for Builder {
+        fn default() -> Self {
+            Builder { preemption_bound: 2, max_iterations: 100_000 }
+        }
+    }
+
+    impl Builder {
+        pub fn new() -> Self {
+            Builder::default()
+        }
+
+        /// Exhaustively run `f` under every schedule the bound admits.
+        ///
+        /// # Panics
+        /// Panics (with the failing decision trace) if any execution
+        /// panics, deadlocks, or the iteration cap is exceeded.
+        pub fn check<F: Fn()>(&self, f: F) -> Report {
+            run_model(self, &f)
+        }
+    }
+}
+
+/// Exhaustively explore every interleaving of `f`'s loom threads under
+/// the default bounds; see [`model::Builder`].
+pub fn model<F: Fn()>(f: F) -> Report {
+    model::Builder::new().check(f)
+}
+
+fn run_model<F: Fn()>(builder: &model::Builder, f: &F) -> Report {
+    let mut replay: Vec<Decision> = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= builder.max_iterations,
+            "loom model exceeded max_iterations={} — raise the bound or shrink the model",
+            builder.max_iterations
+        );
+        let exec = Arc::new(Execution {
+            state: OsMutex::new(ExecState {
+                threads: vec![Run::Runnable],
+                active: Some(0),
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                replay_len: replay.len(),
+                trace: replay.clone(),
+                step: 0,
+                preemptions: 0,
+                preemption_bound: builder.preemption_bound,
+                failure: None,
+                aborting: false,
+            }),
+            grant: OsCondvar::new(),
+        });
+
+        // the caller's thread doubles as loom thread 0
+        let ctx = Ctx { exec: Arc::clone(&exec), tid: 0 };
+        CTX.with(|c| *c.borrow_mut() = Some(ctx.clone()));
+        let outcome = catch_unwind(AssertUnwindSafe(f));
+        let panicked = match &outcome {
+            Ok(()) => false,
+            Err(p) => !p.is::<Abort>(),
+        };
+        finish_thread(&ctx, panicked);
+        // let the remaining threads (if any) run to completion or fail
+        {
+            let mut st = exec.lock();
+            while !st.all_finished() && !st.aborting {
+                st = exec.grant.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        // OS threads of an aborting execution still need to observe the
+        // abort and unwind before the execution state is torn down
+        let handles = OS_HANDLES.with(|h| std::mem::take(&mut *h.borrow_mut()));
+        for h in handles {
+            let _ = h.join();
+        }
+        CTX.with(|c| *c.borrow_mut() = None);
+
+        let st = exec.lock();
+        if let Some(msg) = &st.failure {
+            let schedule: Vec<usize> = st.trace.iter().map(|d| d.chosen).collect();
+            panic!(
+                "loom model failed after {iterations} interleaving(s): {msg}\n  \
+                 full schedule: {schedule:?}"
+            );
+        }
+
+        // backtrack: deepest decision with an untried alternative
+        let mut trace = st.trace.clone();
+        drop(st);
+        let mut next = None;
+        while let Some(mut d) = trace.pop() {
+            if let Some(alt) = d.pending.pop() {
+                d.chosen = alt;
+                trace.push(d);
+                next = Some(trace);
+                break;
+            }
+        }
+        match next {
+            Some(prefix) => replay = prefix,
+            None => return Report { iterations },
+        }
+    }
+}
+
+thread_local! {
+    /// OS join handles of the loom threads spawned by the execution
+    /// running on this thread (thread 0 collects them all: spawns from
+    /// other loom threads re-register here via the execution teardown).
+    static OS_HANDLES: RefCell<Vec<std::thread::JoinHandle<()>>> = const { RefCell::new(Vec::new()) };
+}
+
+// ---- public: thread -------------------------------------------------------
+
+pub mod thread {
+    //! Model-managed threads (mirrors `std::thread` / `loom::thread`).
+
+    use super::*;
+
+    /// Handle to a loom thread; [`JoinHandle::join`] is a schedule
+    /// point that blocks until the thread finishes.
+    pub struct JoinHandle<T> {
+        tid: usize,
+        slot: Arc<OsMutex<Option<std::thread::Result<T>>>>,
+    }
+
+    impl<T> std::fmt::Debug for JoinHandle<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("JoinHandle").field("tid", &self.tid).finish()
+        }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread to finish; returns its result, or the
+        /// panic payload if it unwound.
+        pub fn join(self) -> std::thread::Result<T> {
+            let ctx = require_ctx("thread::JoinHandle::join");
+            {
+                let mut st = ctx.exec.lock();
+                if st.threads[self.tid] != Run::Finished {
+                    st.threads[ctx.tid] = Run::Joining(self.tid);
+                }
+                schedule(&ctx, st);
+            }
+            let mut st = ctx.exec.lock();
+            st.threads[ctx.tid] = Run::Runnable;
+            drop(st);
+            match self.slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                Some(r) => r,
+                // only reachable while the execution aborts (the joined
+                // thread unwound before storing its result)
+                None => Err(Box::new(Abort)),
+            }
+        }
+    }
+
+    /// Named-thread builder (mirrors `std::thread::Builder`).
+    #[derive(Debug, Default)]
+    pub struct Builder {
+        name: Option<String>,
+    }
+
+    impl Builder {
+        pub fn new() -> Self {
+            Builder::default()
+        }
+
+        pub fn name(mut self, name: String) -> Self {
+            self.name = Some(name);
+            self
+        }
+
+        /// Spawn a loom thread; scheduling decides when it first runs.
+        pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            let ctx = require_ctx("thread::spawn");
+            let exec = Arc::clone(&ctx.exec);
+            let tid = {
+                let mut st = exec.lock();
+                st.threads.push(Run::Runnable);
+                st.threads.len() - 1
+            };
+            let slot: Arc<OsMutex<Option<std::thread::Result<T>>>> = Arc::new(OsMutex::new(None));
+            let thread_slot = Arc::clone(&slot);
+            let child = Ctx { exec, tid };
+            let os = std::thread::Builder::new()
+                .name(self.name.unwrap_or_else(|| format!("loom-{tid}")))
+                .spawn(move || {
+                    CTX.with(|c| *c.borrow_mut() = Some(child.clone()));
+                    // park until the scheduler's first grant. NOT a
+                    // decision point: the parent's spawn call already
+                    // scheduled, and this thread reaches here at an
+                    // arbitrary real-time moment — running decision
+                    // logic now would race the token holder's schedule
+                    // calls and make trace replay non-deterministic
+                    let granted = {
+                        let mut st = child.exec.lock();
+                        loop {
+                            if st.aborting {
+                                break false;
+                            }
+                            if st.active == Some(child.tid) {
+                                break true;
+                            }
+                            st = child.exec.grant.wait(st).unwrap_or_else(|e| e.into_inner());
+                        }
+                    };
+                    if !granted {
+                        // execution failed before this thread ever ran
+                        child.exec.lock().threads[child.tid] = Run::Finished;
+                        return;
+                    }
+                    let out = catch_unwind(AssertUnwindSafe(f));
+                    let panicked = match &out {
+                        Ok(_) => false,
+                        Err(p) => !p.is::<Abort>(),
+                    };
+                    *thread_slot.lock().unwrap_or_else(|e| e.into_inner()) = match out {
+                        Ok(v) => Some(Ok(v)),
+                        Err(p) => Some(Err(p)),
+                    };
+                    finish_thread(&child, panicked);
+                })?;
+            OS_HANDLES.with(|h| h.borrow_mut().push(os));
+            // the spawn itself is a schedule point: the child may run
+            // immediately or the parent may race ahead
+            yield_point(&ctx);
+            Ok(JoinHandle { tid, slot })
+        }
+    }
+
+    /// Spawn a loom thread (see [`Builder::spawn`]).
+    ///
+    /// # Panics
+    /// Panics outside [`super::model()`].
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Builder::new().spawn(f).expect("failed to spawn loom thread")
+    }
+
+    /// Voluntary schedule point.
+    pub fn yield_now() {
+        if let Some(ctx) = current() {
+            yield_point(&ctx);
+        }
+    }
+}
+
+// ---- public: sync ---------------------------------------------------------
+
+pub mod sync {
+    //! Model-managed synchronization primitives (mirrors `std::sync`).
+
+    use super::*;
+    use std::cell::UnsafeCell;
+    use std::sync::LockResult;
+
+    pub use std::sync::Arc;
+
+    /// Model-managed mutex: every lock/unlock is a schedule point and
+    /// mutual exclusion is enforced by the scheduler (never by the OS,
+    /// so a blocked acquirer never wedges the explorer). Poisoning is
+    /// not modeled: `lock` always returns `Ok` (panics inside the
+    /// model abort the whole execution anyway).
+    pub struct Mutex<T> {
+        id: std::sync::OnceLock<usize>,
+        cell: UnsafeCell<T>,
+    }
+
+    // SAFETY: the scheduler runs exactly one loom thread at a time and
+    // grants `cell` access only to the thread holding the model-level
+    // lock, so `&Mutex<T>` may cross threads whenever `T: Send` (the
+    // same bound std::sync::Mutex uses).
+    unsafe impl<T: Send> Send for Mutex<T> {}
+    // SAFETY: as above — exclusive access is scheduler-enforced, so
+    // shared references to the mutex are safe to send across threads.
+    unsafe impl<T: Send> Sync for Mutex<T> {}
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Mutex").finish_non_exhaustive()
+        }
+    }
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            Mutex { id: std::sync::OnceLock::new(), cell: UnsafeCell::new(value) }
+        }
+
+        /// The model-level id, registered with the active execution on
+        /// first contact (mutexes are created inside the model closure,
+        /// so ids are deterministic across replays).
+        fn id(&self, ctx: &Ctx) -> usize {
+            *self.id.get_or_init(|| {
+                let mut st = ctx.exec.lock();
+                st.mutexes.push(MutexState::default());
+                st.mutexes.len() - 1
+            })
+        }
+
+        /// Acquire; a schedule point. Blocks (in model time) until the
+        /// scheduler can grant the mutex.
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            let ctx = require_ctx("sync::Mutex::lock");
+            let id = self.id(&ctx);
+            {
+                let mut st = ctx.exec.lock();
+                st.threads[ctx.tid] = Run::BlockedMutex(id);
+                schedule(&ctx, st);
+            }
+            Ok(MutexGuard { mutex: self, ctx })
+        }
+
+        pub fn into_inner(self) -> LockResult<T> {
+            Ok(self.cell.into_inner())
+        }
+    }
+
+    /// RAII guard; dropping it releases the model-level lock (a
+    /// schedule point, unless the thread is unwinding).
+    pub struct MutexGuard<'a, T> {
+        mutex: &'a Mutex<T>,
+        ctx: Ctx,
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // SAFETY: the scheduler granted this thread the mutex at
+            // guard construction and revokes it only in drop, and only
+            // one loom thread executes at any instant — so no other
+            // reference to the cell can exist while the guard lives.
+            unsafe { &*self.mutex.cell.get() }
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // SAFETY: as in deref — scheduler-enforced exclusivity for
+            // the guard's lifetime.
+            unsafe { &mut *self.mutex.cell.get() }
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            let id = match self.mutex.id.get() {
+                Some(&id) => id,
+                None => return,
+            };
+            let mut st = self.ctx.exec.lock();
+            if st.aborting {
+                return;
+            }
+            st.mutexes[id].locked = false;
+            // a release during a user panic must not re-enter the
+            // scheduler: the unwind may cross catch_unwind and continue
+            // the model, and the next sync op re-schedules anyway
+            if !std::thread::panicking() {
+                schedule(&self.ctx, st);
+            }
+        }
+    }
+
+    /// Model-managed condvar. `notify_one` wakes the longest-waiting
+    /// thread (FIFO — a modeling choice, not an std guarantee);
+    /// spurious wakeups are not modeled.
+    #[derive(Default)]
+    pub struct Condvar {
+        id: std::sync::OnceLock<usize>,
+    }
+
+    impl std::fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Condvar").finish_non_exhaustive()
+        }
+    }
+
+    impl Condvar {
+        pub fn new() -> Self {
+            Condvar::default()
+        }
+
+        fn id(&self, ctx: &Ctx) -> usize {
+            *self.id.get_or_init(|| {
+                let mut st = ctx.exec.lock();
+                st.condvars.push(CvState::default());
+                st.condvars.len() - 1
+            })
+        }
+
+        /// Atomically release the guard's mutex and park until
+        /// notified; reacquires before returning. A lost wakeup (no
+        /// notify ever arrives) is reported as a deadlock by the model.
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            let ctx = require_ctx("sync::Condvar::wait");
+            let cv = self.id(&ctx);
+            let mutex = guard.mutex;
+            let mid = mutex.id(&ctx);
+            // release the mutex without running the guard's drop (drop
+            // would schedule with this thread still Runnable)
+            std::mem::forget(guard);
+            {
+                let mut st = ctx.exec.lock();
+                st.mutexes[mid].locked = false;
+                st.threads[ctx.tid] = Run::WaitingCv { cv, mutex: mid, notified: false };
+                st.condvars[cv].waiters.push_back(ctx.tid);
+                schedule(&ctx, st);
+            }
+            Ok(MutexGuard { mutex, ctx })
+        }
+
+        /// Wake the longest-waiting thread, if any (a no-op otherwise —
+        /// which is exactly the lost-wakeup the checker detects when a
+        /// wait races past its notify).
+        pub fn notify_one(&self) {
+            let ctx = require_ctx("sync::Condvar::notify_one");
+            let cv = self.id(&ctx);
+            let mut st = ctx.exec.lock();
+            if let Some(t) = st.condvars[cv].waiters.pop_front() {
+                if let Run::WaitingCv { notified, .. } = &mut st.threads[t] {
+                    *notified = true;
+                }
+            }
+            schedule(&ctx, st);
+        }
+
+        /// Wake every waiting thread.
+        pub fn notify_all(&self) {
+            let ctx = require_ctx("sync::Condvar::notify_all");
+            let cv = self.id(&ctx);
+            let mut st = ctx.exec.lock();
+            while let Some(t) = st.condvars[cv].waiters.pop_front() {
+                if let Run::WaitingCv { notified, .. } = &mut st.threads[t] {
+                    *notified = true;
+                }
+            }
+            schedule(&ctx, st);
+        }
+    }
+
+    pub mod atomic {
+        //! Atomics whose every access is a schedule point, explored
+        //! with sequentially consistent semantics (`Ordering` is
+        //! accepted for API parity and ignored — this shim does not
+        //! model weak memory). Outside a model they behave like the
+        //! std atomics they wrap.
+
+        use super::super::{current, yield_point};
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic {
+            ($name:ident, $std:ty, $prim:ty) => {
+                #[derive(Debug, Default)]
+                pub struct $name($std);
+
+                impl $name {
+                    pub const fn new(v: $prim) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    fn point(&self) {
+                        if let Some(ctx) = current() {
+                            yield_point(&ctx);
+                        }
+                    }
+
+                    pub fn load(&self, _o: Ordering) -> $prim {
+                        self.point();
+                        self.0.load(Ordering::SeqCst)
+                    }
+
+                    pub fn store(&self, v: $prim, _o: Ordering) {
+                        self.point();
+                        self.0.store(v, Ordering::SeqCst)
+                    }
+
+                    pub fn swap(&self, v: $prim, _o: Ordering) -> $prim {
+                        self.point();
+                        self.0.swap(v, Ordering::SeqCst)
+                    }
+
+                    pub fn compare_exchange(
+                        &self,
+                        cur: $prim,
+                        new: $prim,
+                        _s: Ordering,
+                        _f: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        self.point();
+                        self.0.compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst)
+                    }
+                }
+            };
+        }
+
+        atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+        atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+
+        macro_rules! fetch_ops {
+            ($name:ident, $prim:ty) => {
+                impl $name {
+                    pub fn fetch_add(&self, v: $prim, _o: Ordering) -> $prim {
+                        self.point();
+                        self.0.fetch_add(v, Ordering::SeqCst)
+                    }
+
+                    pub fn fetch_sub(&self, v: $prim, _o: Ordering) -> $prim {
+                        self.point();
+                        self.0.fetch_sub(v, Ordering::SeqCst)
+                    }
+                }
+            };
+        }
+
+        fetch_ops!(AtomicUsize, usize);
+        fetch_ops!(AtomicU64, u64);
+    }
+}
+
+// ---- tests ----------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Condvar, Mutex};
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn single_threaded_model_runs_once() {
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        let report = model(|| {
+            hits.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        assert_eq!(report.iterations, 1, "no schedule branches, one execution");
+        assert_eq!(hits.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn two_racing_increments_explore_both_orders() {
+        // two threads each read-modify-write via lock: the interesting
+        // orders are who locks first — at least 2 interleavings
+        let report = model(|| {
+            let m = Arc::new(Mutex::new(0usize));
+            let m2 = Arc::clone(&m);
+            let h = thread::spawn(move || {
+                let mut g = m2.lock().unwrap();
+                *g += 1;
+            });
+            {
+                let mut g = m.lock().unwrap();
+                *g += 10;
+            }
+            h.join().unwrap();
+            let v = *m.lock().unwrap();
+            assert_eq!(v, 11, "both increments must land regardless of order");
+        });
+        assert!(report.iterations > 1, "expected multiple interleavings, got {report:?}");
+    }
+
+    #[test]
+    fn mutex_enforces_mutual_exclusion_across_schedules() {
+        model(|| {
+            let m = Arc::new(Mutex::new((0usize, 0usize)));
+            let m2 = Arc::clone(&m);
+            let h = thread::spawn(move || {
+                let mut g = m2.lock().unwrap();
+                g.0 += 1;
+                // if another thread ran inside the critical section,
+                // the two fields would disagree at the end
+                thread::yield_now();
+                g.1 += 1;
+            });
+            {
+                let mut g = m.lock().unwrap();
+                g.0 += 1;
+                thread::yield_now();
+                g.1 += 1;
+            }
+            h.join().unwrap();
+            let g = m.lock().unwrap();
+            assert_eq!(g.0, g.1, "critical sections interleaved");
+        });
+    }
+
+    #[test]
+    fn condvar_handshake_completes_in_every_interleaving() {
+        let report = model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let h = thread::spawn(move || {
+                let (m, cv) = &*p2;
+                let mut g = m.lock().unwrap();
+                *g = true;
+                cv.notify_one();
+                drop(g);
+            });
+            let (m, cv) = &*pair;
+            let mut g = m.lock().unwrap();
+            // predicate loop: the protocol every correct waiter uses
+            while !*g {
+                g = cv.wait(g).unwrap();
+            }
+            drop(g);
+            h.join().unwrap();
+        });
+        assert!(report.iterations > 1, "wait-first and notify-first orders both explored");
+    }
+
+    #[test]
+    fn lost_wakeup_is_detected_as_deadlock() {
+        // the classic bug: flag checked OUTSIDE the mutex the condvar
+        // pairs with — the notify can slip between check and wait
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            model(|| {
+                let flag = Arc::new(AtomicUsize::new(0));
+                let pair = Arc::new((Mutex::new(()), Condvar::new()));
+                let (f2, p2) = (Arc::clone(&flag), Arc::clone(&pair));
+                let h = thread::spawn(move || {
+                    f2.store(1, Ordering::SeqCst);
+                    p2.1.notify_one();
+                });
+                if flag.load(Ordering::SeqCst) == 0 {
+                    let g = pair.0.lock().unwrap();
+                    let _g = pair.1.wait(g).unwrap(); // no predicate loop
+                }
+                h.join().unwrap();
+            });
+        }));
+        let msg = match r {
+            Err(p) => *p.downcast::<String>().expect("panic message"),
+            Ok(report) => panic!("buggy model was not caught ({report:?})"),
+        };
+        assert!(msg.contains("deadlock"), "failure must name the deadlock: {msg}");
+        assert!(msg.contains("schedule"), "failure must carry the schedule trace: {msg}");
+    }
+
+    #[test]
+    fn self_deadlock_is_detected() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            model(|| {
+                let m = Mutex::new(());
+                let _a = m.lock().unwrap();
+                let _b = m.lock().unwrap(); // non-reentrant: blocks forever
+            });
+        }));
+        assert!(r.is_err(), "double-lock must be reported");
+    }
+
+    #[test]
+    fn assertion_failures_surface_with_a_schedule() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            model(|| {
+                let c = Arc::new(AtomicUsize::new(0));
+                let c2 = Arc::clone(&c);
+                let h = thread::spawn(move || c2.store(1, Ordering::SeqCst));
+                // wrong: asserts the child already ran — fails in the
+                // interleaving where the parent reads first
+                assert_eq!(c.load(Ordering::SeqCst), 1);
+                h.join().unwrap();
+            });
+        }));
+        assert!(r.is_err(), "the racy assertion must be caught");
+    }
+
+    #[test]
+    fn preemption_bound_zero_still_runs_forced_switches() {
+        // with bound 0 only forced switches happen; the handshake still
+        // completes because blocking hands the token over for free
+        let report = model::Builder { preemption_bound: 0, max_iterations: 1000 }.check(|| {
+            let m = Arc::new(Mutex::new(0usize));
+            let m2 = Arc::clone(&m);
+            let h = thread::spawn(move || *m2.lock().unwrap() += 1);
+            *m.lock().unwrap() += 1;
+            h.join().unwrap();
+            assert_eq!(*m.lock().unwrap(), 2);
+        });
+        assert_eq!(report.iterations, 1, "bound 0 admits exactly the default schedule");
+    }
+
+    #[test]
+    fn atomics_fall_back_to_std_outside_models() {
+        let a = AtomicUsize::new(3);
+        a.fetch_add(2, Ordering::SeqCst);
+        assert_eq!(a.load(Ordering::SeqCst), 5);
+    }
+}
