@@ -54,6 +54,17 @@ fn unguarded_target_feature_fixture_flags_safe_fn_and_direct_call() {
 }
 
 #[test]
+fn avx512_routing_fixture_flags_the_direct_call_but_not_the_dispatch_table() {
+    let diags = lint_fixture("avx512_routing");
+    assert_eq!(
+        keys(&diags),
+        vec![("crates/gemm/src/weights.rs", 5, "target-feature")],
+        "host/mod.rs may name avx512::, nothing else may — got: {diags:#?}"
+    );
+    assert!(diags[0].message.contains("avx512::"), "names the tier module: {}", diags[0]);
+}
+
+#[test]
 fn expired_shim_fixture_flags_expiry_and_missing_milestone() {
     let diags = lint_fixture("expired_shim");
     assert_eq!(

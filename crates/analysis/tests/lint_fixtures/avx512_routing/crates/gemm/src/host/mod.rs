@@ -1,0 +1,8 @@
+//! Dispatch table: the one file allowed to name the SIMD tier
+//! modules, AVX-512 included.
+
+pub mod avx512;
+
+pub fn dispatch(a: &[i8], b: &[i8], acc: &mut [i32]) {
+    avx512::tile_i8(a, b, acc);
+}

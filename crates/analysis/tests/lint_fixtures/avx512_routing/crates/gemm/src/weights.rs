@@ -1,0 +1,6 @@
+//! Known-bad fixture: reaches into the AVX-512 tier module directly
+//! instead of going through the HostKernel dispatch table.
+
+pub fn pack(buf: &mut [i8], b: &[i8]) {
+    crate::host::avx512::pack_b_block(buf, b);
+}

@@ -1,14 +1,14 @@
 //! Host micro-kernel shootout: scalar vs the dispatched SIMD tier,
-//! emitted as `BENCH_host_gemm.json`.
+//! emitted as `BENCH_host_gemm.json` (schema 2).
 //!
 //! This is the harness for the host-silicon half of the codebase (the
 //! serving engine), not the simulated CAMP core: it times the same
 //! blocked GeMM once on the scalar reference tier and once on the tier
-//! `HostKernel::detect()` picked (AVX2 / NEON when the CPU has them),
-//! and reports GOPS (`2·m·n·k / seconds / 1e9`) plus the speedup per
-//! shape. Results are bit-identical across tiers by construction
-//! (property-tested in `tests/host_kernels.rs`), so only throughput is
-//! interesting here.
+//! `HostKernel::detect()` picked (AVX2 / AVX-512 / NEON when the CPU
+//! has them), and reports GOPS (`2·m·n·k / seconds / 1e9`) plus the
+//! speedup per shape. Results are bit-identical across tiers by
+//! construction (property-tested in `tests/host_kernels.rs`), so only
+//! throughput is interesting here.
 //!
 //! Covered paths:
 //!
@@ -16,22 +16,41 @@
 //!   registered weights — the serving steady state, B pre-packed,
 //!   blocked tile path;
 //! * **skinny** shapes (m ≤ 8 / n ≤ 8) — the Pire-style fast paths;
+//!   `small_n` runs against a registered (panel) B, `small_n_dense`
+//!   runs the one-shot dense request that routes to the no-pack
+//!   skinny-n kernel;
+//! * **pack_a / pack_b / pack_nib** — the SIMD packers, reported as
+//!   packed GB/s in the GOPS columns (same speedup semantics);
 //! * **f32** through [`HostGemmF32`] — the FMA-chain subsystem.
+//!
+//! A full run always includes the smoke shapes, so a checked-in
+//! baseline produced by a full run can gate a CI smoke run:
+//! `host_gemm --check-baseline` re-measures the smoke set and fails
+//! (exit 1) if any per-shape speedup falls below the baseline's by
+//! more than `CAMP_BENCH_TOLERANCE` (relative, default 0.5). Speedups
+//! — not absolute GOPS — are compared, so the gate tolerates slower
+//! runners; it still assumes the runner reaches the baseline's SIMD
+//! tier (the check prints both tiers when they differ).
 //!
 //! Knobs: `CAMP_BENCH_SMOKE=1` shrinks shapes/reps to a CI smoke run,
 //! `CAMP_BENCH_REPS` overrides best-of repetitions, `CAMP_THREADS`
 //! widens the engine's worker pool (the thread sweep always includes 1
-//! and the machine's core count). `CAMP_FORCE_SCALAR=1` collapses the
-//! comparison (both columns scalar) — useful only to sanity-check the
-//! fallback, and called out in the output when active.
+//! and the machine's core count). `CAMP_FORCE_SCALAR=1` /
+//! `CAMP_FORCE_TIER=<tier>` pin the dispatched column to one tier —
+//! useful to bench a lower tier on a wider machine, and called out in
+//! the output when active.
 
 use camp_core::backend::CampBackend;
 use camp_core::{CampEngine, DType, GemmRequest};
-use camp_gemm::host::{force_scalar, HostGemmF32, HostKernel};
+use camp_gemm::host::{force_scalar, forced_tier, HostGemmF32, HostKernel};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
     std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
 }
 
@@ -58,6 +77,7 @@ struct Row {
     n: usize,
     k: usize,
     threads: usize,
+    /// GOPS for GeMM rows, packed GB/s for `pack_*` rows.
     scalar_gops: f64,
     simd_gops: f64,
 }
@@ -65,6 +85,15 @@ struct Row {
 impl Row {
     fn speedup(&self) -> f64 {
         self.simd_gops / self.scalar_gops
+    }
+
+    fn key_matches(&self, dtype: &str, path: &str, m: usize, n: usize, k: usize, t: usize) -> bool {
+        self.dtype == dtype
+            && self.path == path
+            && self.m == m
+            && self.n == n
+            && self.k == k
+            && self.threads == t
     }
 }
 
@@ -106,6 +135,26 @@ fn int_secs(
     })
 }
 
+/// Time one i8 shape as a one-shot dense request (no registered B):
+/// skinny-n shapes route to the dense no-pack kernel here.
+fn int_dense_secs(
+    kernel: &'static HostKernel,
+    threads: usize,
+    reps: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+) -> f64 {
+    let a = gen_i8(m * k, 0x1234_5679, -128, 127);
+    let b = gen_i8(k * n, 0x0BAD_F00D | 1, -128, 127);
+    let mut eng = CampEngine::with_threads_and_kernel(threads, kernel);
+    let req = GemmRequest::dense(m, n, k, a, b).expect("coherent");
+    time_best(reps, || {
+        let out = eng.execute(&req).expect("dense request");
+        assert_eq!(out.output.c.len(), m * n);
+    })
+}
+
 fn f32_secs(kernel: &'static HostKernel, reps: usize, m: usize, n: usize, k: usize) -> f64 {
     let a = gen_f32(m * k, 0x5151_5151);
     let b = gen_f32(k * n, 0x2E2E_2E2F);
@@ -114,16 +163,127 @@ fn f32_secs(kernel: &'static HostKernel, reps: usize, m: usize, n: usize, k: usi
     time_best(reps, || ctx.gemm_into(m, n, k, &a, &b, &mut c))
 }
 
+/// Packed GB/s for one packer. `pack_a` packs an `rows×k` A image,
+/// `pack_b` a `k×rows` B image, `pack_nib` squeezes `rows` i4 values;
+/// the metric is bytes of packed output per second.
+fn pack_gbs(kernel: &'static HostKernel, reps: usize, path: &str, rows: usize, k: usize) -> f64 {
+    let (secs, bytes) = match path {
+        "pack_a" => {
+            let a = gen_i8(rows * k, 0x77AA_77AB, -128, 127);
+            let mut buf = vec![0i8; rows * k];
+            (time_best(reps, || kernel.pack_a_block(&mut buf, &a, rows, k, 0, 0, k)), rows * k)
+        }
+        "pack_b" => {
+            let b = gen_i8(k * rows, 0x3355_3357, -128, 127);
+            let mut buf = vec![0i8; rows * k];
+            (time_best(reps, || kernel.pack_b_block(&mut buf, &b, rows, k, 0, 0, k)), rows * k)
+        }
+        "pack_nib" => {
+            let vals = gen_i8(rows, 0x1357_9bdf, -8, 7);
+            (
+                time_best(reps, || {
+                    let packed = kernel.pack_nibbles(&vals);
+                    assert_eq!(packed.len(), rows.div_ceil(2));
+                }),
+                rows / 2,
+            )
+        }
+        other => panic!("unknown pack path {other}"),
+    };
+    bytes as f64 / secs / 1e9
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Pull `"key": value` out of one hand-rolled JSON row line (the
+/// writer puts one row object per line, so line-wise scanning is an
+/// exact parse of our own output).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Compare freshly measured smoke rows against the checked-in
+/// baseline: every baseline row that matches a fresh row's key must
+/// keep `speedup >= baseline_speedup * (1 - tol)`.
+fn check_baseline(rows: &[Row], tol: f64, fresh_tier: &str) -> bool {
+    let path = "BENCH_host_gemm.json";
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check-baseline: cannot read {path}: {e}");
+            return false;
+        }
+    };
+    if let Some(tier) = text.lines().find_map(|l| field(l, "tier")) {
+        if tier != fresh_tier {
+            println!("note: baseline tier \"{tier}\" != this run's \"{fresh_tier}\"");
+        }
+    }
+    let mut matched = 0usize;
+    let mut ok = true;
+    for line in text.lines() {
+        let (Some(dtype), Some(path), Some(speedup)) =
+            (field(line, "dtype"), field(line, "path"), field(line, "speedup"))
+        else {
+            continue;
+        };
+        let parse = |key| field(line, key).and_then(|v| v.parse::<usize>().ok());
+        let (Some(m), Some(n), Some(k), Some(t)) =
+            (parse("m"), parse("n"), parse("k"), parse("threads"))
+        else {
+            continue;
+        };
+        let Ok(base) = speedup.parse::<f64>() else { continue };
+        let Some(r) = rows.iter().find(|r| r.key_matches(dtype, path, m, n, k, t)) else {
+            continue;
+        };
+        matched += 1;
+        let floor = base * (1.0 - tol);
+        let fresh = r.speedup();
+        let verdict = if fresh >= floor { "ok  " } else { "FAIL" };
+        println!(
+            "{verdict} {dtype:<4} {path:<12} {m:>5}x{n:<5}x{k:<5} t={t}: \
+             speedup {fresh:.2}x vs baseline {base:.2}x (floor {floor:.2}x)"
+        );
+        if fresh < floor {
+            ok = false;
+        }
+    }
+    if matched == 0 {
+        eprintln!("check-baseline: no baseline rows matched the smoke set (schema drift?)");
+        return false;
+    }
+    println!(
+        "check-baseline: {matched} rows compared, tolerance {tol} — {}",
+        if ok { "PASS" } else { "FAIL" }
+    );
+    ok
+}
+
 fn main() {
-    let smoke = std::env::var("CAMP_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
-    let reps = env_usize("CAMP_BENCH_REPS", if smoke { 1 } else { 5 });
+    let check = std::env::args().any(|a| a == "--check-baseline");
+    let smoke = check || std::env::var("CAMP_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let reps = env_usize(
+        "CAMP_BENCH_REPS",
+        if check {
+            3
+        } else if smoke {
+            1
+        } else {
+            5
+        },
+    );
     let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    // The gate compares keyed rows, so it sticks to the thread count
+    // every machine has; measurement runs sweep the core count too.
     let mut thread_counts = vec![1usize];
-    if cores > 1 {
+    if cores > 1 && !check {
         thread_counts.push(cores);
     }
 
@@ -136,6 +296,8 @@ fn main() {
     println!("dispatched: {info}");
     if force_scalar() {
         println!("NOTE: CAMP_FORCE_SCALAR is set — both columns run the scalar tier");
+    } else if let Some(tier) = forced_tier() {
+        println!("NOTE: CAMP_FORCE_TIER pins the dispatched column to {}", tier.name());
     }
     println!(
         "threads swept: {thread_counts:?}; best of {reps}{}",
@@ -144,32 +306,58 @@ fn main() {
     println!("==============================================================");
 
     // (dtype, path, m, n, k): the blocked tile path at paper-ish sizes,
-    // both skinny fast paths, and the f32 subsystem.
-    let int_shapes: &[(&str, DType, &str, usize, usize, usize)] = if smoke {
-        &[
-            ("i8", DType::I8, "blocked", 32, 32, 64),
-            ("i4", DType::I4, "blocked", 32, 32, 64),
-            ("i8", DType::I8, "small_m", 2, 64, 64),
-            ("i8", DType::I8, "small_n", 64, 2, 64),
-        ]
+    // both skinny fast paths (panel and dense B), and the f32
+    // subsystem. Full runs keep every smoke shape so a full-run
+    // baseline can gate smoke runs.
+    let smoke_int: &[(&str, DType, &str, usize, usize, usize)] = &[
+        ("i8", DType::I8, "blocked", 32, 32, 64),
+        ("i4", DType::I4, "blocked", 32, 32, 64),
+        ("i8", DType::I8, "small_m", 2, 64, 64),
+        ("i8", DType::I8, "small_n", 64, 2, 64),
+    ];
+    let full_int: &[(&str, DType, &str, usize, usize, usize)] = &[
+        ("i8", DType::I8, "blocked", 256, 256, 256),
+        ("i8", DType::I8, "blocked", 512, 512, 512),
+        ("i4", DType::I4, "blocked", 256, 256, 256),
+        ("i8", DType::I8, "small_m", 2, 2048, 2048),
+        ("i8", DType::I8, "small_m", 8, 4096, 1024),
+        ("i8", DType::I8, "small_n", 2048, 4, 2048),
+    ];
+    let smoke_dense: &[(usize, usize, usize)] = &[(64, 2, 64)];
+    let full_dense: &[(usize, usize, usize)] = &[(2048, 4, 2048)];
+    // (path, rows, k) — see `pack_gbs` for the shape semantics.
+    let smoke_pack: &[(&str, usize, usize)] =
+        &[("pack_a", 128, 128), ("pack_b", 128, 128), ("pack_nib", 1 << 14, 0)];
+    let full_pack: &[(&str, usize, usize)] =
+        &[("pack_a", 1024, 2048), ("pack_b", 1024, 2048), ("pack_nib", 1 << 22, 0)];
+    let smoke_f32: &[(&str, usize, usize, usize)] =
+        &[("blocked", 32, 32, 64), ("small_m", 2, 64, 64)];
+    let full_f32: &[(&str, usize, usize, usize)] =
+        &[("blocked", 256, 256, 256), ("blocked", 384, 384, 384), ("small_m", 2, 2048, 2048)];
+
+    let int_shapes: Vec<_> = if smoke {
+        smoke_int.to_vec()
     } else {
-        &[
-            ("i8", DType::I8, "blocked", 256, 256, 256),
-            ("i8", DType::I8, "blocked", 512, 512, 512),
-            ("i4", DType::I4, "blocked", 256, 256, 256),
-            ("i8", DType::I8, "small_m", 2, 2048, 2048),
-            ("i8", DType::I8, "small_m", 8, 4096, 1024),
-            ("i8", DType::I8, "small_n", 2048, 4, 2048),
-        ]
+        smoke_int.iter().chain(full_int).copied().collect()
     };
-    let f32_shapes: &[(&str, usize, usize, usize)] = if smoke {
-        &[("blocked", 32, 32, 64), ("small_m", 2, 64, 64)]
+    let dense_shapes: Vec<_> = if smoke {
+        smoke_dense.to_vec()
     } else {
-        &[("blocked", 256, 256, 256), ("blocked", 384, 384, 384), ("small_m", 2, 2048, 2048)]
+        smoke_dense.iter().chain(full_dense).copied().collect()
+    };
+    let pack_shapes: Vec<_> = if smoke {
+        smoke_pack.to_vec()
+    } else {
+        smoke_pack.iter().chain(full_pack).copied().collect()
+    };
+    let f32_shapes: Vec<_> = if smoke {
+        smoke_f32.to_vec()
+    } else {
+        smoke_f32.iter().chain(full_f32).copied().collect()
     };
 
     let mut rows: Vec<Row> = Vec::new();
-    for &(dtype_name, dtype, path, m, n, k) in int_shapes {
+    for &(dtype_name, dtype, path, m, n, k) in &int_shapes {
         for &threads in &thread_counts {
             rows.push(Row {
                 dtype: dtype_name,
@@ -183,7 +371,31 @@ fn main() {
             });
         }
     }
-    for &(path, m, n, k) in f32_shapes {
+    for &(m, n, k) in &dense_shapes {
+        rows.push(Row {
+            dtype: "i8",
+            path: "small_n_dense",
+            m,
+            n,
+            k,
+            threads: 1,
+            scalar_gops: gops(m, n, k, int_dense_secs(scalar, 1, reps, m, n, k)),
+            simd_gops: gops(m, n, k, int_dense_secs(simd, 1, reps, m, n, k)),
+        });
+    }
+    for &(path, r, k) in &pack_shapes {
+        rows.push(Row {
+            dtype: "i8",
+            path,
+            m: r,
+            n: 0,
+            k,
+            threads: 1,
+            scalar_gops: pack_gbs(scalar, reps, path, r, k),
+            simd_gops: pack_gbs(simd, reps, path, r, k),
+        });
+    }
+    for &(path, m, n, k) in &f32_shapes {
         rows.push(Row {
             dtype: "f32",
             path,
@@ -197,12 +409,12 @@ fn main() {
     }
 
     println!(
-        "{:<5} {:<8} {:>5} {:>5} {:>5} {:>3}  {:>12} {:>12} {:>8}",
+        "{:<5} {:<13} {:>6} {:>5} {:>5} {:>3}  {:>12} {:>12} {:>8}",
         "dtype", "path", "m", "n", "k", "t", "scalar GOPS", "simd GOPS", "speedup"
     );
     for r in &rows {
         println!(
-            "{:<5} {:<8} {:>5} {:>5} {:>5} {:>3}  {:>12.3} {:>12.3} {:>7.2}x",
+            "{:<5} {:<13} {:>6} {:>5} {:>5} {:>3}  {:>12.3} {:>12.3} {:>7.2}x",
             r.dtype,
             r.path,
             r.m,
@@ -215,17 +427,27 @@ fn main() {
         );
     }
 
+    if check {
+        let tol = env_f64("CAMP_BENCH_TOLERANCE", 0.5);
+        if !check_baseline(&rows, tol, &info.tier) {
+            std::process::exit(1);
+        }
+        return;
+    }
+
     // ---- BENCH_host_gemm.json (hand-rolled: no serde in the image) ----
     let mut j = String::new();
     j.push_str("{\n");
     let _ = writeln!(j, "  \"bench\": \"host_gemm\",");
+    let _ = writeln!(j, "  \"schema\": 2,");
     let _ = writeln!(j, "  \"smoke\": {smoke},");
     let _ = writeln!(j, "  \"reps\": {reps},");
     let _ = writeln!(j, "  \"kernel\": {{");
     let _ = writeln!(j, "    \"tier\": \"{}\",", json_escape(&info.tier));
     let _ = writeln!(j, "    \"simd\": {},", info.simd);
     let _ = writeln!(j, "    \"features\": \"{}\",", json_escape(&info.features.summary()));
-    let _ = writeln!(j, "    \"int_tile\": [{}, {}],", info.int_tile.0, info.int_tile.1);
+    let _ = writeln!(j, "    \"int_tile_i8\": [{}, {}],", info.int_tile_i8.0, info.int_tile_i8.1);
+    let _ = writeln!(j, "    \"int_tile_i4\": [{}, {}],", info.int_tile_i4.0, info.int_tile_i4.1);
     let _ = writeln!(j, "    \"f32_tile\": [{}, {}],", info.f32_tile.0, info.f32_tile.1);
     let _ = writeln!(
         j,

@@ -505,7 +505,8 @@ impl CampBackend for SimBackend {
             tier: "sim-camp".to_string(),
             simd: false,
             features: CpuFeatures::detect(),
-            int_tile: (4, 4),
+            int_tile_i8: (4, 4),
+            int_tile_i4: (4, 4),
             f32_tile: (0, 0),
             int_blocking: int_blocking(),
             f32_blocking: (0, 0, 0),
@@ -756,8 +757,10 @@ mod tests {
     fn kernel_info_identifies_each_substrate() {
         let host = CampEngine::new();
         let info = CampBackend::kernel_info(&host);
-        assert!(["scalar", "avx2", "neon"].contains(&info.tier.as_str()));
-        assert_eq!(info.int_tile, (4, 4));
+        assert!(["scalar", "avx2", "avx512", "neon"].contains(&info.tier.as_str()));
+        assert_eq!(info.int_tile_i8.0, 4);
+        assert_eq!(info.int_tile_i8.1 % 4, 0);
+        assert_eq!(info.int_tile_i4, info.int_tile_i8);
         assert!(info.int_blocking.0 > 0);
         // the Display form is what serving logs print
         assert!(info.to_string().contains(&info.tier));
@@ -766,7 +769,8 @@ mod tests {
         let sinfo = sim.kernel_info();
         assert_eq!(sinfo.tier, "sim-camp");
         assert!(!sinfo.simd);
-        assert_eq!(sinfo.int_tile, (4, 4));
+        assert_eq!(sinfo.int_tile_i8, (4, 4));
+        assert_eq!(sinfo.int_tile_i4, (4, 4));
     }
 
     #[test]

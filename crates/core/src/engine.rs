@@ -254,42 +254,60 @@ impl BlockSink for HostBackend<'_> {
             }
             None => own_b,
         };
-        for q in 0..ncb / 4 {
-            let pb = &bbuf[q * panel..(q + 1) * panel];
+        // Walk the B panels in groups sized to the tier's widened
+        // register tile (`int_nr/4` adjacent 4-col panels per wide
+        // call); a trailing group narrower than the tile falls back to
+        // the 4x4 kernel panel-by-panel. The stats are per 4x4
+        // subtile either way, so the counters are routing-invariant:
+        // one issue per k-step per subtile, two operand loads each.
+        let nwp = self.hk.int_nr() / 4;
+        let qpanels = ncb / 4;
+        let steps = (kcb / self.k_step) as u64;
+        let mut q = 0;
+        while q < qpanels {
+            let group = if q + nwp <= qpanels { nwp } else { 1 };
+            let pb = &bbuf[q * panel..(q + group) * panel];
             for p in 0..mcb / 4 {
                 let pa = &abuf[p * panel..(p + 1) * panel];
-                let mut acc = [[0i32; 4]; 4];
-                // One whole-depth tile-kernel call (the dispatched
-                // host tier holds its accumulators in registers across
-                // the k loop); the stats still describe the camp
-                // stream: one issue per k-step, two operand loads each.
-                self.hk.tile_i8(pa, pb, &mut acc);
-                let steps = (kcb / self.k_step) as u64;
-                self.stats.camp_issues += steps;
-                self.stats.vector_loads += 2 * steps;
+                let mut acc = [[0i32; 4]; 16];
+                let acc = &mut acc[..group * 4];
+                if group > 1 {
+                    // One wide call covers `group` subtiles (the
+                    // dispatched tier holds all of them in registers
+                    // across the k loop).
+                    self.hk.tile_i8_wide(pa, pb, acc);
+                } else {
+                    let sub: &mut [[i32; 4]; 4] = (&mut acc[..4]).try_into().unwrap();
+                    self.hk.tile_i8(pa, pb, sub);
+                }
+                self.stats.camp_issues += group as u64 * steps;
+                self.stats.vector_loads += group as u64 * 2 * steps;
                 // k blocks after the first read C back before storing
                 // (read-modify-write); the first visit stores into a
                 // zeroed C, so the stream has no load there.
                 if pc > 0 {
-                    self.stats.vector_loads += 1;
+                    self.stats.vector_loads += group as u64;
                 }
-                self.stats.vector_stores += 1;
-                // accumulate the tile into C (read-modify-write across k
-                // blocks), clipping the zero-padded edge
-                for (rx, row) in acc.iter().enumerate() {
-                    let i = ic + p * 4 + rx;
-                    if i >= self.m {
-                        break;
-                    }
-                    for (cx, &v) in row.iter().enumerate() {
-                        let j = jc + q * 4 + cx;
-                        if j < self.n {
-                            let idx = i * self.n + j;
-                            self.c[idx] = self.c[idx].wrapping_add(v);
+                self.stats.vector_stores += group as u64;
+                // accumulate each subtile into C (read-modify-write
+                // across k blocks), clipping the zero-padded edge
+                for (sq, sub) in acc.chunks_exact(4).enumerate() {
+                    for (rx, row) in sub.iter().enumerate() {
+                        let i = ic + p * 4 + rx;
+                        if i >= self.m {
+                            break;
+                        }
+                        for (cx, &v) in row.iter().enumerate() {
+                            let j = jc + (q + sq) * 4 + cx;
+                            if j < self.n {
+                                let idx = i * self.n + j;
+                                self.c[idx] = self.c[idx].wrapping_add(v);
+                            }
                         }
                     }
                 }
             }
+            q += group;
         }
     }
 }
@@ -332,11 +350,13 @@ fn gemm_range(
             SmallPath::SmallN => match shared_b {
                 Some(panel) => hk.run_small_n(m, n, k, &plan, a, panel, c),
                 None => {
-                    // Same total bytes the blocked path would have
-                    // packed block-by-block, in the same layout.
-                    let buf = pool.b_buffer(packed_b_bytes(&plan));
-                    prepack_b(buf, b, n, k, &plan);
-                    hk.run_small_n(m, n, k, &plan, a, buf, c);
+                    // No resident panel to reuse, so packing a skinny B
+                    // is pure overhead: feed the raw row-major B to the
+                    // dense skinny-n kernel. The stats below still
+                    // account the canonical pack traffic the blocked
+                    // path would have incurred (they describe the
+                    // problem, not the host schedule).
+                    hk.small_n_dense(m, n, k, a, b, c);
                 }
             },
         }
@@ -754,7 +774,7 @@ impl CampEngine {
     /// ```
     /// let engine = camp_core::CampEngine::new();
     /// let info = engine.kernel_info();
-    /// assert!(["scalar", "avx2", "neon"].contains(&info.tier.as_str()));
+    /// assert!(["scalar", "avx2", "avx512", "neon"].contains(&info.tier.as_str()));
     /// println!("{info}"); // e.g. "avx2 kernel (features: avx2 fma; ...)"
     /// ```
     pub fn kernel_info(&self) -> KernelInfo {

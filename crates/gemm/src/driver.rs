@@ -288,16 +288,12 @@ fn layout(geo: &KernelGeometry, plan: &BlockPlan) -> Buffers {
 
 /// Pack 4-bit values two per byte, low nibble first (the layout the
 /// `camp.s4` load path expects). An odd trailing element occupies the
-/// low nibble of a final byte whose high nibble is zero — with
-/// `chunks_exact(2)` alone it would silently be dropped.
+/// low nibble of a final byte whose high nibble is zero. Dispatches
+/// through the detected [`crate::host::HostKernel`]'s vectorized
+/// packer; byte-identical to [`crate::host::scalar::pack_nibbles`] on
+/// every tier.
 pub(crate) fn pack_nibbles(vals: &[i8]) -> Vec<i8> {
-    let mut out = Vec::with_capacity(vals.len().div_ceil(2));
-    for pair in vals.chunks(2) {
-        let lo = pair[0] as u8 & 0x0f;
-        let hi = pair.get(1).map_or(0, |&v| (v as u8) << 4);
-        out.push((lo | hi) as i8);
-    }
-    out
+    crate::host::HostKernel::detect().pack_nibbles(vals)
 }
 
 /// Stage only the A elements a (pc, kcb) unit reads — k-columns

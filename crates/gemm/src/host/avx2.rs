@@ -56,6 +56,16 @@ const PANEL_PAIR_SHUF: [i8; 16] = [
     -128, -128, -128, -128, -128, -128, -128, -128,
 ];
 
+/// `vpshufb` mask spreading 8 raw A bytes (broadcast into both 128-bit
+/// lanes) into the (l, l+1) pair layout of [`B_PAIR_SHUF`]: lane 0
+/// carries (a0,a1)×4 then (a2,a3)×4, lane 1 (a4,a5)×4 then (a6,a7)×4 —
+/// so one `vpmaddwd` against a shuffled 8-k panel chunk covers all four
+/// columns of 8 k-values.
+const A_PAIR_SHUF: [i8; 32] = [
+    0, 1, 0, 1, 0, 1, 0, 1, 2, 3, 2, 3, 2, 3, 2, 3, //
+    4, 5, 4, 5, 4, 5, 4, 5, 6, 7, 6, 7, 6, 7, 6, 7,
+];
+
 // SAFETY: requires AVX2 (the `target_feature` precondition). The
 // unaligned loads stay in bounds because `iters` is derived from
 // `pa.len()` and the packing contract gives `pb` the same whole-32-byte
@@ -111,6 +121,74 @@ pub fn tile_i8(pa: &[i8], pb: &[i8], acc: &mut [[i32; 4]; 4]) {
     unsafe { tile_i8_impl(pa, pb, acc) }
 }
 
+// SAFETY: requires AVX2. Loads stay in bounds because `iters` derives
+// from `pa.len()` and the wrapper asserts `pb` holds exactly two panels
+// of that depth; stores land in stack-local arrays.
+#[target_feature(enable = "avx2")]
+unsafe fn tile_i8_wide_impl(pa: &[i8], pb: &[i8], acc: &mut [[i32; 4]]) {
+    let panel = pa.len();
+    let bshuf = _mm256_loadu_si256(B_PAIR_SHUF.as_ptr() as *const __m256i);
+    let ashuf = [
+        _mm256_loadu_si256(A_ROW_SHUF[0].as_ptr() as *const __m256i),
+        _mm256_loadu_si256(A_ROW_SHUF[1].as_ptr() as *const __m256i),
+        _mm256_loadu_si256(A_ROW_SHUF[2].as_ptr() as *const __m256i),
+        _mm256_loadu_si256(A_ROW_SHUF[3].as_ptr() as *const __m256i),
+    ];
+    // 4×8 register tile: one A panel × two adjacent B panels, all 8
+    // accumulators held across the depth loop — the A-side shuffles and
+    // widenings are amortized over twice the columns of [`tile_i8`].
+    let mut vacc = [[_mm256_setzero_si256(); 2]; 4];
+    let iters = panel / 32;
+    for t in 0..iters {
+        let ap = _mm256_loadu_si256(pa.as_ptr().add(t * 32) as *const __m256i);
+        let mut blo = [_mm256_setzero_si256(); 2];
+        let mut bhi = [_mm256_setzero_si256(); 2];
+        for q in 0..2 {
+            let bp = _mm256_loadu_si256(pb.as_ptr().add(q * panel + t * 32) as *const __m256i);
+            let bs = _mm256_shuffle_epi8(bp, bshuf);
+            blo[q] = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(bs));
+            bhi[q] = _mm256_cvtepi8_epi16(_mm256_extracti128_si256::<1>(bs));
+        }
+        for i in 0..4 {
+            let asel = _mm256_shuffle_epi8(ap, ashuf[i]);
+            let a_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(asel));
+            let a_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256::<1>(asel));
+            for q in 0..2 {
+                let prod = _mm256_add_epi32(
+                    _mm256_madd_epi16(a_lo, blo[q]),
+                    _mm256_madd_epi16(a_hi, bhi[q]),
+                );
+                vacc[i][q] = _mm256_add_epi32(vacc[i][q], prod);
+            }
+        }
+    }
+    for (i, rowacc) in vacc.iter().enumerate() {
+        for (q, &v) in rowacc.iter().enumerate() {
+            let folded = _mm_add_epi32(_mm256_castsi256_si128(v), _mm256_extracti128_si256::<1>(v));
+            let mut out = [0i32; 4];
+            _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, folded);
+            for (c, o) in acc[q * 4 + i].iter_mut().zip(out) {
+                *c = c.wrapping_add(o);
+            }
+        }
+    }
+}
+
+/// Widened 4×8 integer tile (see [`super::scalar::tile_i8_wide`]): one
+/// packed A panel against two adjacent B panels per call; bit-identical
+/// to two [`tile_i8`] calls (wrapping adds commute).
+pub fn tile_i8_wide(pa: &[i8], pb: &[i8], acc: &mut [[i32; 4]]) {
+    debug_assert!(is_x86_feature_detected!("avx2"), "avx2 kernel dispatched without avx2");
+    debug_assert_eq!(acc.len(), 8, "avx2 wide tile is 4x8 (two panels)");
+    debug_assert_eq!(pb.len(), 2 * pa.len(), "pb must hold two panels of pa's depth");
+    debug_assert_eq!(pa.len() % 32, 0, "panel depth must be a multiple of 8 k-values");
+    // SAFETY: AVX2 detection gates dispatch (debug-asserted above);
+    // the panel-shape preconditions the impl's bounds reasoning needs
+    // are debug-asserted here and guaranteed by the engine's grouping
+    // loop, which only forms whole two-panel groups.
+    unsafe { tile_i8_wide_impl(pa, pb, acc) }
+}
+
 // SAFETY: requires AVX2. Every pointer offset is guarded by the loop
 // bounds: C rows via `j + 16 <= n`, B rows via the same guard (for
 // `l < k`, `l*n + j + 16 <= k*n` follows from `j + 16 <= n`); the
@@ -161,14 +239,39 @@ pub fn small_m_dense(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [
 }
 
 // SAFETY: requires AVX2, and `panel` must hold 4 columns per k-value
-// of `a_row` (the weight-panel layout): the 8-byte load at `l*4` needs
-// `l + 2 <= a_row.len()`, which the loop guard enforces.
+// of `a_row` (the weight-panel layout): the 32-byte load at `l*4` needs
+// `l + 8 <= a_row.len()` (which also bounds the 8-byte A load), the
+// 8-byte load needs `l + 2 <=`, and each loop guard enforces its own.
 #[target_feature(enable = "avx2")]
 unsafe fn panel_mav_impl(acc: &mut [i32; 4], a_row: &[i8], panel: &[i8]) {
-    let shuf = _mm_loadu_si128(PANEL_PAIR_SHUF.as_ptr() as *const __m128i);
-    let mut vacc = _mm_loadu_si128(acc.as_ptr() as *const __m128i);
     let kreal = a_row.len();
     let mut l = 0;
+    // main loop: 8 k-values per iteration — one 32-byte panel load and
+    // one 8-byte A load per 32 MACs, the same shuffle/widen/vpmaddwd
+    // pipeline as the blocked tile kernel (a single A "row" of it)
+    let mut vacc8 = _mm256_setzero_si256();
+    if kreal >= 8 {
+        let bshuf = _mm256_loadu_si256(B_PAIR_SHUF.as_ptr() as *const __m256i);
+        let apairshuf = _mm256_loadu_si256(A_PAIR_SHUF.as_ptr() as *const __m256i);
+        while l + 8 <= kreal {
+            let bp = _mm256_loadu_si256(panel.as_ptr().add(l * 4) as *const __m256i);
+            let bs = _mm256_shuffle_epi8(bp, bshuf);
+            let b_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(bs));
+            let b_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256::<1>(bs));
+            let a8 = _mm_loadl_epi64(a_row.as_ptr().add(l) as *const __m128i);
+            let asel = _mm256_shuffle_epi8(_mm256_broadcastsi128_si256(a8), apairshuf);
+            let a_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(asel));
+            let a_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256::<1>(asel));
+            let prod =
+                _mm256_add_epi32(_mm256_madd_epi16(a_lo, b_lo), _mm256_madd_epi16(a_hi, b_hi));
+            vacc8 = _mm256_add_epi32(vacc8, prod);
+            l += 8;
+        }
+    }
+    // lanes 0..3 hold j0..3 over one k subset, lanes 4..7 the rest
+    let folded = _mm_add_epi32(_mm256_castsi256_si128(vacc8), _mm256_extracti128_si256::<1>(vacc8));
+    let mut vacc = _mm_add_epi32(_mm_loadu_si128(acc.as_ptr() as *const __m128i), folded);
+    let shuf = _mm_loadu_si128(PANEL_PAIR_SHUF.as_ptr() as *const __m128i);
     while l + 2 <= kreal {
         // 2 k-values × 4 columns = 8 panel bytes
         let b8 = _mm_loadl_epi64(panel.as_ptr().add(l * 4) as *const __m128i);
@@ -278,6 +381,224 @@ pub fn f32_small_m(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [
     unsafe { f32_small_m_impl(m, n, k, a, b, c) }
 }
 
+// SAFETY: requires AVX2 and n ≤ 8. The 8-byte B loads at rows `l` and
+// `l+1` are guarded by `(l + 1) * n + 8 <= b.len()`; everything past
+// that guard uses safe indexing. C stores go through a bounded stack
+// array fold, never a vector store.
+#[target_feature(enable = "avx2")]
+unsafe fn small_n_dense_impl(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    let blen = b.len();
+    // one k-pair step shared by every row group: interleave B rows l
+    // and l+1 ((b[l][j], b[l+1][j]) pairs), widen, vpmaddwd against the
+    // broadcast (a[l], a[l+1]) pair — 8 columns per instruction with
+    // the ≤8-wide C row held in one register across the whole k loop
+    let mut i = 0;
+    while i < m {
+        let rows = 4.min(m - i);
+        let mut vacc = [_mm256_setzero_si256(); 4];
+        let mut l = 0;
+        while l + 2 <= k && (l + 1) * n + 8 <= blen {
+            let b0 = _mm_loadl_epi64(b.as_ptr().add(l * n) as *const __m128i);
+            let b1 = _mm_loadl_epi64(b.as_ptr().add((l + 1) * n) as *const __m128i);
+            let b16 = _mm256_cvtepi8_epi16(_mm_unpacklo_epi8(b0, b1));
+            for (r, v) in vacc.iter_mut().enumerate().take(rows) {
+                let arow = a.as_ptr().add((i + r) * k);
+                let a0 = *arow.add(l) as i16;
+                let a1 = *arow.add(l + 1) as i16;
+                let apair = _mm256_set1_epi32(((a1 as i32) << 16) | (a0 as u16 as i32));
+                *v = _mm256_add_epi32(*v, _mm256_madd_epi16(b16, apair));
+            }
+            l += 2;
+        }
+        let lv = l;
+        for r in 0..rows {
+            let mut out = [0i32; 8];
+            _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, vacc[r]);
+            let crow = &mut c[(i + r) * n..(i + r + 1) * n];
+            for (cv, &v) in crow.iter_mut().zip(&out) {
+                *cv = cv.wrapping_add(v);
+            }
+            // scalar tail: the last k-values where an 8-byte row load
+            // would run past the end of B
+            let arow = &a[(i + r) * k..(i + r + 1) * k];
+            for (l, &av) in arow.iter().enumerate().skip(lv) {
+                let av = av as i32;
+                for (cv, &bv) in crow.iter_mut().zip(&b[l * n..(l + 1) * n]) {
+                    *cv = cv.wrapping_add(av.wrapping_mul(bv as i32));
+                }
+            }
+        }
+        i += rows;
+    }
+}
+
+/// Skinny-n kernel over raw row-major operands (n ≤ 8, m large); see
+/// [`super::scalar::small_n_dense`]. Bit-identical: exact products,
+/// wrapping accumulation.
+pub fn small_n_dense(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    debug_assert!(is_x86_feature_detected!("avx2"), "avx2 kernel dispatched without avx2");
+    debug_assert!(n <= 8, "skinny-n kernel requires n <= 8");
+    // SAFETY: AVX2 detection gates dispatch (debug-asserted above);
+    // slice shapes are the m×k / k×n / m×n engine contract and n ≤ 8 is
+    // the skinny-path routing precondition — the impl's bounds
+    // reasoning needs exactly those.
+    unsafe { small_n_dense_impl(m, n, k, a, b, c) }
+}
+
+// ---- SIMD pack routines ---------------------------------------------------
+
+// SAFETY: requires AVX2 (SSE unpack/loads). The 16-byte row loads are
+// guarded by `l + 16 <= kreal` (so `pc + l + 16 <= k` stays inside each
+// row) and `i0 + 4 <= m` (all four rows exist); stores write through
+// `panel_buf`'s own pointer within `l*4 + 64 <= panel_buf.len()`.
+#[target_feature(enable = "avx2")]
+unsafe fn pack_a_block_impl(
+    buf: &mut [i8],
+    a: &[i8],
+    m: usize,
+    k: usize,
+    ic: usize,
+    pc: usize,
+    kcb: usize,
+) {
+    let panel = kcb * 4;
+    let kreal = kcb.min(k.saturating_sub(pc));
+    for (p, panel_buf) in buf.chunks_exact_mut(panel).enumerate() {
+        let i0 = ic + p * 4;
+        let mut l = 0;
+        if i0 + 4 <= m {
+            // interior panel: a 4×16 byte transpose per step — load 16
+            // k-values from each of the 4 rows, interleave to the
+            // packed (l-major, 4-row) layout with punpck trees
+            let base = a.as_ptr().add(i0 * k + pc);
+            while l + 16 <= kreal {
+                let x0 = _mm_loadu_si128(base.add(l) as *const __m128i);
+                let x1 = _mm_loadu_si128(base.add(k + l) as *const __m128i);
+                let x2 = _mm_loadu_si128(base.add(2 * k + l) as *const __m128i);
+                let x3 = _mm_loadu_si128(base.add(3 * k + l) as *const __m128i);
+                let t0 = _mm_unpacklo_epi8(x0, x1);
+                let t1 = _mm_unpackhi_epi8(x0, x1);
+                let t2 = _mm_unpacklo_epi8(x2, x3);
+                let t3 = _mm_unpackhi_epi8(x2, x3);
+                let dst = panel_buf.as_mut_ptr().add(l * 4);
+                _mm_storeu_si128(dst as *mut __m128i, _mm_unpacklo_epi16(t0, t2));
+                _mm_storeu_si128(dst.add(16) as *mut __m128i, _mm_unpackhi_epi16(t0, t2));
+                _mm_storeu_si128(dst.add(32) as *mut __m128i, _mm_unpacklo_epi16(t1, t3));
+                _mm_storeu_si128(dst.add(48) as *mut __m128i, _mm_unpackhi_epi16(t1, t3));
+                l += 16;
+            }
+        }
+        // edge panels and the k remainder/padding: the scalar layout
+        // reference, byte-identical by construction
+        for l in l..kcb {
+            let lg = pc + l;
+            for (rx, out) in panel_buf[l * 4..l * 4 + 4].iter_mut().enumerate() {
+                let i = i0 + rx;
+                *out = if lg < k && i < m { a[i * k + lg] } else { 0 };
+            }
+        }
+    }
+}
+
+/// SIMD [`super::scalar::pack_a_block`]: byte-identical packed image,
+/// built 16 k-values per step via 4×16 byte transposes.
+pub fn pack_a_block(
+    buf: &mut [i8],
+    a: &[i8],
+    m: usize,
+    k: usize,
+    ic: usize,
+    pc: usize,
+    kcb: usize,
+) {
+    debug_assert!(is_x86_feature_detected!("avx2"), "avx2 packer dispatched without avx2");
+    // SAFETY: AVX2 detection gates dispatch (debug-asserted above); the
+    // buffer/operand shapes are the shared packing contract
+    // (`buf.len()` a multiple of `kcb*4`, `a` row-major m×k) and every
+    // vector load/store is bounds-guarded inside the impl.
+    unsafe { pack_a_block_impl(buf, a, m, k, ic, pc, kcb) }
+}
+
+/// SIMD [`super::scalar::pack_b_block`]: byte-identical packed image.
+/// Interior panels copy each k-value's 4 contiguous source bytes as one
+/// word (safe code — the compiler emits 32-bit copies); only the matrix
+/// edge takes the byte-wise reference path.
+pub fn pack_b_block(
+    buf: &mut [i8],
+    b: &[i8],
+    n: usize,
+    k: usize,
+    jc: usize,
+    pc: usize,
+    kcb: usize,
+) {
+    let panel = kcb * 4;
+    let kreal = kcb.min(k.saturating_sub(pc));
+    for (q, panel_buf) in buf.chunks_exact_mut(panel).enumerate() {
+        let j0 = jc + q * 4;
+        if j0 + 4 <= n {
+            let (body, tail) = panel_buf.split_at_mut(kreal * 4);
+            for (l, out) in body.chunks_exact_mut(4).enumerate() {
+                let src = (pc + l) * n + j0;
+                out.copy_from_slice(&b[src..src + 4]);
+            }
+            tail.fill(0);
+        } else {
+            for l in 0..kcb {
+                let lg = pc + l;
+                for (cx, out) in panel_buf[l * 4..l * 4 + 4].iter_mut().enumerate() {
+                    let j = j0 + cx;
+                    *out = if lg < k && j < n { b[lg * n + j] } else { 0 };
+                }
+            }
+        }
+    }
+}
+
+// SAFETY: requires AVX2. Each iteration loads two whole 32-byte chunks
+// (guarded by `t * 64 + 64 <= vals.len()`) and stores one 32-byte chunk
+// at `t * 32` (fits because `out.len() = ceil(vals.len()/2)`).
+#[target_feature(enable = "avx2")]
+unsafe fn pack_nibbles_impl(vals: &[i8], out: &mut [i8]) {
+    let lo_mask = _mm256_set1_epi16(0x000f);
+    let hi_mask = _mm256_set1_epi16(0x00f0);
+    let full = vals.len() / 64;
+    for t in 0..full {
+        let mut halves = [_mm256_setzero_si256(); 2];
+        for (h, half) in halves.iter_mut().enumerate() {
+            let v = _mm256_loadu_si256(vals.as_ptr().add(t * 64 + h * 32) as *const __m256i);
+            // per 16-bit lane x = lo_byte | hi_byte<<8, the packed
+            // nibble byte is (x & 0xf) | ((x >> 4) & 0xf0)
+            *half = _mm256_or_si256(
+                _mm256_and_si256(v, lo_mask),
+                _mm256_and_si256(_mm256_srli_epi16::<4>(v), hi_mask),
+            );
+        }
+        // pack the 16-bit lanes to bytes; vpackuswb interleaves 128-bit
+        // lanes, so permute the 64-bit quarters back to sequential
+        let packed = _mm256_packus_epi16(halves[0], halves[1]);
+        let seq = _mm256_permute4x64_epi64::<0b11_01_10_00>(packed);
+        _mm256_storeu_si256(out.as_mut_ptr().add(t * 32) as *mut __m256i, seq);
+    }
+    // scalar tail, including the odd trailing low nibble
+    for (pair, o) in vals[full * 64..].chunks(2).zip(out[full * 32..].iter_mut()) {
+        let lo = pair[0] as u8 & 0x0f;
+        let hi = pair.get(1).map_or(0, |&v| (v as u8) << 4);
+        *o = (lo | hi) as i8;
+    }
+}
+
+/// SIMD [`super::scalar::pack_nibbles`]: byte-identical nibble image,
+/// 64 input bytes per step.
+pub fn pack_nibbles(vals: &[i8]) -> Vec<i8> {
+    debug_assert!(is_x86_feature_detected!("avx2"), "avx2 packer dispatched without avx2");
+    let mut out = vec![0i8; vals.len().div_ceil(2)];
+    // SAFETY: AVX2 detection gates dispatch (debug-asserted above) and
+    // `out` is sized to exactly ceil(len/2), the impl's store bound.
+    unsafe { pack_nibbles_impl(vals, &mut out) };
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::scalar;
@@ -306,6 +627,80 @@ mod tests {
             scalar::tile_i8(&pa, &pb, &mut want);
             tile_i8(&pa, &pb, &mut got);
             assert_eq!(got, want, "kcb={kcb}");
+        }
+    }
+
+    #[test]
+    fn wide_tile_is_bit_identical_to_scalar() {
+        if !have_avx2() {
+            return;
+        }
+        let mut r = SplitMix64::new(20);
+        for kcb in [8, 16, 48, 160] {
+            let pa = r.i8_vec(kcb * 4, -128, 127);
+            let pb = r.i8_vec(kcb * 8, -128, 127);
+            let mut want = [[3i32, -1, 4, -1]; 8];
+            let mut got = want;
+            scalar::tile_i8_wide(&pa, &pb, &mut want);
+            tile_i8_wide(&pa, &pb, &mut got);
+            assert_eq!(got, want, "kcb={kcb}");
+        }
+    }
+
+    #[test]
+    fn small_n_dense_is_bit_identical_to_scalar() {
+        if !have_avx2() {
+            return;
+        }
+        let mut r = SplitMix64::new(21);
+        for (m, n, k) in [(1, 1, 1), (5, 4, 3), (16, 8, 64), (33, 7, 19), (9, 8, 2), (64, 1, 40)] {
+            let a = r.i8_vec(m * k, -128, 127);
+            let b = r.i8_vec(k * n, -128, 127);
+            let mut want = vec![-3i32; m * n];
+            let mut got = want.clone();
+            scalar::small_n_dense(m, n, k, &a, &b, &mut want);
+            small_n_dense(m, n, k, &a, &b, &mut got);
+            assert_eq!(got, want, "{m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn packers_are_byte_identical_to_scalar() {
+        if !have_avx2() {
+            return;
+        }
+        let mut r = SplitMix64::new(22);
+        for (rows, cols, kcb, rc, pc) in
+            [(64, 48, 32, 0, 0), (61, 47, 32, 60, 16), (7, 3, 48, 4, 0), (16, 16, 16, 0, 9)]
+        {
+            // B: rows=k, cols=n; A: rows=m, cols=k
+            let b = r.i8_vec(rows * cols, -128, 127);
+            let ncb = (cols - rc.min(cols)).min(8 * 4).next_multiple_of(4).max(4);
+            let mut want = vec![0x55i8; ncb * kcb];
+            let mut got = want.clone();
+            scalar::pack_b_block(&mut want, &b, cols, rows, rc, pc, kcb);
+            pack_b_block(&mut got, &b, cols, rows, rc, pc, kcb);
+            assert_eq!(got, want, "pack_b {rows}x{cols} jc={rc} pc={pc} kcb={kcb}");
+
+            let a = r.i8_vec(rows * cols, -128, 127);
+            let mcb = (rows - rc.min(rows)).min(8 * 4).next_multiple_of(4).max(4);
+            let mut want = vec![0x55i8; mcb * kcb];
+            let mut got = want.clone();
+            scalar::pack_a_block(&mut want, &a, rows, cols, rc, pc, kcb);
+            pack_a_block(&mut got, &a, rows, cols, rc, pc, kcb);
+            assert_eq!(got, want, "pack_a {rows}x{cols} ic={rc} pc={pc} kcb={kcb}");
+        }
+    }
+
+    #[test]
+    fn pack_nibbles_is_byte_identical_to_scalar() {
+        if !have_avx2() {
+            return;
+        }
+        let mut r = SplitMix64::new(23);
+        for len in [0, 1, 2, 63, 64, 65, 127, 128, 129, 1000] {
+            let vals = r.i8_vec(len, -8, 7);
+            assert_eq!(pack_nibbles(&vals), scalar::pack_nibbles(&vals), "len={len}");
         }
     }
 

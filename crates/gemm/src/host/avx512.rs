@@ -1,0 +1,542 @@
+//! x86_64 AVX-512 tier (F+BW+VL).
+//!
+//! The same exact-arithmetic construction as [`super::avx2`] — i8→i16
+//! widening through per-lane `vpshufb` pair interleaves, `vpmaddwd`
+//! pairwise dots (exact in i16/i32 headroom), wrapping `vpaddd`
+//! accumulation — at twice the vector width: 16 k-values per integer
+//! step, 16 f32 lanes per fma, and a 4×16 widened integer register
+//! tile that amortizes every A-side shuffle over four B panels. The
+//! 32-register zmm file is what makes the 8×32 f32 tile and the
+//! 16-accumulator integer tile hold entirely in registers.
+//!
+//! Depth remainders that do not fill a 64-byte chunk take the scalar
+//! reference path — bit-identical by definition, and never hit by the
+//! engine's k-step-aligned panels.
+//!
+//! Every `_impl` below is an `unsafe fn` with
+//! `#[target_feature(enable = ...)]` and **no inner unsafe blocks**;
+//! the public wrappers hold the single `unsafe` call, guarded by a
+//! debug assertion that dispatch only routed here on a capable CPU.
+
+#![cfg(target_arch = "x86_64")]
+
+use std::arch::x86_64::*;
+
+/// Replicate one 16-byte `vpshufb` lane pattern to all four 128-bit
+/// lanes (zmm `vpshufb` shuffles within each lane independently).
+const fn repeat_lane(lane: [i8; 16]) -> [i8; 64] {
+    let mut m = [0i8; 64];
+    let mut g = 0;
+    while g < 4 {
+        let mut t = 0;
+        while t < 16 {
+            m[g * 16 + t] = lane[t];
+            t += 1;
+        }
+        g += 1;
+    }
+    m
+}
+
+/// Per-lane pair interleave for a packed B chunk of 16 k-values
+/// (`b[l*4+j]`, 64 bytes): lane g's 4 k-values become (l0,l1) pairs for
+/// j=0..3 then (l2,l3) pairs for j=0..3 — the [`super::avx2`] layout,
+/// one extra lane pair deep.
+const B_PAIR_SHUF: [i8; 64] = repeat_lane([0, 4, 1, 5, 2, 6, 3, 7, 8, 12, 9, 13, 10, 14, 11, 15]);
+
+/// Per-row `vpshufb` masks broadcasting row `i` of a packed A chunk as
+/// (l, l+1) pairs aligned with [`B_PAIR_SHUF`]'s B layout.
+const fn a_row_shuf(i: i8) -> [i8; 64] {
+    repeat_lane([
+        i,
+        4 + i,
+        i,
+        4 + i,
+        i,
+        4 + i,
+        i,
+        4 + i,
+        8 + i,
+        12 + i,
+        8 + i,
+        12 + i,
+        8 + i,
+        12 + i,
+        8 + i,
+        12 + i,
+    ])
+}
+
+const A_ROW_SHUF: [[i8; 64]; 4] = [a_row_shuf(0), a_row_shuf(1), a_row_shuf(2), a_row_shuf(3)];
+
+/// `vpshufb` mask spreading 16 raw A bytes (broadcast into every lane
+/// by `vbroadcasti32x4`) into [`B_PAIR_SHUF`] pair alignment: lane g
+/// carries (a[4g],a[4g+1])×4 then (a[4g+2],a[4g+3])×4, matching B lane
+/// g's k-values.
+const fn a_panel_shuf() -> [i8; 64] {
+    let mut m = [0i8; 64];
+    let mut g = 0;
+    while g < 4 {
+        let base = g * 16;
+        let lo = (4 * g) as i8;
+        let mut t = 0;
+        while t < 4 {
+            m[base + 2 * t] = lo;
+            m[base + 2 * t + 1] = lo + 1;
+            m[base + 8 + 2 * t] = lo + 2;
+            m[base + 8 + 2 * t + 1] = lo + 3;
+            t += 1;
+        }
+        g += 1;
+    }
+    m
+}
+
+const A_PANEL_SHUF: [i8; 64] = a_panel_shuf();
+
+// SAFETY: requires AVX512F+AVX512BW (zmm shuffles/widening/madd) and
+// AVX2 (ymm fold adds). `iters` derives from `pa.len()` and the packing
+// contract gives `pb` the same chunk count; the sub-64-byte remainder
+// takes the safe scalar path; stores land in stack-local arrays.
+#[target_feature(enable = "avx512f,avx512bw,avx2")]
+unsafe fn tile_i8_impl(pa: &[i8], pb: &[i8], acc: &mut [[i32; 4]; 4]) {
+    let bshuf = _mm512_loadu_epi8(B_PAIR_SHUF.as_ptr());
+    let ashuf = [
+        _mm512_loadu_epi8(A_ROW_SHUF[0].as_ptr()),
+        _mm512_loadu_epi8(A_ROW_SHUF[1].as_ptr()),
+        _mm512_loadu_epi8(A_ROW_SHUF[2].as_ptr()),
+        _mm512_loadu_epi8(A_ROW_SHUF[3].as_ptr()),
+    ];
+    let mut vacc = [_mm512_setzero_si512(); 4];
+    // 16 k-values (64 packed bytes) per iteration
+    let iters = pa.len() / 64;
+    for t in 0..iters {
+        let ap = _mm512_loadu_epi8(pa.as_ptr().add(t * 64));
+        let bp = _mm512_loadu_epi8(pb.as_ptr().add(t * 64));
+        let bs = _mm512_shuffle_epi8(bp, bshuf);
+        let b_lo = _mm512_cvtepi8_epi16(_mm512_castsi512_si256(bs));
+        let b_hi = _mm512_cvtepi8_epi16(_mm512_extracti64x4_epi64::<1>(bs));
+        for i in 0..4 {
+            let asel = _mm512_shuffle_epi8(ap, ashuf[i]);
+            let a_lo = _mm512_cvtepi8_epi16(_mm512_castsi512_si256(asel));
+            let a_hi = _mm512_cvtepi8_epi16(_mm512_extracti64x4_epi64::<1>(asel));
+            // vpmaddwd: exact pairwise i16 dot products in i32 lanes
+            let prod =
+                _mm512_add_epi32(_mm512_madd_epi16(a_lo, b_lo), _mm512_madd_epi16(a_hi, b_hi));
+            vacc[i] = _mm512_add_epi32(vacc[i], prod);
+        }
+    }
+    for (row, v) in acc.iter_mut().zip(vacc) {
+        // each 128-bit quarter holds j0..3 over a disjoint k subset —
+        // fold quarters, then fold into the caller tile
+        let half = _mm256_add_epi32(_mm512_castsi512_si256(v), _mm512_extracti64x4_epi64::<1>(v));
+        let folded =
+            _mm_add_epi32(_mm256_castsi256_si128(half), _mm256_extracti128_si256::<1>(half));
+        let mut out = [0i32; 4];
+        _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, folded);
+        for (c, o) in row.iter_mut().zip(out) {
+            *c = c.wrapping_add(o);
+        }
+    }
+    // 8-k remainder (32 packed bytes): never produced by the engine's
+    // k-step-aligned panels, but the dispatch contract allows it
+    if !pa.len().is_multiple_of(64) {
+        super::scalar::tile_i8(&pa[iters * 64..], &pb[iters * 64..], acc);
+    }
+}
+
+/// See [`super::scalar::tile_i8`]; bit-identical, AVX-512-accelerated.
+pub fn tile_i8(pa: &[i8], pb: &[i8], acc: &mut [[i32; 4]; 4]) {
+    debug_assert!(have_avx512(), "avx512 kernel dispatched without avx512f/bw");
+    // SAFETY: the HostKernel dispatch table only routes here after
+    // runtime AVX-512 detection (debug-asserted above), and the packer
+    // emits `pa`/`pb` as whole 32-byte chunks — any 32-byte tail past
+    // the 64-byte main loop is handled by the scalar reference inside.
+    unsafe { tile_i8_impl(pa, pb, acc) }
+}
+
+// SAFETY: requires AVX512F+AVX512BW+AVX2. Loads stay in bounds because
+// `iters` derives from `pa.len()` and the wrapper asserts `pb` holds
+// exactly four panels of that depth; the remainder path is safe code.
+#[target_feature(enable = "avx512f,avx512bw,avx2")]
+unsafe fn tile_i8_wide_impl(pa: &[i8], pb: &[i8], acc: &mut [[i32; 4]]) {
+    let panel = pa.len();
+    let bshuf = _mm512_loadu_epi8(B_PAIR_SHUF.as_ptr());
+    let ashuf = [
+        _mm512_loadu_epi8(A_ROW_SHUF[0].as_ptr()),
+        _mm512_loadu_epi8(A_ROW_SHUF[1].as_ptr()),
+        _mm512_loadu_epi8(A_ROW_SHUF[2].as_ptr()),
+        _mm512_loadu_epi8(A_ROW_SHUF[3].as_ptr()),
+    ];
+    // 4×16 register tile: one A panel × four adjacent B panels, all 16
+    // zmm accumulators live across the depth loop — every A shuffle and
+    // widening is amortized over 4× the columns of [`tile_i8`]
+    let mut vacc = [[_mm512_setzero_si512(); 4]; 4];
+    let iters = panel / 64;
+    for t in 0..iters {
+        let ap = _mm512_loadu_epi8(pa.as_ptr().add(t * 64));
+        let mut blo = [_mm512_setzero_si512(); 4];
+        let mut bhi = [_mm512_setzero_si512(); 4];
+        for q in 0..4 {
+            let bp = _mm512_loadu_epi8(pb.as_ptr().add(q * panel + t * 64));
+            let bs = _mm512_shuffle_epi8(bp, bshuf);
+            blo[q] = _mm512_cvtepi8_epi16(_mm512_castsi512_si256(bs));
+            bhi[q] = _mm512_cvtepi8_epi16(_mm512_extracti64x4_epi64::<1>(bs));
+        }
+        for i in 0..4 {
+            let asel = _mm512_shuffle_epi8(ap, ashuf[i]);
+            let a_lo = _mm512_cvtepi8_epi16(_mm512_castsi512_si256(asel));
+            let a_hi = _mm512_cvtepi8_epi16(_mm512_extracti64x4_epi64::<1>(asel));
+            for q in 0..4 {
+                let prod = _mm512_add_epi32(
+                    _mm512_madd_epi16(a_lo, blo[q]),
+                    _mm512_madd_epi16(a_hi, bhi[q]),
+                );
+                vacc[i][q] = _mm512_add_epi32(vacc[i][q], prod);
+            }
+        }
+    }
+    for (i, rowacc) in vacc.iter().enumerate() {
+        for (q, &v) in rowacc.iter().enumerate() {
+            let half =
+                _mm256_add_epi32(_mm512_castsi512_si256(v), _mm512_extracti64x4_epi64::<1>(v));
+            let folded =
+                _mm_add_epi32(_mm256_castsi256_si128(half), _mm256_extracti128_si256::<1>(half));
+            let mut out = [0i32; 4];
+            _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, folded);
+            for (c, o) in acc[q * 4 + i].iter_mut().zip(out) {
+                *c = c.wrapping_add(o);
+            }
+        }
+    }
+    if !panel.is_multiple_of(64) {
+        let tail = iters * 64;
+        for q in 0..4 {
+            let sub: &mut [[i32; 4]; 4] =
+                (&mut acc[q * 4..q * 4 + 4]).try_into().expect("chunks of 4 rows");
+            super::scalar::tile_i8(&pa[tail..], &pb[q * panel + tail..(q + 1) * panel], sub);
+        }
+    }
+}
+
+/// Widened 4×16 integer tile (see [`super::scalar::tile_i8_wide`]): one
+/// packed A panel against four adjacent B panels per call;
+/// bit-identical to four [`tile_i8`] calls (wrapping adds commute).
+pub fn tile_i8_wide(pa: &[i8], pb: &[i8], acc: &mut [[i32; 4]]) {
+    debug_assert!(have_avx512(), "avx512 kernel dispatched without avx512f/bw");
+    debug_assert_eq!(acc.len(), 16, "avx512 wide tile is 4x16 (four panels)");
+    debug_assert_eq!(pb.len(), 4 * pa.len(), "pb must hold four panels of pa's depth");
+    debug_assert_eq!(pa.len() % 32, 0, "panel depth must be a multiple of 8 k-values");
+    // SAFETY: AVX-512 detection gates dispatch (debug-asserted above);
+    // the panel-shape preconditions the impl's bounds reasoning needs
+    // are debug-asserted here and guaranteed by the engine's grouping
+    // loop, which only forms whole four-panel groups.
+    unsafe { tile_i8_wide_impl(pa, pb, acc) }
+}
+
+// SAFETY: requires AVX512F+AVX512BW. C-row pointer offsets are guarded
+// by `j + 32 <= n` (covering the two 16-lane i32 loads/stores) and the
+// 32-byte B loads by the same guard (for `l < k`, `l*n + j + 32 <= k*n`
+// follows); the scalar remainder uses safe indexing.
+#[target_feature(enable = "avx512f,avx512bw,avx2")]
+unsafe fn small_m_dense_impl(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let mut j = 0;
+        // 32 output columns per step, i32 accumulators held across the
+        // whole k loop (B rows stream through cache once per A row)
+        while j + 32 <= n {
+            let cptr = c.as_mut_ptr().add(i * n + j);
+            let mut acc0 = _mm512_loadu_epi32(cptr);
+            let mut acc1 = _mm512_loadu_epi32(cptr.add(16));
+            for (l, &av) in arow.iter().enumerate() {
+                let a16 = _mm512_set1_epi16(av as i16);
+                let b8 = _mm256_loadu_si256(b.as_ptr().add(l * n + j) as *const __m256i);
+                let b16 = _mm512_cvtepi8_epi16(b8);
+                // i8×i8 products fit i16 exactly (|p| ≤ 16384)
+                let p16 = _mm512_mullo_epi16(a16, b16);
+                let lo = _mm512_cvtepi16_epi32(_mm512_castsi512_si256(p16));
+                let hi = _mm512_cvtepi16_epi32(_mm512_extracti64x4_epi64::<1>(p16));
+                acc0 = _mm512_add_epi32(acc0, lo);
+                acc1 = _mm512_add_epi32(acc1, hi);
+            }
+            _mm512_storeu_epi32(cptr, acc0);
+            _mm512_storeu_epi32(cptr.add(16), acc1);
+            j += 32;
+        }
+        for j in j..n {
+            let mut sum = c[i * n + j];
+            for (l, &av) in arow.iter().enumerate() {
+                sum = sum.wrapping_add((av as i32).wrapping_mul(b[l * n + j] as i32));
+            }
+            c[i * n + j] = sum;
+        }
+    }
+}
+
+/// See [`super::scalar::small_m_dense`]; bit-identical.
+pub fn small_m_dense(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    debug_assert!(have_avx512(), "avx512 kernel dispatched without avx512f/bw");
+    // SAFETY: AVX-512 is runtime-detected before dispatch reaches this
+    // tier (debug-asserted above); slice shapes are the m×k / k×n / m×n
+    // engine contract the impl's bounds reasoning relies on.
+    unsafe { small_m_dense_impl(m, n, k, a, b, c) }
+}
+
+// SAFETY: requires AVX512F+AVX512BW+AVX2, and `panel` must hold 4
+// columns per k-value of `a_row`: the 64-byte panel load at `l*4` and
+// the 16-byte A load at `l` are both guarded by `l + 16 <= kreal`; the
+// remainder is the safe scalar reference.
+#[target_feature(enable = "avx512f,avx512bw,avx2")]
+unsafe fn panel_mav_impl(acc: &mut [i32; 4], a_row: &[i8], panel: &[i8]) {
+    let kreal = a_row.len();
+    let mut l = 0;
+    if kreal >= 16 {
+        // 16 k-values per iteration: one 64-byte panel load and one
+        // 16-byte A load per 64 MACs — a single A "row" of the blocked
+        // tile pipeline
+        let bshuf = _mm512_loadu_epi8(B_PAIR_SHUF.as_ptr());
+        let apanelshuf = _mm512_loadu_epi8(A_PANEL_SHUF.as_ptr());
+        let mut vacc16 = _mm512_setzero_si512();
+        while l + 16 <= kreal {
+            let bp = _mm512_loadu_epi8(panel.as_ptr().add(l * 4));
+            let bs = _mm512_shuffle_epi8(bp, bshuf);
+            let b_lo = _mm512_cvtepi8_epi16(_mm512_castsi512_si256(bs));
+            let b_hi = _mm512_cvtepi8_epi16(_mm512_extracti64x4_epi64::<1>(bs));
+            let a16 = _mm_loadu_si128(a_row.as_ptr().add(l) as *const __m128i);
+            let asel = _mm512_shuffle_epi8(_mm512_broadcast_i32x4(a16), apanelshuf);
+            let a_lo = _mm512_cvtepi8_epi16(_mm512_castsi512_si256(asel));
+            let a_hi = _mm512_cvtepi8_epi16(_mm512_extracti64x4_epi64::<1>(asel));
+            let prod =
+                _mm512_add_epi32(_mm512_madd_epi16(a_lo, b_lo), _mm512_madd_epi16(a_hi, b_hi));
+            vacc16 = _mm512_add_epi32(vacc16, prod);
+            l += 16;
+        }
+        // each 128-bit quarter holds j0..3 over a disjoint k subset
+        let half = _mm256_add_epi32(
+            _mm512_castsi512_si256(vacc16),
+            _mm512_extracti64x4_epi64::<1>(vacc16),
+        );
+        let folded =
+            _mm_add_epi32(_mm256_castsi256_si128(half), _mm256_extracti128_si256::<1>(half));
+        let mut out = [0i32; 4];
+        _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, folded);
+        for (c, o) in acc.iter_mut().zip(out) {
+            *c = c.wrapping_add(o);
+        }
+    }
+    if l < kreal {
+        super::scalar::panel_mav(acc, &a_row[l..], &panel[l * 4..]);
+    }
+}
+
+/// See [`super::scalar::panel_mav`]; bit-identical.
+pub fn panel_mav(acc: &mut [i32; 4], a_row: &[i8], panel: &[i8]) {
+    debug_assert!(have_avx512(), "avx512 kernel dispatched without avx512f/bw");
+    // SAFETY: AVX-512 detection gates dispatch (debug-asserted above);
+    // the registered-weight panel stores 4 columns per k-value, the
+    // impl's only layout precondition.
+    unsafe { panel_mav_impl(acc, a_row, panel) }
+}
+
+// SAFETY: requires AVX512F, `pa.len() >= kcb*8`, `pb.len() >= kcb*32`
+// and `acc.len() >= 256` — every load/store offset below is bounded by
+// those three lengths (the wrapper debug-asserts them).
+#[target_feature(enable = "avx512f")]
+unsafe fn f32_tile_impl(pa: &[f32], pb: &[f32], kcb: usize, acc: &mut [f32]) {
+    // 8×32 register tile: two 16-wide accumulators per row — 16 of the
+    // 32 zmm registers carry C across the whole depth block
+    let mut lo = [_mm512_setzero_ps(); 8];
+    let mut hi = [_mm512_setzero_ps(); 8];
+    for i in 0..8 {
+        lo[i] = _mm512_loadu_ps(acc.as_ptr().add(i * 32));
+        hi[i] = _mm512_loadu_ps(acc.as_ptr().add(i * 32 + 16));
+    }
+    for l in 0..kcb {
+        let b_lo = _mm512_loadu_ps(pb.as_ptr().add(l * 32));
+        let b_hi = _mm512_loadu_ps(pb.as_ptr().add(l * 32 + 16));
+        for i in 0..8 {
+            let a = _mm512_set1_ps(pa[l * 8 + i]);
+            lo[i] = _mm512_fmadd_ps(a, b_lo, lo[i]);
+            hi[i] = _mm512_fmadd_ps(a, b_hi, hi[i]);
+        }
+    }
+    for i in 0..8 {
+        _mm512_storeu_ps(acc.as_mut_ptr().add(i * 32), lo[i]);
+        _mm512_storeu_ps(acc.as_mut_ptr().add(i * 32 + 16), hi[i]);
+    }
+}
+
+/// 8×32 f32 fma register tile; same per-element fma chain as scalar.
+pub fn f32_tile(pa: &[f32], pb: &[f32], kcb: usize, acc: &mut [f32]) {
+    debug_assert!(pa.len() >= kcb * 8 && pb.len() >= kcb * 32 && acc.len() >= 256);
+    debug_assert!(have_avx512(), "avx512 kernel dispatched without avx512f/bw");
+    // SAFETY: AVX-512 is runtime-detected before dispatch (asserted
+    // above), and the length preconditions are debug-asserted; release
+    // callers are the dispatch table, which packs to exactly these
+    // shapes (f32_mr=8, f32_nr=32).
+    unsafe { f32_tile_impl(pa, pb, kcb, acc) }
+}
+
+// SAFETY: requires AVX512F. Pointer offsets are bounded the same way as
+// [`small_m_dense_impl`]: `j + 16 <= n` covers both the C-row
+// load/store and the B-row loads; the remainder path is safe indexing.
+#[target_feature(enable = "avx512f")]
+unsafe fn f32_small_m_impl(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let mut j = 0;
+        while j + 16 <= n {
+            let cptr = c.as_mut_ptr().add(i * n + j);
+            let mut vacc = _mm512_loadu_ps(cptr);
+            for (l, &av) in arow.iter().enumerate() {
+                let bv = _mm512_loadu_ps(b.as_ptr().add(l * n + j));
+                vacc = _mm512_fmadd_ps(_mm512_set1_ps(av), bv, vacc);
+            }
+            _mm512_storeu_ps(cptr, vacc);
+            j += 16;
+        }
+        for j in j..n {
+            let mut sum = c[i * n + j];
+            for (l, &av) in arow.iter().enumerate() {
+                sum = av.mul_add(b[l * n + j], sum);
+            }
+            c[i * n + j] = sum;
+        }
+    }
+}
+
+/// See [`super::scalar::f32_small_m`]; bit-identical (fma chain).
+pub fn f32_small_m(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert!(have_avx512(), "avx512 kernel dispatched without avx512f/bw");
+    // SAFETY: AVX-512 gates dispatch to this tier (debug-asserted
+    // above); slice shapes are the m×k / k×n / m×n engine contract.
+    unsafe { f32_small_m_impl(m, n, k, a, b, c) }
+}
+
+/// Runtime gate shared by the wrappers' debug assertions: the features
+/// every kernel in this module may rely on.
+fn have_avx512() -> bool {
+    is_x86_feature_detected!("avx512f")
+        && is_x86_feature_detected!("avx512bw")
+        && is_x86_feature_detected!("avx512vl")
+        && is_x86_feature_detected!("avx2")
+        && is_x86_feature_detected!("fma")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::scalar;
+    use super::*;
+    use crate::reference::SplitMix64;
+
+    #[test]
+    fn tile_is_bit_identical_to_scalar() {
+        if !have_avx512() {
+            return;
+        }
+        let mut r = SplitMix64::new(30);
+        for kcb in [8, 16, 24, 48, 160] {
+            let pa = r.i8_vec(kcb * 4, -128, 127);
+            let pb = r.i8_vec(kcb * 4, -128, 127);
+            let mut want = [[1i32, -2, 3, -4]; 4];
+            let mut got = want;
+            scalar::tile_i8(&pa, &pb, &mut want);
+            tile_i8(&pa, &pb, &mut got);
+            assert_eq!(got, want, "kcb={kcb}");
+        }
+    }
+
+    #[test]
+    fn wide_tile_is_bit_identical_to_scalar() {
+        if !have_avx512() {
+            return;
+        }
+        let mut r = SplitMix64::new(31);
+        for kcb in [8, 16, 24, 48, 160] {
+            let pa = r.i8_vec(kcb * 4, -128, 127);
+            let pb = r.i8_vec(kcb * 16, -128, 127);
+            let mut want = [[3i32, -1, 4, -1]; 16];
+            let mut got = want;
+            scalar::tile_i8_wide(&pa, &pb, &mut want);
+            tile_i8_wide(&pa, &pb, &mut got);
+            assert_eq!(got, want, "kcb={kcb}");
+        }
+    }
+
+    #[test]
+    fn small_m_dense_is_bit_identical_to_scalar() {
+        if !have_avx512() {
+            return;
+        }
+        let mut r = SplitMix64::new(32);
+        for (m, n, k) in [(1, 1, 1), (2, 32, 5), (3, 65, 7), (8, 100, 13), (4, 31, 64)] {
+            let a = r.i8_vec(m * k, -128, 127);
+            let b = r.i8_vec(k * n, -128, 127);
+            let mut want = vec![7i32; m * n];
+            let mut got = want.clone();
+            scalar::small_m_dense(m, n, k, &a, &b, &mut want);
+            small_m_dense(m, n, k, &a, &b, &mut got);
+            assert_eq!(got, want, "{m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn panel_mav_is_bit_identical_to_scalar() {
+        if !have_avx512() {
+            return;
+        }
+        let mut r = SplitMix64::new(33);
+        for kreal in [0, 1, 2, 7, 15, 16, 17, 33, 64] {
+            let a_row = r.i8_vec(kreal, -128, 127);
+            let panel = r.i8_vec(kreal.max(1) * 4, -128, 127);
+            let mut want = [5i32, -6, 7, -8];
+            let mut got = want;
+            scalar::panel_mav(&mut want, &a_row, &panel);
+            panel_mav(&mut got, &a_row, &panel);
+            assert_eq!(got, want, "kreal={kreal}");
+        }
+    }
+
+    #[test]
+    fn f32_tile_matches_scalar_chain_bitwise() {
+        if !have_avx512() {
+            return;
+        }
+        // the AVX-512 tile is 8×32; check each element continues the
+        // same fma chain as the scalar contract
+        let mut r = SplitMix64::new(34);
+        let kcb = 37;
+        let pa: Vec<f32> = (0..kcb * 8).map(|_| r.next_i8(-50, 50) as f32 * 0.125).collect();
+        let pb: Vec<f32> = (0..kcb * 32).map(|_| r.next_i8(-50, 50) as f32 * 0.125).collect();
+        let mut got = [0.5f32; 256];
+        let want = got;
+        f32_tile(&pa, &pb, kcb, &mut got);
+        for (i, row) in want.chunks(32).enumerate() {
+            for (j, &seed) in row.iter().enumerate() {
+                let mut chain = seed;
+                for l in 0..kcb {
+                    chain = pa[l * 8 + i].mul_add(pb[l * 32 + j], chain);
+                }
+                assert_eq!(got[i * 32 + j].to_bits(), chain.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_small_m_is_bit_identical_to_scalar() {
+        if !have_avx512() {
+            return;
+        }
+        let mut r = SplitMix64::new(35);
+        for (m, n, k) in [(1, 9, 3), (2, 16, 16), (4, 47, 11)] {
+            let a: Vec<f32> = (0..m * k).map(|_| r.next_i8(-64, 64) as f32 * 0.25).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| r.next_i8(-64, 64) as f32 * 0.25).collect();
+            let mut want = vec![0.25f32; m * n];
+            let mut got = want.clone();
+            scalar::f32_small_m(m, n, k, &a, &b, &mut want);
+            f32_small_m(m, n, k, &a, &b, &mut got);
+            assert!(got.iter().zip(&want).all(|(x, y)| x.to_bits() == y.to_bits()), "{m}x{n}x{k}");
+        }
+    }
+}

@@ -3,8 +3,8 @@
 //! The [`crate::dispatch::MicroKernel`] descriptors select *simulated*
 //! kernels — programs in the virtual vector ISA, timed by the pipeline
 //! model. This module is the host-silicon analogue: a [`HostKernel`]
-//! is a table of native micro-kernels (portable scalar, AVX2, NEON)
-//! selected **once** from a [`CpuFeatures`] runtime probe and then
+//! is a table of native micro-kernels (portable scalar, AVX2, AVX-512,
+//! NEON) selected **once** from a [`CpuFeatures`] runtime probe and then
 //! dispatched through plain function pointers on the hot path. The
 //! pire/BLIS pattern: per-architecture micro-kernel + pack modules
 //! behind a single runtime-dispatched seam.
@@ -35,11 +35,17 @@
 //!
 //! Cache blocking (`mc`/`nc`/`kc`) is env-tunable via `CAMP_MC`,
 //! `CAMP_NC` and `CAMP_KC` (validated; see [`int_blocking`] /
-//! [`f32_blocking`]); `CAMP_FORCE_SCALAR=1` pins dispatch to the
-//! portable tier (the CI job that keeps the fallback honest). The
-//! integer path keeps one packed-panel layout across tiers — the 4×4
-//! camp layout shared with the weight registry and the serving session
-//! — so a panel packed by any component is consumable by every tier.
+//! [`f32_blocking`]); `CAMP_FORCE_TIER={scalar,avx2,avx512,neon}` pins
+//! dispatch to a specific tier (panicking if the CPU cannot run it),
+//! and the older `CAMP_FORCE_SCALAR=1` remains as the scalar shorthand
+//! (the CI job that keeps the fallback honest). The integer path keeps
+//! one packed-panel layout across tiers — the 4-wide camp panel layout
+//! shared with the weight registry and the serving session — so a
+//! panel packed by any component is consumable by every tier. Tiers
+//! differ only in how many adjacent panels one register-tile call
+//! consumes (`int_nr/4`, see [`HostKernel::tile_i8_wide`]) and in how
+//! the pack routines themselves are vectorized ([`HostKernel::pack_a_block`]
+//! etc. — byte-identical images, SIMD-built).
 
 // GEMM entry points naturally take (m, n, k, a, b, c) plus plan/tier
 // context, and the kernel table's value is precisely its bare fn types.
@@ -50,6 +56,8 @@ pub mod small;
 
 #[cfg(target_arch = "x86_64")]
 pub mod avx2;
+#[cfg(target_arch = "x86_64")]
+pub mod avx512;
 #[cfg(target_arch = "aarch64")]
 pub mod neon;
 
@@ -75,9 +83,13 @@ pub struct CpuFeatures {
     /// FMA3 fused multiply-add (x86_64; required for the AVX2 tier's
     /// f32 kernels).
     pub fma: bool,
-    /// AVX-512 foundation (detected and reported; no dedicated tier
-    /// yet — the AVX2 tier serves these machines).
+    /// AVX-512 foundation (512-bit f32/i32 lanes; x86_64).
     pub avx512f: bool,
+    /// AVX-512 byte/word instructions (zmm `vpshufb`/`vpmaddwd`;
+    /// required, with `avx512f` and `avx512vl`, for the AVX-512 tier).
+    pub avx512bw: bool,
+    /// AVX-512 vector-length extensions (EVEX at 128/256-bit widths).
+    pub avx512vl: bool,
     /// NEON/ASIMD (aarch64, architecturally mandatory).
     pub neon: bool,
 }
@@ -91,17 +103,26 @@ impl CpuFeatures {
                 avx2: is_x86_feature_detected!("avx2"),
                 fma: is_x86_feature_detected!("fma"),
                 avx512f: is_x86_feature_detected!("avx512f"),
+                avx512bw: is_x86_feature_detected!("avx512bw"),
+                avx512vl: is_x86_feature_detected!("avx512vl"),
                 neon: false,
             }
         }
         #[cfg(target_arch = "aarch64")]
         {
-            CpuFeatures { avx2: false, fma: false, avx512f: false, neon: true }
+            CpuFeatures { neon: true, ..CpuFeatures::default() }
         }
         #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
         {
             CpuFeatures::default()
         }
+    }
+
+    /// True when this feature set admits the AVX-512 tier: the 512-bit
+    /// foundation plus byte/word ops and vector-length extensions, and
+    /// the AVX2+FMA the tier's fold/pack code paths lean on.
+    pub fn has_avx512_tier(&self) -> bool {
+        self.avx512f && self.avx512bw && self.avx512vl && self.avx2 && self.fma
     }
 
     /// Space-separated list of detected features, or `"portable"`.
@@ -115,6 +136,12 @@ impl CpuFeatures {
         }
         if self.avx512f {
             out.push("avx512f");
+        }
+        if self.avx512bw {
+            out.push("avx512bw");
+        }
+        if self.avx512vl {
+            out.push("avx512vl");
         }
         if self.neon {
             out.push("neon");
@@ -136,19 +163,24 @@ pub enum HostTier {
     /// reference every SIMD tier is property-tested against.
     Scalar,
     /// x86_64 AVX2 (+FMA for f32): `vpshufb`/`vpmaddwd` widening i8
-    /// tile, 4×16 `vfmadd` f32 tile.
+    /// tile (4×8 widened), 4×16 `vfmadd` f32 tile.
     Avx2,
+    /// x86_64 AVX-512 (F+BW+VL): zmm `vpshufb`/`vpmaddwd` widening i8
+    /// tile (4×16 widened), 8×32 `vfmadd` f32 tile.
+    Avx512,
     /// aarch64 NEON: `smlal`-lane widening i8 tile, 4×8 `vfma` f32
     /// tile.
     Neon,
 }
 
 impl HostTier {
-    /// Stable lowercase name (used in logs, benches, `BENCH_*.json`).
+    /// Stable lowercase name (used in logs, benches, `BENCH_*.json`,
+    /// and the `CAMP_FORCE_TIER` knob).
     pub fn name(self) -> &'static str {
         match self {
             HostTier::Scalar => "scalar",
             HostTier::Avx2 => "avx2",
+            HostTier::Avx512 => "avx512",
             HostTier::Neon => "neon",
         }
     }
@@ -178,9 +210,22 @@ pub struct HostKernel {
     /// `kcb` a multiple of 8); accumulates into `acc` with wrapping
     /// i32 adds.
     pub(crate) tile_i8: fn(&[i8], &[i8], &mut [[i32; 4]; 4]),
+    /// Widened register tile: one packed A panel against `int_nr/4`
+    /// *adjacent* packed B panels per call (`pb` is their contiguous
+    /// concatenation, `acc[q*4+i][j]` the tile for panel `q`). Same
+    /// panel layout, same wrapping arithmetic — just more columns held
+    /// in registers per A-side load/widen.
+    pub(crate) tile_i8_wide: fn(&[i8], &[i8], &mut [[i32; 4]]),
+    /// Columns of the widened integer register tile (4 on tiers with no
+    /// widening headroom, 8 on AVX2, 16 on AVX-512). Always a multiple
+    /// of 4: the packed-panel layout itself never changes.
+    pub(crate) int_nr: usize,
     /// Skinny-m kernel over *raw* row-major operands (no packing at
     /// all): `(m, n, k, a, b, c)`, accumulating into `c`.
     pub(crate) small_m_dense: fn(usize, usize, usize, &[i8], &[i8], &mut [i32]),
+    /// Skinny-n kernel over raw row-major operands (`n ≤ 8`): holds the
+    /// whole ≤8-wide C row in registers across k, no packed-panel walk.
+    pub(crate) small_n_dense: fn(usize, usize, usize, &[i8], &[i8], &mut [i32]),
     /// Panel matrix-vector primitive of the skinny paths:
     /// `acc[j] += Σ_l a_row[l]·panel[l*4+j]` (wrapping) over one
     /// 4-column packed B panel, `a_row.len()` k-values deep.
@@ -194,6 +239,13 @@ pub struct HostKernel {
     /// (MR, NR) of `f32_tile`.
     pub(crate) f32_mr: usize,
     pub(crate) f32_nr: usize,
+    /// Tier-accelerated [`scalar::pack_a_block`]: byte-identical packed
+    /// image (the scalar packer is the layout reference).
+    pub(crate) pack_a: fn(&mut [i8], &[i8], usize, usize, usize, usize, usize),
+    /// Tier-accelerated [`scalar::pack_b_block`]; byte-identical.
+    pub(crate) pack_b: fn(&mut [i8], &[i8], usize, usize, usize, usize, usize),
+    /// Tier-accelerated [`scalar::pack_nibbles`]; byte-identical.
+    pub(crate) pack_nibbles: fn(&[i8]) -> Vec<i8>,
 }
 
 impl fmt::Debug for HostKernel {
@@ -208,36 +260,77 @@ impl fmt::Debug for HostKernel {
 static SCALAR: HostKernel = HostKernel {
     tier: HostTier::Scalar,
     tile_i8: scalar::tile_i8,
+    tile_i8_wide: scalar::tile_i8_wide,
+    int_nr: 4,
     small_m_dense: scalar::small_m_dense,
+    small_n_dense: scalar::small_n_dense,
     panel_mav: scalar::panel_mav,
     f32_tile: scalar::f32_tile,
     f32_small_m: scalar::f32_small_m,
     f32_mr: 4,
     f32_nr: 4,
+    pack_a: scalar::pack_a_block,
+    pack_b: scalar::pack_b_block,
+    pack_nibbles: scalar::pack_nibbles,
 };
 
 #[cfg(target_arch = "x86_64")]
 static AVX2: HostKernel = HostKernel {
     tier: HostTier::Avx2,
     tile_i8: avx2::tile_i8,
+    tile_i8_wide: avx2::tile_i8_wide,
+    int_nr: 8,
     small_m_dense: avx2::small_m_dense,
+    small_n_dense: avx2::small_n_dense,
     panel_mav: avx2::panel_mav,
     f32_tile: avx2::f32_tile,
     f32_small_m: avx2::f32_small_m,
     f32_mr: 4,
     f32_nr: 16,
+    pack_a: avx2::pack_a_block,
+    pack_b: avx2::pack_b_block,
+    pack_nibbles: avx2::pack_nibbles,
+};
+
+// The AVX-512 tier reuses the AVX2 packers and skinny-n kernel: packing
+// and the ≤8-wide dense path are bandwidth-bound, with nothing for the
+// extra vector width to amortize, and the AVX-512 feature gate implies
+// AVX2. Only the register-tile kernels (where width buys arithmetic
+// throughput) are zmm-specific.
+#[cfg(target_arch = "x86_64")]
+static AVX512: HostKernel = HostKernel {
+    tier: HostTier::Avx512,
+    tile_i8: avx512::tile_i8,
+    tile_i8_wide: avx512::tile_i8_wide,
+    int_nr: 16,
+    small_m_dense: avx512::small_m_dense,
+    small_n_dense: avx2::small_n_dense,
+    panel_mav: avx512::panel_mav,
+    f32_tile: avx512::f32_tile,
+    f32_small_m: avx512::f32_small_m,
+    f32_mr: 8,
+    f32_nr: 32,
+    pack_a: avx2::pack_a_block,
+    pack_b: avx2::pack_b_block,
+    pack_nibbles: avx2::pack_nibbles,
 };
 
 #[cfg(target_arch = "aarch64")]
 static NEON: HostKernel = HostKernel {
     tier: HostTier::Neon,
     tile_i8: neon::tile_i8,
+    tile_i8_wide: scalar::tile_i8_wide,
+    int_nr: 4,
     small_m_dense: neon::small_m_dense,
+    small_n_dense: scalar::small_n_dense,
     panel_mav: neon::panel_mav,
     f32_tile: neon::f32_tile,
     f32_small_m: neon::f32_small_m,
     f32_mr: 4,
     f32_nr: 8,
+    pack_a: scalar::pack_a_block,
+    pack_b: scalar::pack_b_block,
+    pack_nibbles: scalar::pack_nibbles,
 };
 
 /// True when `CAMP_FORCE_SCALAR` pins dispatch to the portable tier
@@ -250,25 +343,76 @@ pub fn force_scalar() -> bool {
     })
 }
 
+/// Parse a `CAMP_FORCE_TIER` value. Pure so validation is unit-testable
+/// without process-global env mutation; empty/unset means "no pin".
+pub(crate) fn parse_forced_tier(raw: Option<String>) -> Result<Option<HostTier>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    match raw.trim() {
+        "" => Ok(None),
+        "scalar" => Ok(Some(HostTier::Scalar)),
+        "avx2" => Ok(Some(HostTier::Avx2)),
+        "avx512" => Ok(Some(HostTier::Avx512)),
+        "neon" => Ok(Some(HostTier::Neon)),
+        other => {
+            Err(format!("CAMP_FORCE_TIER must be one of scalar|avx2|avx512|neon, got {other:?}"))
+        }
+    }
+}
+
+/// The tier `CAMP_FORCE_TIER` pins dispatch to, if any — the superset
+/// of [`force_scalar`] (which remains as the scalar shorthand). Read
+/// and validated once per process.
+///
+/// # Panics
+/// Panics (once, at first use) on an unrecognized tier name, or when
+/// `CAMP_FORCE_SCALAR` and `CAMP_FORCE_TIER` contradict each other —
+/// loud beats a silently ignored pin.
+pub fn forced_tier() -> Option<HostTier> {
+    static FORCED: OnceLock<Option<HostTier>> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        let tier = parse_forced_tier(std::env::var("CAMP_FORCE_TIER").ok())
+            .unwrap_or_else(|e| panic!("invalid tier override: {e}"));
+        match (force_scalar(), tier) {
+            (false, t) => t,
+            (true, None | Some(HostTier::Scalar)) => Some(HostTier::Scalar),
+            (true, Some(other)) => panic!(
+                "CAMP_FORCE_SCALAR conflicts with CAMP_FORCE_TIER={}: unset one of them",
+                other.name()
+            ),
+        }
+    })
+}
+
 impl HostKernel {
-    /// The best tier for the running CPU, honoring `CAMP_FORCE_SCALAR`.
-    /// Probed once per process; the result is a `'static` table the
-    /// engine stores and dispatches through directly.
+    /// The best tier for the running CPU, honoring `CAMP_FORCE_TIER`
+    /// and `CAMP_FORCE_SCALAR`. Probed once per process; the result is
+    /// a `'static` table the engine stores and dispatches through
+    /// directly.
+    ///
+    /// # Panics
+    /// Panics when a forced tier is not runnable on this CPU/build — a
+    /// pin that silently fell back would invalidate whatever the caller
+    /// was trying to measure.
     pub fn detect() -> &'static HostKernel {
         static CHOSEN: OnceLock<&'static HostKernel> = OnceLock::new();
-        CHOSEN.get_or_init(|| {
-            if force_scalar() {
-                return &SCALAR;
-            }
-            HostKernel::best_for(CpuFeatures::detect())
+        CHOSEN.get_or_init(|| match forced_tier() {
+            Some(tier) => HostKernel::for_tier(tier).unwrap_or_else(|| {
+                panic!("CAMP_FORCE_TIER={}: this CPU/build cannot run that tier", tier.name())
+            }),
+            None => HostKernel::best_for(CpuFeatures::detect()),
         })
     }
 
     /// The best tier a feature set admits (ignores the environment).
     pub fn best_for(features: CpuFeatures) -> &'static HostKernel {
         #[cfg(target_arch = "x86_64")]
-        if features.avx2 && features.fma {
-            return &AVX2;
+        {
+            if features.has_avx512_tier() {
+                return &AVX512;
+            }
+            if features.avx2 && features.fma {
+                return &AVX2;
+            }
         }
         #[cfg(target_arch = "aarch64")]
         if features.neon {
@@ -293,6 +437,8 @@ impl HostKernel {
             HostTier::Scalar => Some(&SCALAR),
             #[cfg(target_arch = "x86_64")]
             HostTier::Avx2 if f.avx2 && f.fma => Some(&AVX2),
+            #[cfg(target_arch = "x86_64")]
+            HostTier::Avx512 if f.has_avx512_tier() => Some(&AVX512),
             #[cfg(target_arch = "aarch64")]
             HostTier::Neon if f.neon => Some(&NEON),
             _ => None,
@@ -301,7 +447,7 @@ impl HostKernel {
 
     /// Every tier the running CPU can execute (scalar first).
     pub fn available() -> Vec<&'static HostKernel> {
-        [HostTier::Scalar, HostTier::Avx2, HostTier::Neon]
+        [HostTier::Scalar, HostTier::Avx2, HostTier::Avx512, HostTier::Neon]
             .into_iter()
             .filter_map(HostKernel::for_tier)
             .collect()
@@ -318,7 +464,8 @@ impl HostKernel {
             tier: self.tier.name().to_string(),
             simd: self.tier.is_simd(),
             features: CpuFeatures::detect(),
-            int_tile: (4, 4),
+            int_tile_i8: self.int_tile_shape(),
+            int_tile_i4: self.int_tile_shape(),
             f32_tile: (self.f32_mr, self.f32_nr),
             int_blocking: int_blocking(),
             f32_blocking: f32_blocking(self.tier),
@@ -330,12 +477,83 @@ impl HostKernel {
         (self.f32_mr, self.f32_nr)
     }
 
+    /// (MR, NR) of this tier's widened integer register tile — MR is
+    /// always 4 (the packed-panel layout), NR is `int_nr`. i8 and i4
+    /// share it: i4 operands are widened to i8 panels before the tile.
+    pub fn int_tile_shape(&self) -> (usize, usize) {
+        (4, self.int_nr)
+    }
+
+    /// Columns of the widened integer register tile (`int_nr/4`
+    /// adjacent packed panels per [`HostKernel::tile_i8_wide`] call).
+    pub fn int_nr(&self) -> usize {
+        self.int_nr
+    }
+
     /// Run the whole-depth integer tile kernel over one packed A/B
     /// panel pair (`kcb*4` bytes each, `kcb` a multiple of 8).
     pub fn tile_i8(&self, pa: &[i8], pb: &[i8], acc: &mut [[i32; 4]; 4]) {
         debug_assert_eq!(pa.len(), pb.len(), "panel depths must match");
         debug_assert_eq!(pa.len() % 32, 0, "panel depth must be a multiple of 8 k-values");
         (self.tile_i8)(pa, pb, acc)
+    }
+
+    /// Run the widened integer tile: one packed A panel against the
+    /// `int_nr/4` adjacent B panels concatenated in `pb`, accumulating
+    /// into `acc[q*4+i]` for panel `q`. Bit-identical to `int_nr/4`
+    /// [`HostKernel::tile_i8`] calls (wrapping adds commute).
+    pub fn tile_i8_wide(&self, pa: &[i8], pb: &[i8], acc: &mut [[i32; 4]]) {
+        debug_assert_eq!(acc.len(), self.int_nr, "acc must cover the full widened tile");
+        debug_assert_eq!(pb.len(), (self.int_nr / 4) * pa.len(), "pb must hold int_nr/4 panels");
+        debug_assert_eq!(pa.len() % 32, 0, "panel depth must be a multiple of 8 k-values");
+        (self.tile_i8_wide)(pa, pb, acc)
+    }
+
+    /// Skinny-n dense kernel over raw row-major operands (`n ≤ 8`, no
+    /// packing on either side): the resident-B serving path where pack
+    /// traffic would dominate an n-thin GeMM.
+    pub fn small_n_dense(&self, m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+        debug_assert!(n <= crate::loops::SMALL_N_MAX, "dense skinny-n kernel requires n <= 8");
+        (self.small_n_dense)(m, n, k, a, b, c)
+    }
+
+    /// Pack a block of row-major B into 4-column panels through this
+    /// tier's vectorized packer. Byte-identical to
+    /// [`scalar::pack_b_block`] (proptested), so packed images remain
+    /// tier-portable.
+    pub fn pack_b_block(
+        &self,
+        buf: &mut [i8],
+        b: &[i8],
+        n: usize,
+        k: usize,
+        jc: usize,
+        pc: usize,
+        kcb: usize,
+    ) {
+        (self.pack_b)(buf, b, n, k, jc, pc, kcb)
+    }
+
+    /// Pack a block of row-major A into 4-row panels through this
+    /// tier's vectorized packer; byte-identical to
+    /// [`scalar::pack_a_block`].
+    pub fn pack_a_block(
+        &self,
+        buf: &mut [i8],
+        a: &[i8],
+        m: usize,
+        k: usize,
+        ic: usize,
+        pc: usize,
+        kcb: usize,
+    ) {
+        (self.pack_a)(buf, a, m, k, ic, pc, kcb)
+    }
+
+    /// Pack 4-bit values two per byte through this tier's vectorized
+    /// packer; byte-identical to [`scalar::pack_nibbles`].
+    pub fn pack_nibbles(&self, vals: &[i8]) -> Vec<i8> {
+        (self.pack_nibbles)(vals)
     }
 
     /// Skinny-m integer path (`m ≤` [`crate::loops::SMALL_M_MAX`]):
@@ -386,8 +604,14 @@ pub struct KernelInfo {
     pub simd: bool,
     /// The probed CPU features.
     pub features: CpuFeatures,
-    /// Integer register tile (always the 4×4 camp tile).
-    pub int_tile: (usize, usize),
+    /// i8 widened integer register tile (MR always 4 — the packed-panel
+    /// layout — NR the tier's widened column count).
+    pub int_tile_i8: (usize, usize),
+    /// i4 integer register tile. i4 operands are unpacked to i8 panels,
+    /// so this currently mirrors `int_tile_i8`; it is reported
+    /// separately because the dtypes may diverge (e.g. a future VNNI
+    /// nibble kernel) and bench consumers key on dtype.
+    pub int_tile_i4: (usize, usize),
     /// f32 register tile (per tier).
     pub f32_tile: (usize, usize),
     /// Active integer-path (mc, nc, kc).
@@ -400,11 +624,13 @@ impl fmt::Display for KernelInfo {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} kernel (features: {}; int tile {}x{} blocking {}/{}/{}; f32 tile {}x{} blocking {}/{}/{})",
+            "{} kernel (features: {}; i8 tile {}x{} i4 tile {}x{} blocking {}/{}/{}; f32 tile {}x{} blocking {}/{}/{})",
             self.tier,
             self.features.summary(),
-            self.int_tile.0,
-            self.int_tile.1,
+            self.int_tile_i8.0,
+            self.int_tile_i8.1,
+            self.int_tile_i4.0,
+            self.int_tile_i4.1,
             self.int_blocking.0,
             self.int_blocking.1,
             self.int_blocking.2,
@@ -477,6 +703,7 @@ pub fn f32_blocking(tier: HostTier) -> (usize, usize, usize) {
     let default = match tier {
         HostTier::Scalar => (64, 256, 256),
         HostTier::Avx2 => (96, 1024, 256),
+        HostTier::Avx512 => (128, 1024, 256),
         HostTier::Neon => (96, 512, 256),
     };
     apply_overrides(blocking_overrides(), default)
@@ -489,8 +716,8 @@ pub fn f32_blocking(tier: HostTier) -> (usize, usize, usize) {
 pub const SMALL_M_F32: usize = 4;
 
 /// Upper bound of `mr*nr` across tiers (the macro loop's stack
-/// scratch).
-const MAX_F32_TILE: usize = 64;
+/// scratch); the AVX-512 tier's 8×32 tile is the current maximum.
+const MAX_F32_TILE: usize = 256;
 
 /// Debug-build scratch-audit sentinel: a quiet-NaN bit pattern with an
 /// improbable payload. Reused scratch (the context's `pa`/`pb` pack
@@ -725,19 +952,44 @@ mod tests {
         let info = HostKernel::scalar().info();
         assert_eq!(info.tier, "scalar");
         assert!(!info.simd);
-        assert_eq!(info.int_tile, (4, 4));
+        assert_eq!(info.int_tile_i8, (4, 4));
+        assert_eq!(info.int_tile_i4, (4, 4));
         assert_eq!(info.int_blocking, int_blocking());
         let text = info.to_string();
         assert!(text.contains("scalar"), "{text}");
         assert!(text.contains("blocking"), "{text}");
+        // widened tiles are per tier, but MR and the panel layout never
+        // change: every tier's tile is 4×(multiple of 4)
+        for hk in HostKernel::available() {
+            let (mr, nr) = hk.int_tile_shape();
+            assert_eq!(mr, 4, "{:?}", hk.tier());
+            assert_eq!(nr % 4, 0, "{:?}", hk.tier());
+            assert_eq!(hk.info().int_tile_i8, (mr, nr));
+        }
+    }
+
+    #[test]
+    fn forced_tier_parser_validates() {
+        assert_eq!(parse_forced_tier(None).unwrap(), None);
+        assert_eq!(parse_forced_tier(Some("".into())).unwrap(), None);
+        assert_eq!(parse_forced_tier(Some(" scalar ".into())).unwrap(), Some(HostTier::Scalar));
+        assert_eq!(parse_forced_tier(Some("avx2".into())).unwrap(), Some(HostTier::Avx2));
+        assert_eq!(parse_forced_tier(Some("avx512".into())).unwrap(), Some(HostTier::Avx512));
+        assert_eq!(parse_forced_tier(Some("neon".into())).unwrap(), Some(HostTier::Neon));
+        for bad in ["AVX2", "sse", "1", "scalar,avx2"] {
+            let err = parse_forced_tier(Some(bad.to_string())).unwrap_err();
+            assert!(err.contains("CAMP_FORCE_TIER"), "{err}");
+        }
     }
 
     #[test]
     fn tier_names_are_stable() {
         assert_eq!(HostTier::Scalar.name(), "scalar");
         assert_eq!(HostTier::Avx2.name(), "avx2");
+        assert_eq!(HostTier::Avx512.name(), "avx512");
         assert_eq!(HostTier::Neon.name(), "neon");
         assert!(HostTier::Avx2.is_simd());
+        assert!(HostTier::Avx512.is_simd());
         assert!(!HostTier::Scalar.is_simd());
     }
 

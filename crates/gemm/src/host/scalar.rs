@@ -22,6 +22,21 @@ pub fn tile_i8(pa: &[i8], pb: &[i8], acc: &mut [[i32; 4]; 4]) {
     }
 }
 
+/// Widened register tile: one packed A panel against `nw` consecutive
+/// packed B panels (`nw = acc.len() / 4`, `pb.len() = nw * pa.len()`),
+/// accumulating into `acc[q*4 + i][j]` for panel `q`. The scalar tier
+/// has no registers to widen into, so this is the canonical reference
+/// loop over [`tile_i8`] — which is also exactly what SIMD tiers must
+/// be bit-identical to (wrapping adds commute, so a tier may interleave
+/// the panel sums any way it likes).
+pub fn tile_i8_wide(pa: &[i8], pb: &[i8], acc: &mut [[i32; 4]]) {
+    let panel = pa.len();
+    for (q, sub) in acc.chunks_exact_mut(4).enumerate() {
+        let sub: &mut [[i32; 4]; 4] = sub.try_into().expect("chunks_exact(4)");
+        tile_i8(pa, &pb[q * panel..(q + 1) * panel], sub);
+    }
+}
+
 /// Skinny-m kernel over raw row-major operands: accumulate
 /// `c[i*n+j] += Σ_l a[i*k+l]·b[l*n+j]` (wrapping) with no packing at
 /// all — for decode-shaped GeMMs the pack traffic would dominate.
@@ -39,6 +54,15 @@ pub fn small_m_dense(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [
     }
 }
 
+/// Skinny-n kernel over raw row-major operands (n ≤ 8, m large): the
+/// same row-sweep arithmetic as [`small_m_dense`] — every product exact,
+/// every accumulation wrapping — so the two dense skinny paths are one
+/// reference loop. SIMD tiers replace this with a kernel that holds the
+/// whole ≤8-column C row in registers across k.
+pub fn small_n_dense(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    small_m_dense(m, n, k, a, b, c)
+}
+
 /// Panel matrix-vector primitive: one raw A row against one 4-column
 /// packed B panel, `acc[j] += Σ_l a_row[l]·panel[l*4+j]` (wrapping).
 /// The skinny paths build whole GeMMs out of this.
@@ -49,6 +73,78 @@ pub fn panel_mav(acc: &mut [i32; 4], a_row: &[i8], panel: &[i8]) {
             acc[j] = acc[j].wrapping_add(a.wrapping_mul(bv[j] as i32));
         }
     }
+}
+
+// ---- pack routines --------------------------------------------------------
+//
+// The scalar packers are the layout reference: SIMD tiers must produce
+// byte-identical images (proptested in `tests/host_kernels.rs`), since
+// a panel packed by any component — engine, weight registry, session
+// stager — is consumed by whichever tier dispatch selected.
+
+/// Pack a block of row-major B starting at column `jc`, depth `pc` into
+/// 4-column panels (row-major within the panel), zero-padded past the
+/// matrix edge. `buf` must hold exactly `ncb * kcb` bytes; its length
+/// determines the block width.
+pub fn pack_b_block(
+    buf: &mut [i8],
+    b: &[i8],
+    n: usize,
+    k: usize,
+    jc: usize,
+    pc: usize,
+    kcb: usize,
+) {
+    let panel = kcb * 4;
+    for (q, panel_buf) in buf.chunks_exact_mut(panel).enumerate() {
+        let j0 = jc + q * 4;
+        for l in 0..kcb {
+            let lg = pc + l;
+            for (cx, out) in panel_buf[l * 4..l * 4 + 4].iter_mut().enumerate() {
+                let j = j0 + cx;
+                *out = if lg < k && j < n { b[lg * n + j] } else { 0 };
+            }
+        }
+    }
+}
+
+/// Pack a block of row-major A starting at row `ic`, depth `pc` into
+/// 4-row panels (column-major within the panel), zero-padded past the
+/// matrix edge. `buf` must hold exactly `mcb * kcb` bytes; its length
+/// determines the block height.
+pub fn pack_a_block(
+    buf: &mut [i8],
+    a: &[i8],
+    m: usize,
+    k: usize,
+    ic: usize,
+    pc: usize,
+    kcb: usize,
+) {
+    let panel = kcb * 4;
+    for (p, panel_buf) in buf.chunks_exact_mut(panel).enumerate() {
+        let i0 = ic + p * 4;
+        for l in 0..kcb {
+            let lg = pc + l;
+            for (rx, out) in panel_buf[l * 4..l * 4 + 4].iter_mut().enumerate() {
+                let i = i0 + rx;
+                *out = if lg < k && i < m { a[i * k + lg] } else { 0 };
+            }
+        }
+    }
+}
+
+/// Pack 4-bit values two per byte, low nibble first (the layout the
+/// `camp.s4` load path expects). An odd trailing element occupies the
+/// low nibble of a final byte whose high nibble is zero.
+pub fn pack_nibbles(vals: &[i8]) -> Vec<i8> {
+    let mut out = Vec::with_capacity(vals.len().div_ceil(2));
+    for pair in vals.chunks(2) {
+        let lo = pair[0] as u8 & 0x0f;
+        let hi = pair.get(1).map_or(0, |&v| (v as u8) << 4);
+        out.push((lo | hi) as i8);
+    }
+    out
 }
 
 /// f32 4×4 register tile over packed panels (`pa` mr-interleaved, `pb`

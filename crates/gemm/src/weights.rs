@@ -446,6 +446,12 @@ impl WeightRegistry {
 /// matrix edge — the layout one `camp` B operand expects. `buf` must
 /// hold exactly `ncb * kcb` bytes; its length determines the block
 /// width.
+///
+/// Dispatches through the detected [`crate::host::HostKernel`]'s
+/// vectorized packer;
+/// the image is byte-identical to [`crate::host::scalar::pack_b_block`]
+/// (the layout reference) on every tier, so panels packed here remain
+/// consumable by any tier.
 pub fn pack_b_block(
     buf: &mut [i8],
     b: &[i8],
@@ -455,23 +461,17 @@ pub fn pack_b_block(
     pc: usize,
     kcb: usize,
 ) {
-    let panel = kcb * 4;
-    for (q, panel_buf) in buf.chunks_exact_mut(panel).enumerate() {
-        let j0 = jc + q * 4;
-        for l in 0..kcb {
-            let lg = pc + l;
-            for (cx, out) in panel_buf[l * 4..l * 4 + 4].iter_mut().enumerate() {
-                let j = j0 + cx;
-                *out = if lg < k && j < n { b[lg * n + j] } else { 0 };
-            }
-        }
-    }
+    crate::host::HostKernel::detect().pack_b_block(buf, b, n, k, jc, pc, kcb)
 }
 
 /// Pack a block of row-major A starting at row `ic`, depth `pc` into
 /// mR-row panels (column-major within the panel), zero-padded past the
 /// matrix edge. `buf` must hold exactly `mcb * kcb` bytes; its length
 /// determines the block height.
+///
+/// Dispatches through the detected [`crate::host::HostKernel`]'s
+/// vectorized packer;
+/// byte-identical to [`crate::host::scalar::pack_a_block`].
 pub fn pack_a_block(
     buf: &mut [i8],
     a: &[i8],
@@ -481,17 +481,7 @@ pub fn pack_a_block(
     pc: usize,
     kcb: usize,
 ) {
-    let panel = kcb * 4;
-    for (p, panel_buf) in buf.chunks_exact_mut(panel).enumerate() {
-        let i0 = ic + p * 4;
-        for l in 0..kcb {
-            let lg = pc + l;
-            for (rx, out) in panel_buf[l * 4..l * 4 + 4].iter_mut().enumerate() {
-                let i = i0 + rx;
-                *out = if lg < k && i < m { a[i * k + lg] } else { 0 };
-            }
-        }
-    }
+    crate::host::HostKernel::detect().pack_a_block(buf, a, m, k, ic, pc, kcb)
 }
 
 /// Pack every (jc, pc) block of B in the blocked loops' visit order

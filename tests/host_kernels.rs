@@ -1,10 +1,11 @@
 //! Property tests for the host SIMD micro-kernel tiers.
 //!
 //! The dispatch contract is **bit-identity**: every tier
-//! ([`HostKernel::available`] — scalar always, plus AVX2 and/or NEON
-//! when the CPU has them) must produce byte-for-byte the same results
-//! as the scalar reference on every path — blocked tiles, skinny-m and
-//! skinny-n fast paths, both integer dtypes, and the f32 subsystem.
+//! ([`HostKernel::available`] — scalar always, plus AVX2, AVX-512
+//! and/or NEON when the CPU has them) must produce byte-for-byte the
+//! same results as the scalar reference on every path — blocked tiles
+//! (4-wide and widened), skinny-m and skinny-n fast paths (panel and
+//! dense B), both integer dtypes, the packers, and the f32 subsystem.
 //! Integer identity is structural (exact products, wrapping i32
 //! accumulation); f32 identity holds because every tier realizes the
 //! same per-element fused-multiply-add chain over ascending k.
@@ -125,6 +126,93 @@ proptest! {
         }
     }
 
+    /// The widened integer tile is bit-identical to `int_nr/4`
+    /// independent 4x4 tile calls on every tier (the engine relies on
+    /// this to keep results routing-invariant when it groups panels).
+    #[test]
+    fn wide_tile_matches_narrow_tiles_on_every_tier(
+        kc8 in 1usize..12, seed in any::<u32>())
+    {
+        let kcb = kc8 * 8;
+        for hk in HostKernel::available() {
+            let nw = hk.int_nr() / 4;
+            let pa = gen_i8(kcb * 4, seed | 1, -128, 127);
+            let pb = gen_i8(kcb * 4 * nw, seed.rotate_left(13) | 1, -128, 127);
+            let mut wide = vec![[0i32; 4]; nw * 4];
+            hk.tile_i8_wide(&pa, &pb, &mut wide);
+            let mut narrow = vec![[0i32; 4]; nw * 4];
+            for q in 0..nw {
+                let sub: &mut [[i32; 4]; 4] =
+                    (&mut narrow[q * 4..(q + 1) * 4]).try_into().unwrap();
+                hk.tile_i8(&pa, &pb[q * kcb * 4..(q + 1) * kcb * 4], sub);
+            }
+            prop_assert_eq!(&wide, &narrow,
+                "tier {} wide tile diverges at kcb={}", hk.tier().name(), kcb);
+        }
+    }
+
+    /// The dense skinny-n kernel agrees with the scalar reference on
+    /// raw row-major operands for every n at or below the threshold.
+    #[test]
+    fn small_n_dense_matches_scalar_on_every_tier(
+        m in 1usize..80, n in 1usize..9, k in 0usize..100, seed in any::<u32>())
+    {
+        let a = gen_i8(m * k, seed | 1, -128, 127);
+        let b = gen_i8(k * n, seed.rotate_left(7) | 1, -128, 127);
+        let mut want = vec![0i32; m * n];
+        HostKernel::scalar().small_n_dense(m, n, k, &a, &b, &mut want);
+        for hk in HostKernel::available() {
+            let mut got = vec![0i32; m * n];
+            hk.small_n_dense(m, n, k, &a, &b, &mut got);
+            prop_assert_eq!(&got, &want,
+                "tier {} dense skinny-n diverges at {}x{}x{}", hk.tier().name(), m, n, k);
+        }
+    }
+
+    /// The vectorized packers produce byte-identical images to the
+    /// scalar reference over ragged shapes, interior and edge blocks,
+    /// and depth remainders — packed panels stay tier-portable.
+    #[test]
+    fn packers_are_byte_identical_across_tiers(
+        m in 1usize..70, n in 1usize..70, k in 1usize..70,
+        kcb in 1usize..48, off8 in 0usize..8, pc in 0usize..80, seed in any::<u32>())
+    {
+        let jc = ((off8 * 4) % n) & !3;
+        let ncb = (n - jc).min(32).next_multiple_of(4).max(4);
+        let ic = ((off8 * 4) % m) & !3;
+        let mcb = (m - ic).min(32).next_multiple_of(4).max(4);
+        let a = gen_i8(m * k, seed | 1, -128, 127);
+        let b = gen_i8(k * n, seed.rotate_left(11) | 1, -128, 127);
+        let mut want_b = vec![0x55i8; ncb * kcb];
+        camp::gemm::host::scalar::pack_b_block(&mut want_b, &b, n, k, jc, pc, kcb);
+        let mut want_a = vec![0x55i8; mcb * kcb];
+        camp::gemm::host::scalar::pack_a_block(&mut want_a, &a, m, k, ic, pc, kcb);
+        for hk in HostKernel::available() {
+            let mut got = vec![0x55i8; ncb * kcb];
+            hk.pack_b_block(&mut got, &b, n, k, jc, pc, kcb);
+            prop_assert_eq!(&got, &want_b, "tier {} pack_b {}x{} jc={} pc={} kcb={}",
+                hk.tier().name(), n, k, jc, pc, kcb);
+            let mut got = vec![0x55i8; mcb * kcb];
+            hk.pack_a_block(&mut got, &a, m, k, ic, pc, kcb);
+            prop_assert_eq!(&got, &want_a, "tier {} pack_a {}x{} ic={} pc={} kcb={}",
+                hk.tier().name(), m, k, ic, pc, kcb);
+        }
+    }
+
+    /// The vectorized nibble packer matches the scalar reference for
+    /// every length, including odd tails.
+    #[test]
+    fn pack_nibbles_is_byte_identical_across_tiers(
+        len in 0usize..600, seed in any::<u32>())
+    {
+        let vals = gen_i8(len, seed | 1, -8, 7);
+        let want = camp::gemm::host::scalar::pack_nibbles(&vals);
+        for hk in HostKernel::available() {
+            prop_assert_eq!(&hk.pack_nibbles(&vals), &want,
+                "tier {} nibble pack diverges at len {}", hk.tier().name(), len);
+        }
+    }
+
     /// f32: every tier reproduces the reference fused-multiply-add
     /// chain bit-for-bit, across odd shapes and the skinny-m fast path.
     #[test]
@@ -155,7 +243,9 @@ fn engine_reports_its_dispatched_tier() {
     let eng = CampEngine::new();
     let info = eng.kernel_info();
     assert_eq!(info.tier, HostKernel::detect().tier().name());
-    assert_eq!(info.int_tile, (4, 4));
+    assert_eq!(info.int_tile_i8.0, 4);
+    assert_eq!(info.int_tile_i8.1 % 4, 0);
+    assert_eq!(info.int_tile_i4, info.int_tile_i8);
     for hk in HostKernel::available() {
         let pinned = CampEngine::with_threads_and_kernel(2, hk);
         assert_eq!(CampBackend::kernel_info(&pinned).tier, hk.tier().name());
