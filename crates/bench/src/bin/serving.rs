@@ -22,11 +22,30 @@
 //! unified thread story — see `camp_core::backend`), `CAMP_BENCH_REPS`,
 //! `CAMP_SERVING_BATCHES`, and `CAMP_SERVING_SMOKE=1` shrinks
 //! everything to a one-iteration CI smoke run.
+//!
+//! After the shootout, the **multi-tenant dispatcher sweep** measures
+//! the `camp_core::dispatch::Dispatcher` under open-loop arrival: N
+//! tenant threads (alternating decode/prefill priority) each submit
+//! request batches on a fixed arrival schedule calibrated to one
+//! tenant's closed-loop service rate, so offered load scales with N
+//! while batch latency is charged from the *scheduled* arrival — queue
+//! time included, saturation retries included. Results land in
+//! `BENCH_serving.json` (p50/p99 batch latency + achieved req/s per
+//! session count); `serving --check-baseline` re-runs the smoke-sized
+//! sweep and exits 1 if achieved throughput falls below the checked-in
+//! baseline row by more than `CAMP_BENCH_TOLERANCE` (relative,
+//! default 0.5).
 
 use camp_core::backend::CampBackend;
-use camp_core::{CampEngine, DType};
+use camp_core::{
+    CampEngine, DType, DispatchOptions, DispatchSession, Dispatcher, GemmRequest, Priority,
+    RequestError, StealPolicy, TicketId,
+};
 use camp_models::LlmModel;
-use std::time::Instant;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
@@ -47,8 +66,218 @@ fn req_per_sec(requests: usize, secs: f64) -> f64 {
     requests as f64 / secs
 }
 
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// One measured point of the multi-tenant sweep: `mode` + `sessions`
+/// is the row key the baseline gate matches on.
+struct ServingRow {
+    mode: &'static str,
+    sessions: usize,
+    gemms_per_batch: usize,
+    batches_per_tenant: usize,
+    req_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    rejected: u64,
+    stolen: u64,
+}
+
+/// One tenant under open-loop arrival: submit a batch every `interval`
+/// from the tenant's own clock, charging each batch's latency from its
+/// *scheduled* arrival (queueing delay included). A `Saturated`
+/// rejection collects the oldest in-flight batch to make room and
+/// retries — the retry wait is part of the rejected batch's latency.
+fn tenant_loop(
+    mut session: DispatchSession<CampEngine>,
+    reqs: Vec<GemmRequest>,
+    batches: usize,
+    interval: Duration,
+    prio: Priority,
+) -> (Vec<f64>, u64) {
+    let start = Instant::now();
+    let mut lats = Vec::with_capacity(batches);
+    let mut inflight: VecDeque<(TicketId, Instant)> = VecDeque::new();
+    let mut rejected = 0u64;
+    let collect_head = |session: &mut DispatchSession<CampEngine>,
+                        inflight: &mut VecDeque<(TicketId, Instant)>,
+                        lats: &mut Vec<f64>| {
+        let (t, scheduled) = inflight.pop_front().expect("in-flight batch to collect");
+        session.wait(t).expect("serving batch completes");
+        lats.push(scheduled.elapsed().as_secs_f64());
+    };
+    for i in 0..batches {
+        let scheduled = start + interval.mul_f64(i as f64);
+        while Instant::now() < scheduled {
+            std::hint::spin_loop();
+        }
+        loop {
+            // drain already-finished heads so latency stamps stay fresh
+            while let Some(&(t, scheduled)) = inflight.front() {
+                match session.poll(t) {
+                    Some(out) => {
+                        out.expect("serving batch completes");
+                        lats.push(scheduled.elapsed().as_secs_f64());
+                        inflight.pop_front();
+                    }
+                    None => break,
+                }
+            }
+            match session.submit_with(reqs.clone(), prio, None) {
+                Ok(t) => {
+                    inflight.push_back((t, scheduled));
+                    break;
+                }
+                Err(RequestError::Saturated { .. }) => {
+                    rejected += 1;
+                    collect_head(&mut session, &mut inflight, &mut lats);
+                }
+                Err(e) => panic!("serving submission failed: {e}"),
+            }
+        }
+    }
+    while !inflight.is_empty() {
+        collect_head(&mut session, &mut inflight, &mut lats);
+    }
+    (lats, rejected)
+}
+
+fn percentile_ms(sorted: &[f64], pct: usize) -> f64 {
+    sorted[(sorted.len() - 1) * pct / 100] * 1e3
+}
+
+/// The multi-tenant dispatcher sweep for one workload `mode`: calibrate
+/// a closed-loop service time, then measure each session count under
+/// open-loop arrival at one offered batch per tenant per service time
+/// (offered load scales with N, so the sweep walks into saturation).
+fn dispatcher_sweep(
+    mut engine: CampEngine,
+    reqs: &[GemmRequest],
+    batches: usize,
+    session_counts: &[usize],
+    mode: &'static str,
+) -> (CampEngine, Vec<ServingRow>) {
+    let opts = DispatchOptions { stagers: 2, queue_depth: 8, steal: StealPolicy::Eager };
+
+    // calibration: one closed-loop tenant, serial in-flight
+    let dispatcher = Dispatcher::with_options(engine, opts);
+    let mut session = dispatcher.session();
+    let t0 = Instant::now();
+    for _ in 0..batches {
+        let t = session.submit(reqs.to_vec()).expect("valid requests");
+        let _ = session.wait(t).expect("calibration batch completes");
+    }
+    let service = t0.elapsed().as_secs_f64() / batches as f64;
+    drop(session);
+    engine = dispatcher.into_backend();
+
+    let mut rows = Vec::new();
+    for &sessions in session_counts {
+        let dispatcher = Arc::new(Dispatcher::with_options(engine, opts));
+        let interval = Duration::from_secs_f64(service);
+        let t0 = Instant::now();
+        let tenants: Vec<_> = (0..sessions)
+            .map(|s| {
+                let session = dispatcher.session();
+                let reqs = reqs.to_vec();
+                let prio = if s % 2 == 0 { Priority::Decode } else { Priority::Prefill };
+                std::thread::spawn(move || tenant_loop(session, reqs, batches, interval, prio))
+            })
+            .collect();
+        let mut lats = Vec::new();
+        let mut rejected = 0u64;
+        for t in tenants {
+            let (mut l, r) = t.join().expect("tenant thread panicked");
+            lats.append(&mut l);
+            rejected += r;
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        let stats = dispatcher.stats();
+        assert_eq!(stats.executed as usize, sessions * batches, "a tenant's batch was lost");
+        engine = Arc::into_inner(dispatcher).expect("all tenants joined").into_backend();
+
+        lats.sort_by(|a, b| a.total_cmp(b));
+        rows.push(ServingRow {
+            mode,
+            sessions,
+            gemms_per_batch: reqs.len(),
+            batches_per_tenant: batches,
+            req_per_sec: req_per_sec(sessions * batches * reqs.len(), wall),
+            p50_ms: percentile_ms(&lats, 50),
+            p99_ms: percentile_ms(&lats, 99),
+            rejected,
+            stolen: stats.stolen,
+        });
+    }
+    (engine, rows)
+}
+
+/// Pull `"key": value` out of one hand-rolled JSON row line (the
+/// writer puts one row object per line, so line-wise scanning is an
+/// exact parse of our own output).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Compare freshly measured sweep rows against the checked-in baseline:
+/// every baseline row matching a fresh row's (mode, sessions) key must
+/// keep `req_per_sec >= baseline * (1 - tol)`. Latency percentiles are
+/// reported but not gated — shared CI runners make absolute tail
+/// latency too noisy to fail a build on.
+fn check_baseline(rows: &[ServingRow], tol: f64) -> bool {
+    let path = "BENCH_serving.json";
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check-baseline: cannot read {path}: {e}");
+            return false;
+        }
+    };
+    let mut matched = 0usize;
+    let mut ok = true;
+    for line in text.lines() {
+        let (Some(mode), Some(sessions), Some(base)) =
+            (field(line, "mode"), field(line, "sessions"), field(line, "req_per_sec"))
+        else {
+            continue;
+        };
+        let (Ok(sessions), Ok(base)) = (sessions.parse::<usize>(), base.parse::<f64>()) else {
+            continue;
+        };
+        let Some(r) = rows.iter().find(|r| r.mode == mode && r.sessions == sessions) else {
+            continue;
+        };
+        matched += 1;
+        let floor = base * (1.0 - tol);
+        let verdict = if r.req_per_sec >= floor { "ok  " } else { "FAIL" };
+        println!(
+            "{verdict} {mode:<6} sessions={sessions}: {:.0} req/s vs baseline {base:.0} \
+             (floor {floor:.0})",
+            r.req_per_sec
+        );
+        if r.req_per_sec < floor {
+            ok = false;
+        }
+    }
+    if matched == 0 {
+        eprintln!("check-baseline: no baseline rows matched the sweep (schema drift?)");
+        return false;
+    }
+    println!(
+        "check-baseline: {matched} rows compared, tolerance {tol} — {}",
+        if ok { "PASS" } else { "FAIL" }
+    );
+    ok
+}
+
 fn main() {
-    let smoke = std::env::var("CAMP_SERVING_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let check = std::env::args().any(|a| a == "--check-baseline");
+    let smoke = check || std::env::var("CAMP_SERVING_SMOKE").map(|v| v == "1").unwrap_or(false);
     let threads = camp_core::backend::host_threads_from_env();
     let reps = env_usize("CAMP_BENCH_REPS", if smoke { 1 } else { 5 });
     let batches = env_usize("CAMP_SERVING_BATCHES", if smoke { 2 } else { 8 });
@@ -166,4 +395,75 @@ fn main() {
         eng_session.registered_weight_bytes() as f64 / (1024.0 * 1024.0)
     );
     println!("target: session >= batched on repeated batches -> {:.2}x", t_batch / t_session);
+
+    // ---- multi-tenant dispatcher sweep (open-loop arrival) ----
+    println!();
+    println!("multi-tenant dispatcher sweep: open-loop arrival, 2 stagers, queue depth 8");
+    let counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let mode = if smoke { "smoke" } else { "full" };
+    let (_engine, mut rows) = dispatcher_sweep(eng_session, &session_reqs, batches, counts, mode);
+
+    // a full run also measures the smoke-sized sweep, so the checked-in
+    // baseline always contains the rows a CI `--check-baseline` run
+    // (which is smoke-sized) compares against
+    if !smoke {
+        let mut cfg = LlmModel::BertBase.config();
+        cfg.layers = 1;
+        cfg.seq_len = 32;
+        let workload = cfg.attention_workload(0x5E12_71C3);
+        let mut engine = CampEngine::with_threads(threads);
+        let handles = workload.register(&mut engine, DType::I8);
+        let reqs = workload.gemm_requests_with_handles(&handles);
+        let (_engine, smoke_rows) = dispatcher_sweep(engine, &reqs, 2, &[1, 2], "smoke");
+        rows.extend(smoke_rows);
+    }
+
+    for r in &rows {
+        println!(
+            "{:<6} sessions={}: {:>10.0} req/s  p50 {:>8.2} ms  p99 {:>8.2} ms  \
+             rejected {}  stolen {}",
+            r.mode, r.sessions, r.req_per_sec, r.p50_ms, r.p99_ms, r.rejected, r.stolen
+        );
+    }
+
+    if check {
+        let tol = env_f64("CAMP_BENCH_TOLERANCE", 0.5);
+        if !check_baseline(&rows, tol) {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // ---- BENCH_serving.json (hand-rolled: no serde in the image) ----
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"bench\": \"serving\",");
+    let _ = writeln!(j, "  \"schema\": 1,");
+    let _ = writeln!(j, "  \"smoke\": {smoke},");
+    let _ = writeln!(j, "  \"threads\": {threads},");
+    let _ = writeln!(j, "  \"stagers\": 2,");
+    let _ = writeln!(j, "  \"queue_depth\": 8,");
+    let _ = writeln!(j, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"mode\": \"{}\", \"sessions\": {}, \"gemms_per_batch\": {}, \
+             \"batches_per_tenant\": {}, \"req_per_sec\": {:.1}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"rejected\": {}, \"stolen\": {}}}",
+            r.mode,
+            r.sessions,
+            r.gemms_per_batch,
+            r.batches_per_tenant,
+            r.req_per_sec,
+            r.p50_ms,
+            r.p99_ms,
+            r.rejected,
+            r.stolen
+        );
+        j.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ]\n}\n");
+    let out = "BENCH_serving.json";
+    std::fs::write(out, &j).expect("write BENCH_serving.json");
+    println!("\nwrote {out}");
 }

@@ -70,6 +70,7 @@ use camp_gemm::weights::{DType, WeightHandle, WeightMeta, WeightRegistry, Weight
 use camp_gemm::{CMatrix, GemmProblem};
 use camp_pipeline::{CoreConfig, SimStats};
 
+use crate::dispatch::Dispatcher;
 use crate::engine::{CampEngine, EngineStats, StagedRequest};
 use crate::pool::WorkerPool;
 use crate::session::Session;
@@ -312,6 +313,19 @@ pub trait CampBackend {
         Self: Sized + Send + 'static,
     {
         Session::new(self)
+    }
+
+    /// Upgrade the backend into a shared multi-tenant [`Dispatcher`]
+    /// with [`crate::dispatch::DispatchOptions::from_env`]: N sessions
+    /// over this one backend, with work-stealing staging, priorities
+    /// and per-session
+    /// admission control. Register weights first — submissions
+    /// validate against the registrations present now.
+    fn dispatch(self) -> Dispatcher<Self>
+    where
+        Self: Sized + Send + 'static,
+    {
+        Dispatcher::new(self)
     }
 }
 

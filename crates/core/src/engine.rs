@@ -794,6 +794,11 @@ impl CampEngine {
     /// independent (jc, pc) block units on the same threads that serve
     /// the host-speed path — one thread budget for both halves, which
     /// is how the figure harnesses run `--sim-threads N` sweeps.
+    ///
+    /// The pool's [`WorkerPool::queued_jobs`] / [`WorkerPool::jobs_run`]
+    /// counters let serving tests assert that draining a
+    /// [`crate::dispatch::Dispatcher`] leaves no jobs queued — the
+    /// "no leaked pool permits" invariant.
     pub fn worker_pool(&self) -> Option<std::sync::Arc<WorkerPool>> {
         self.workers.clone()
     }

@@ -28,6 +28,13 @@
 //!   submit/poll [`session::Session`] that overlaps the A-packing of
 //!   one batch with the compute of the previous one. The steady state
 //!   spawns no threads and packs zero B bytes per request.
+//! * [`dispatch`] — the **multi-tenant serving layer**: one
+//!   [`dispatch::Dispatcher`] owns the warm engine and hands out any
+//!   number of per-tenant sessions — work-stealing stagers,
+//!   decode/prefill [`dispatch::Priority`] with deadlines and an aging
+//!   bound, per-session admission control
+//!   ([`RequestError::Saturated`]), and panic-free weight-eviction
+//!   races. [`session::Session`] is its single-tenant wrapper.
 //!
 //! * [`backend`] — **one GeMM API** over interchangeable substrates:
 //!   the [`backend::CampBackend`] trait, implemented by the host-speed
@@ -51,6 +58,7 @@
 //! ```
 
 pub mod backend;
+pub mod dispatch;
 pub mod engine;
 pub mod hybrid;
 pub mod pool;
@@ -60,6 +68,9 @@ pub mod sync;
 pub mod unit;
 
 pub use backend::{BatchOutcome, CampBackend, Capability, ExecStats, Outcome, Output, SimBackend};
+pub use dispatch::{
+    DispatchOptions, DispatchSession, DispatchStats, Dispatcher, Priority, StealPolicy,
+};
 pub use engine::{
     gemm_i32_ref, CampEngine, DType, EngineStats, GemmProblem, WeightHandle, WeightMeta,
 };

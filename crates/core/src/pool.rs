@@ -39,6 +39,12 @@ type StaticJob = Box<dyn FnOnce() + Send + 'static>;
 #[derive(Default)]
 struct QueueState {
     jobs: VecDeque<StaticJob>,
+    /// Jobs claimed by a worker over the pool's lifetime (monotonic). A
+    /// claimed job always finishes — panics are caught inside the
+    /// wrapper `run` builds — so after every `run` has returned this
+    /// equals the number of jobs ever submitted, which is what lets
+    /// serving tests assert the pool leaked no permits.
+    jobs_run: u64,
     shutdown: bool,
 }
 
@@ -116,6 +122,21 @@ impl WorkerPool {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.handles.len()
+    }
+
+    /// Jobs currently enqueued and not yet claimed by a worker. Zero
+    /// whenever no [`WorkerPool::run`] is in flight: `run` does not
+    /// return before every job it queued has finished.
+    pub fn queued_jobs(&self) -> usize {
+        self.shared.state.lock().expect("worker pool poisoned").jobs.len()
+    }
+
+    /// Total jobs workers have claimed over the pool's lifetime
+    /// (monotonic). Between runs this equals the number of jobs ever
+    /// submitted — `queued_jobs() == 0 && jobs_run() == submitted` is
+    /// the "no leaked permits" invariant the serving tests assert.
+    pub fn jobs_run(&self) -> u64 {
+        self.shared.state.lock().expect("worker pool poisoned").jobs_run
     }
 
     /// Execute `jobs` on the pool and block until all of them have
@@ -199,6 +220,7 @@ fn worker_loop(shared: &SharedQueue) {
             let mut st = shared.state.lock().expect("worker pool poisoned");
             loop {
                 if let Some(job) = st.jobs.pop_front() {
+                    st.jobs_run += 1;
                     break job;
                 }
                 if st.shutdown {
@@ -260,6 +282,18 @@ mod tests {
     fn empty_run_is_a_no_op() {
         let pool = WorkerPool::new(2);
         pool.run(Vec::new());
+        assert_eq!((pool.queued_jobs(), pool.jobs_run()), (0, 0));
+    }
+
+    #[test]
+    fn job_counters_balance_between_runs() {
+        let pool = WorkerPool::new(3);
+        for round in 1..=4u64 {
+            let jobs: Vec<Job<'_>> = (0..5).map(|_| Box::new(|| ()) as Job<'_>).collect();
+            pool.run(jobs);
+            assert_eq!(pool.queued_jobs(), 0, "run returned with jobs still queued");
+            assert_eq!(pool.jobs_run(), round * 5);
+        }
     }
 
     #[test]

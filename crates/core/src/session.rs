@@ -49,17 +49,13 @@
 //! assert_eq!(outcome.outputs[0], expected.output);
 //! ```
 
-use std::collections::{HashMap, HashSet, VecDeque};
-
-// the sync seam: std primitives normally, the camp-loom model checker
-// under `--cfg loom` (see crate::sync and tests/model/)
-use crate::sync::thread::JoinHandle;
-use crate::sync::{Arc, Condvar, Mutex, MutexGuard};
-
 use camp_gemm::request::{GemmRequest, RequestError};
-use camp_gemm::weights::{WeightHandle, WeightSnapshot};
+use camp_gemm::weights::WeightHandle;
 
 use crate::backend::{BatchOutcome, CampBackend};
+use crate::dispatch::{DispatchOptions, DispatchSession, Dispatcher, StealPolicy};
+
+pub use crate::dispatch::TicketId;
 
 /// One GeMM of a serving batch, legacy form: an owned m×k activation
 /// multiplied against a registered weight.
@@ -86,162 +82,28 @@ impl From<Request> for GemmRequest {
     }
 }
 
-/// Identifier of one submitted batch; redeem it with [`Session::poll`]
-/// or [`Session::wait`]. Stamped with its session's identity, so a
-/// ticket presented to a different session panics instead of silently
-/// redeeming that session's unrelated results.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct TicketId {
-    session: u64,
-    seq: u64,
-}
-
-/// Staged batches the stager may run ahead of the driver: one being
-/// computed, one ready — the documented "pack batch N+1 while batch N
-/// computes" pipeline. Beyond this the stager parks instead of staging
-/// the whole backlog into memory.
-const MAX_STAGED: usize = 2;
-
-/// Pipeline state shared by the submitter, the stager and the driver,
-/// generic over the backend's staged request form.
-struct State<P> {
-    /// Submitted, not yet staged.
-    submitted: VecDeque<(u64, Vec<GemmRequest>)>,
-    /// Staged (operands pre-packed), not yet computed; at most
-    /// [`MAX_STAGED`].
-    staged: VecDeque<(u64, Vec<P>)>,
-    /// Computed, not yet collected (results are retained until
-    /// redeemed or the session drops).
-    done: HashMap<u64, BatchOutcome>,
-    /// Collected-ticket tracking (poll and wait are one-shot; waiting
-    /// again is a caller bug, not a hang), compacted so a long-lived
-    /// session stays O(out-of-orderness): every ticket below
-    /// `collected_floor` was redeemed, plus the sparse set above it.
-    collected_floor: u64,
-    collected: HashSet<u64>,
-    shutdown: bool,
-    stager_exited: bool,
-    /// Set when a pipeline thread died; poll/wait panic instead of
-    /// hanging.
-    dead: Option<&'static str>,
-}
-
-impl<P> Default for State<P> {
-    fn default() -> Self {
-        State {
-            submitted: VecDeque::new(),
-            staged: VecDeque::new(),
-            done: HashMap::new(),
-            collected_floor: 0,
-            collected: HashSet::new(),
-            shutdown: false,
-            stager_exited: false,
-            dead: None,
-        }
-    }
-}
-
-impl<P> State<P> {
-    fn is_collected(&self, ticket: u64) -> bool {
-        ticket < self.collected_floor || self.collected.contains(&ticket)
-    }
-
-    fn mark_collected(&mut self, ticket: u64) {
-        self.collected.insert(ticket);
-        while self.collected.remove(&self.collected_floor) {
-            self.collected_floor += 1;
-        }
-    }
-
-    fn collected_count(&self) -> usize {
-        self.collected_floor as usize + self.collected.len()
-    }
-}
-
-struct Shared<P> {
-    state: Mutex<State<P>>,
-    /// Wakes the stager (new submission, or shutdown).
-    submitted_cv: Condvar,
-    /// Wakes the driver (new staged batch, or stager exit).
-    staged_cv: Condvar,
-    /// Wakes the stager when the driver makes room in the staged queue.
-    stage_room_cv: Condvar,
-    /// Wakes `wait` (new completed batch, or pipeline death).
-    done_cv: Condvar,
-}
-
-impl<P> Shared<P> {
-    fn new() -> Self {
-        Shared {
-            state: Mutex::new(State::default()),
-            submitted_cv: Condvar::new(),
-            staged_cv: Condvar::new(),
-            stage_room_cv: Condvar::new(),
-            done_cv: Condvar::new(),
-        }
-    }
-
-    /// Lock the state, ignoring mutex poisoning: every mutation below
-    /// is atomic under the lock (queues stay consistent even if a
-    /// caller panicked mid-`wait`), and shutdown must still work after
-    /// a panic so `Drop` can join the pipeline threads.
-    fn lock(&self) -> MutexGuard<'_, State<P>> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
-    }
-
-    /// Wait on `cv`, ignoring poisoning like [`Shared::lock`].
-    fn wait<'a>(&self, cv: &Condvar, st: MutexGuard<'a, State<P>>) -> MutexGuard<'a, State<P>> {
-        cv.wait(st).unwrap_or_else(|e| e.into_inner())
-    }
-
-    /// Mark the pipeline dead and wake everyone.
-    fn mark_dead(&self, who: &'static str) {
-        let mut st = self.lock();
-        st.dead = Some(who);
-        self.submitted_cv.notify_all();
-        self.staged_cv.notify_all();
-        self.stage_room_cv.notify_all();
-        self.done_cv.notify_all();
-    }
-}
-
-/// Notifies the session if a pipeline thread unwinds, so callers
-/// blocked in [`Session::wait`] fail fast instead of hanging.
-struct DeathWatch<'a, P> {
-    shared: &'a Shared<P>,
-    who: &'static str,
-    armed: bool,
-}
-
-impl<P> Drop for DeathWatch<'_, P> {
-    fn drop(&mut self) {
-        if self.armed {
-            self.shared.mark_dead(self.who);
-        }
-    }
-}
-
 /// Streaming serving front end over any [`CampBackend`]; see the
 /// [module docs](self).
+///
+/// Since the multi-tenant [`Dispatcher`] landed, `Session` is the
+/// **single-tenant view** of the same machinery: a private dispatcher
+/// configured for one client (one stager, an unbounded admission
+/// window, no priority classes) plus the one [`DispatchSession`] on
+/// it. The submit/poll/wait surface, ticket semantics and panic
+/// messages are unchanged; serving deployments that want N clients
+/// over one engine use [`Dispatcher`] (or
+/// [`CampBackend::dispatch`]) directly.
 pub struct Session<B: CampBackend + Send + 'static> {
-    shared: Arc<Shared<B::Prepared>>,
-    /// Registration snapshot for submit-side validation (handles from
-    /// another backend, stale handles and malformed shapes are rejected
-    /// at submit, not deep in the pipeline).
-    weights: WeightSnapshot,
-    /// Process-unique identity stamped into this session's tickets.
-    session_id: u64,
-    next_ticket: u64,
-    stager: Option<JoinHandle<()>>,
-    driver: Option<JoinHandle<B>>,
+    // field order is drop order: the client must close (cancelling
+    // nothing — into_backend drains first) before the dispatcher joins
+    // its threads
+    client: DispatchSession<B>,
+    dispatcher: Option<Dispatcher<B>>,
 }
 
 impl<B: CampBackend + Send + 'static> std::fmt::Debug for Session<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Session")
-            .field("session_id", &self.session_id)
-            .field("next_ticket", &self.next_ticket)
-            .finish_non_exhaustive()
+        f.debug_struct("Session").field("session_id", &self.client.id()).finish_non_exhaustive()
     }
 }
 
@@ -249,32 +111,15 @@ impl<B: CampBackend + Send + 'static> Session<B> {
     /// Start serving on `backend`. Weights must already be registered:
     /// submissions are validated against this moment's registry.
     pub fn new(backend: B) -> Self {
-        let weights = backend.weight_snapshot();
-        let shared: Arc<Shared<B::Prepared>> = Arc::new(Shared::new());
-
-        let stager_shared = Arc::clone(&shared);
-        let stager_weights = weights.clone();
-        let stager = crate::sync::thread::Builder::new()
-            .name("camp-stager".into())
-            .spawn(move || stager_loop::<B>(&stager_shared, &stager_weights))
-            .expect("failed to spawn session stager");
-
-        let driver_shared = Arc::clone(&shared);
-        let driver = crate::sync::thread::Builder::new()
-            .name("camp-driver".into())
-            .spawn(move || driver_loop::<B>(&driver_shared, backend))
-            .expect("failed to spawn session driver");
-
-        use std::sync::atomic::{AtomicU64, Ordering};
-        static NEXT_SESSION_ID: AtomicU64 = AtomicU64::new(0);
-        Session {
-            shared,
-            weights,
-            session_id: NEXT_SESSION_ID.fetch_add(1, Ordering::Relaxed),
-            next_ticket: 0,
-            stager: Some(stager),
-            driver: Some(driver),
-        }
+        // single-tenant configuration: one stager (the legacy pipeline
+        // shape) and no admission bound (the legacy session never
+        // rejected a submission for depth)
+        let dispatcher = Dispatcher::with_options(
+            backend,
+            DispatchOptions { stagers: 1, queue_depth: usize::MAX, steal: StealPolicy::Eager },
+        );
+        let client = dispatcher.session();
+        Session { client, dispatcher: Some(dispatcher) }
     }
 
     /// Enqueue one batch; returns immediately with the ticket that will
@@ -291,43 +136,16 @@ impl<B: CampBackend + Send + 'static> Session<B> {
     /// # Panics
     /// Panics if a pipeline thread has already died.
     pub fn submit(&mut self, batch: Vec<GemmRequest>) -> Result<TicketId, RequestError> {
-        for r in &batch {
-            r.resolve(&self.weights)?;
-        }
-        let seq = self.next_ticket;
-        self.next_ticket += 1;
-        let mut st = self.shared.lock();
-        if let Some(who) = st.dead {
-            panic!("serving session is dead: {who} thread panicked");
-        }
-        st.submitted.push_back((seq, batch));
-        self.shared.submitted_cv.notify_one();
-        Ok(TicketId { session: self.session_id, seq })
-    }
-
-    /// A ticket's queue key, after verifying it belongs to this session.
-    fn check_ticket(&self, ticket: TicketId) -> u64 {
-        assert_eq!(ticket.session, self.session_id, "ticket was issued by a different session");
-        assert!(ticket.seq < self.next_ticket, "ticket was never issued by this session");
-        ticket.seq
+        self.client.submit(batch)
     }
 
     /// Non-blocking result check: `None` while the batch is still in
     /// the pipeline. The result is handed out exactly once — a second
     /// poll of the same ticket returns `None` again.
     pub fn poll(&mut self, ticket: TicketId) -> Option<BatchOutcome> {
-        let seq = self.check_ticket(ticket);
-        let mut st = self.shared.lock();
-        // completed results stay retrievable even after a pipeline
-        // thread died — only a still-pending ticket has to fail
-        if let Some(result) = st.done.remove(&seq) {
-            st.mark_collected(seq);
-            return Some(result);
-        }
-        if let Some(who) = st.dead {
-            panic!("serving session is dead: {who} thread panicked");
-        }
-        None
+        self.client
+            .poll(ticket)
+            .map(|r| r.expect("single-tenant sessions never fail staged batches"))
     }
 
     /// Block until the batch is computed; returns one [`BatchOutcome`]
@@ -339,136 +157,30 @@ impl<B: CampBackend + Send + 'static> Session<B> {
     /// Panics if a pipeline thread died, or the ticket's result was
     /// already collected.
     pub fn wait(&mut self, ticket: TicketId) -> BatchOutcome {
-        let seq = self.check_ticket(ticket);
-        let mut st = self.shared.lock();
-        loop {
-            assert!(!st.is_collected(seq), "ticket result was already collected");
-            if let Some(result) = st.done.remove(&seq) {
-                st.mark_collected(seq);
-                return result;
-            }
-            if let Some(who) = st.dead {
-                panic!("serving session is dead: {who} thread panicked");
-            }
-            st = self.shared.wait(&self.shared.done_cv, st);
-        }
+        self.client.wait(ticket).expect("single-tenant sessions never fail staged batches")
     }
 
     /// Batches submitted whose results have not been collected yet
     /// (queued, staging, computing, or done-but-unredeemed).
     pub fn in_flight(&self) -> usize {
-        let st = self.shared.lock();
-        self.next_ticket as usize - st.collected_count()
+        self.client.in_flight()
     }
 
     /// Drain the pipeline (every submitted batch finishes; uncollected
     /// results are dropped) and return the backend, weights and warm
     /// pools intact.
     pub fn into_backend(mut self) -> B {
-        self.begin_shutdown();
-        if let Some(h) = self.stager.take() {
-            let _ = h.join();
-        }
-        let driver = self.driver.take().expect("driver already joined");
-        driver.join().expect("session driver panicked")
+        // drain BEFORE the client handle drops: a dropped client
+        // cancels its unclaimed batches, and into_backend promises the
+        // opposite — every submitted batch finishes
+        let dispatcher = self.dispatcher.take().expect("dispatcher already taken");
+        dispatcher.into_backend()
     }
 
     /// Legacy name for [`Session::into_backend`].
     #[deprecated(since = "0.2.0", note = "renamed to into_backend; remove: v0.3")]
     pub fn into_engine(self) -> B {
         self.into_backend()
-    }
-
-    fn begin_shutdown(&self) {
-        let mut st = self.shared.lock();
-        st.shutdown = true;
-        self.shared.submitted_cv.notify_all();
-        self.shared.staged_cv.notify_all();
-        self.shared.stage_room_cv.notify_all();
-    }
-}
-
-impl<B: CampBackend + Send + 'static> Drop for Session<B> {
-    fn drop(&mut self) {
-        self.begin_shutdown();
-        if let Some(h) = self.stager.take() {
-            let _ = h.join();
-        }
-        if let Some(h) = self.driver.take() {
-            let _ = h.join();
-        }
-    }
-}
-
-fn stager_loop<B: CampBackend>(shared: &Shared<B::Prepared>, weights: &WeightSnapshot) {
-    let mut watch = DeathWatch { shared, who: "stager", armed: true };
-    loop {
-        let next = {
-            let mut st = shared.lock();
-            loop {
-                if let Some(batch) = st.submitted.pop_front() {
-                    break Some(batch);
-                }
-                if st.shutdown {
-                    break None;
-                }
-                st = shared.wait(&shared.submitted_cv, st);
-            }
-        };
-        let Some((ticket, batch)) = next else {
-            // graceful exit: tell the driver no more staged batches come
-            let mut st = shared.lock();
-            st.stager_exited = true;
-            shared.staged_cv.notify_all();
-            watch.armed = false;
-            return;
-        };
-        // the pipeline overlap: this staging runs while the driver
-        // computes the previous batch on the worker pool
-        let staged: Vec<B::Prepared> = batch.into_iter().map(|r| B::prepare(r, weights)).collect();
-        let mut st = shared.lock();
-        // backpressure: hold at most MAX_STAGED pre-packed batches (the
-        // one in hand counts once pushed) so a deep submission backlog
-        // does not stage its packed copies all at once; the driver
-        // signals room as it consumes (skip waiting if it died)
-        while st.staged.len() >= MAX_STAGED && st.dead.is_none() {
-            st = shared.wait(&shared.stage_room_cv, st);
-        }
-        st.staged.push_back((ticket, staged));
-        shared.staged_cv.notify_one();
-    }
-}
-
-fn driver_loop<B: CampBackend>(shared: &Shared<B::Prepared>, mut backend: B) -> B {
-    let mut watch = DeathWatch { shared, who: "driver", armed: true };
-    loop {
-        let next = {
-            let mut st = shared.lock();
-            loop {
-                if let Some(batch) = st.staged.pop_front() {
-                    shared.stage_room_cv.notify_one();
-                    break Some(batch);
-                }
-                if st.shutdown && st.stager_exited {
-                    break None;
-                }
-                // a dead stager will never stage again nor set
-                // stager_exited — exit so Drop/into_backend can join
-                // instead of deadlocking
-                if st.dead.is_some() {
-                    break None;
-                }
-                st = shared.wait(&shared.staged_cv, st);
-            }
-        };
-        let Some((ticket, staged)) = next else {
-            watch.armed = false;
-            return backend;
-        };
-        let result = backend.execute_prepared(staged);
-        let mut st = shared.lock();
-        st.done.insert(ticket, result);
-        shared.done_cv.notify_all();
     }
 }
 

@@ -10,7 +10,8 @@
 //! RUSTFLAGS="--cfg loom" cargo test -p camp-core --test model
 //! ```
 //!
-//! Each model drives the *real* `WorkerPool` / `Session` code — the
+//! Each model drives the *real* `WorkerPool` / `Session` / `Dispatcher`
+//! code — the
 //! same latch, queues and condvars production uses — through every
 //! thread interleaving up to a bounded preemption depth, so the
 //! happens-before arguments written as `// SAFETY:` comments (the
@@ -19,6 +20,7 @@
 
 #![cfg(loom)]
 
+mod dispatch_model;
 mod pool_latch;
 mod pool_panic;
 mod seeded_bug;

@@ -71,6 +71,14 @@ pub enum RequestError {
     OperandRange(&'static str),
     /// The backend cannot execute this request (capability gap).
     Unsupported(&'static str),
+    /// Admission control: the serving session's staging queue is at its
+    /// bounded depth (the carried value). Back off and resubmit; the
+    /// session recovers as staged work drains — nothing was enqueued.
+    Saturated {
+        /// The session's configured staging depth (the documented
+        /// bound at which this error fires deterministically).
+        depth: usize,
+    },
 }
 
 impl std::fmt::Display for RequestError {
@@ -94,6 +102,9 @@ impl std::fmt::Display for RequestError {
                 write!(f, "i4 operand {operand} holds values outside [-8, 7]")
             }
             RequestError::Unsupported(what) => write!(f, "backend cannot execute request: {what}"),
+            RequestError::Saturated { depth } => {
+                write!(f, "session staging queue is saturated (bounded depth {depth})")
+            }
         }
     }
 }
