@@ -35,7 +35,11 @@
 //!    decode batches the driver runs the best waiting prefill batch, so
 //!    a decode flood cannot starve prefill indefinitely (and a prefill
 //!    flood never delays decode by more than the one batch already on
-//!    the engine).
+//!    the engine). A picked batch whose deadline has **already passed**
+//!    is shed — completed as [`RequestError::Shed`] without touching
+//!    the engine (counted in [`DispatchStats::shed`]) — so an overload
+//!    spends cycles only on batches that can still make their
+//!    deadlines.
 //!
 //! Weight **eviction races** are first-class: [`Dispatcher::evict_weights`]
 //! condemns the handle immediately (new submissions fail with
@@ -217,6 +221,10 @@ pub struct DispatchStats {
     /// handle they carry was condemned before they reached the engine,
     /// ever.
     pub stale_failures: u64,
+    /// Batches shed because their deadline had already passed when the
+    /// driver picked them — completed as [`RequestError::Shed`] without
+    /// touching the engine, ever.
+    pub shed: u64,
     /// Batches currently claimed-but-uncompleted across all sessions
     /// (being prepared, ready, or on the engine). 0 when drained.
     pub staging_live: usize,
@@ -317,6 +325,7 @@ struct Counters {
     stolen: u64,
     evictions: u64,
     stale_failures: u64,
+    shed: u64,
 }
 
 /// Dispatcher state shared by clients, stagers and the driver.
@@ -620,6 +629,15 @@ fn driver_loop<B: CampBackend>(shared: &Shared<B::Prepared>, mut backend: B) -> 
                         // touching the (possibly already evicted) panel
                         st.stats.stale_failures += 1;
                         st.complete(chosen.slot, chosen.seq, Err(RequestError::StaleHandle));
+                        shared.work_cv.notify_all();
+                        shared.done_cv.notify_all();
+                        continue;
+                    }
+                    if chosen.deadline.is_some_and(|dl| Instant::now() > dl) {
+                        // deadline already missed: computing it would
+                        // only delay batches that can still make theirs
+                        st.stats.shed += 1;
+                        st.complete(chosen.slot, chosen.seq, Err(RequestError::Shed));
                         shared.work_cv.notify_all();
                         shared.done_cv.notify_all();
                         continue;
@@ -977,6 +995,7 @@ impl<B: CampBackend + Send + 'static> Dispatcher<B> {
             stolen: st.stats.stolen,
             evictions: st.stats.evictions,
             stale_failures: st.stats.stale_failures,
+            shed: st.stats.shed,
             staging_live: st.sessions.iter().flatten().map(|q| q.staged_live).sum(),
             ready_now: st.ready.len(),
             sessions_live: st.sessions.iter().flatten().count(),
@@ -1237,6 +1256,44 @@ mod tests {
         let log = log.lock().unwrap();
         let pos = |m| log.iter().position(|&x| x == m).unwrap();
         assert!(pos(2) < pos(1), "earliest deadline must run first at equal priority: {log:?}");
+    }
+
+    #[test]
+    fn missed_deadlines_are_shed_not_computed() {
+        let (backend, gate, log) = GateBackend::new(0);
+        let dispatcher = Dispatcher::with_options(backend, opts(1, StealPolicy::Eager));
+        let mut session = dispatcher.session();
+
+        // occupy the (gated) engine so the doomed batch waits in ready;
+        // Decode priority guarantees the blocker wins the first pick no
+        // matter how staging interleaves
+        let blocker = session.submit_with(vec![req(9)], Priority::Decode, None).unwrap();
+        let doomed =
+            session.submit_with(vec![req(1)], Priority::Prefill, Some(Instant::now())).unwrap();
+        let live = session
+            .submit_with(
+                vec![req(2)],
+                Priority::Prefill,
+                Some(Instant::now() + std::time::Duration::from_secs(3600)),
+            )
+            .unwrap();
+        // pin: blocker on the engine, doomed staged behind it (the
+        // third batch waits out the MAX_STAGED window in the queue)
+        wait_for(&dispatcher, |s| s.staging_live == 2 && s.ready_now == 1);
+        // let the already-expired deadline pass unambiguously
+        std::thread::sleep(std::time::Duration::from_millis(5));
+
+        // 3 permits offered, but the shed batch must not consume one
+        grant(&gate, 3);
+        assert_eq!(session.wait(doomed).unwrap_err(), RequestError::Shed);
+        assert_eq!(session.wait(blocker).unwrap().outputs[0].m, 9);
+        assert_eq!(session.wait(live).unwrap().outputs[0].m, 2);
+        let stats = wait_for(&dispatcher, |s| s.staging_live == 0);
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.executed, 2, "only the batches that can make their deadlines run");
+        let log = log.lock().unwrap();
+        assert_eq!(&*log, &[9, 2], "the shed batch must never reach the engine: {log:?}");
+        assert!(RequestError::Shed.to_string().contains("shed"));
     }
 
     #[test]

@@ -112,6 +112,16 @@ pub struct EngineStats {
     pub packed_b_bytes: u64,
     /// Multiply-accumulate operations represented.
     pub macs: u64,
+    /// Requests classified onto the skinny small-m fast path (m ≤ 8 —
+    /// the GEMV-shaped decode steps). Like every counter here this is a
+    /// property of the *problem* (the request's overall shape), not of
+    /// the schedule: one count per non-degenerate request, identical
+    /// across tiers, thread counts and entry points.
+    pub small_m_routed: u64,
+    /// Requests classified onto the skinny small-n fast path.
+    pub small_n_routed: u64,
+    /// Requests classified onto the blocked (Goto-nest) path.
+    pub blocked_routed: u64,
 }
 
 impl EngineStats {
@@ -127,6 +137,24 @@ impl EngineStats {
         self.packed_a_bytes += other.packed_a_bytes;
         self.packed_b_bytes += other.packed_b_bytes;
         self.macs += other.macs;
+        self.small_m_routed += other.small_m_routed;
+        self.small_n_routed += other.small_n_routed;
+        self.blocked_routed += other.blocked_routed;
+    }
+
+    /// Count one request's route classification from its overall shape
+    /// (degenerate requests run no kernel and count nowhere). Stamped
+    /// once per request at the entry points — never per row chunk — so
+    /// the counters stay schedule-invariant.
+    fn stamp_route(&mut self, m: usize, n: usize, k: usize) {
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        match small_path(m, n) {
+            Some(SmallPath::SmallM) => self.small_m_routed += 1,
+            Some(SmallPath::SmallN) => self.small_n_routed += 1,
+            None => self.blocked_routed += 1,
+        }
     }
 }
 
@@ -497,7 +525,14 @@ fn run_work_items(
     let mut total = EngineStats::default();
     let mut small = Vec::with_capacity(items.len());
     for it in items {
-        if it.macs() < BATCH_ROW_SPLIT_MACS {
+        total.stamp_route(it.m, it.n, it.k);
+        // m ≤ 4 problems cannot row-split ([`row_partition`] chunks in
+        // multiples of the 4-row register tile), so even a huge
+        // GEMV-shaped (m = 1) decode item gains nothing from the
+        // partitioned path — send it to the cross-item path where it
+        // runs on the skinny small-m kernel and parallelizes across
+        // batch items instead.
+        if it.macs() < BATCH_ROW_SPLIT_MACS || it.m <= 4 {
             small.push(it);
             continue;
         }
@@ -930,7 +965,7 @@ impl CampEngine {
             return (c, EngineStats::default());
         }
         debug_check_i4(meta.dtype, "activation", a);
-        let stats = gemm_partitioned(
+        let mut stats = gemm_partitioned(
             m,
             meta.n,
             meta.k,
@@ -944,6 +979,7 @@ impl CampEngine {
             self.host,
             Some(self.weights.panel(h)),
         );
+        stats.stamp_route(m, meta.n, meta.k);
         (c, stats)
     }
 
@@ -1008,6 +1044,7 @@ impl CampEngine {
             self.host,
             shared_b,
         ));
+        total.stamp_route(m, n, k);
         (c, total)
     }
 
@@ -1782,6 +1819,53 @@ mod tests {
         let batch = eng.gemm_i8_batch(&problems);
         assert_eq!(batch[0], camp_gemm_i8(big.0, big.1, big.2, &ab, &bb));
         assert_eq!(batch[1], camp_gemm_i8(small.0, small.1, small.2, &asml, &bsml));
+    }
+
+    #[test]
+    fn decode_shaped_gemms_never_take_the_blocked_path() {
+        use crate::dispatch::{DispatchOptions, Dispatcher, Priority, StealPolicy};
+
+        // a 1×n×k GEMV above BATCH_ROW_SPLIT_MACS: the MAC rule alone
+        // would row-split it — onto one worker, since m = 1 cannot
+        // split — and run it through the blocked nest
+        let (n, k) = (2048, 4096);
+        assert!((n * k) as u64 >= BATCH_ROW_SPLIT_MACS);
+        let w = fill(k * n, 5, 16, -8);
+        let a = fill(k, 3, 16, -8);
+        let asml = fill(64, 7, 16, -8);
+        let wsml = fill(64 * 16, 11, 16, -8);
+        let big_ref = gemm_i32_ref(1, n, k, &a, &w);
+
+        let mut eng = CampEngine::with_threads(4);
+        let h = eng.register_weights(n, k, &w, DType::I8);
+
+        // the batch path
+        let problems = [eng.handle_problem(1, &a, h), GemmProblem::new(1, 16, 64, &asml, &wsml)];
+        let (cs, stats) = eng.gemm_batch_with_stats(&problems);
+        assert_eq!(cs[0], big_ref);
+        assert_eq!(cs[1], gemm_i32_ref(1, 16, 64, &asml, &wsml));
+        assert_eq!(
+            (stats.small_m_routed, stats.small_n_routed, stats.blocked_routed),
+            (2, 0, 0),
+            "every decode-shaped item must classify onto the small-m path"
+        );
+
+        // the dispatch path (the serving decode steps)
+        let opts = DispatchOptions { stagers: 1, queue_depth: 4, steal: StealPolicy::Eager };
+        let dispatcher = Dispatcher::with_options(eng, opts);
+        let mut session = dispatcher.session();
+        let req = GemmRequest::with_weights(1, a.clone(), h).unwrap();
+        let t = session.submit_with(vec![req], Priority::Decode, None).unwrap();
+        let out = session.wait(t).unwrap();
+        assert_eq!(out.outputs[0].c, big_ref);
+        let s = out.stats.as_host().expect("host engine ran");
+        assert_eq!(
+            (s.small_m_routed, s.blocked_routed),
+            (1, 0),
+            "a served decode step must never take the blocked path"
+        );
+        drop(session);
+        let _ = dispatcher.into_backend();
     }
 
     #[test]

@@ -79,6 +79,10 @@ pub enum RequestError {
         /// bound at which this error fires deterministically).
         depth: usize,
     },
+    /// The batch's deadline had already passed when the dispatcher's
+    /// driver picked it, so it was shed (completed as cancelled)
+    /// instead of computed. Counted in `DispatchStats::shed`.
+    Shed,
 }
 
 impl std::fmt::Display for RequestError {
@@ -104,6 +108,9 @@ impl std::fmt::Display for RequestError {
             RequestError::Unsupported(what) => write!(f, "backend cannot execute request: {what}"),
             RequestError::Saturated { depth } => {
                 write!(f, "session staging queue is saturated (bounded depth {depth})")
+            }
+            RequestError::Shed => {
+                write!(f, "batch deadline passed before execution; shed instead of computed")
             }
         }
     }

@@ -14,6 +14,8 @@
 //!   the paper evaluates;
 //! * [`quant`] — the quantization stack and the Fig. 7 accuracy study;
 //! * [`models`] — Table 3 CNN layers, transformer configs, im2col;
+//! * [`infer`] — end-to-end quantized LLM inference: KV-cached
+//!   prefill/decode served through the dispatcher;
 //! * [`energy`] — area/power/energy models for TSMC 7 nm and GF 22FDX.
 //!
 //! # Quickstart
@@ -34,6 +36,7 @@ pub use camp_cache as cache;
 pub use camp_core as core;
 pub use camp_energy as energy;
 pub use camp_gemm as gemm;
+pub use camp_infer as infer;
 pub use camp_isa as isa;
 pub use camp_models as models;
 pub use camp_pipeline as pipeline;

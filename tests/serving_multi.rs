@@ -212,7 +212,19 @@ fn saturation_bounds_in_flight_and_recovers_without_leaks() {
             Ok(t) => tickets.push_back(t),
             Err(RequestError::Saturated { depth }) => {
                 assert_eq!(depth, 2, "the documented per-session bound");
-                assert_eq!(session.in_flight(), 2, "rejection happens exactly at the bound");
+                // `in_flight()` counts uncollected tickets, but the
+                // admission bound counts *pending* batches — on a live
+                // engine a completion can race the submit loop and free
+                // a slot for one more admission, so uncollected tickets
+                // can exceed the bound at the instant rejection fires.
+                // The exact-at-the-bound property is pinned
+                // deterministically by the permit-gated mock test in
+                // camp_core::dispatch; here we assert the bound's worth
+                // of work is genuinely outstanding.
+                assert!(
+                    session.in_flight() >= 2,
+                    "rejection fired with fewer uncollected tickets than the bound"
+                );
                 saturated = true;
                 break;
             }
@@ -221,16 +233,31 @@ fn saturation_bounds_in_flight_and_recovers_without_leaks() {
     }
     assert!(saturated, "a depth-2 session outpaced a 512-deep GeMM 1000 times");
 
-    // collecting the oldest ticket drops in-flight below the bound, so
-    // the very next submission must be admitted — saturation is a
-    // state, not a ratchet
-    let oldest = tickets.pop_front().expect("at least one admitted");
-    assert!(session.wait(oldest).is_ok());
+    // waiting out pending batches re-opens admission — saturation is a
+    // state, not a ratchet. On a live engine a completion can race the
+    // submit loop above and slip one extra admission in, so collecting
+    // a single (possibly already-completed) ticket is not guaranteed to
+    // free a pending slot; drain oldest tickets until a submission is
+    // admitted. It must happen before the deque empties: each wait
+    // returns only after its batch completed (freeing that batch's
+    // permit), so at the latest the last wait leaves zero pending. The
+    // exact one-slot recovery is pinned deterministically by the
+    // permit-gated mock test in camp_core::dispatch.
     let a = gen(4 * k, 0x7e57 | 1);
-    let t = session
-        .submit(vec![GemmRequest::with_weights(4, a.clone(), h).unwrap()])
-        .expect("a drained slot re-admits immediately");
-    tickets.push_back(t);
+    let mut readmitted = false;
+    while let Some(oldest) = tickets.pop_front() {
+        assert!(session.wait(oldest).is_ok());
+        match session.submit(vec![GemmRequest::with_weights(4, a.clone(), h).unwrap()]) {
+            Ok(t) => {
+                tickets.push_back(t);
+                readmitted = true;
+                break;
+            }
+            Err(RequestError::Saturated { .. }) => continue,
+            Err(e) => panic!("unexpected admission error: {e}"),
+        }
+    }
+    assert!(readmitted, "draining every in-flight batch must re-open admission");
     for t in tickets {
         assert!(session.wait(t).is_ok());
     }
